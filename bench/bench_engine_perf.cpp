@@ -1,0 +1,87 @@
+// E12 — engine micro-performance (google-benchmark): supporting bench, not a
+// paper artifact. Quantifies simulator throughput for the main automata so
+// the stabilization benches' budgets are known to be cheap.
+#include <benchmark/benchmark.h>
+
+#include "core/engine.hpp"
+#include "graph/generators.hpp"
+#include "graph/metrics.hpp"
+#include "le/alg_le.hpp"
+#include "mis/alg_mis.hpp"
+#include "sched/scheduler.hpp"
+#include "sync/synchronizer.hpp"
+#include "unison/alg_au.hpp"
+
+using namespace ssau;
+
+namespace {
+
+void BM_AlgAuSynchronousStep(benchmark::State& state) {
+  const auto n = static_cast<core::NodeId>(state.range(0));
+  const graph::Graph g = graph::cycle(n);
+  const unison::AlgAu alg(static_cast<int>(n) / 2);
+  sched::SynchronousScheduler sched(n);
+  util::Rng rng(1);
+  core::Engine engine(g, alg, sched,
+                      unison::au_adversarial_configuration("random", alg, g,
+                                                           rng),
+                      1);
+  for (auto _ : state) {
+    engine.step();
+    benchmark::DoNotOptimize(engine.config().data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_AlgAuSynchronousStep)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_SignalConstruction(benchmark::State& state) {
+  const auto n = static_cast<core::NodeId>(state.range(0));
+  const graph::Graph g = graph::complete(n);
+  const unison::AlgAu alg(1);
+  sched::SynchronousScheduler sched(n);
+  util::Rng rng(2);
+  core::Engine engine(g, alg, sched,
+                      unison::au_adversarial_configuration("random", alg, g,
+                                                           rng),
+                      2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.signal_of(0));
+  }
+}
+BENCHMARK(BM_SignalConstruction)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_AlgMisSynchronousRound(benchmark::State& state) {
+  const auto n = static_cast<core::NodeId>(state.range(0));
+  const graph::Graph g = graph::grid(n / 8, 8);
+  const int d = static_cast<int>(graph::diameter(g));
+  const mis::AlgMis alg({.diameter_bound = d});
+  sched::SynchronousScheduler sched(g.num_nodes());
+  core::Engine engine(
+      g, alg, sched,
+      core::uniform_configuration(g.num_nodes(), alg.initial_state()), 3);
+  for (auto _ : state) {
+    engine.step();
+    benchmark::DoNotOptimize(engine.config().data());
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_nodes());
+}
+BENCHMARK(BM_AlgMisSynchronousRound)->Arg(64)->Arg(256);
+
+void BM_SynchronizerStep(benchmark::State& state) {
+  const graph::Graph g = graph::cycle(16);
+  const le::AlgLe pi({.diameter_bound = 2});
+  const sync::Synchronizer s(pi, 2);
+  sched::SynchronousScheduler sched(16);
+  util::Rng rng(4);
+  core::Engine engine(g, s, sched, core::random_configuration(s, 16, rng), 4);
+  for (auto _ : state) {
+    engine.step();
+    benchmark::DoNotOptimize(engine.config().data());
+  }
+  state.SetItemsProcessed(state.iterations() * 16);
+}
+BENCHMARK(BM_SynchronizerStep);
+
+}  // namespace
+
+BENCHMARK_MAIN();

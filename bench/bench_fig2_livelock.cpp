@@ -1,0 +1,99 @@
+// E3 — Figure 2: the live-lock of the failed reset-based AU (Appendix A).
+//
+// (a) Replays the exact counterexample: the 8-cycle with c = 2, D = 2,
+//     initial configuration Fig 2(a), rotating single-node schedule; shows
+//     the configuration after one sweep (Fig 2(b) under the strict exit
+//     rule) and proves the live-lock by exact (configuration, schedule phase)
+//     recurrence for both exit-rule variants.
+// (b) Contrast: AlgAU on the same 8-cycle under the same schedule stabilizes
+//     from a battery of adversarial configurations.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/engine.hpp"
+#include "graph/generators.hpp"
+#include "sched/scheduler.hpp"
+#include "unison/alg_au.hpp"
+#include "unison/au_monitor.hpp"
+#include "unison/failed_au.hpp"
+#include "util/table.hpp"
+
+using namespace ssau;
+
+namespace {
+
+std::string render(const unison::FailedAu& alg, const core::Configuration& c) {
+  std::string out = "[";
+  for (std::size_t v = 0; v < c.size(); ++v) {
+    if (v != 0) out += " ";
+    out += alg.state_name(c[v]);
+  }
+  return out + "]";
+}
+
+}  // namespace
+
+int main() {
+  bench::header("E3 / Figure 2 — live-lock of the failed reset-based AU");
+
+  const graph::Graph g = graph::cycle(8);
+
+  // --- The one-sweep trace (strict exit reproduces Fig 2(b) exactly). ------
+  {
+    unison::FailedAu alg(2, {.c = 2, .strict_exit = true});
+    sched::RotatingSingleScheduler sched(8);
+    core::Engine engine(g, alg, sched, unison::figure2a_configuration(alg), 1);
+    std::cout << "Fig 2(a) @ t=0 : " << render(alg, engine.config()) << "\n";
+    for (int t = 0; t < 8; ++t) engine.step();
+    std::cout << "        @ t=8 : " << render(alg, engine.config())
+              << "   (paper Fig 2(b): [0 R0 R1 R2 R3 R4 0 R4])\n\n";
+  }
+
+  // --- Live-lock proof for both exit-rule variants. -------------------------
+  util::Table table({"exit rule", "cycle found", "cycle start (step)",
+                     "cycle length (steps)", "legitimate config seen"});
+  for (const bool strict : {false, true}) {
+    unison::FailedAu alg(2, {.c = 2, .strict_exit = strict});
+    sched::RotatingSingleScheduler sched(8);
+    core::Engine engine(g, alg, sched, unison::figure2a_configuration(alg), 1);
+    const auto det = unison::detect_livelock(
+        engine, 8, 1000000,
+        [&](const core::Configuration& c) { return alg.legitimate(g, c); });
+    table.row()
+        .add(strict ? "Theta = {R_cD} (figure-exact)"
+                    : "Theta <= {R_cD, 0} (as stated)")
+        .add(det.cycle_found ? "yes" : "no")
+        .add(det.cycle_start)
+        .add(det.cycle_length)
+        .add(det.legitimate_seen ? "YES (stabilized?!)" : "never");
+  }
+  table.print(std::cout);
+
+  // --- Contrast: AlgAU on the same instance and schedule. -------------------
+  std::cout << "\nContrast — AlgAU (reset-free) on the same 8-cycle and "
+               "rotating schedule:\n\n";
+  const unison::AlgAu au(4);  // diam(C8) = 4
+  util::Table contrast(
+      {"initial configuration", "stabilized", "rounds to good",
+       "paper budget O(D^3) ~ k^3"});
+  util::Rng rng(7);
+  for (const auto& adv : unison::au_adversary_kinds()) {
+    sched::RotatingSingleScheduler sched(8);
+    core::Engine engine(g, au, sched,
+                        unison::au_adversarial_configuration(adv, au, g, rng),
+                        11);
+    const auto k = static_cast<std::uint64_t>(au.turns().k());
+    const auto outcome = unison::run_to_good(engine, au, 60 * k * k * k);
+    contrast.row()
+        .add(adv)
+        .add(outcome.reached ? "yes" : "NO")
+        .add(outcome.rounds)
+        .add(k * k * k);
+  }
+  contrast.print(std::cout);
+
+  std::cout << "\nRESULT: the reset-based design live-locks forever on the "
+               "Fig 2 instance;\nAlgAU stabilizes on the same instance under "
+               "the same adversarial daemon.\n";
+  return 0;
+}

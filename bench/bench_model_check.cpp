@@ -1,0 +1,122 @@
+// E14 (extension) — exhaustive verification on small instances.
+//
+// Model-checks the full configuration space (or the reachable region from a
+// crafted configuration) under every fair daemon:
+//   * AlgAU: no fair live-lock exists and the good set is closed — the
+//     exhaustive forms of Thm 1.1's convergence and Lem 2.10 — on every
+//     instance small enough to enumerate;
+//   * ablated AlgAU variants: where the cautious guards are dropped, the
+//     checker hunts for genuine fair live-locks / closure violations;
+//   * FailedAu (Appendix A): a fair live-lock PROVABLY exists in the region
+//     reachable from the Fig 2(a) configuration.
+#include <iostream>
+
+#include "analysis/model_check.hpp"
+#include "bench_common.hpp"
+#include "graph/generators.hpp"
+#include "unison/alg_au.hpp"
+#include "unison/au_invariants.hpp"
+#include "unison/failed_au.hpp"
+#include "util/table.hpp"
+
+using namespace ssau;
+
+int main() {
+  bench::header("E14 (extension) — exhaustive model checking");
+
+  util::Table table({"algorithm", "instance", "daemon moves", "configs",
+                     "edges", "fair live-lock", "target closed", "verdict"});
+
+  struct AuCase {
+    std::string name;
+    graph::Graph g;
+    int d;
+    unison::AlgAuOptions options;
+    std::string label;
+  };
+  std::vector<AuCase> au_cases;
+  au_cases.push_back({"edge", graph::path(2), 1, {}, "AlgAU"});
+  au_cases.push_back({"path3", graph::path(3), 2, {}, "AlgAU"});
+  au_cases.push_back({"triangle", graph::complete(3), 1, {}, "AlgAU"});
+  au_cases.push_back({"edge", graph::path(2), 1,
+                      {.af_inward_trigger = false}, "AlgAU no-AF-inward"});
+  au_cases.push_back({"edge", graph::path(2), 1,
+                      {.fa_outward_guard = false}, "AlgAU no-FA-guard"});
+  au_cases.push_back({"triangle", graph::complete(3), 1,
+                      {.aa_requires_good = false}, "AlgAU no-AA-good"});
+
+  for (const auto& c : au_cases) {
+    const unison::AlgAu alg(c.d, c.options);
+    const auto r = analysis::model_check_convergence(
+        alg, c.g,
+        [&](const core::Configuration& cfg) {
+          return unison::graph_good(alg.turns(), c.g, cfg);
+        },
+        {});
+    const bool stabilizing = r.always_converges && r.target_closed;
+    table.row()
+        .add(c.label)
+        .add(c.name)
+        .add("all subsets")
+        .add(r.configurations)
+        .add(r.edges)
+        .add(r.always_converges ? "none" : "FOUND")
+        .add(r.target_closed ? "yes" : "NO")
+        .add(r.complete ? (stabilizing ? "self-stabilizing (proved)"
+                                       : "NOT self-stabilizing")
+                        : "incomplete");
+  }
+
+  // AlgAU from a tear on the 4-cycle (reachable region, central daemons).
+  {
+    const unison::AlgAu alg(2);
+    const graph::Graph g = graph::cycle(4);
+    analysis::ModelCheckOptions opts;
+    opts.single_activations_only = true;
+    const auto r = analysis::model_check_convergence(
+        alg, g,
+        [&](const core::Configuration& cfg) {
+          return unison::graph_good(alg.turns(), g, cfg);
+        },
+        {unison::au_config_tear(alg, 4)}, opts);
+    table.row()
+        .add("AlgAU (from clock tear)")
+        .add("cycle4")
+        .add("central")
+        .add(r.configurations)
+        .add(r.edges)
+        .add(r.always_converges ? "none" : "FOUND")
+        .add(r.target_closed ? "yes" : "NO")
+        .add(r.always_converges ? "converges (proved)" : "live-lock");
+  }
+
+  // FailedAu from Fig 2(a) (reachable region, central daemons).
+  {
+    const unison::FailedAu alg(2, {.c = 2});
+    const graph::Graph g = graph::cycle(8);
+    analysis::ModelCheckOptions opts;
+    opts.single_activations_only = true;
+    opts.max_configurations = 500000;
+    const auto r = analysis::model_check_convergence(
+        alg, g,
+        [&](const core::Configuration& cfg) { return alg.legitimate(g, cfg); },
+        {unison::figure2a_configuration(alg)}, opts);
+    table.row()
+        .add("FailedAu (from Fig 2a)")
+        .add("cycle8")
+        .add("central")
+        .add(r.configurations)
+        .add(r.edges)
+        .add(r.always_converges ? "none" : "FOUND")
+        .add(r.target_closed ? "yes" : "NO")
+        .add(r.always_converges ? "converges?!" : "live-lock (proved)");
+  }
+
+  table.print(std::cout);
+  std::cout << "\nReading: on every exhaustively-explorable instance, AlgAU "
+               "has no fair live-lock and its good set is closed — machine-"
+               "checked self-stabilization; the Appendix-A design provably "
+               "live-locks. Ablated variants lose one of the two "
+               "certificates.\n";
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Async swarm: the paper's full pipeline in one program.
+//
+// The abstract promises "efficient self-stabilizing SA algorithms for the
+// leader election and maximal independent set tasks in bounded diameter
+// graphs subject to an asynchronous scheduler". This demo builds that object
+// for MIS: AlgMIS (synchronous, Thm 1.4) wrapped by the AlgAU-driven
+// synchronizer (Cor 1.2), dropped onto a swarm whose members run at wildly
+// different speeds (an adversarial asynchronous daemon), starting from
+// random product states.
+//
+//   $ ./async_swarm [--n=6] [--scheduler=laggard] [--seed=5]
+#include <iostream>
+
+#include "analysis/experiment.hpp"
+#include "core/engine.hpp"
+#include "graph/generators.hpp"
+#include "graph/metrics.hpp"
+#include "mis/alg_mis.hpp"
+#include "sched/scheduler.hpp"
+#include "sync/synchronizer.hpp"
+#include "util/cli.hpp"
+
+using namespace ssau;
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  const auto n = static_cast<core::NodeId>(cli.get_int("n", 6));
+  const std::string sched_name = cli.get("scheduler", "laggard");
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 5));
+
+  util::Rng rng(seed);
+  const graph::Graph g = graph::damaged_clique(n, 0.3, rng);
+  const int diam = static_cast<int>(graph::diameter(g));
+  std::cout << "swarm: " << n << " members, " << g.num_edges()
+            << " links, diameter " << diam << "\n";
+
+  const mis::AlgMis pi({.diameter_bound = diam});
+  const sync::Synchronizer composed(pi, diam);
+  std::cout << "AlgMIS: " << pi.state_count()
+            << " states; synchronized product: " << composed.state_count()
+            << " states (= |Q|^2 x (12D+6))\n";
+
+  auto daemon = sched::make_scheduler(sched_name, g);
+  std::cout << "daemon: " << daemon->name()
+            << " (members advance at different speeds)\n\n";
+
+  core::Engine engine(g, composed, *daemon,
+                      core::random_configuration(composed, n, rng), seed);
+
+  auto mis_correct = [&](const core::Engine& e) {
+    std::vector<bool> in(n);
+    for (core::NodeId v = 0; v < n; ++v) {
+      const auto q = e.state_of(v);
+      if (!composed.is_output(q)) return false;
+      in[v] = composed.output(q) == 1;
+    }
+    for (const auto& [u, v] : g.edges()) {
+      if (in[u] && in[v]) return false;
+    }
+    for (core::NodeId v = 0; v < n; ++v) {
+      if (in[v]) continue;
+      bool dominated = false;
+      for (const core::NodeId u : g.neighbors(v)) dominated |= in[u];
+      if (!dominated) return false;
+    }
+    return true;
+  };
+
+  const auto result =
+      analysis::measure_output_stabilization(engine, mis_correct, 60000);
+  if (!result.ever_stable) {
+    std::cout << "did not stabilize within the horizon (unexpected)\n";
+    return 1;
+  }
+  std::cout << "stabilized to a correct MIS by round " << result.last_bad_round
+            << " (observed " << result.horizon_rounds << " rounds)\n\nroles: ";
+  for (core::NodeId v = 0; v < n; ++v) {
+    std::cout << (composed.output(engine.state_of(v)) == 1 ? '#' : '.');
+  }
+  std::cout << "   (# selected, . dominated)\n";
+
+  // Show the per-member activation counts. Fair daemons equalize totals over
+  // a long horizon, but at any instant members are many steps apart — the
+  // synchronizer hides exactly that from AlgMIS (neighbors never drift more
+  // than one simulated round apart).
+  std::cout << "\nactivations per member: ";
+  for (core::NodeId v = 0; v < n; ++v) {
+    std::cout << engine.activation_count(v) << " ";
+  }
+  std::cout << "\n(instantaneous speeds differ wildly under the " +
+                   daemon->name() +
+                   " daemon;\n the synchronizer still hands AlgMIS a clean "
+                   "synchronous execution)\n";
+  return 0;
+}

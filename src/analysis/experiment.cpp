@@ -1,0 +1,38 @@
+#include "analysis/experiment.hpp"
+
+namespace ssau::analysis {
+
+std::vector<double> run_trials(
+    std::size_t num_trials, std::uint64_t base_seed,
+    const std::function<double(std::size_t, util::Rng&)>& trial) {
+  std::vector<double> results;
+  results.reserve(num_trials);
+  util::Rng meta(base_seed);
+  for (std::size_t i = 0; i < num_trials; ++i) {
+    util::Rng rng = meta.fork();
+    results.push_back(trial(i, rng));
+  }
+  return results;
+}
+
+OutputStabilization measure_output_stabilization(
+    core::Engine& engine, const std::function<bool(const core::Engine&)>& good,
+    std::uint64_t horizon_rounds) {
+  OutputStabilization result;
+  result.horizon_rounds = horizon_rounds;
+  bool was_bad_initially = !good(engine);
+  if (was_bad_initially) result.last_bad_round = 0;
+  const std::uint64_t target = engine.rounds_completed() + horizon_rounds;
+  while (engine.rounds_completed() < target) {
+    engine.step();
+    if (!good(engine)) {
+      result.last_bad_round = engine.round_index_now();
+    }
+  }
+  result.good_at_end = good(engine);
+  result.ever_stable =
+      result.good_at_end && result.last_bad_round < horizon_rounds;
+  return result;
+}
+
+}  // namespace ssau::analysis

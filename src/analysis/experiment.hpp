@@ -1,0 +1,46 @@
+// Experiment harness: multi-seed sweeps and output-stabilization measurement.
+//
+// The paper's randomized bounds ("in expectation and whp") are reproduced as
+// empirical distributions over seeds and adversarial initial configurations;
+// static tasks (LE, MIS, synchronized algorithms) additionally need the
+// "output vector eventually fixed and correct" measurement, provided here as
+// measure_output_stabilization.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace ssau::analysis {
+
+/// Runs `trial` for seeds 0..num_trials-1 (each with its own Rng derived from
+/// base_seed) and collects the returned measurements.
+[[nodiscard]] std::vector<double> run_trials(
+    std::size_t num_trials, std::uint64_t base_seed,
+    const std::function<double(std::size_t trial_index, util::Rng& rng)>&
+        trial);
+
+/// Result of watching a static task's outputs over a bounded horizon.
+struct OutputStabilization {
+  /// True iff `good` held at the end of the horizon.
+  bool good_at_end = false;
+  /// True iff a strictly positive tail of the horizon was uninterruptedly
+  /// good (i.e. last_bad_round < horizon_rounds).
+  bool ever_stable = false;
+  /// Round index (paper measure) of the last step at which `good` was false;
+  /// 0 if it never was. This is the empirical stabilization time.
+  std::uint64_t last_bad_round = 0;
+  std::uint64_t horizon_rounds = 0;
+};
+
+/// Advances the engine for `horizon_rounds` rounds, evaluating `good` after
+/// every step (and once before the first). Use a horizon comfortably larger
+/// than the expected stabilization time and check `ever_stable`.
+[[nodiscard]] OutputStabilization measure_output_stabilization(
+    core::Engine& engine, const std::function<bool(const core::Engine&)>& good,
+    std::uint64_t horizon_rounds);
+
+}  // namespace ssau::analysis

@@ -1,0 +1,220 @@
+#include "analysis/model_check.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+namespace ssau::analysis {
+
+namespace {
+
+/// FNV-1a over the configuration words.
+struct ConfigHash {
+  std::size_t operator()(const core::Configuration& c) const noexcept {
+    std::uint64_t h = 1469598103934665603ULL;
+    for (const core::StateId q : c) {
+      h ^= q;
+      h *= 1099511628211ULL;
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
+/// Enumerates Q^V lexicographically.
+bool next_configuration(core::Configuration& c, core::StateId q_count) {
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    if (++c[i] < q_count) return true;
+    c[i] = 0;
+  }
+  return false;
+}
+
+}  // namespace
+
+ModelCheckResult model_check_convergence(
+    const core::Automaton& alg, const graph::Graph& g,
+    const std::function<bool(const core::Configuration&)>& target,
+    const std::vector<core::Configuration>& roots,
+    ModelCheckOptions options) {
+  const core::NodeId n = g.num_nodes();
+  if (n == 0 || n > 20) {
+    throw std::invalid_argument("model_check_convergence: need 1..20 nodes");
+  }
+  const std::uint32_t full_mask = (1u << n) - 1;
+
+  // The daemon moves to enumerate per configuration.
+  std::vector<std::uint32_t> masks;
+  if (options.single_activations_only) {
+    for (core::NodeId v = 0; v < n; ++v) masks.push_back(1u << v);
+  } else {
+    for (std::uint32_t m = 1; m <= full_mask; ++m) masks.push_back(m);
+  }
+
+  ModelCheckResult result;
+  util::Rng dummy(0);
+
+  // Deterministic simultaneous step of activation subset `mask`.
+  std::vector<core::StateId> sense;
+  auto apply = [&](const core::Configuration& c, std::uint32_t mask) {
+    core::Configuration next = c;
+    for (core::NodeId v = 0; v < n; ++v) {
+      if ((mask & (1u << v)) == 0) continue;
+      sense.clear();
+      sense.push_back(c[v]);
+      for (const core::NodeId u : g.neighbors(v)) sense.push_back(c[u]);
+      const core::Signal sig = core::Signal::from_states(sense);
+      next[v] = alg.step(c[v], sig, dummy);
+    }
+    return next;
+  };
+
+  // --- intern configurations; newly seen ones join the work list -------------
+  std::unordered_map<core::Configuration, std::uint32_t, ConfigHash> index;
+  std::vector<core::Configuration> configs;
+  std::vector<bool> in_target;
+  bool capped = false;
+  auto intern = [&](const core::Configuration& c) -> std::int64_t {
+    const auto it = index.find(c);
+    if (it != index.end()) return it->second;
+    if (configs.size() >= options.max_configurations) {
+      capped = true;
+      return -1;
+    }
+    const auto id = static_cast<std::uint32_t>(configs.size());
+    index.emplace(c, id);
+    configs.push_back(c);
+    in_target.push_back(target(c));
+    return id;
+  };
+
+  if (roots.empty()) {
+    core::Configuration c(n, 0);
+    do {
+      if (intern(c) < 0) return result;  // |Q|^n exceeds the cap: incomplete
+    } while (next_configuration(c, alg.state_count()));
+  } else {
+    for (const auto& r : roots) {
+      if (r.size() != n) {
+        throw std::invalid_argument("model_check: root size mismatch");
+      }
+      if (intern(r) < 0) return result;
+    }
+  }
+
+  // --- explore (ids are assigned in discovery order; process 0,1,2,…) --------
+  // Target configurations are absorbing for the analysis: their successors
+  // are probed once for the closure check but never expanded further — the
+  // fair-cycle analysis only needs the non-target region.
+  std::vector<std::vector<std::pair<std::uint32_t, std::uint32_t>>> adjacency;
+  bool target_closed = true;
+  for (std::uint32_t u = 0; u < configs.size(); ++u) {
+    adjacency.resize(std::max<std::size_t>(adjacency.size(), configs.size()));
+    const core::Configuration c = configs[u];  // copy: configs may reallocate
+    if (in_target[u]) {
+      for (const std::uint32_t mask : masks) {
+        if (!target(apply(c, mask))) target_closed = false;
+        ++result.edges;
+      }
+      continue;
+    }
+    for (const std::uint32_t mask : masks) {
+      const auto vid = intern(apply(c, mask));
+      if (vid < 0) {
+        result.configurations = configs.size();
+        return result;  // cap exceeded: incomplete
+      }
+      const auto v = static_cast<std::uint32_t>(vid);
+      adjacency.resize(std::max<std::size_t>(adjacency.size(), configs.size()));
+      adjacency[u].emplace_back(v, mask);
+      ++result.edges;
+    }
+  }
+  (void)capped;
+  result.configurations = configs.size();
+  result.target_closed = target_closed;
+
+  // --- fair-cycle detection over the non-target subgraph ---------------------
+  const auto num = static_cast<std::uint32_t>(configs.size());
+  constexpr std::uint32_t kUnvisited = 0xFFFFFFFFu;
+  std::vector<std::uint32_t> disc(num, kUnvisited), low(num, 0);
+  std::vector<std::uint32_t> comp(num, kUnvisited);
+  std::vector<bool> on_stack(num, false);
+  std::vector<std::uint32_t> stack;
+  std::uint32_t timer = 0;
+  std::uint32_t num_comps = 0;
+
+  struct Frame {
+    std::uint32_t v;
+    std::size_t edge;
+  };
+  std::vector<Frame> call;
+
+  for (std::uint32_t root = 0; root < num; ++root) {
+    if (in_target[root] || disc[root] != kUnvisited) continue;
+    disc[root] = low[root] = timer++;
+    stack.push_back(root);
+    on_stack[root] = true;
+    call.push_back({root, 0});
+    while (!call.empty()) {
+      Frame& frame = call.back();
+      const std::uint32_t v = frame.v;
+      if (frame.edge < adjacency[v].size()) {
+        const auto [w, mask] = adjacency[v][frame.edge++];
+        (void)mask;
+        if (in_target[w]) continue;
+        if (disc[w] == kUnvisited) {
+          disc[w] = low[w] = timer++;
+          stack.push_back(w);
+          on_stack[w] = true;
+          call.push_back({w, 0});
+        } else if (on_stack[w]) {
+          low[v] = std::min(low[v], disc[w]);
+        }
+      } else {
+        if (low[v] == disc[v]) {
+          while (true) {
+            const std::uint32_t w = stack.back();
+            stack.pop_back();
+            on_stack[w] = false;
+            comp[w] = num_comps;
+            if (w == v) break;
+          }
+          ++num_comps;
+        }
+        call.pop_back();
+        if (!call.empty()) {
+          low[call.back().v] = std::min(low[call.back().v], low[v]);
+        }
+      }
+    }
+  }
+
+  // Per-SCC union of activation labels over internal edges: full coverage
+  // with at least one edge = a fair live-lock (cycle through all internal
+  // edges forever).
+  std::vector<std::uint32_t> comp_mask(num_comps, 0);
+  std::vector<bool> comp_has_edge(num_comps, false);
+  std::vector<std::uint32_t> comp_witness(num_comps, 0);
+  for (std::uint32_t v = 0; v < num; ++v) {
+    if (in_target[v]) continue;
+    for (const auto& [w, mask] : adjacency[v]) {
+      if (in_target[w] || comp[w] != comp[v]) continue;
+      comp_has_edge[comp[v]] = true;
+      comp_mask[comp[v]] |= mask;
+      comp_witness[comp[v]] = v;
+    }
+  }
+  result.always_converges = true;
+  for (std::uint32_t s = 0; s < num_comps; ++s) {
+    if (comp_has_edge[s] && comp_mask[s] == full_mask) {
+      result.always_converges = false;
+      result.livelock_witness = configs[comp_witness[s]];
+      break;
+    }
+  }
+  result.complete = true;
+  return result;
+}
+
+}  // namespace ssau::analysis

@@ -1,0 +1,71 @@
+// Exhaustive convergence checking for deterministic SA algorithms on small
+// instances — a model checker for self-stabilization.
+//
+// The transition system has one node per configuration C : V -> Q and one
+// edge per (configuration, non-empty activation subset A ⊆ V) pair, the
+// deterministic simultaneous SA step. A *fair live-lock* is an infinite
+// execution that never reaches the target set yet activates every node
+// infinitely often. Over a finite configuration space this exists iff some
+// strongly connected component of the non-target subgraph (with at least one
+// edge) has activation labels whose union covers V:
+//   * if such an SCC exists, cycling through its edges forever is a fair
+//     execution avoiding the target — self-stabilization FAILS;
+//   * if none exists, every infinite execution's tail lies in one SCC whose
+//     used labels must cover V by fairness — impossible — so every fair
+//     execution reaches the target: self-stabilization HOLDS, exhaustively.
+//
+// Additionally checks target closure (every daemon move from a target
+// configuration stays in the target), the exhaustive form of Lem 2.10.
+//
+// Only valid for deterministic automata (AlgAU, FailedAu, ResetUnison,
+// MinPlusOneUnison); the checker feeds a fixed dummy Rng and verifies
+// determinism by construction of those algorithms.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/automaton.hpp"
+#include "core/engine.hpp"
+#include "graph/graph.hpp"
+
+namespace ssau::analysis {
+
+struct ModelCheckOptions {
+  /// Exploration cap; exceeding it aborts with complete = false.
+  std::uint64_t max_configurations = 2'000'000;
+  /// Restrict daemon moves to single-node activations. Still a family of
+  /// fair daemons, so a live-lock found this way is a genuine live-lock —
+  /// but a convergence verdict then only covers central daemons; use the
+  /// full subset enumeration (default) to prove convergence against every
+  /// distributed daemon.
+  bool single_activations_only = false;
+};
+
+struct ModelCheckResult {
+  /// Exploration finished within the cap.
+  bool complete = false;
+  std::uint64_t configurations = 0;  // distinct configurations explored
+  std::uint64_t edges = 0;           // (config, subset) transitions examined
+  /// No fair cycle avoids the target: every fair execution reaches it.
+  /// Self-stabilization = always_converges AND target_closed (reaching the
+  /// target must also mean staying there).
+  bool always_converges = false;
+  /// Every daemon move from a target configuration stays in the target.
+  bool target_closed = false;
+  /// When always_converges is false: one configuration on a fair live-lock
+  /// cycle (empty otherwise).
+  std::vector<core::StateId> livelock_witness;
+};
+
+/// Exhaustively explores from `roots` (or from EVERY configuration in
+/// Q^V when `roots` is empty — feasible only for tiny |Q|^n). The graph must
+/// have at most 20 nodes (subset enumeration).
+[[nodiscard]] ModelCheckResult model_check_convergence(
+    const core::Automaton& alg, const graph::Graph& g,
+    const std::function<bool(const core::Configuration&)>& target,
+    const std::vector<core::Configuration>& roots,
+    ModelCheckOptions options = {});
+
+}  // namespace ssau::analysis

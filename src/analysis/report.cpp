@@ -1,0 +1,42 @@
+#include "analysis/report.hpp"
+
+#include <sstream>
+
+namespace ssau::analysis {
+
+std::string format_configuration(const core::Automaton& alg,
+                                 const core::Configuration& c) {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t v = 0; v < c.size(); ++v) {
+    if (v != 0) os << ' ';
+    os << alg.state_name(c[v]);
+  }
+  os << ']';
+  return os.str();
+}
+
+std::string format_outputs(const core::Automaton& alg,
+                           const core::Configuration& c) {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t v = 0; v < c.size(); ++v) {
+    if (v != 0) os << ' ';
+    if (alg.is_output(c[v])) {
+      os << alg.output(c[v]);
+    } else {
+      os << "·";
+    }
+  }
+  os << ']';
+  return os.str();
+}
+
+std::string format_engine(const core::Engine& engine) {
+  std::ostringstream os;
+  os << "t=" << engine.time() << " rounds=" << engine.rounds_completed()
+     << " states=" << format_configuration(engine.automaton(), engine.config());
+  return os.str();
+}
+
+}  // namespace ssau::analysis

@@ -1,0 +1,24 @@
+// Human-readable rendering of configurations and runs, for examples, logs,
+// and debugging sessions: per-node state names, output vectors, and compact
+// one-line summaries.
+#pragma once
+
+#include <string>
+
+#include "core/automaton.hpp"
+#include "core/engine.hpp"
+
+namespace ssau::analysis {
+
+/// "[name0 name1 …]" using the automaton's state_name.
+[[nodiscard]] std::string format_configuration(const core::Automaton& alg,
+                                               const core::Configuration& c);
+
+/// "[ω0 ω1 …]" for output states, "·" for non-output states.
+[[nodiscard]] std::string format_outputs(const core::Automaton& alg,
+                                         const core::Configuration& c);
+
+/// "t=<time> rounds=<rounds> states=[…]" snapshot of an engine.
+[[nodiscard]] std::string format_engine(const core::Engine& engine);
+
+}  // namespace ssau::analysis

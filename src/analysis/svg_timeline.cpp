@@ -1,0 +1,83 @@
+#include "analysis/svg_timeline.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <stdexcept>
+
+namespace ssau::analysis {
+
+Timeline::Timeline(std::size_t num_series) : values_(num_series) {
+  if (num_series == 0) {
+    throw std::invalid_argument("Timeline: need at least one series");
+  }
+}
+
+void Timeline::sample(const std::vector<double>& values) {
+  if (values.size() != values_.size()) {
+    throw std::invalid_argument("Timeline::sample: column size mismatch");
+  }
+  for (std::size_t s = 0; s < values.size(); ++s) {
+    values_[s].push_back(values[s]);
+  }
+}
+
+void Timeline::write_svg(std::ostream& os, const std::string& title,
+                         int width, int height) const {
+  const int margin = 40;
+  const double plot_w = width - 2.0 * margin;
+  const double plot_h = height - 2.0 * margin;
+
+  double lo = 0.0, hi = 1.0;
+  bool any = false;
+  for (const auto& series : values_) {
+    for (const double v : series) {
+      if (!any) {
+        lo = hi = v;
+        any = true;
+      }
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+  }
+  if (hi - lo < 1e-9) hi = lo + 1.0;
+  const std::size_t n_samples = samples();
+
+  os << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << width
+     << "\" height=\"" << height << "\">\n";
+  os << "  <rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+  os << "  <text x=\"" << margin << "\" y=\"20\" font-family=\"monospace\" "
+        "font-size=\"14\">"
+     << title << "</text>\n";
+  // Axes.
+  os << "  <line x1=\"" << margin << "\" y1=\"" << height - margin
+     << "\" x2=\"" << width - margin << "\" y2=\"" << height - margin
+     << "\" stroke=\"black\"/>\n";
+  os << "  <line x1=\"" << margin << "\" y1=\"" << margin << "\" x2=\""
+     << margin << "\" y2=\"" << height - margin << "\" stroke=\"black\"/>\n";
+
+  auto x_of = [&](std::size_t i) {
+    return n_samples <= 1
+               ? margin + plot_w / 2
+               : margin + plot_w * static_cast<double>(i) /
+                     static_cast<double>(n_samples - 1);
+  };
+  auto y_of = [&](double v) {
+    return height - margin - plot_h * (v - lo) / (hi - lo);
+  };
+
+  for (std::size_t s = 0; s < values_.size(); ++s) {
+    // Distinct hues around the color wheel.
+    const int hue = static_cast<int>(360.0 * static_cast<double>(s) /
+                                     static_cast<double>(values_.size()));
+    os << "  <polyline fill=\"none\" stroke=\"hsl(" << hue
+       << ",70%,45%)\" stroke-width=\"1.5\" points=\"";
+    for (std::size_t i = 0; i < values_[s].size(); ++i) {
+      if (i != 0) os << ' ';
+      os << x_of(i) << ',' << y_of(values_[s][i]);
+    }
+    os << "\"/>\n";
+  }
+  os << "</svg>\n";
+}
+
+}  // namespace ssau::analysis

@@ -1,0 +1,37 @@
+// SVG rendering of execution timelines: one polyline per node tracking a
+// per-node scalar (e.g. the AU clock or level) across sampled rounds. Gives
+// the examples and debugging sessions publication-style pictures of the
+// "closing the gap" dynamics without external tooling.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ssau::analysis {
+
+/// A sampled multi-series timeline; series are indexed by node.
+class Timeline {
+ public:
+  /// num_series polylines; sample() appends one column of values.
+  explicit Timeline(std::size_t num_series);
+
+  /// Appends one sample column (size must equal num_series).
+  void sample(const std::vector<double>& values);
+
+  [[nodiscard]] std::size_t series() const { return values_.size(); }
+  [[nodiscard]] std::size_t samples() const {
+    return values_.empty() ? 0 : values_.front().size();
+  }
+
+  /// Writes a self-contained SVG (fixed canvas, auto-scaled axes, one
+  /// colored polyline per series).
+  void write_svg(std::ostream& os, const std::string& title,
+                 int width = 800, int height = 360) const;
+
+ private:
+  std::vector<std::vector<double>> values_;  // [series][sample]
+};
+
+}  // namespace ssau::analysis

@@ -1,0 +1,31 @@
+#include "core/adversary.hpp"
+
+#include <stdexcept>
+
+namespace ssau::core {
+
+Configuration adversarial_configuration(const std::string& kind,
+                                        const Automaton& alg, NodeId n,
+                                        util::Rng& rng) {
+  const StateId last = alg.state_count() - 1;
+  if (kind == "random") return random_configuration(alg, n, rng);
+  if (kind == "zero") return uniform_configuration(n, 0);
+  if (kind == "max") return uniform_configuration(n, last);
+  if (kind == "split") {
+    Configuration c(n, 0);
+    for (NodeId v = n / 2; v < n; ++v) c[v] = last;
+    return c;
+  }
+  if (kind == "alternating") {
+    Configuration c(n, 0);
+    for (NodeId v = 0; v < n; ++v) c[v] = (v % 2 == 0) ? 0 : last;
+    return c;
+  }
+  throw std::invalid_argument("unknown adversary kind: " + kind);
+}
+
+std::vector<std::string> adversary_kinds() {
+  return {"random", "zero", "max", "split", "alternating"};
+}
+
+}  // namespace ssau::core

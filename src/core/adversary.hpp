@@ -1,0 +1,31 @@
+// Generic adversarial initial configurations C_0.
+//
+// Self-stabilization demands recovery from *any* initial configuration. The
+// benches exercise a battery of generic C_0 shapes here, plus per-algorithm
+// crafted worst cases that live next to each algorithm (e.g. unison clock
+// tears in unison/alg_au.hpp).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/automaton.hpp"
+#include "core/engine.hpp"
+
+namespace ssau::core {
+
+/// Named generic strategies:
+///   random      - i.i.d. uniform over Q
+///   zero        - all nodes in state 0
+///   max         - all nodes in the last state
+///   split       - first half in state 0, second half in the last state
+///   alternating - states 0 and last alternate by node id
+[[nodiscard]] Configuration adversarial_configuration(const std::string& kind,
+                                                      const Automaton& alg,
+                                                      NodeId n,
+                                                      util::Rng& rng);
+
+/// All strategy names accepted by adversarial_configuration.
+[[nodiscard]] std::vector<std::string> adversary_kinds();
+
+}  // namespace ssau::core

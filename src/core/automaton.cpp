@@ -1,0 +1,9 @@
+#include "core/automaton.hpp"
+
+namespace ssau::core {
+
+std::string Automaton::state_name(StateId q) const {
+  return "q" + std::to_string(q);
+}
+
+}  // namespace ssau::core

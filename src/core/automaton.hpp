@@ -1,0 +1,44 @@
+// The algorithm abstraction Π = <Q, Q_O, ω, δ> of the SA model (paper §1.1).
+//
+// An Automaton is an anonymous, size-uniform randomized finite state machine:
+// every node runs the same transition function over (own state, signal). The
+// δ of the paper maps to a set of candidate next states from which the node
+// picks uniformly at random; implementations realize that draw inside step()
+// using the supplied Rng (deterministic algorithms ignore it).
+//
+// Output values are modeled as int64 for uniformity across tasks: AU exposes
+// the clock value in Z_{2k}; LE/MIS expose {0,1}.
+#pragma once
+
+#include <string>
+
+#include "core/signal.hpp"
+#include "core/types.hpp"
+#include "util/rng.hpp"
+
+namespace ssau::core {
+
+class Automaton {
+ public:
+  virtual ~Automaton() = default;
+
+  /// |Q|. State ids are dense in [0, state_count()).
+  [[nodiscard]] virtual StateId state_count() const = 0;
+
+  /// Membership in Q_O.
+  [[nodiscard]] virtual bool is_output(StateId q) const = 0;
+
+  /// ω(q) — only meaningful for output states; implementations may return an
+  /// arbitrary value for non-output states.
+  [[nodiscard]] virtual std::int64_t output(StateId q) const = 0;
+
+  /// One activation of a node in state `q` sensing `sig` (which includes q
+  /// itself). Returns the post-step state; returning q means "no transition".
+  [[nodiscard]] virtual StateId step(StateId q, const Signal& sig,
+                                     util::Rng& rng) const = 0;
+
+  /// Human-readable state name for traces and diagrams.
+  [[nodiscard]] virtual std::string state_name(StateId q) const;
+};
+
+}  // namespace ssau::core

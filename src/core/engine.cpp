@@ -1,0 +1,133 @@
+#include "core/engine.hpp"
+
+#include <stdexcept>
+
+namespace ssau::core {
+
+Engine::Engine(const graph::Graph& g, const Automaton& alg,
+               sched::Scheduler& sched, Configuration initial,
+               std::uint64_t seed)
+    : graph_(g),
+      automaton_(alg),
+      scheduler_(sched),
+      config_(std::move(initial)),
+      rng_(seed),
+      sched_rng_(rng_.fork()),
+      pending_(g.num_nodes(), true),
+      pending_count_(g.num_nodes()),
+      activation_counts_(g.num_nodes(), 0) {
+  if (config_.size() != graph_.num_nodes()) {
+    throw std::invalid_argument("initial configuration size mismatch");
+  }
+  for (const StateId q : config_) {
+    if (q >= automaton_.state_count()) {
+      throw std::invalid_argument("initial state out of range");
+    }
+  }
+}
+
+Signal Engine::signal_of(NodeId v) const {
+  std::vector<StateId> sensed;
+  sensed.reserve(graph_.degree(v) + 1);
+  sensed.push_back(config_[v]);
+  for (const NodeId u : graph_.neighbors(v)) sensed.push_back(config_[u]);
+  return Signal::from_states(std::move(sensed));
+}
+
+void Engine::step() {
+  scheduler_.activations(time_, active_, sched_rng_);
+  updates_.clear();
+
+  // Phase 1: all activated nodes read C_t and compute their next state.
+  for (const NodeId v : active_) {
+    sense_buffer_.clear();
+    sense_buffer_.push_back(config_[v]);
+    for (const NodeId u : graph_.neighbors(v)) {
+      sense_buffer_.push_back(config_[u]);
+    }
+    const Signal sig = Signal::from_states(sense_buffer_);
+    const StateId next = automaton_.step(config_[v], sig, rng_);
+    if (next != config_[v] && listener_) {
+      listener_(v, config_[v], next, sig, time_);
+    }
+    updates_.emplace_back(v, next);
+  }
+
+  // Phase 2: apply simultaneously; advance round bookkeeping.
+  for (const auto& [v, q] : updates_) {
+    config_[v] = q;
+    ++activation_counts_[v];
+    if (pending_[v]) {
+      pending_[v] = false;
+      --pending_count_;
+    }
+  }
+  ++time_;
+  if (pending_count_ == 0) {
+    ++rounds_;
+    last_boundary_time_ = time_;
+    pending_.assign(graph_.num_nodes(), true);
+    pending_count_ = graph_.num_nodes();
+  }
+}
+
+std::uint64_t Engine::round_index_now() const {
+  if (time_ == 0) return 0;
+  return last_boundary_time_ == time_ ? rounds_ : rounds_ + 1;
+}
+
+RunOutcome Engine::run_until(
+    const std::function<bool(const Configuration&)>& pred,
+    std::uint64_t max_rounds) {
+  RunOutcome out;
+  if (pred(config_)) {
+    out.reached = true;
+    out.time = time_;
+    out.rounds = round_index_now();
+    return out;
+  }
+  while (rounds_ < max_rounds) {
+    step();
+    if (pred(config_)) {
+      out.reached = true;
+      out.time = time_;
+      out.rounds = round_index_now();
+      return out;
+    }
+  }
+  out.time = time_;
+  out.rounds = rounds_;
+  return out;
+}
+
+void Engine::run_rounds(std::uint64_t rounds) {
+  const std::uint64_t target = rounds_ + rounds;
+  while (rounds_ < target) step();
+}
+
+void Engine::inject_configuration(Configuration config) {
+  if (config.size() != graph_.num_nodes()) {
+    throw std::invalid_argument("injected configuration size mismatch");
+  }
+  config_ = std::move(config);
+}
+
+void Engine::inject_state(NodeId v, StateId q) {
+  if (v >= graph_.num_nodes() || q >= automaton_.state_count()) {
+    throw std::invalid_argument("inject_state out of range");
+  }
+  config_[v] = q;
+}
+
+Configuration random_configuration(const Automaton& alg, NodeId n,
+                                   util::Rng& rng) {
+  Configuration c(n);
+  for (auto& q : c) q = rng.below(alg.state_count());
+  return c;
+}
+
+Configuration uniform_configuration(NodeId n, StateId q) {
+  return Configuration(n, q);
+}
+
+}  // namespace ssau::core

@@ -1,0 +1,123 @@
+// The asynchronous execution engine of the SA model (paper §1.1).
+//
+// Semantics reproduced exactly:
+//   * step t: every node v in A_t reads the configuration C_t (its own state
+//     and its signal S_v^t over N+(v)) and updates simultaneously; all other
+//     nodes keep their state (double-buffered application).
+//   * round operator ϱ: a round [R(i), R(i+1)) closes at the earliest time by
+//     which every node has been activated at least once since R(i).
+//     Stabilization times are reported as round indices i, the paper's
+//     measure.
+//
+// The engine is algorithm-agnostic: it drives any core::Automaton under any
+// sched::Scheduler from any initial configuration (the adversary's C_0).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/automaton.hpp"
+#include "core/signal.hpp"
+#include "core/types.hpp"
+#include "graph/graph.hpp"
+#include "sched/scheduler.hpp"
+#include "util/rng.hpp"
+
+namespace ssau::core {
+
+/// A configuration C : V -> Q.
+using Configuration = std::vector<StateId>;
+
+/// Result of run_until_*: whether the predicate was reached, at what time,
+/// and the smallest round index i with R(i) >= that time.
+struct RunOutcome {
+  bool reached = false;
+  Time time = 0;
+  std::uint64_t rounds = 0;
+};
+
+class Engine {
+ public:
+  /// Observes every state transition (from != to) as it is applied.
+  using TransitionListener = std::function<void(
+      NodeId v, StateId from, StateId to, const Signal& sig, Time t)>;
+
+  /// The engine borrows graph/automaton/scheduler; they must outlive it.
+  Engine(const graph::Graph& g, const Automaton& alg, sched::Scheduler& sched,
+         Configuration initial, std::uint64_t seed);
+
+  /// Executes one step (one scheduler activation set).
+  void step();
+
+  /// Runs until pred(config) holds (checked after every step and on the
+  /// initial configuration) or until `max_rounds` rounds complete.
+  RunOutcome run_until(const std::function<bool(const Configuration&)>& pred,
+                       std::uint64_t max_rounds);
+
+  /// Runs until `rounds` rounds have completed.
+  void run_rounds(std::uint64_t rounds);
+
+  [[nodiscard]] const Configuration& config() const { return config_; }
+  [[nodiscard]] StateId state_of(NodeId v) const { return config_[v]; }
+  [[nodiscard]] Time time() const { return time_; }
+  [[nodiscard]] std::uint64_t rounds_completed() const { return rounds_; }
+
+  /// Smallest i such that R(i) >= current time (the paper-style round stamp of
+  /// "now").
+  [[nodiscard]] std::uint64_t round_index_now() const;
+
+  /// The signal of node v under the *current* configuration.
+  [[nodiscard]] Signal signal_of(NodeId v) const;
+
+  /// Number of activations applied to node v so far (fairness auditing).
+  [[nodiscard]] std::uint64_t activation_count(NodeId v) const {
+    return activation_counts_[v];
+  }
+
+  void set_transition_listener(TransitionListener listener) {
+    listener_ = std::move(listener);
+  }
+
+  [[nodiscard]] const graph::Graph& graph() const { return graph_; }
+  [[nodiscard]] const Automaton& automaton() const { return automaton_; }
+
+  /// Overwrites the configuration (models a burst of transient faults /
+  /// adversarial re-initialization mid-run). Round tracking continues.
+  void inject_configuration(Configuration config);
+
+  /// Overwrites the state of one node (a targeted transient fault).
+  void inject_state(NodeId v, StateId q);
+
+ private:
+  const graph::Graph& graph_;
+  const Automaton& automaton_;
+  sched::Scheduler& scheduler_;
+  Configuration config_;
+  util::Rng rng_;
+  util::Rng sched_rng_;
+  Time time_ = 0;
+
+  // Round operator tracking.
+  std::uint64_t rounds_ = 0;
+  std::vector<bool> pending_;      // not yet activated in the current round
+  NodeId pending_count_;
+  Time last_boundary_time_ = 0;    // R(rounds_) if rounds_ > 0
+
+  std::vector<std::uint64_t> activation_counts_;
+  TransitionListener listener_;
+
+  // Reused scratch buffers.
+  std::vector<NodeId> active_;
+  std::vector<std::pair<NodeId, StateId>> updates_;
+  std::vector<StateId> sense_buffer_;
+};
+
+/// Convenience: uniformly random initial configuration over the automaton's
+/// full state set — the canonical adversarial C_0 for self-stabilization runs.
+[[nodiscard]] Configuration random_configuration(const Automaton& alg,
+                                                 NodeId n, util::Rng& rng);
+
+/// All nodes in the same state q.
+[[nodiscard]] Configuration uniform_configuration(NodeId n, StateId q);
+
+}  // namespace ssau::core

@@ -1,0 +1,81 @@
+#include "core/faults.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace ssau::core {
+
+FaultCampaignResult run_fault_campaign(
+    Engine& engine,
+    const std::function<bool(const Configuration&)>& legitimate,
+    const FaultCampaignOptions& options, util::Rng& rng) {
+  FaultCampaignResult result;
+  std::uint64_t legitimate_rounds = 0;
+  std::uint64_t observed_rounds = 0;
+  std::uint64_t settle_rounds_total = 0;
+  std::uint64_t settle_rounds_legit = 0;
+
+  // Helper: run until legitimate, counting rounds; returns recovery rounds
+  // or -1 on budget exhaustion.
+  auto recover = [&]() -> std::int64_t {
+    const std::uint64_t start = engine.rounds_completed();
+    while (!legitimate(engine.config())) {
+      if (engine.rounds_completed() - start >= options.recovery_budget) {
+        return -1;
+      }
+      const std::uint64_t before = engine.rounds_completed();
+      engine.step();
+      observed_rounds += engine.rounds_completed() - before;
+    }
+    return static_cast<std::int64_t>(engine.rounds_completed() - start);
+  };
+
+  if (recover() < 0) return result;  // never reached legitimacy at all
+
+  const NodeId n = engine.graph().num_nodes();
+  std::vector<NodeId> ids(n);
+  std::iota(ids.begin(), ids.end(), NodeId{0});
+
+  for (std::size_t b = 0; b < options.bursts; ++b) {
+    // Scramble a random subset (partial Fisher-Yates).
+    const std::size_t burst_size =
+        std::min<std::size_t>(options.nodes_per_burst, n);
+    for (std::size_t i = 0; i < burst_size; ++i) {
+      const std::size_t j = i + rng.below(n - i);
+      std::swap(ids[i], ids[j]);
+      engine.inject_state(ids[i],
+                          rng.below(engine.automaton().state_count()));
+    }
+    ++result.bursts_injected;
+
+    const std::int64_t rounds = recover();
+    if (rounds < 0) break;
+    ++result.bursts_recovered;
+    result.recovery_rounds.push_back(static_cast<double>(rounds));
+
+    // Settle phase: legitimate configurations should persist.
+    for (std::uint64_t r = 0; r < options.settle_rounds; ++r) {
+      engine.run_rounds(1);
+      ++observed_rounds;
+      ++settle_rounds_total;
+      if (legitimate(engine.config())) {
+        ++legitimate_rounds;
+        ++settle_rounds_legit;
+      }
+    }
+  }
+
+  result.availability =
+      observed_rounds == 0
+          ? 0.0
+          : static_cast<double>(legitimate_rounds) /
+                static_cast<double>(observed_rounds);
+  result.settle_availability =
+      settle_rounds_total == 0
+          ? 0.0
+          : static_cast<double>(settle_rounds_legit) /
+                static_cast<double>(settle_rounds_total);
+  return result;
+}
+
+}  // namespace ssau::core

@@ -1,0 +1,56 @@
+// Structured transient-fault campaigns.
+//
+// Self-stabilization is the paper's fault model: after an arbitrary burst of
+// transient faults the system must re-converge on its own. FaultCampaign
+// packages the standard experiment: run, periodically scramble a subset of
+// nodes (the burst), measure time-to-recovery against a legitimacy predicate
+// and the availability (fraction of rounds in a legitimate configuration).
+// Used by the fault-recovery bench and the biological examples.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace ssau::core {
+
+struct FaultCampaignOptions {
+  /// Number of fault bursts to inject.
+  std::size_t bursts = 5;
+  /// Nodes scrambled per burst (uniformly random choice without replacement).
+  std::size_t nodes_per_burst = 1;
+  /// Scrambled nodes get a uniformly random state from the automaton's Q.
+  /// Rounds to run between recovery and the next burst.
+  std::uint64_t settle_rounds = 10;
+  /// Per-burst recovery budget (rounds); a burst that exceeds it is recorded
+  /// as unrecovered and the campaign stops.
+  std::uint64_t recovery_budget = 100000;
+};
+
+struct FaultCampaignResult {
+  std::size_t bursts_injected = 0;
+  std::size_t bursts_recovered = 0;
+  /// Rounds from each burst to the next legitimate configuration.
+  std::vector<double> recovery_rounds;
+  /// Fraction of all observed rounds (recovery + settle) in a legitimate
+  /// configuration.
+  double availability = 0.0;
+  /// Fraction of settle-phase rounds in a legitimate configuration — 1.0
+  /// means recovered configurations never regressed between bursts.
+  double settle_availability = 0.0;
+  [[nodiscard]] util::Summary recovery_summary() const {
+    return util::summarize(recovery_rounds);
+  }
+};
+
+/// Runs the campaign: requires the engine to start in (or first reach) a
+/// legitimate configuration within options.recovery_budget rounds.
+[[nodiscard]] FaultCampaignResult run_fault_campaign(
+    Engine& engine,
+    const std::function<bool(const Configuration&)>& legitimate,
+    const FaultCampaignOptions& options, util::Rng& rng);
+
+}  // namespace ssau::core

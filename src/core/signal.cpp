@@ -1,0 +1,13 @@
+#include "core/signal.hpp"
+
+namespace ssau::core {
+
+Signal Signal::from_states(std::vector<StateId> states) {
+  std::sort(states.begin(), states.end());
+  states.erase(std::unique(states.begin(), states.end()), states.end());
+  Signal s;
+  s.states_ = std::move(states);
+  return s;
+}
+
+}  // namespace ssau::core

@@ -1,0 +1,57 @@
+// The SA set-broadcast signal.
+//
+// Paper §1.1: "the signal of node v allows v to determine for each state q
+// whether q appears in its (inclusive) neighborhood, but it does not allow v
+// to count the number of such appearances, nor does it allow v to identify
+// the neighbors residing in state q."
+//
+// We realize the signal as the sorted set of distinct StateIds present in
+// N+(v) — semantically identical to the binary vector S_v in {0,1}^Q but
+// sparse, so it scales to the synchronizer's O(D*|Q|^2) product spaces.
+#pragma once
+
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace ssau::core {
+
+class Signal {
+ public:
+  Signal() = default;
+
+  /// Builds from an arbitrary list of sensed states (sorts, deduplicates).
+  static Signal from_states(std::vector<StateId> states);
+
+  /// True iff state q appears somewhere in N+(v).
+  [[nodiscard]] bool contains(StateId q) const {
+    return std::binary_search(states_.begin(), states_.end(), q);
+  }
+
+  /// True iff some sensed state satisfies pred.
+  template <typename Pred>
+  [[nodiscard]] bool any(Pred pred) const {
+    return std::any_of(states_.begin(), states_.end(), pred);
+  }
+
+  /// True iff every sensed state satisfies pred.
+  template <typename Pred>
+  [[nodiscard]] bool all(Pred pred) const {
+    return std::all_of(states_.begin(), states_.end(), pred);
+  }
+
+  /// The distinct sensed states, ascending. Never empty in a valid execution
+  /// (a node always senses itself).
+  [[nodiscard]] std::span<const StateId> states() const { return states_; }
+
+  [[nodiscard]] std::size_t size() const { return states_.size(); }
+
+  friend bool operator==(const Signal&, const Signal&) = default;
+
+ private:
+  std::vector<StateId> states_;
+};
+
+}  // namespace ssau::core

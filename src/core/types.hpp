@@ -1,0 +1,19 @@
+// Fundamental identifiers of the stone age model simulation.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+
+namespace ssau::core {
+
+using NodeId = graph::NodeId;
+
+/// Index of a state in an Automaton's state set Q (dense, [0, state_count)).
+/// 64-bit so synchronizer product state spaces Q x Q x T fit comfortably.
+using StateId = std::uint64_t;
+
+/// Discrete time: step t spans [t, t+1) as in the paper.
+using Time = std::uint64_t;
+
+}  // namespace ssau::core

@@ -1,0 +1,21 @@
+#include "graph/dot.hpp"
+
+#include <ostream>
+
+namespace ssau::graph {
+
+void write_dot(std::ostream& os, const Graph& g,
+               const std::function<std::string(NodeId)>& label) {
+  os << "graph G {\n";
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    os << "  n" << v;
+    if (label) os << " [label=\"" << label(v) << "\"]";
+    os << ";\n";
+  }
+  for (const auto& [u, v] : g.edges()) {
+    os << "  n" << u << " -- n" << v << ";\n";
+  }
+  os << "}\n";
+}
+
+}  // namespace ssau::graph

@@ -1,0 +1,16 @@
+// GraphViz DOT export for graphs and for AlgAU's turn state diagram (Fig. 1).
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace ssau::graph {
+
+/// Writes an undirected graph in DOT, optionally labeling nodes.
+void write_dot(std::ostream& os, const Graph& g,
+               const std::function<std::string(NodeId)>& label = nullptr);
+
+}  // namespace ssau::graph

@@ -1,0 +1,228 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "graph/metrics.hpp"
+
+namespace ssau::graph {
+
+namespace {
+using EdgeList = std::vector<std::pair<NodeId, NodeId>>;
+}
+
+Graph path(NodeId n) {
+  EdgeList e;
+  for (NodeId v = 0; v + 1 < n; ++v) e.emplace_back(v, v + 1);
+  return Graph(n, std::move(e));
+}
+
+Graph cycle(NodeId n) {
+  if (n < 3) throw std::invalid_argument("cycle needs n >= 3");
+  EdgeList e;
+  for (NodeId v = 0; v + 1 < n; ++v) e.emplace_back(v, v + 1);
+  e.emplace_back(n - 1, 0);
+  return Graph(n, std::move(e));
+}
+
+Graph complete(NodeId n) {
+  EdgeList e;
+  for (NodeId u = 0; u < n; ++u)
+    for (NodeId v = u + 1; v < n; ++v) e.emplace_back(u, v);
+  return Graph(n, std::move(e));
+}
+
+Graph star(NodeId n) {
+  if (n < 2) throw std::invalid_argument("star needs n >= 2");
+  EdgeList e;
+  for (NodeId v = 1; v < n; ++v) e.emplace_back(0, v);
+  return Graph(n, std::move(e));
+}
+
+Graph complete_binary_tree(NodeId n) {
+  EdgeList e;
+  for (NodeId v = 1; v < n; ++v) e.emplace_back((v - 1) / 2, v);
+  return Graph(n, std::move(e));
+}
+
+Graph grid(NodeId rows, NodeId cols) {
+  if (rows == 0 || cols == 0) throw std::invalid_argument("empty grid");
+  EdgeList e;
+  auto id = [cols](NodeId r, NodeId c) { return r * cols + c; };
+  for (NodeId r = 0; r < rows; ++r) {
+    for (NodeId c = 0; c < cols; ++c) {
+      if (c + 1 < cols) e.emplace_back(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) e.emplace_back(id(r, c), id(r + 1, c));
+    }
+  }
+  return Graph(rows * cols, std::move(e));
+}
+
+Graph torus(NodeId rows, NodeId cols) {
+  if (rows < 3 || cols < 3) throw std::invalid_argument("torus needs 3x3+");
+  EdgeList e;
+  auto id = [cols](NodeId r, NodeId c) { return r * cols + c; };
+  for (NodeId r = 0; r < rows; ++r) {
+    for (NodeId c = 0; c < cols; ++c) {
+      e.emplace_back(id(r, c), id(r, (c + 1) % cols));
+      e.emplace_back(id(r, c), id((r + 1) % rows, c));
+    }
+  }
+  return Graph(rows * cols, std::move(e));
+}
+
+Graph hypercube(unsigned dims) {
+  if (dims == 0 || dims > 16) throw std::invalid_argument("hypercube dims in [1,16]");
+  const NodeId n = NodeId{1} << dims;
+  EdgeList e;
+  for (NodeId v = 0; v < n; ++v) {
+    for (unsigned b = 0; b < dims; ++b) {
+      const NodeId u = v ^ (NodeId{1} << b);
+      if (v < u) e.emplace_back(v, u);
+    }
+  }
+  return Graph(n, std::move(e));
+}
+
+Graph ring_of_cliques(NodeId num_cliques, NodeId clique_size) {
+  if (num_cliques < 3 || clique_size < 1) {
+    throw std::invalid_argument("ring_of_cliques needs >=3 cliques of size >=1");
+  }
+  const NodeId n = num_cliques * clique_size;
+  EdgeList e;
+  for (NodeId c = 0; c < num_cliques; ++c) {
+    const NodeId base = c * clique_size;
+    for (NodeId a = 0; a < clique_size; ++a)
+      for (NodeId b = a + 1; b < clique_size; ++b)
+        e.emplace_back(base + a, base + b);
+    // Bridge: last node of clique c to first node of clique c+1 (mod ring).
+    const NodeId next_base = ((c + 1) % num_cliques) * clique_size;
+    e.emplace_back(base + clique_size - 1, next_base);
+  }
+  return Graph(n, std::move(e));
+}
+
+Graph dumbbell(NodeId side_size, NodeId bridge_len) {
+  if (side_size < 1) throw std::invalid_argument("dumbbell side_size >= 1");
+  const NodeId n = 2 * side_size + bridge_len;
+  EdgeList e;
+  for (NodeId a = 0; a < side_size; ++a)
+    for (NodeId b = a + 1; b < side_size; ++b) e.emplace_back(a, b);
+  const NodeId right = side_size + bridge_len;
+  for (NodeId a = 0; a < side_size; ++a)
+    for (NodeId b = a + 1; b < side_size; ++b)
+      e.emplace_back(right + a, right + b);
+  // Bridge path from node side_size-1 through bridge nodes to node `right`.
+  NodeId prev = side_size - 1;
+  for (NodeId i = 0; i < bridge_len; ++i) {
+    e.emplace_back(prev, side_size + i);
+    prev = side_size + i;
+  }
+  e.emplace_back(prev, right);
+  return Graph(n, std::move(e));
+}
+
+Graph random_connected(NodeId n, double p, util::Rng& rng) {
+  if (n == 0) throw std::invalid_argument("empty graph");
+  EdgeList e;
+  // Random spanning tree via random attachment to an already-connected prefix
+  // of a random permutation.
+  std::vector<NodeId> perm(n);
+  std::iota(perm.begin(), perm.end(), NodeId{0});
+  for (NodeId i = n; i > 1; --i) {
+    std::swap(perm[i - 1], perm[rng.below(i)]);
+  }
+  for (NodeId i = 1; i < n; ++i) {
+    const NodeId parent = perm[rng.below(i)];
+    e.emplace_back(parent, perm[i]);
+  }
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      if (rng.bernoulli(p)) e.emplace_back(u, v);
+    }
+  }
+  return Graph(n, std::move(e));
+}
+
+Graph random_bounded_diameter(NodeId n, unsigned max_diameter, util::Rng& rng) {
+  double p = 2.0 * std::log(std::max<double>(n, 2)) / std::max<double>(n, 2);
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    Graph g = random_connected(n, p, rng);
+    if (diameter(g) <= max_diameter) return g;
+    p = std::min(1.0, p * 1.3);
+  }
+  throw std::runtime_error("random_bounded_diameter: infeasible parameters");
+}
+
+Graph wheel(NodeId n) {
+  if (n < 4) throw std::invalid_argument("wheel needs n >= 4");
+  EdgeList e;
+  for (NodeId v = 1; v < n; ++v) {
+    e.emplace_back(0, v);
+    e.emplace_back(v, v + 1 < n ? v + 1 : 1);
+  }
+  return Graph(n, std::move(e));
+}
+
+Graph lollipop(NodeId head, NodeId tail) {
+  if (head < 2) throw std::invalid_argument("lollipop needs head >= 2");
+  EdgeList e;
+  for (NodeId a = 0; a < head; ++a)
+    for (NodeId b = a + 1; b < head; ++b) e.emplace_back(a, b);
+  NodeId prev = head - 1;
+  for (NodeId i = 0; i < tail; ++i) {
+    e.emplace_back(prev, head + i);
+    prev = head + i;
+  }
+  return Graph(head + tail, std::move(e));
+}
+
+Graph caterpillar(NodeId spine, NodeId legs) {
+  if (spine < 1) throw std::invalid_argument("caterpillar needs spine >= 1");
+  EdgeList e;
+  for (NodeId s = 0; s + 1 < spine; ++s) e.emplace_back(s, s + 1);
+  NodeId next = spine;
+  for (NodeId s = 0; s < spine; ++s) {
+    for (NodeId l = 0; l < legs; ++l) e.emplace_back(s, next++);
+  }
+  return Graph(spine * (1 + legs), std::move(e));
+}
+
+Graph without_edges(const Graph& g,
+                    const std::vector<std::pair<NodeId, NodeId>>& removed) {
+  EdgeList keep;
+  auto normalized = removed;
+  for (auto& [u, v] : normalized) {
+    if (u > v) std::swap(u, v);
+  }
+  std::sort(normalized.begin(), normalized.end());
+  for (const auto& e : g.edges()) {
+    if (!std::binary_search(normalized.begin(), normalized.end(), e)) {
+      keep.push_back(e);
+    }
+  }
+  return Graph(g.num_nodes(), std::move(keep));
+}
+
+Graph with_edges(const Graph& g,
+                 const std::vector<std::pair<NodeId, NodeId>>& added) {
+  EdgeList e(g.edges().begin(), g.edges().end());
+  e.insert(e.end(), added.begin(), added.end());
+  return Graph(g.num_nodes(), std::move(e));
+}
+
+Graph damaged_clique(NodeId n, double drop_p, util::Rng& rng) {
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    EdgeList e;
+    for (NodeId u = 0; u < n; ++u)
+      for (NodeId v = u + 1; v < n; ++v)
+        if (!rng.bernoulli(drop_p)) e.emplace_back(u, v);
+    Graph g(n, std::move(e));
+    if (g.connected()) return g;
+  }
+  throw std::runtime_error("damaged_clique: drop probability too high");
+}
+
+}  // namespace ssau::graph

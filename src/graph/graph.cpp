@@ -1,0 +1,68 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace ssau::graph {
+
+Graph::Graph(NodeId n, std::vector<std::pair<NodeId, NodeId>> edges) : n_(n) {
+  for (auto& [u, v] : edges) {
+    if (u >= n || v >= n) throw std::invalid_argument("edge endpoint out of range");
+    if (u == v) throw std::invalid_argument("self-loop not allowed");
+    if (u > v) std::swap(u, v);
+  }
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  edges_ = std::move(edges);
+
+  std::vector<std::uint32_t> deg(n_, 0);
+  for (const auto& [u, v] : edges_) {
+    ++deg[u];
+    ++deg[v];
+  }
+  offsets_.assign(n_ + 1, 0);
+  for (NodeId v = 0; v < n_; ++v) offsets_[v + 1] = offsets_[v] + deg[v];
+  adjacency_.resize(offsets_[n_]);
+  std::vector<std::uint32_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (const auto& [u, v] : edges_) {
+    adjacency_[cursor[u]++] = v;
+    adjacency_[cursor[v]++] = u;
+  }
+  for (NodeId v = 0; v < n_; ++v) {
+    std::sort(adjacency_.begin() + offsets_[v], adjacency_.begin() + offsets_[v + 1]);
+  }
+}
+
+std::span<const NodeId> Graph::neighbors(NodeId v) const {
+  return {adjacency_.data() + offsets_[v], offsets_[v + 1] - offsets_[v]};
+}
+
+bool Graph::has_edge(NodeId u, NodeId v) const {
+  if (u >= n_ || v >= n_) return false;
+  const auto nb = neighbors(u);
+  return std::binary_search(nb.begin(), nb.end(), v);
+}
+
+bool Graph::connected() const {
+  if (n_ <= 1) return true;
+  std::vector<bool> seen(n_, false);
+  std::queue<NodeId> frontier;
+  frontier.push(0);
+  seen[0] = true;
+  NodeId reached = 1;
+  while (!frontier.empty()) {
+    const NodeId v = frontier.front();
+    frontier.pop();
+    for (const NodeId u : neighbors(v)) {
+      if (!seen[u]) {
+        seen[u] = true;
+        ++reached;
+        frontier.push(u);
+      }
+    }
+  }
+  return reached == n_;
+}
+
+}  // namespace ssau::graph

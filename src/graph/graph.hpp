@@ -1,0 +1,52 @@
+// Finite connected undirected graphs — the topology substrate of the SA model.
+//
+// Nodes are anonymous in the algorithms; node ids here exist purely for the
+// simulator's bookkeeping (the algorithms never see them). Adjacency is stored
+// CSR-style for cache-friendly neighborhood scans, which dominate engine time.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ssau::graph {
+
+using NodeId = std::uint32_t;
+
+/// An undirected simple graph. Immutable after construction.
+class Graph {
+ public:
+  /// Builds from an edge list over nodes [0, n). Throws std::invalid_argument
+  /// on out-of-range endpoints or self-loops; parallel edges are deduplicated.
+  Graph(NodeId n, std::vector<std::pair<NodeId, NodeId>> edges);
+
+  [[nodiscard]] NodeId num_nodes() const { return n_; }
+  [[nodiscard]] std::size_t num_edges() const { return edges_.size(); }
+
+  /// Neighbors of v (excluding v itself), sorted ascending.
+  [[nodiscard]] std::span<const NodeId> neighbors(NodeId v) const;
+
+  [[nodiscard]] std::size_t degree(NodeId v) const {
+    return neighbors(v).size();
+  }
+
+  /// The deduplicated edge list with u < v per edge.
+  [[nodiscard]] std::span<const std::pair<NodeId, NodeId>> edges() const {
+    return edges_;
+  }
+
+  [[nodiscard]] bool has_edge(NodeId u, NodeId v) const;
+
+  /// True if the graph is connected (vacuously true for n <= 1).
+  [[nodiscard]] bool connected() const;
+
+ private:
+  NodeId n_;
+  std::vector<std::pair<NodeId, NodeId>> edges_;
+  std::vector<std::uint32_t> offsets_;  // size n_+1
+  std::vector<NodeId> adjacency_;       // concatenated sorted neighbor lists
+};
+
+}  // namespace ssau::graph

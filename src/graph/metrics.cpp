@@ -1,0 +1,48 @@
+#include "graph/metrics.hpp"
+
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+namespace ssau::graph {
+
+std::vector<std::uint32_t> bfs_distances(const Graph& g, NodeId src) {
+  constexpr auto kInf = std::numeric_limits<std::uint32_t>::max();
+  std::vector<std::uint32_t> dist(g.num_nodes(), kInf);
+  std::queue<NodeId> frontier;
+  dist[src] = 0;
+  frontier.push(src);
+  while (!frontier.empty()) {
+    const NodeId v = frontier.front();
+    frontier.pop();
+    for (const NodeId u : g.neighbors(v)) {
+      if (dist[u] == kInf) {
+        dist[u] = dist[v] + 1;
+        frontier.push(u);
+      }
+    }
+  }
+  return dist;
+}
+
+std::uint32_t eccentricity(const Graph& g, NodeId src) {
+  const auto dist = bfs_distances(g, src);
+  std::uint32_t ecc = 0;
+  for (const auto d : dist) {
+    if (d == std::numeric_limits<std::uint32_t>::max()) {
+      throw std::runtime_error("eccentricity: graph is disconnected");
+    }
+    ecc = std::max(ecc, d);
+  }
+  return ecc;
+}
+
+std::uint32_t diameter(const Graph& g) {
+  std::uint32_t diam = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    diam = std::max(diam, eccentricity(g, v));
+  }
+  return diam;
+}
+
+}  // namespace ssau::graph

@@ -1,0 +1,23 @@
+// BFS-based graph metrics: distances, eccentricity, diameter.
+//
+// The diameter drives every bound in the paper (k = 3D+2, epoch lengths,
+// Restart chain length), so tests and benches compute it exactly.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ssau::graph {
+
+/// Distances from src to every node (UINT32_MAX if unreachable).
+[[nodiscard]] std::vector<std::uint32_t> bfs_distances(const Graph& g,
+                                                       NodeId src);
+
+/// max_v dist(src, v); throws std::runtime_error if g is disconnected.
+[[nodiscard]] std::uint32_t eccentricity(const Graph& g, NodeId src);
+
+/// Exact diameter via all-sources BFS; throws if disconnected.
+[[nodiscard]] std::uint32_t diameter(const Graph& g);
+
+}  // namespace ssau::graph

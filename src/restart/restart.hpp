@@ -1,0 +1,85 @@
+// The Restart module of §3.3 (Thm 3.1).
+//
+// A chain of 2D+1 states σ(0),…,σ(2D): σ(0) is Restart-entry, σ(2D) is
+// Restart-exit. Rules, per node v and sensed state set St(v) (own included):
+//   1. St(v) contains a σ state and a non-σ state          -> σ(0)
+//   2. St(v) ⊆ σ-states and St(v) != {σ(2D)}               -> σ(imin + 1),
+//      where imin is the smallest sensed σ index
+//   3. St(v) = {σ(2D)}                                     -> q0* (exit)
+// Under the synchronous schedule this guarantees (Thm 3.1): if any node is in
+// a σ state at time t0, all nodes exit Restart concurrently by t0 + 3D.
+//
+// RestartRules packages the decision so AlgLE/AlgMIS can embed σ states in
+// their own state spaces; StandaloneRestart wraps it as an Automaton with
+// inert host states for direct Thm 3.1 experiments.
+#pragma once
+
+#include <optional>
+
+#include "core/automaton.hpp"
+
+namespace ssau::restart {
+
+/// Decision outcomes of the Restart rules for one activation.
+struct RestartDecision {
+  enum class Kind {
+    kNone,   // the rules do not apply (no σ state sensed, node not in σ)
+    kEnter,  // move to σ(0)
+    kStep,   // move to σ(index)
+    kExit,   // leave Restart to q0*
+  };
+  Kind kind = Kind::kNone;
+  int index = 0;  // target σ index for kStep
+};
+
+class RestartRules {
+ public:
+  explicit RestartRules(int diameter_bound);
+
+  [[nodiscard]] int chain_length() const { return 2 * d_ + 1; }
+  [[nodiscard]] int exit_index() const { return 2 * d_; }
+
+  /// Applies rules 1–3.
+  ///   own_sigma:        this node's σ index, or nullopt if in a host state
+  ///   min_sensed_sigma: smallest σ index in St(v), or nullopt if none
+  ///                     (must include own_sigma when present)
+  ///   senses_non_sigma: St(v) contains a non-σ state (own included)
+  ///   all_exit:         St(v) = {σ(2D)}
+  [[nodiscard]] RestartDecision decide(std::optional<int> own_sigma,
+                                       std::optional<int> min_sensed_sigma,
+                                       bool senses_non_sigma,
+                                       bool all_exit) const;
+
+ private:
+  int d_;
+};
+
+/// Restart as a standalone automaton: σ states occupy ids [0, 2D], host
+/// states [2D+1, 2D+host_count]; q0* is the first host state. Host states are
+/// inert except for rule 1 (they join a sensed reset wave).
+class StandaloneRestart final : public core::Automaton {
+ public:
+  StandaloneRestart(int diameter_bound, int host_count = 3);
+
+  [[nodiscard]] const RestartRules& rules() const { return rules_; }
+  [[nodiscard]] core::StateId sigma_id(int i) const;
+  [[nodiscard]] core::StateId host_id(int h) const;
+  [[nodiscard]] core::StateId initial_state() const { return host_id(0); }
+  [[nodiscard]] bool is_sigma(core::StateId q) const;
+  [[nodiscard]] int sigma_index(core::StateId q) const;
+
+  [[nodiscard]] core::StateId state_count() const override;
+  [[nodiscard]] bool is_output(core::StateId q) const override {
+    return !is_sigma(q);
+  }
+  [[nodiscard]] std::int64_t output(core::StateId q) const override;
+  [[nodiscard]] core::StateId step(core::StateId q, const core::Signal& sig,
+                                   util::Rng& rng) const override;
+  [[nodiscard]] std::string state_name(core::StateId q) const override;
+
+ private:
+  RestartRules rules_;
+  int host_count_;
+};
+
+}  // namespace ssau::restart

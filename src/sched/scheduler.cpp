@@ -1,0 +1,125 @@
+#include "sched/scheduler.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+#include "graph/metrics.hpp"
+
+namespace ssau::sched {
+
+void SynchronousScheduler::activations(core::Time, std::vector<core::NodeId>& out,
+                                       util::Rng&) {
+  out.resize(n_);
+  std::iota(out.begin(), out.end(), core::NodeId{0});
+}
+
+void UniformSingleScheduler::activations(core::Time,
+                                         std::vector<core::NodeId>& out,
+                                         util::Rng& rng) {
+  out.assign(1, static_cast<core::NodeId>(rng.below(n_)));
+}
+
+void RandomSubsetScheduler::activations(core::Time,
+                                        std::vector<core::NodeId>& out,
+                                        util::Rng& rng) {
+  out.clear();
+  for (core::NodeId v = 0; v < n_; ++v) {
+    if (rng.bernoulli(p_)) out.push_back(v);
+  }
+  if (out.empty()) out.push_back(static_cast<core::NodeId>(rng.below(n_)));
+}
+
+void RotatingSingleScheduler::activations(core::Time t,
+                                          std::vector<core::NodeId>& out,
+                                          util::Rng&) {
+  out.assign(1, static_cast<core::NodeId>((t + offset_) % n_));
+}
+
+void LaggardScheduler::activations(core::Time t, std::vector<core::NodeId>& out,
+                                   util::Rng&) {
+  const core::Time cycle = burst_ + 1;
+  const auto laggard =
+      static_cast<core::NodeId>((t / cycle) % n_);
+  out.clear();
+  if (t % cycle == burst_) {
+    out.push_back(laggard);
+    return;
+  }
+  for (core::NodeId v = 0; v < n_; ++v) {
+    if (v != laggard) out.push_back(v);
+  }
+  if (out.empty()) out.push_back(laggard);  // n == 1 degenerate case
+}
+
+WaveScheduler::WaveScheduler(const graph::Graph& g) {
+  const auto dist = graph::bfs_distances(g, 0);
+  std::uint32_t max_d = 0;
+  for (const auto d : dist) {
+    if (d == std::numeric_limits<std::uint32_t>::max()) {
+      throw std::invalid_argument("WaveScheduler requires a connected graph");
+    }
+    max_d = std::max(max_d, d);
+  }
+  layers_.resize(max_d + 1);
+  for (core::NodeId v = 0; v < g.num_nodes(); ++v) {
+    layers_[dist[v]].push_back(v);
+  }
+}
+
+void WaveScheduler::activations(core::Time t, std::vector<core::NodeId>& out,
+                                util::Rng&) {
+  const auto& layer = layers_[t % layers_.size()];
+  out.assign(layer.begin(), layer.end());
+}
+
+PermutationScheduler::PermutationScheduler(core::NodeId n) : n_(n) {
+  order_.resize(n_);
+  std::iota(order_.begin(), order_.end(), core::NodeId{0});
+}
+
+void PermutationScheduler::activations(core::Time t,
+                                       std::vector<core::NodeId>& out,
+                                       util::Rng& rng) {
+  const auto pos = static_cast<core::NodeId>(t % n_);
+  if (pos == 0) {
+    for (core::NodeId i = n_; i > 1; --i) {
+      std::swap(order_[i - 1], order_[rng.below(i)]);
+    }
+  }
+  out.assign(1, order_[pos]);
+}
+
+void BurstScheduler::activations(core::Time t, std::vector<core::NodeId>& out,
+                                 util::Rng&) {
+  const core::Time cycle = static_cast<core::Time>(burst_) * n_;
+  out.assign(1, static_cast<core::NodeId>((t % cycle) / burst_));
+}
+
+std::unique_ptr<Scheduler> make_scheduler(const std::string& name,
+                                          const graph::Graph& g,
+                                          double subset_p,
+                                          unsigned laggard_burst) {
+  const core::NodeId n = g.num_nodes();
+  if (name == "synchronous") return std::make_unique<SynchronousScheduler>(n);
+  if (name == "uniform-single") return std::make_unique<UniformSingleScheduler>(n);
+  if (name == "random-subset")
+    return std::make_unique<RandomSubsetScheduler>(n, subset_p);
+  if (name == "rotating-single")
+    return std::make_unique<RotatingSingleScheduler>(n);
+  if (name == "laggard")
+    return std::make_unique<LaggardScheduler>(n, laggard_burst);
+  if (name == "wave") return std::make_unique<WaveScheduler>(g);
+  if (name == "permutation") return std::make_unique<PermutationScheduler>(n);
+  if (name == "burst")
+    return std::make_unique<BurstScheduler>(n, laggard_burst);
+  throw std::invalid_argument("unknown scheduler: " + name);
+}
+
+std::vector<std::string> async_scheduler_names() {
+  return {"uniform-single", "random-subset", "rotating-single", "laggard",
+          "wave", "permutation", "burst"};
+}
+
+}  // namespace ssau::sched

@@ -1,0 +1,156 @@
+// Activation schedules {A_t} — the asynchronous adversary of the SA model.
+//
+// Paper §1.1: a malicious adversary (oblivious to coin tosses) picks, for
+// every step t, a non-empty subset A_t of nodes to activate, subject only to
+// the fairness requirement that every node is activated infinitely often.
+// Time is then measured through the round operator ϱ (tracked by the Engine).
+//
+// The implementations below span the spectrum benches need: the synchronous
+// schedule (A_t = V), probabilistic daemons, and deterministic adversaries
+// (rotating single node — the Fig. 2 live-lock schedule —, laggard starvation,
+// and BFS waves) that stress the asynchronous guarantees.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace ssau::sched {
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// Fills `out` with A_t (distinct node ids; never empty).
+  virtual void activations(core::Time t, std::vector<core::NodeId>& out,
+                           util::Rng& rng) = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// A_t = V for all t (synchronous schedule; R(i) = i).
+class SynchronousScheduler final : public Scheduler {
+ public:
+  explicit SynchronousScheduler(core::NodeId n) : n_(n) {}
+  void activations(core::Time, std::vector<core::NodeId>& out,
+                   util::Rng&) override;
+  [[nodiscard]] std::string name() const override { return "synchronous"; }
+
+ private:
+  core::NodeId n_;
+};
+
+/// One uniformly random node per step (central daemon; fair almost surely).
+class UniformSingleScheduler final : public Scheduler {
+ public:
+  explicit UniformSingleScheduler(core::NodeId n) : n_(n) {}
+  void activations(core::Time, std::vector<core::NodeId>& out,
+                   util::Rng& rng) override;
+  [[nodiscard]] std::string name() const override { return "uniform-single"; }
+
+ private:
+  core::NodeId n_;
+};
+
+/// Each node independently with probability p; falls back to one random node
+/// when the draw is empty (A_t must be non-empty).
+class RandomSubsetScheduler final : public Scheduler {
+ public:
+  RandomSubsetScheduler(core::NodeId n, double p) : n_(n), p_(p) {}
+  void activations(core::Time, std::vector<core::NodeId>& out,
+                   util::Rng& rng) override;
+  [[nodiscard]] std::string name() const override { return "random-subset"; }
+
+ private:
+  core::NodeId n_;
+  double p_;
+};
+
+/// Deterministic: node (t + offset) mod n at step t. With offset 0 this is
+/// exactly the Appendix-A counterexample schedule ("node v_{t-1} is activated
+/// in step t", zero-based).
+class RotatingSingleScheduler final : public Scheduler {
+ public:
+  explicit RotatingSingleScheduler(core::NodeId n, core::NodeId offset = 0)
+      : n_(n), offset_(offset) {}
+  void activations(core::Time t, std::vector<core::NodeId>& out,
+                   util::Rng&) override;
+  [[nodiscard]] std::string name() const override { return "rotating-single"; }
+
+ private:
+  core::NodeId n_;
+  core::NodeId offset_;
+};
+
+/// Starvation adversary: activates all nodes except a rotating "laggard" for
+/// `burst` consecutive steps, then the laggard alone once. Rounds are long and
+/// lopsided — the worst legal daemon shape for unison gap-closing.
+class LaggardScheduler final : public Scheduler {
+ public:
+  LaggardScheduler(core::NodeId n, unsigned burst) : n_(n), burst_(burst) {}
+  void activations(core::Time t, std::vector<core::NodeId>& out,
+                   util::Rng&) override;
+  [[nodiscard]] std::string name() const override { return "laggard"; }
+
+ private:
+  core::NodeId n_;
+  unsigned burst_;
+};
+
+/// Activates one BFS layer (from node 0) per step, cycling through layers —
+/// a "wave" daemon that propagates information one hop per step.
+class WaveScheduler final : public Scheduler {
+ public:
+  explicit WaveScheduler(const graph::Graph& g);
+  void activations(core::Time t, std::vector<core::NodeId>& out,
+                   util::Rng&) override;
+  [[nodiscard]] std::string name() const override { return "wave"; }
+
+ private:
+  std::vector<std::vector<core::NodeId>> layers_;
+};
+
+/// One node per step, drawn from a fresh uniformly random permutation every
+/// n steps — a "strongly fair" central daemon: every round has length
+/// exactly n and every order is possible.
+class PermutationScheduler final : public Scheduler {
+ public:
+  explicit PermutationScheduler(core::NodeId n);
+  void activations(core::Time t, std::vector<core::NodeId>& out,
+                   util::Rng& rng) override;
+  [[nodiscard]] std::string name() const override { return "permutation"; }
+
+ private:
+  core::NodeId n_;
+  std::vector<core::NodeId> order_;
+};
+
+/// Activates each node `burst` consecutive steps before moving on
+/// (round-robin with repetition) — a daemon that lets one node run far ahead
+/// of its neighbors between their activations.
+class BurstScheduler final : public Scheduler {
+ public:
+  BurstScheduler(core::NodeId n, unsigned burst) : n_(n), burst_(burst) {}
+  void activations(core::Time t, std::vector<core::NodeId>& out,
+                   util::Rng&) override;
+  [[nodiscard]] std::string name() const override { return "burst"; }
+
+ private:
+  core::NodeId n_;
+  unsigned burst_;
+};
+
+/// Factory by name for benches: synchronous | uniform-single | random-subset |
+/// rotating-single | laggard | wave | permutation | burst.
+[[nodiscard]] std::unique_ptr<Scheduler> make_scheduler(
+    const std::string& name, const graph::Graph& g, double subset_p = 0.5,
+    unsigned laggard_burst = 4);
+
+/// All asynchronous scheduler names (excludes "synchronous").
+[[nodiscard]] std::vector<std::string> async_scheduler_names();
+
+}  // namespace ssau::sched

@@ -1,0 +1,2 @@
+// Header-only implementations; this TU anchors the component in the library.
+#include "sync/simple_sync_algs.hpp"

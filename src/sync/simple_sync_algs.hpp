@@ -1,0 +1,64 @@
+// Small synchronous SA automata used to validate the synchronizer's
+// simulation fidelity (and as pedagogical Π examples).
+//
+// All three are deterministic and anonymous, so a synchronized asynchronous
+// run must reproduce the exact outcome of a native synchronous run — the
+// strongest fidelity check available without node identifiers.
+#pragma once
+
+#include "core/automaton.hpp"
+
+namespace ssau::sync {
+
+/// Min-propagation: state q in [0, m); δ(q, S) = min sensed state. Converges
+/// to the global minimum in diameter-many synchronous rounds and stays there
+/// (a static, self-stabilizing "aggregate" task).
+class MinPropagation final : public core::Automaton {
+ public:
+  explicit MinPropagation(core::StateId m) : m_(m) {}
+
+  [[nodiscard]] core::StateId state_count() const override { return m_; }
+  [[nodiscard]] bool is_output(core::StateId) const override { return true; }
+  [[nodiscard]] std::int64_t output(core::StateId q) const override {
+    return static_cast<std::int64_t>(q);
+  }
+  [[nodiscard]] core::StateId step(core::StateId, const core::Signal& sig,
+                                   util::Rng&) const override {
+    return sig.states().front();  // sorted ascending: front is the minimum
+  }
+
+ private:
+  core::StateId m_;
+};
+
+/// OR-flood: states {0,1}; 1 is absorbing and spreads to neighbors.
+class OrFlood final : public core::Automaton {
+ public:
+  [[nodiscard]] core::StateId state_count() const override { return 2; }
+  [[nodiscard]] bool is_output(core::StateId) const override { return true; }
+  [[nodiscard]] std::int64_t output(core::StateId q) const override {
+    return static_cast<std::int64_t>(q);
+  }
+  [[nodiscard]] core::StateId step(core::StateId q, const core::Signal& sig,
+                                   util::Rng&) const override {
+    return sig.contains(1) ? 1 : q;
+  }
+};
+
+/// Blinker: state alternates 0/1 every synchronous round, ignoring the
+/// signal. Under the synchronizer, every node must flip exactly once per
+/// simulated round — the pulse-counting fidelity check.
+class Blinker final : public core::Automaton {
+ public:
+  [[nodiscard]] core::StateId state_count() const override { return 2; }
+  [[nodiscard]] bool is_output(core::StateId) const override { return true; }
+  [[nodiscard]] std::int64_t output(core::StateId q) const override {
+    return static_cast<std::int64_t>(q);
+  }
+  [[nodiscard]] core::StateId step(core::StateId q, const core::Signal&,
+                                   util::Rng&) const override {
+    return 1 - q;
+  }
+};
+
+}  // namespace ssau::sync

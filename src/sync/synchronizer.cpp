@@ -1,0 +1,92 @@
+#include "sync/synchronizer.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace ssau::sync {
+
+Synchronizer::Synchronizer(const core::Automaton& pi, int diameter_bound)
+    : pi_(pi), au_(diameter_bound) {
+  // Guard against product-space overflow (|Q|^2 * |T| must fit a StateId).
+  const core::StateId q = pi_.state_count();
+  const core::StateId t = au_.state_count();
+  if (q == 0) throw std::invalid_argument("Synchronizer: empty Π state set");
+  const core::StateId limit = ~core::StateId{0};
+  if (q > limit / q || q * q > limit / t) {
+    throw std::invalid_argument("Synchronizer: product state space too large");
+  }
+}
+
+core::StateId Synchronizer::encode(const ProductState& s) const {
+  const core::StateId q = pi_.state_count();
+  return (s.turn * q + s.current) * q + s.previous;
+}
+
+Synchronizer::ProductState Synchronizer::decode(core::StateId id) const {
+  const core::StateId q = pi_.state_count();
+  ProductState s;
+  s.previous = id % q;
+  id /= q;
+  s.current = id % q;
+  s.turn = id / q;
+  return s;
+}
+
+core::StateId Synchronizer::initial_state(core::StateId pi_state) const {
+  return encode({pi_state, pi_state, au_.turns().able_id(1)});
+}
+
+core::StateId Synchronizer::state_count() const {
+  return pi_.state_count() * pi_.state_count() * au_.state_count();
+}
+
+bool Synchronizer::is_output(core::StateId q) const {
+  const ProductState s = decode(q);
+  return au_.is_output(s.turn) && pi_.is_output(s.current);
+}
+
+std::int64_t Synchronizer::output(core::StateId q) const {
+  return pi_.output(decode(q).current);
+}
+
+core::StateId Synchronizer::step(core::StateId q, const core::Signal& sig,
+                                 util::Rng& rng) const {
+  const ProductState self = decode(q);
+
+  // Project the AlgAU signal out of the sensed product states.
+  std::vector<core::StateId> turn_states;
+  turn_states.reserve(sig.size());
+  for (const core::StateId s : sig.states()) {
+    turn_states.push_back(decode(s).turn);
+  }
+  const core::Signal au_sig = core::Signal::from_states(std::move(turn_states));
+  const core::StateId next_turn = au_.step(self.turn, au_sig, rng);
+
+  const bool clock_advance =
+      next_turn != self.turn && au_.turns().is_able(self.turn) &&
+      au_.turns().is_able(next_turn);
+  if (!clock_advance) {
+    return encode({self.current, self.previous, next_turn});
+  }
+
+  // Simulate one synchronous round of Π. The simulated signal senses r iff a
+  // sensed product state has the form (r, ·, ν) or (·, r, ν').
+  std::vector<core::StateId> pi_states;
+  pi_states.reserve(sig.size());
+  for (const core::StateId s : sig.states()) {
+    const ProductState ds = decode(s);
+    if (ds.turn == self.turn) pi_states.push_back(ds.current);
+    if (ds.turn == next_turn) pi_states.push_back(ds.previous);
+  }
+  const core::Signal pi_sig = core::Signal::from_states(std::move(pi_states));
+  const core::StateId next_pi = pi_.step(self.current, pi_sig, rng);
+  return encode({next_pi, self.current, next_turn});
+}
+
+std::string Synchronizer::state_name(core::StateId q) const {
+  const ProductState s = decode(q);
+  return "<" + pi_.state_name(s.current) + "|" + pi_.state_name(s.previous) +
+         "|" + au_.state_name(s.turn) + ">";
+}
+
+}  // namespace ssau::sync

@@ -1,0 +1,60 @@
+// The self-stabilizing synchronizer of §4 (Corollary 1.2).
+//
+// Given a synchronous self-stabilizing SA algorithm Π = <Q, Q_O, ω, δ>, the
+// transformer produces an asynchronous self-stabilizing algorithm
+// Π* = <Q*, Q*_O, ω*, δ*> with Q* = Q × Q × T, where T is AlgAU's turn set:
+//   * the third coordinate runs AlgAU verbatim (on the turn components of the
+//     sensed product states);
+//   * whenever AlgAU performs a clock advance (a type AA transition ν -> ν'),
+//     the node simulates one synchronous round of Π: the simulated Π-signal
+//     senses r ∈ Q iff some sensed product state has the form (r, ·, ν) — a
+//     neighbor still at the old pulse exposing its current Π-state — or
+//     (·, r, ν') — a neighbor already advanced exposing its previous Π-state;
+//   * first/second coordinates hold the node's current/previous Π-states.
+//
+// |Q*| = |Q|^2 · (4k−2) = O(D · |Q|^2); stabilization f(n,D) + O(D^3).
+#pragma once
+
+#include <memory>
+
+#include "core/automaton.hpp"
+#include "unison/alg_au.hpp"
+
+namespace ssau::sync {
+
+class Synchronizer final : public core::Automaton {
+ public:
+  /// Π must outlive the synchronizer.
+  Synchronizer(const core::Automaton& pi, int diameter_bound);
+
+  struct ProductState {
+    core::StateId current;   // q  — Π-state after the latest simulated round
+    core::StateId previous;  // q' — Π-state before it
+    core::StateId turn;      // AlgAU turn
+  };
+
+  [[nodiscard]] const unison::AlgAu& unison() const { return au_; }
+  [[nodiscard]] const core::Automaton& inner() const { return pi_; }
+
+  [[nodiscard]] core::StateId encode(const ProductState& s) const;
+  [[nodiscard]] ProductState decode(core::StateId q) const;
+
+  /// Convenience start state (q, q, able level 1); self-stabilization makes
+  /// the choice immaterial.
+  [[nodiscard]] core::StateId initial_state(core::StateId pi_state) const;
+
+  [[nodiscard]] core::StateId state_count() const override;
+  /// Q*_O = Q_O × Q × T_K (able turns).
+  [[nodiscard]] bool is_output(core::StateId q) const override;
+  /// ω*(q, q', ν) = ω(q).
+  [[nodiscard]] std::int64_t output(core::StateId q) const override;
+  [[nodiscard]] core::StateId step(core::StateId q, const core::Signal& sig,
+                                   util::Rng& rng) const override;
+  [[nodiscard]] std::string state_name(core::StateId q) const override;
+
+ private:
+  const core::Automaton& pi_;
+  unison::AlgAu au_;
+};
+
+}  // namespace ssau::sync

@@ -1,0 +1,162 @@
+#include "unison/alg_au.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "graph/metrics.hpp"
+
+namespace ssau::unison {
+
+AlgAu::AlgAu(int diameter_bound, AlgAuOptions options)
+    : turns_(diameter_bound), options_(options) {}
+
+core::StateId AlgAu::step(core::StateId q, const core::Signal& sig,
+                          util::Rng& /*rng*/) const {
+  const Level l = turns_.level_of(q);
+
+  if (turns_.is_able(q)) {
+    // --- type AA ---------------------------------------------------------
+    const Level fwd = turns_.forward(l);
+    const bool good = options_.aa_requires_good ? locally_good(q, sig)
+                                                : locally_protected(q, sig);
+    bool levels_in_step = true;  // Λ_v ⊆ {ℓ, φ(ℓ)}
+    for (const core::StateId s : sig.states()) {
+      const Level sl = turns_.level_of(s);
+      if (sl != l && sl != fwd) {
+        levels_in_step = false;
+        break;
+      }
+    }
+    if (good && levels_in_step) return turns_.able_id(fwd);
+
+    // --- type AF (only levels with |ℓ| >= 2 have a faulty twin) -----------
+    if (turns_.has_faulty(l)) {
+      if (!locally_protected(q, sig)) return turns_.faulty_id(l);
+      if (options_.af_inward_trigger) {
+        const Level inward = turns_.outwards(l, -1);
+        if (turns_.has_faulty(inward) &&
+            sig.contains(turns_.faulty_id(inward))) {
+          return turns_.faulty_id(l);
+        }
+      }
+    }
+    return q;
+  }
+
+  // --- type FA ------------------------------------------------------------
+  if (options_.fa_outward_guard) {
+    for (const core::StateId s : sig.states()) {
+      if (turns_.strictly_outwards(turns_.level_of(s), l)) return q;
+    }
+  }
+  return turns_.able_id(turns_.outwards(l, -1));
+}
+
+AlgAu::TransitionType AlgAu::classify(core::StateId from,
+                                      core::StateId to) const {
+  if (from == to) return TransitionType::None;
+  const Level lf = turns_.level_of(from);
+  const Level lt = turns_.level_of(to);
+  if (turns_.is_able(from) && turns_.is_able(to) &&
+      lt == turns_.forward(lf)) {
+    return TransitionType::AA;
+  }
+  if (turns_.is_able(from) && turns_.is_faulty(to) && lf == lt) {
+    return TransitionType::AF;
+  }
+  if (turns_.is_faulty(from) && turns_.is_able(to) &&
+      lt == turns_.outwards(lf, -1)) {
+    return TransitionType::FA;
+  }
+  throw std::logic_error("AlgAu::classify: not a legal transition shape (" +
+                         turns_.turn_name(from) + " -> " +
+                         turns_.turn_name(to) + ")");
+}
+
+bool AlgAu::locally_protected(core::StateId q, const core::Signal& sig) const {
+  const Level l = turns_.level_of(q);
+  for (const core::StateId s : sig.states()) {
+    if (!turns_.adjacent(l, turns_.level_of(s))) return false;
+  }
+  return true;
+}
+
+bool AlgAu::locally_good(core::StateId q, const core::Signal& sig) const {
+  if (!locally_protected(q, sig)) return false;
+  for (const core::StateId s : sig.states()) {
+    if (turns_.is_faulty(s)) return false;
+  }
+  return true;
+}
+
+std::string to_string(AlgAu::TransitionType t) {
+  switch (t) {
+    case AlgAu::TransitionType::None: return "None";
+    case AlgAu::TransitionType::AA: return "AA";
+    case AlgAu::TransitionType::AF: return "AF";
+    case AlgAu::TransitionType::FA: return "FA";
+  }
+  return "?";
+}
+
+core::Configuration au_config_tear(const AlgAu& alg, core::NodeId n) {
+  const auto& ts = alg.turns();
+  core::Configuration c(n, ts.able_id(1));
+  for (core::NodeId v = n / 2; v < n; ++v) c[v] = ts.able_id(ts.k());
+  return c;
+}
+
+core::Configuration au_config_all_faulty(const AlgAu& alg, core::NodeId n) {
+  return core::Configuration(n, alg.turns().faulty_id(alg.turns().k()));
+}
+
+core::Configuration au_config_opposed(const AlgAu& alg, core::NodeId n) {
+  const auto& ts = alg.turns();
+  core::Configuration c(n);
+  for (core::NodeId v = 0; v < n; ++v) {
+    c[v] = (v % 2 == 0) ? ts.able_id(ts.k()) : ts.able_id(-ts.k());
+  }
+  return c;
+}
+
+core::Configuration au_config_random_able(const AlgAu& alg, core::NodeId n,
+                                          util::Rng& rng) {
+  const auto& ts = alg.turns();
+  core::Configuration c(n);
+  for (auto& q : c) q = rng.below(2 * static_cast<std::uint64_t>(ts.k()));
+  return c;  // able ids occupy [0, 2k)
+}
+
+core::Configuration au_config_gradient(const AlgAu& alg,
+                                       const graph::Graph& g) {
+  const auto& ts = alg.turns();
+  const auto dist = graph::bfs_distances(g, 0);
+  core::Configuration c(g.num_nodes());
+  for (core::NodeId v = 0; v < g.num_nodes(); ++v) {
+    const int l = std::min<int>(1 + static_cast<int>(dist[v]), ts.k());
+    c[v] = ts.able_id(l);
+  }
+  return c;
+}
+
+std::vector<std::string> au_adversary_kinds() {
+  return {"tear", "all-faulty", "opposed", "random-able", "random",
+          "gradient"};
+}
+
+core::Configuration au_adversarial_configuration(const std::string& kind,
+                                                 const AlgAu& alg,
+                                                 const graph::Graph& g,
+                                                 util::Rng& rng) {
+  const core::NodeId n = g.num_nodes();
+  if (kind == "tear") return au_config_tear(alg, n);
+  if (kind == "all-faulty") return au_config_all_faulty(alg, n);
+  if (kind == "opposed") return au_config_opposed(alg, n);
+  if (kind == "random-able") return au_config_random_able(alg, n, rng);
+  if (kind == "random") return core::random_configuration(alg, n, rng);
+  if (kind == "gradient") return au_config_gradient(alg, g);
+  throw std::invalid_argument("unknown AU adversary kind: " + kind);
+}
+
+}  // namespace ssau::unison

@@ -1,0 +1,40 @@
+// Stabilization detection and post-stabilization verification for AU.
+//
+// §2.3.2 reduces stabilization of AlgAU to reaching a good graph: good is
+// closed under steps (Lem 2.10) and from a good graph, every node performs at
+// least i AA ticks in any window [t, ϱ^{D+i}(t)) (Lem 2.11) — which is the AU
+// liveness condition — while protection gives safety. run_to_good() measures
+// the stabilization round index; verify_post_stabilization() then replays a
+// window checking safety on every step and the liveness tick counts.
+#pragma once
+
+#include <cstdint>
+
+#include "core/engine.hpp"
+#include "unison/alg_au.hpp"
+#include "unison/au_invariants.hpp"
+
+namespace ssau::unison {
+
+/// Runs the engine until the graph is good (or max_rounds). Returns the
+/// paper-style stabilization round index in `rounds`.
+[[nodiscard]] core::RunOutcome run_to_good(core::Engine& engine,
+                                           const AlgAu& alg,
+                                           std::uint64_t max_rounds);
+
+struct PostStabilizationReport {
+  bool safety_ok = true;      // every step: all edges level-adjacent
+  bool outputs_ok = true;     // every step: all nodes in output (able) states
+  bool ticks_plus_one = true; // every level change is a single forward tick
+  bool liveness_ok = true;    // min ticks >= rounds_observed - D (Lem 2.11)
+  std::uint64_t rounds_observed = 0;
+  std::uint64_t min_ticks = 0;
+  std::uint64_t max_ticks = 0;
+};
+
+/// Verifies the AU task conditions over the next `rounds` rounds of an engine
+/// whose configuration is already good. The engine advances.
+[[nodiscard]] PostStabilizationReport verify_post_stabilization(
+    core::Engine& engine, const AlgAu& alg, std::uint64_t rounds);
+
+}  // namespace ssau::unison

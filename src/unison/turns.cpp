@@ -1,0 +1,104 @@
+#include "unison/turns.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace ssau::unison {
+
+TurnSystem::TurnSystem(int diameter_bound) : d_(diameter_bound) {
+  if (diameter_bound < 1) {
+    throw std::invalid_argument("TurnSystem: diameter bound must be >= 1");
+  }
+  k_ = 3 * d_ + 2;
+}
+
+core::StateId TurnSystem::able_id(Level l) const {
+  if (!valid_level(l)) throw std::invalid_argument("able_id: invalid level");
+  // Negative levels first: -k..-1 -> 0..k-1; positive 1..k -> k..2k-1.
+  return static_cast<core::StateId>(l < 0 ? l + k_ : k_ + l - 1);
+}
+
+core::StateId TurnSystem::faulty_id(Level l) const {
+  if (!has_faulty(l)) throw std::invalid_argument("faulty_id: invalid level");
+  // Negative -k..-2 -> 0..k-2; positive 2..k -> (k-1)..(2k-3).
+  const int idx = l < 0 ? l + k_ : (k_ - 1) + (l - 2);
+  return static_cast<core::StateId>(2 * k_ + idx);
+}
+
+bool TurnSystem::is_able(core::StateId q) const {
+  return q < static_cast<core::StateId>(2 * k_);
+}
+
+bool TurnSystem::is_faulty(core::StateId q) const {
+  return q >= static_cast<core::StateId>(2 * k_) && q < state_count();
+}
+
+Level TurnSystem::level_of(core::StateId q) const {
+  if (q >= state_count()) throw std::invalid_argument("level_of: bad state");
+  if (is_able(q)) {
+    const int idx = static_cast<int>(q);
+    return idx < k_ ? idx - k_ : idx - k_ + 1;
+  }
+  const int idx = static_cast<int>(q) - 2 * k_;
+  return idx <= k_ - 2 ? idx - k_ : idx - (k_ - 1) + 2;
+}
+
+Level TurnSystem::forward(Level l) const {
+  if (!valid_level(l)) throw std::invalid_argument("forward: invalid level");
+  if (l == -1) return 1;
+  if (l == k_) return -k_;
+  return l + 1;
+}
+
+int TurnSystem::clock(Level l) const {
+  if (!valid_level(l)) throw std::invalid_argument("clock: invalid level");
+  // Cyclic order: 1,2,…,k (κ = 0..k-1), then −k,−k+1,…,−1 (κ = k..2k-1).
+  return l > 0 ? l - 1 : 2 * k_ + l;
+}
+
+Level TurnSystem::level_at_clock(int kappa) const {
+  const int m = 2 * k_;
+  kappa = ((kappa % m) + m) % m;
+  return kappa < k_ ? kappa + 1 : kappa - m;
+}
+
+Level TurnSystem::forward(Level l, int j) const {
+  return level_at_clock(clock(l) + j);
+}
+
+bool TurnSystem::adjacent(Level a, Level b) const {
+  return distance(a, b) <= 1;
+}
+
+int TurnSystem::distance(Level a, Level b) const {
+  const int m = 2 * k_;
+  const int diff = (((clock(a) - clock(b)) % m) + m) % m;
+  return diff <= m - diff ? diff : m - diff;
+}
+
+Level TurnSystem::outwards(Level l, int j) const {
+  if (!valid_level(l)) throw std::invalid_argument("outwards: invalid level");
+  const int mag = std::abs(l) + j;
+  if (mag < 1 || mag > k_) throw std::invalid_argument("outwards: j out of range");
+  return l > 0 ? mag : -mag;
+}
+
+bool TurnSystem::strictly_outwards(Level a, Level b) const {
+  return (a > 0) == (b > 0) && std::abs(a) > std::abs(b);
+}
+
+bool TurnSystem::far_outwards(Level a, Level b) const {
+  return (a > 0) == (b > 0) && std::abs(a) > std::abs(b) + 1;
+}
+
+bool TurnSystem::weakly_outwards(Level a, Level b) const {
+  return (a > 0) == (b > 0) && std::abs(a) >= std::abs(b);
+}
+
+std::string TurnSystem::turn_name(core::StateId q) const {
+  const Level l = level_of(q);
+  return (is_faulty(q) ? "^" : "") + std::to_string(l);
+}
+
+}  // namespace ssau::unison

@@ -1,0 +1,112 @@
+#include "util/json.hpp"
+
+#include <ostream>
+
+namespace ssau::util {
+
+void JsonWriter::comma_if_needed() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!needs_comma_.empty()) {
+    if (needs_comma_.back()) os_ << ',';
+    needs_comma_.back() = true;
+  }
+}
+
+std::string JsonWriter::escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  comma_if_needed();
+  os_ << '{';
+  needs_comma_.push_back(false);
+  ++depth_;
+  started_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  os_ << '}';
+  needs_comma_.pop_back();
+  --depth_;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  comma_if_needed();
+  os_ << '[';
+  needs_comma_.push_back(false);
+  ++depth_;
+  started_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  os_ << ']';
+  needs_comma_.pop_back();
+  --depth_;
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(const std::string& name) {
+  comma_if_needed();
+  os_ << '"' << escape(name) << "\":";
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& v) {
+  comma_if_needed();
+  os_ << '"' << escape(v) << '"';
+  started_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const char* v) { return value(std::string(v)); }
+
+JsonWriter& JsonWriter::value(double v) {
+  comma_if_needed();
+  os_ << v;
+  started_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  comma_if_needed();
+  os_ << v;
+  started_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  comma_if_needed();
+  os_ << v;
+  started_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(int v) { return value(std::int64_t{v}); }
+
+JsonWriter& JsonWriter::value(bool v) {
+  comma_if_needed();
+  os_ << (v ? "true" : "false");
+  started_ = true;
+  return *this;
+}
+
+}  // namespace ssau::util

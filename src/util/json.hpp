@@ -1,0 +1,49 @@
+// Minimal streaming JSON writer for machine-readable experiment results.
+//
+// Deliberately tiny: objects, arrays, strings (with escaping), numbers,
+// booleans. Benches use it behind a --json flag so downstream analysis can
+// consume results without scraping tables.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ssau::util {
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(os) {}
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Object key (must be inside an object, before its value).
+  JsonWriter& key(const std::string& name);
+
+  JsonWriter& value(const std::string& v);
+  JsonWriter& value(const char* v);
+  JsonWriter& value(double v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(int v);
+  JsonWriter& value(bool v);
+
+  /// True once the top-level value is complete and nesting is balanced.
+  [[nodiscard]] bool complete() const { return depth_ == 0 && started_; }
+
+ private:
+  void comma_if_needed();
+  static std::string escape(const std::string& s);
+
+  std::ostream& os_;
+  std::vector<bool> needs_comma_;  // per nesting level
+  int depth_ = 0;
+  bool started_ = false;
+  bool after_key_ = false;
+};
+
+}  // namespace ssau::util

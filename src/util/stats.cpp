@@ -1,0 +1,109 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <sstream>
+
+namespace ssau::util {
+
+namespace {
+
+double interpolated_quantile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  if (sorted.size() == 1) return sorted.front();
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace
+
+Summary summarize(std::span<const double> xs) {
+  Summary s;
+  if (xs.empty()) return s;
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  s.count = sorted.size();
+  s.min = sorted.front();
+  s.max = sorted.back();
+  s.p50 = interpolated_quantile(sorted, 0.5);
+  s.p95 = interpolated_quantile(sorted, 0.95);
+  double sum = 0.0;
+  for (const double x : sorted) sum += x;
+  s.mean = sum / static_cast<double>(s.count);
+  double var = 0.0;
+  for (const double x : sorted) var += (x - s.mean) * (x - s.mean);
+  s.stddev = s.count > 1
+                 ? std::sqrt(var / static_cast<double>(s.count - 1))
+                 : 0.0;
+  return s;
+}
+
+Summary summarize(std::span<const std::uint64_t> xs) {
+  std::vector<double> d(xs.size());
+  std::transform(xs.begin(), xs.end(), d.begin(),
+                 [](std::uint64_t v) { return static_cast<double>(v); });
+  return summarize(d);
+}
+
+double quantile(std::vector<double> xs, double q) {
+  std::sort(xs.begin(), xs.end());
+  return interpolated_quantile(xs, q);
+}
+
+PowerFit power_fit(std::span<const double> x, std::span<const double> y) {
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < std::min(x.size(), y.size()); ++i) {
+    if (x[i] <= 0.0 || y[i] <= 0.0) continue;
+    const double lx = std::log(x[i]);
+    const double ly = std::log(y[i]);
+    sx += lx;
+    sy += ly;
+    sxx += lx * lx;
+    sxy += lx * ly;
+    ++n;
+  }
+  if (n < 2) return {};
+  const double dn = static_cast<double>(n);
+  const double denom = dn * sxx - sx * sx;
+  if (denom == 0.0) return {};
+  PowerFit fit;
+  fit.exponent = (dn * sxy - sx * sy) / denom;
+  fit.coefficient = std::exp((sy - fit.exponent * sx) / dn);
+  return fit;
+}
+
+LogFit log_fit(std::span<const double> x, std::span<const double> y) {
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < std::min(x.size(), y.size()); ++i) {
+    if (x[i] <= 0.0) continue;
+    const double lx = std::log2(x[i]);
+    sx += lx;
+    sy += y[i];
+    sxx += lx * lx;
+    sxy += lx * y[i];
+    ++n;
+  }
+  if (n < 2) return {};
+  const double dn = static_cast<double>(n);
+  const double denom = dn * sxx - sx * sx;
+  if (denom == 0.0) return {};
+  LogFit fit;
+  fit.slope = (dn * sxy - sx * sy) / denom;
+  fit.intercept = (sy - fit.slope * sx) / dn;
+  return fit;
+}
+
+std::string to_string(const Summary& s) {
+  std::ostringstream os;
+  os << "n=" << s.count << " mean=" << s.mean << " p50=" << s.p50
+     << " p95=" << s.p95 << " max=" << s.max;
+  return os.str();
+}
+
+}  // namespace ssau::util

@@ -1,0 +1,59 @@
+// Summary statistics and growth-shape fitting used by the experiment harness.
+//
+// The paper's guarantees are asymptotic ("O(D^3) rounds", "O(D log n) whp").
+// Reproducing them empirically means aggregating stabilization times over many
+// seeds/adversaries (Summary) and checking the growth exponent of the curve
+// against the stated bound (log-log least-squares slope, power_fit).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace ssau::util {
+
+/// One-pass-friendly summary of a sample of non-negative measurements.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double max = 0.0;
+};
+
+/// Computes count/mean/stddev/min/median/p95/max of `xs`. Empty input yields a
+/// zeroed summary.
+[[nodiscard]] Summary summarize(std::span<const double> xs);
+
+/// Convenience overload for integer samples.
+[[nodiscard]] Summary summarize(std::span<const std::uint64_t> xs);
+
+/// The q-quantile (0 <= q <= 1) by linear interpolation on the sorted sample.
+[[nodiscard]] double quantile(std::vector<double> xs, double q);
+
+/// Least-squares fit of y = a * x^b through (x_i, y_i) pairs with x_i, y_i > 0,
+/// performed in log-log space. Returns {a, b}. Points with non-positive
+/// coordinates are skipped; fewer than two usable points yield {0, 0}.
+struct PowerFit {
+  double coefficient = 0.0;  // a
+  double exponent = 0.0;     // b
+};
+[[nodiscard]] PowerFit power_fit(std::span<const double> x,
+                                 std::span<const double> y);
+
+/// Least-squares fit of y = a + b * log2(x). Returns {a, b}; same degenerate
+/// handling as power_fit.
+struct LogFit {
+  double intercept = 0.0;  // a
+  double slope = 0.0;      // b (units of y per doubling of x)
+};
+[[nodiscard]] LogFit log_fit(std::span<const double> x,
+                             std::span<const double> y);
+
+/// Renders a summary as "mean=… p50=… p95=… max=…" for logs and tables.
+[[nodiscard]] std::string to_string(const Summary& s);
+
+}  // namespace ssau::util

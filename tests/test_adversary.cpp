@@ -1,0 +1,67 @@
+// Tests for generic adversarial initial configurations.
+#include "core/adversary.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sync/simple_sync_algs.hpp"
+
+namespace ssau::core {
+namespace {
+
+TEST(Adversary, AllKindsProduceValidConfigurations) {
+  sync::MinPropagation alg(10);
+  util::Rng rng(3);
+  for (const auto& kind : adversary_kinds()) {
+    const Configuration c = adversarial_configuration(kind, alg, 12, rng);
+    ASSERT_EQ(c.size(), 12u) << kind;
+    for (const StateId q : c) EXPECT_LT(q, alg.state_count()) << kind;
+  }
+}
+
+TEST(Adversary, ZeroAndMaxShapes) {
+  sync::MinPropagation alg(10);
+  util::Rng rng(4);
+  const auto zero = adversarial_configuration("zero", alg, 5, rng);
+  for (const StateId q : zero) EXPECT_EQ(q, 0u);
+  const auto max = adversarial_configuration("max", alg, 5, rng);
+  for (const StateId q : max) EXPECT_EQ(q, 9u);
+}
+
+TEST(Adversary, SplitShape) {
+  sync::MinPropagation alg(10);
+  util::Rng rng(5);
+  const auto c = adversarial_configuration("split", alg, 6, rng);
+  EXPECT_EQ(c[0], 0u);
+  EXPECT_EQ(c[2], 0u);
+  EXPECT_EQ(c[3], 9u);
+  EXPECT_EQ(c[5], 9u);
+}
+
+TEST(Adversary, AlternatingShape) {
+  sync::MinPropagation alg(4);
+  util::Rng rng(6);
+  const auto c = adversarial_configuration("alternating", alg, 4, rng);
+  EXPECT_EQ(c[0], 0u);
+  EXPECT_EQ(c[1], 3u);
+  EXPECT_EQ(c[2], 0u);
+  EXPECT_EQ(c[3], 3u);
+}
+
+TEST(Adversary, RandomCoversStateSpace) {
+  sync::MinPropagation alg(4);
+  util::Rng rng(7);
+  const auto c = adversarial_configuration("random", alg, 200, rng);
+  std::vector<int> seen(4, 0);
+  for (const StateId q : c) ++seen[q];
+  for (int count : seen) EXPECT_GT(count, 0);
+}
+
+TEST(Adversary, UnknownKindThrows) {
+  sync::MinPropagation alg(4);
+  util::Rng rng(8);
+  EXPECT_THROW(adversarial_configuration("bogus", alg, 3, rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ssau::core

@@ -1,0 +1,218 @@
+// Unit tests for AlgAU's transition function against Table 1, condition by
+// condition, using hand-built signals.
+#include "unison/alg_au.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/signal.hpp"
+
+namespace ssau::unison {
+namespace {
+
+class AlgAuRules : public ::testing::Test {
+ protected:
+  AlgAuRules() : alg_(2), ts_(alg_.turns()) {}  // D=2, k=8
+
+  core::Signal sig(std::initializer_list<core::StateId> states) {
+    return core::Signal::from_states(std::vector<core::StateId>(states));
+  }
+
+  AlgAu alg_;
+  const TurnSystem& ts_;
+  util::Rng rng_{1};
+};
+
+// --- type AA ----------------------------------------------------------------
+
+TEST_F(AlgAuRules, AaTicksWhenAloneAtOwnLevel) {
+  const auto q = ts_.able_id(3);
+  EXPECT_EQ(alg_.step(q, sig({q}), rng_), ts_.able_id(4));
+}
+
+TEST_F(AlgAuRules, AaTicksWhenNeighborsAtOwnOrNextLevel) {
+  const auto q = ts_.able_id(3);
+  const auto next = ts_.able_id(4);
+  EXPECT_EQ(alg_.step(q, sig({q, next}), rng_), next);
+}
+
+TEST_F(AlgAuRules, AaWrapsMinusOneToOne) {
+  const auto q = ts_.able_id(-1);
+  EXPECT_EQ(alg_.step(q, sig({q, ts_.able_id(1)}), rng_), ts_.able_id(1));
+}
+
+TEST_F(AlgAuRules, AaWrapsKToMinusK) {
+  const auto q = ts_.able_id(ts_.k());
+  EXPECT_EQ(alg_.step(q, sig({q, ts_.able_id(-ts_.k())}), rng_),
+            ts_.able_id(-ts_.k()));
+}
+
+TEST_F(AlgAuRules, AaBlockedByLaggingNeighbor) {
+  // A neighbor one level behind (own level - 1) blocks the tick: Λ ⊄ {ℓ, ℓ+1}.
+  const auto q = ts_.able_id(3);
+  EXPECT_EQ(alg_.step(q, sig({q, ts_.able_id(2)}), rng_), q);
+}
+
+TEST_F(AlgAuRules, AaBlockedBySensedFaultyTurn) {
+  // Λ ⊆ {ℓ, ℓ+1} holds but a faulty turn at ℓ+1 makes v not good.
+  const auto q = ts_.able_id(3);
+  EXPECT_EQ(alg_.step(q, sig({q, ts_.faulty_id(4)}), rng_), q);
+}
+
+TEST_F(AlgAuRules, AaBlockedByFaultyTwinAtOwnLevel) {
+  const auto q = ts_.able_id(3);
+  EXPECT_EQ(alg_.step(q, sig({q, ts_.faulty_id(3)}), rng_), q);
+}
+
+// --- type AF ----------------------------------------------------------------
+
+TEST_F(AlgAuRules, AfWhenUnprotected) {
+  // Neighbor at level 6 is not adjacent to level 3 -> v unprotected -> ^3.
+  const auto q = ts_.able_id(3);
+  EXPECT_EQ(alg_.step(q, sig({q, ts_.able_id(6)}), rng_), ts_.faulty_id(3));
+}
+
+TEST_F(AlgAuRules, AfWhenUnprotectedByOppositeSign) {
+  const auto q = ts_.able_id(3);
+  EXPECT_EQ(alg_.step(q, sig({q, ts_.able_id(-3)}), rng_), ts_.faulty_id(3));
+}
+
+TEST_F(AlgAuRules, AfOnFaultyInwardNeighbor) {
+  // v at level 4 sensing ^3 (= faulty ψ−1(4)) goes faulty even if protected.
+  const auto q = ts_.able_id(4);
+  EXPECT_EQ(alg_.step(q, sig({q, ts_.faulty_id(3)}), rng_), ts_.faulty_id(4));
+}
+
+TEST_F(AlgAuRules, NoAfOnFaultyOutwardNeighbor) {
+  // ^5 is one unit outwards of 4: AF condition (2) does not apply; the node
+  // is protected (levels adjacent), so it stays (AA blocked by faulty).
+  const auto q = ts_.able_id(4);
+  EXPECT_EQ(alg_.step(q, sig({q, ts_.faulty_id(5)}), rng_), q);
+}
+
+TEST_F(AlgAuRules, LevelOneNeverGoesFaulty) {
+  // |ℓ| = 1 has no faulty twin: an unprotected node at level 1 stays put.
+  const auto q = ts_.able_id(1);
+  EXPECT_EQ(alg_.step(q, sig({q, ts_.able_id(5)}), rng_), q);
+}
+
+TEST_F(AlgAuRules, LevelMinusOneNeverGoesFaulty) {
+  const auto q = ts_.able_id(-1);
+  EXPECT_EQ(alg_.step(q, sig({q, ts_.able_id(-5)}), rng_), q);
+}
+
+TEST_F(AlgAuRules, LevelTwoHasNoFaultyInwardTrigger) {
+  // ψ−1(2) = 1 has no faulty twin, so condition (2) can never fire at level 2.
+  const auto q = ts_.able_id(2);
+  EXPECT_EQ(alg_.step(q, sig({q, ts_.able_id(1)}), rng_), q);
+}
+
+// --- type FA ----------------------------------------------------------------
+
+TEST_F(AlgAuRules, FaReturnsOneUnitInwards) {
+  const auto q = ts_.faulty_id(4);
+  EXPECT_EQ(alg_.step(q, sig({q, ts_.able_id(3)}), rng_), ts_.able_id(3));
+}
+
+TEST_F(AlgAuRules, FaFromLevelTwoLandsOnOne) {
+  const auto q = ts_.faulty_id(2);
+  EXPECT_EQ(alg_.step(q, sig({q}), rng_), ts_.able_id(1));
+}
+
+TEST_F(AlgAuRules, FaFromNegativeLevel) {
+  const auto q = ts_.faulty_id(-5);
+  EXPECT_EQ(alg_.step(q, sig({q}), rng_), ts_.able_id(-4));
+}
+
+TEST_F(AlgAuRules, FaBlockedBySensedOutwardLevel) {
+  // Sensing level 5 (outwards of 4, same sign) blocks the return.
+  const auto q = ts_.faulty_id(4);
+  EXPECT_EQ(alg_.step(q, sig({q, ts_.able_id(5)}), rng_), q);
+}
+
+TEST_F(AlgAuRules, FaBlockedBySensedOutwardFaulty) {
+  const auto q = ts_.faulty_id(4);
+  EXPECT_EQ(alg_.step(q, sig({q, ts_.faulty_id(6)}), rng_), q);
+}
+
+TEST_F(AlgAuRules, FaIgnoresOppositeSignOutwardLevels) {
+  // Ψ>(4) contains only positive levels: sensing -7 does not block.
+  const auto q = ts_.faulty_id(4);
+  EXPECT_EQ(alg_.step(q, sig({q, ts_.able_id(-7)}), rng_), ts_.able_id(3));
+}
+
+TEST_F(AlgAuRules, FaFromOutermostLevelAlwaysEnabled) {
+  // Nothing is outwards of k: ^k returns inwards upon first activation.
+  const auto q = ts_.faulty_id(ts_.k());
+  EXPECT_EQ(alg_.step(q, sig({q, ts_.able_id(ts_.k()), ts_.faulty_id(-2)}),
+                      rng_),
+            ts_.able_id(ts_.k() - 1));
+}
+
+// --- classification & metadata ------------------------------------------------
+
+TEST_F(AlgAuRules, ClassifyRecognizesAllThreeTypes) {
+  EXPECT_EQ(alg_.classify(ts_.able_id(3), ts_.able_id(4)),
+            AlgAu::TransitionType::AA);
+  EXPECT_EQ(alg_.classify(ts_.able_id(-1), ts_.able_id(1)),
+            AlgAu::TransitionType::AA);
+  EXPECT_EQ(alg_.classify(ts_.able_id(3), ts_.faulty_id(3)),
+            AlgAu::TransitionType::AF);
+  EXPECT_EQ(alg_.classify(ts_.faulty_id(3), ts_.able_id(2)),
+            AlgAu::TransitionType::FA);
+  EXPECT_EQ(alg_.classify(ts_.able_id(3), ts_.able_id(3)),
+            AlgAu::TransitionType::None);
+  EXPECT_THROW((void)alg_.classify(ts_.able_id(3), ts_.able_id(6)),
+               std::logic_error);
+}
+
+TEST_F(AlgAuRules, OutputsAreClockValues) {
+  EXPECT_TRUE(alg_.is_output(ts_.able_id(5)));
+  EXPECT_FALSE(alg_.is_output(ts_.faulty_id(5)));
+  EXPECT_EQ(alg_.output(ts_.able_id(1)), 0);
+  EXPECT_EQ(alg_.output(ts_.able_id(ts_.k())), ts_.k() - 1);
+  EXPECT_EQ(alg_.output(ts_.able_id(-1)), 2 * ts_.k() - 1);
+}
+
+TEST_F(AlgAuRules, DeterministicStateSpaceIsThin) {
+  for (int d = 1; d <= 10; ++d) {
+    EXPECT_EQ(AlgAu(d).state_count(),
+              static_cast<core::StateId>(12 * d + 6));
+  }
+}
+
+// --- local predicates ---------------------------------------------------------
+
+TEST_F(AlgAuRules, LocallyProtectedAndGood) {
+  const auto q = ts_.able_id(3);
+  EXPECT_TRUE(alg_.locally_protected(q, sig({q, ts_.able_id(4)})));
+  EXPECT_FALSE(alg_.locally_protected(q, sig({q, ts_.able_id(5)})));
+  EXPECT_TRUE(alg_.locally_good(q, sig({q, ts_.able_id(4)})));
+  EXPECT_FALSE(alg_.locally_good(q, sig({q, ts_.faulty_id(4)})));
+}
+
+// --- crafted adversarial configurations ---------------------------------------
+
+TEST_F(AlgAuRules, AdversaryKindsProduceValidConfigs) {
+  const graph::Graph g = graph::Graph(6, {{0, 1}, {1, 2}, {2, 3}, {3, 4},
+                                          {4, 5}, {5, 0}});
+  util::Rng rng(9);
+  for (const auto& kind : au_adversary_kinds()) {
+    const auto c = au_adversarial_configuration(kind, alg_, g, rng);
+    ASSERT_EQ(c.size(), 6u) << kind;
+    for (const auto q : c) EXPECT_LT(q, alg_.state_count()) << kind;
+  }
+  EXPECT_THROW(au_adversarial_configuration("bogus", alg_, g, rng),
+               std::invalid_argument);
+}
+
+TEST_F(AlgAuRules, GradientConfigIsGood) {
+  const graph::Graph g(4, {{0, 1}, {1, 2}, {2, 3}});
+  const auto c = au_config_gradient(alg_, g);
+  EXPECT_EQ(ts_.level_of(c[0]), 1);
+  EXPECT_EQ(ts_.level_of(c[1]), 2);
+  EXPECT_EQ(ts_.level_of(c[2]), 3);
+  EXPECT_EQ(ts_.level_of(c[3]), 4);
+}
+
+}  // namespace
+}  // namespace ssau::unison

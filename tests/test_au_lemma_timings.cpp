@@ -1,0 +1,133 @@
+// Quantitative replays of the analysis lemmas' timing bounds (§2.3.3–2.3.5):
+//   * Lem 2.12 — in an ℓ-out-protected graph, a node in faulty turn ℓ̂
+//     performs its FA transition before ϱ^{2(k−|ℓ|)+1}(t);
+//   * Lem 2.19 — after T1, a non-protected node becomes protected with level
+//     ±1 within ϱ^{k(k−1)}(t);
+//   * Cor 2.15-shaped: the graph is out-protected within R(O(k^3)).
+// The bounds are upper bounds; the tests assert the measured times obey them.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "core/engine.hpp"
+#include "graph/generators.hpp"
+#include "graph/metrics.hpp"
+#include "sched/scheduler.hpp"
+#include "unison/alg_au.hpp"
+#include "unison/au_invariants.hpp"
+#include "unison/au_potential.hpp"
+
+namespace ssau::unison {
+namespace {
+
+TEST(LemmaTimings, Lemma212FaultyNodeReturnsWithinBound) {
+  // Configuration: path(3) with (1, ^3, 4) — the middle node is faulty at
+  // level 3 and blocked by its outward neighbor at ψ+1(3) = 4; per the
+  // lemma's induction the neighbor must first go faulty (AF via the inward
+  // faulty trigger) and return inwards, after which the middle node FAs —
+  // all before ϱ^{2(k−3)+1}(t) = ϱ^5(t). The graph is 3-out-protected:
+  // levels in Ψ≥(3) = {3,4,5} are held by nodes 1 and 2, both out-protected.
+  const graph::Graph g = graph::path(3);
+  const AlgAu alg(1);  // k = 5
+  const auto& ts = alg.turns();
+  const core::Configuration c0{ts.able_id(1), ts.faulty_id(3), ts.able_id(4)};
+  ASSERT_TRUE(graph_l_out_protected(ts, g, c0, 3));
+
+  for (const char* sched_name :
+       {"synchronous", "uniform-single", "rotating-single", "permutation"}) {
+    auto sched = sched::make_scheduler(sched_name, g);
+    core::Engine engine(g, alg, *sched, c0, 17);
+    // Bound: FA before ϱ^{2(k-3)+1} = ϱ^5.
+    const auto outcome = engine.run_until(
+        [&](const core::Configuration& c) { return !ts.is_faulty(c[1]); },
+        2 * (5 - 3) + 1);
+    EXPECT_TRUE(outcome.reached) << sched_name;
+    EXPECT_LE(outcome.rounds, static_cast<std::uint64_t>(2 * (5 - 3) + 1))
+        << sched_name;
+  }
+}
+
+TEST(LemmaTimings, Lemma212OutermostFaultyReturnsInOneRound) {
+  // Base case: a node in ^k (or ^-k) senses nothing outwards and must FA on
+  // its first activation — before ϱ^1.
+  const graph::Graph g = graph::path(2);
+  const AlgAu alg(1);
+  const auto& ts = alg.turns();
+  for (const Level l : {5, -5}) {
+    auto sched = sched::make_scheduler("uniform-single", g);
+    core::Engine engine(g, alg, *sched,
+                        {ts.faulty_id(l), ts.able_id(l > 0 ? 4 : -4)}, 23);
+    const auto outcome = engine.run_until(
+        [&](const core::Configuration& c) { return !ts.is_faulty(c[0]); }, 2);
+    EXPECT_TRUE(outcome.reached);
+    EXPECT_LE(outcome.rounds, 1u);
+  }
+}
+
+TEST(LemmaTimings, Lemma219TornEdgeMeetsAtPlusMinusOneWithinBound) {
+  // After T0 the two sides of a non-protected edge squeeze inwards until
+  // they meet at {−1, 1}, within ϱ^{k(k−1)}.
+  const graph::Graph g = graph::path(2);
+  const AlgAu alg(1);  // k = 5 -> bound 20 rounds
+  const auto& ts = alg.turns();
+  for (const char* sched_name : {"synchronous", "uniform-single", "burst"}) {
+    auto sched = sched::make_scheduler(sched_name, g);
+    core::Engine engine(g, alg, *sched, {ts.able_id(-4), ts.able_id(3)}, 29);
+    ASSERT_TRUE(graph_out_protected(ts, g, engine.config()));
+    const auto outcome = engine.run_until(
+        [&](const core::Configuration& c) {
+          return std::abs(ts.level_of(c[0])) == 1 &&
+                 std::abs(ts.level_of(c[1])) == 1;
+        },
+        5 * 4);
+    EXPECT_TRUE(outcome.reached) << sched_name;
+  }
+}
+
+TEST(LemmaTimings, Corollary215OutProtectedWithinCubicBudget) {
+  // T0 <= R(O(k^3)) across adversarial configurations (phase-tracker form).
+  const graph::Graph g = graph::grid(2, 4);
+  const int diam = static_cast<int>(graph::diameter(g));
+  const AlgAu alg(diam);
+  const auto k = static_cast<std::uint64_t>(alg.turns().k());
+  for (const auto& adv : {std::string("random"), std::string("opposed")}) {
+    util::Rng rng(31);
+    auto sched = sched::make_scheduler("uniform-single", g);
+    core::Engine engine(g, alg, *sched,
+                        au_adversarial_configuration(adv, alg, g, rng), 31);
+    const auto phases = track_phases(engine, alg, 60 * k * k * k);
+    ASSERT_TRUE(phases.reached_t0) << adv;
+    EXPECT_LE(phases.t0_rounds, 60 * k * k * k) << adv;
+  }
+}
+
+TEST(LemmaTimings, SqueezeIsStrictlyMonotoneOnTornEdge) {
+  // Obs 2.5 quantified: the integer level gap across a torn edge never
+  // widens; over any 2(k-1)+2 rounds it strictly shrinks (Lem 2.13).
+  const graph::Graph g = graph::path(2);
+  const AlgAu alg(1);
+  const auto& ts = alg.turns();
+  auto sched = sched::make_scheduler("rotating-single", g);
+  core::Engine engine(g, alg, *sched, {ts.able_id(1), ts.able_id(5)}, 37);
+  int prev_gap =
+      std::abs(ts.level_of(engine.config()[0]) -
+               ts.level_of(engine.config()[1]));
+  std::uint64_t last_shrink_round = 0;
+  while (prev_gap > 1) {
+    engine.step();
+    const int gap = std::abs(ts.level_of(engine.config()[0]) -
+                             ts.level_of(engine.config()[1]));
+    ASSERT_LE(gap, prev_gap) << "gap widened";
+    if (gap < prev_gap) {
+      last_shrink_round = engine.rounds_completed();
+      prev_gap = gap;
+    }
+    ASSERT_LE(engine.rounds_completed() - last_shrink_round,
+              2u * (5 - 1) + 2)
+        << "no progress within the Lem 2.13 window";
+  }
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace ssau::unison

@@ -1,0 +1,88 @@
+// Post-stabilization verification for AlgAU: the AU task's safety and
+// liveness conditions (§1.2) hold forever once the graph is good, with tick
+// counts matching Lem 2.11 (each node performs >= i AA ticks in any window of
+// D + i rounds).
+#include <gtest/gtest.h>
+
+#include "core/engine.hpp"
+#include "graph/generators.hpp"
+#include "graph/metrics.hpp"
+#include "sched/scheduler.hpp"
+#include "unison/alg_au.hpp"
+#include "unison/au_monitor.hpp"
+
+namespace ssau::unison {
+namespace {
+
+class AuLiveness : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(AuLiveness, TaskConditionsHoldAfterStabilization) {
+  const graph::Graph g = graph::ring_of_cliques(3, 3);
+  const int diam = static_cast<int>(graph::diameter(g));
+  const AlgAu alg(diam);
+  util::Rng rng(11);
+  auto scheduler = sched::make_scheduler(GetParam(), g);
+  core::Engine engine(g, alg, *scheduler,
+                      au_adversarial_configuration("random", alg, g, rng), 5);
+
+  const auto k = static_cast<std::uint64_t>(alg.turns().k());
+  const auto outcome = run_to_good(engine, alg, 60 * k * k * k + 300);
+  ASSERT_TRUE(outcome.reached);
+
+  const auto report = verify_post_stabilization(engine, alg, 120);
+  EXPECT_TRUE(report.safety_ok) << "clock safety violated post-stabilization";
+  EXPECT_TRUE(report.outputs_ok) << "non-output state post-stabilization";
+  EXPECT_TRUE(report.ticks_plus_one) << "clock moved by something other than +1";
+  EXPECT_TRUE(report.liveness_ok)
+      << "min ticks " << report.min_ticks << " over "
+      << report.rounds_observed << " rounds (D=" << diam << ")";
+}
+
+INSTANTIATE_TEST_SUITE_P(Schedulers, AuLiveness,
+                         ::testing::Values("synchronous", "uniform-single",
+                                           "random-subset", "rotating-single",
+                                           "laggard", "wave"));
+
+TEST(AuLiveness, SynchronousGoodGraphTicksEveryRound) {
+  // From the uniform all-level-1 configuration under the synchronous
+  // scheduler, every node ticks every round: D rounds -> D ticks each.
+  const graph::Graph g = graph::complete(5);
+  const AlgAu alg(1);
+  auto scheduler = sched::make_scheduler("synchronous", g);
+  core::Engine engine(g, alg, *scheduler,
+                      core::uniform_configuration(5, alg.turns().able_id(1)),
+                      1);
+  const auto report = verify_post_stabilization(engine, alg, 50);
+  EXPECT_EQ(report.min_ticks, 50u);
+  EXPECT_EQ(report.max_ticks, 50u);
+  EXPECT_TRUE(report.safety_ok);
+}
+
+TEST(AuLiveness, ClockValuesStayAdjacentAcrossEveryEdge) {
+  // Safety in terms of the task's cyclic clock group K = Z_{2k}: outputs of
+  // neighbors differ by at most 1 (mod 2k) at all post-stabilization times.
+  const graph::Graph g = graph::grid(3, 3);
+  const int diam = static_cast<int>(graph::diameter(g));
+  const AlgAu alg(diam);
+  util::Rng rng(13);
+  auto scheduler = sched::make_scheduler("uniform-single", g);
+  core::Engine engine(g, alg, *scheduler,
+                      au_adversarial_configuration("tear", alg, g, rng), 17);
+  const auto k = static_cast<std::uint64_t>(alg.turns().k());
+  ASSERT_TRUE(run_to_good(engine, alg, 60 * k * k * k + 300).reached);
+
+  const int m = 2 * alg.turns().k();
+  for (int s = 0; s < 400; ++s) {
+    engine.step();
+    for (const auto& [u, v] : g.edges()) {
+      const auto cu = alg.output(engine.state_of(u));
+      const auto cv = alg.output(engine.state_of(v));
+      const int diff = static_cast<int>(((cu - cv) % m + m) % m);
+      EXPECT_TRUE(diff <= 1 || diff >= m - 1)
+          << "edge (" << u << "," << v << ") clocks " << cu << "," << cv;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ssau::unison

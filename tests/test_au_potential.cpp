@@ -1,0 +1,110 @@
+// Tests for the §2.3 analysis instrumentation: the three-phase convergence
+// structure (out-protected -> justified -> good) and the potential
+// quantities it is built on.
+#include "unison/au_potential.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/engine.hpp"
+#include "graph/generators.hpp"
+#include "graph/metrics.hpp"
+#include "sched/scheduler.hpp"
+
+namespace ssau::unison {
+namespace {
+
+TEST(Potential, GoodConfigurationHasZeroPotential) {
+  const graph::Graph g = graph::path(4);
+  const AlgAu alg(3);
+  const auto c = au_config_gradient(alg, g);
+  const auto snap = measure_potential(alg.turns(), g, c);
+  EXPECT_EQ(snap.non_protected_edges, 0u);
+  EXPECT_EQ(snap.faulty_nodes, 0u);
+  EXPECT_EQ(snap.non_out_protected_nodes, 0u);
+  EXPECT_EQ(snap.unjustified_nodes, 0u);
+  EXPECT_EQ(snap.max_level_gap, 0);
+}
+
+TEST(Potential, TearConfigurationMeasuredCorrectly) {
+  const graph::Graph g = graph::path(2);
+  const AlgAu alg(1);  // k = 5
+  const auto c = au_config_tear(alg, 2);  // levels 1 and k=5
+  const auto snap = measure_potential(alg.turns(), g, c);
+  EXPECT_EQ(snap.non_protected_edges, 1u);
+  EXPECT_EQ(snap.max_level_gap, 4);
+  EXPECT_EQ(snap.faulty_nodes, 0u);
+  // Node at level 1 senses level 5 = psi+4(1): not out-protected.
+  EXPECT_EQ(snap.non_out_protected_nodes, 1u);
+}
+
+TEST(Potential, NonOutProtectedCountNeverIncreases) {
+  // Obs 2.3 per node implies the count of non-out-protected nodes is
+  // non-increasing along any execution.
+  const graph::Graph g = graph::grid(3, 3);
+  const AlgAu alg(4);
+  for (const char* sched_name : {"synchronous", "uniform-single", "laggard"}) {
+    util::Rng rng(91);
+    auto sched = sched::make_scheduler(sched_name, g);
+    core::Engine engine(g, alg, *sched,
+                        au_adversarial_configuration("random", alg, g, rng),
+                        91);
+    auto prev =
+        measure_potential(alg.turns(), g, engine.config()).non_out_protected_nodes;
+    for (int t = 0; t < 600; ++t) {
+      engine.step();
+      const auto now = measure_potential(alg.turns(), g, engine.config())
+                           .non_out_protected_nodes;
+      ASSERT_LE(now, prev) << sched_name << " at step " << t;
+      prev = now;
+    }
+  }
+}
+
+class PhaseTracking : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(PhaseTracking, PhasesAreOrderedMonotoneAndWithinBudget) {
+  const graph::Graph g = graph::cycle(8);
+  const int diam = static_cast<int>(graph::diameter(g));
+  const AlgAu alg(diam);
+  const auto k = static_cast<std::uint64_t>(alg.turns().k());
+
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    util::Rng rng(seed * 37);
+    auto sched = sched::make_scheduler(GetParam(), g);
+    core::Engine engine(g, alg, *sched,
+                        au_adversarial_configuration("random", alg, g, rng),
+                        seed);
+    const auto phases = track_phases(engine, alg, 60 * k * k * k);
+    ASSERT_TRUE(phases.reached_t2) << GetParam() << " seed " << seed;
+    EXPECT_TRUE(phases.reached_t0);
+    EXPECT_TRUE(phases.reached_t1);
+    // Cor 2.15 / 2.17 / Lem 2.22: T0 <= T1 <= T2, all within R(O(k^3)).
+    EXPECT_LE(phases.t0_rounds, phases.t1_rounds);
+    EXPECT_LE(phases.t1_rounds, phases.t2_rounds);
+    EXPECT_LE(phases.t2_rounds, 60 * k * k * k);
+    EXPECT_TRUE(phases.monotone)
+        << "a phase predicate regressed (" << GetParam() << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Schedulers, PhaseTracking,
+                         ::testing::Values("synchronous", "uniform-single",
+                                           "rotating-single", "permutation",
+                                           "burst"));
+
+TEST(PhaseTracking, AlreadyGoodConfigurationHasAllPhasesAtZero) {
+  const graph::Graph g = graph::path(5);
+  const AlgAu alg(4);
+  sched::SynchronousScheduler sched(5);
+  core::Engine engine(g, alg, sched, au_config_gradient(alg, g), 1);
+  const auto phases = track_phases(engine, alg, 100);
+  EXPECT_TRUE(phases.reached_t2);
+  EXPECT_EQ(phases.t0_rounds, 0u);
+  EXPECT_EQ(phases.t1_rounds, 0u);
+  EXPECT_EQ(phases.t2_rounds, 0u);
+}
+
+}  // namespace
+}  // namespace ssau::unison

@@ -1,0 +1,165 @@
+// End-to-end stabilization tests for AlgAU (Thm 1.1): from every adversarial
+// initial configuration, under every scheduler, the graph becomes good within
+// the O(D^3) round budget, and goodness is absorbing.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "core/engine.hpp"
+#include "graph/generators.hpp"
+#include "graph/metrics.hpp"
+#include "sched/scheduler.hpp"
+#include "unison/alg_au.hpp"
+#include "unison/au_invariants.hpp"
+#include "unison/au_monitor.hpp"
+
+namespace ssau::unison {
+namespace {
+
+graph::Graph make_graph(const std::string& name) {
+  util::Rng rng(777);
+  if (name == "cycle9") return graph::cycle(9);
+  if (name == "path7") return graph::path(7);
+  if (name == "grid3x4") return graph::grid(3, 4);
+  if (name == "clique6") return graph::complete(6);
+  if (name == "star8") return graph::star(8);
+  if (name == "ring-of-cliques") return graph::ring_of_cliques(3, 4);
+  if (name == "random14") return graph::random_connected(14, 0.3, rng);
+  throw std::invalid_argument("bad graph name");
+}
+
+/// Generous empirical budget consistent with the paper's O(k^3) rounds.
+std::uint64_t round_budget(int k) {
+  return 40ULL * static_cast<std::uint64_t>(k) * k * k + 400;
+}
+
+class AuStabilization
+    : public ::testing::TestWithParam<std::tuple<std::string, std::string,
+                                                 std::string>> {};
+
+TEST_P(AuStabilization, ReachesGoodWithinCubicBudget) {
+  const auto& [graph_name, sched_name, adversary] = GetParam();
+  const graph::Graph g = make_graph(graph_name);
+  const int diam = static_cast<int>(graph::diameter(g));
+  const AlgAu alg(diam);
+
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    util::Rng rng(seed * 7919);
+    const auto scheduler = sched::make_scheduler(sched_name, g);
+    core::Engine engine(g, alg, *scheduler,
+                        au_adversarial_configuration(adversary, alg, g, rng),
+                        seed);
+    const auto outcome =
+        run_to_good(engine, alg, round_budget(alg.turns().k()));
+    ASSERT_TRUE(outcome.reached)
+        << graph_name << "/" << sched_name << "/" << adversary << " seed "
+        << seed << " not good after " << engine.rounds_completed()
+        << " rounds";
+
+    // Goodness is absorbing (Lem 2.10): run on and re-check.
+    engine.run_rounds(2 * static_cast<std::uint64_t>(diam) + 10);
+    EXPECT_TRUE(graph_good(alg.turns(), g, engine.config()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, AuStabilization,
+    ::testing::Combine(
+        ::testing::Values("cycle9", "path7", "grid3x4", "clique6", "star8",
+                          "ring-of-cliques", "random14"),
+        ::testing::Values("synchronous", "uniform-single", "random-subset",
+                          "rotating-single", "laggard", "wave",
+                          "permutation", "burst"),
+        ::testing::Values("random", "tear", "all-faulty", "opposed",
+                          "random-able")));
+
+TEST(AuStabilization, GradientConfigIsAlreadyGood) {
+  const graph::Graph g = graph::path(5);
+  const AlgAu alg(4);
+  const auto c = au_config_gradient(alg, g);
+  EXPECT_TRUE(graph_good(alg.turns(), g, c));
+}
+
+TEST(AuStabilization, DiameterBoundLooserThanActualDiameterStillWorks) {
+  // The algorithm only needs diam(G) <= D; run with slack (D = diam + 3).
+  const graph::Graph g = graph::cycle(8);
+  const int diam = static_cast<int>(graph::diameter(g));
+  const AlgAu alg(diam + 3);
+  util::Rng rng(5);
+  auto scheduler = sched::make_scheduler("uniform-single", g);
+  core::Engine engine(g, alg, *scheduler,
+                      au_adversarial_configuration("random", alg, g, rng), 21);
+  const auto outcome = run_to_good(engine, alg, round_budget(alg.turns().k()));
+  EXPECT_TRUE(outcome.reached);
+}
+
+TEST(AuStabilization, RoundsIndependentOfNAtFixedDiameter) {
+  // The "thin" headline: with D fixed, stabilization time does not grow
+  // with n (Thm 1.1 bounds depend on D alone).
+  const AlgAu alg(2);
+  std::vector<double> means;
+  for (const core::NodeId n : {8u, 32u, 96u}) {
+    util::Rng rng(n * 31 + 1);
+    std::vector<double> rounds;
+    for (int i = 0; i < 3; ++i) {
+      graph::Graph g = graph::random_bounded_diameter(n, 2, rng);
+      auto scheduler = sched::make_scheduler("uniform-single", g);
+      core::Engine engine(g, alg, *scheduler,
+                          au_adversarial_configuration("random", alg, g, rng),
+                          n + i);
+      const auto outcome = run_to_good(engine, alg, 100000);
+      ASSERT_TRUE(outcome.reached);
+      rounds.push_back(static_cast<double>(outcome.rounds));
+    }
+    double sum = 0;
+    for (const double r : rounds) sum += r;
+    means.push_back(sum / static_cast<double>(rounds.size()));
+  }
+  // A 12x growth in n must not even double the mean stabilization rounds.
+  EXPECT_LT(means.back(), 2.0 * means.front() + 10.0);
+}
+
+TEST(AuStabilization, StressLargeRing) {
+  // cycle(48), D = 24 (k = 74, 294 states): one adversarial random start
+  // under an asynchronous daemon; must stabilize well inside the budget.
+  const graph::Graph g = graph::cycle(48);
+  const AlgAu alg(24);
+  util::Rng rng(4242);
+  auto scheduler = sched::make_scheduler("random-subset", g);
+  core::Engine engine(g, alg, *scheduler,
+                      au_adversarial_configuration("random", alg, g, rng),
+                      4242);
+  const auto k = static_cast<std::uint64_t>(alg.turns().k());
+  const auto outcome = run_to_good(engine, alg, 60 * k * k * k);
+  ASSERT_TRUE(outcome.reached);
+  EXPECT_LT(outcome.rounds, k * k * k);
+  const auto report = verify_post_stabilization(engine, alg, 60);
+  EXPECT_TRUE(report.safety_ok);
+  EXPECT_TRUE(report.liveness_ok);
+}
+
+TEST(AuStabilization, SingleNodeGraphTicksForever) {
+  const graph::Graph g(1, {});
+  const AlgAu alg(1);
+  auto scheduler = sched::make_scheduler("synchronous", g);
+  core::Engine engine(g, alg, *scheduler, {alg.turns().able_id(1)}, 1);
+  for (int i = 0; i < 4 * alg.turns().k(); ++i) engine.step();
+  // After 4k synchronous steps the lone node has lapped the 2k-cycle twice.
+  EXPECT_EQ(engine.state_of(0), alg.turns().able_id(1));
+}
+
+TEST(AuStabilization, TwoNodeTearHealsByGapClosing) {
+  // The clock-tear edge heals without any reset: both sides converge to ±1
+  // neighborhood via the faulty detours (the §2.1 design narrative).
+  const graph::Graph g = graph::path(2);
+  const AlgAu alg(1);
+  auto scheduler = sched::make_scheduler("synchronous", g);
+  core::Engine engine(g, alg, *scheduler, au_config_tear(alg, 2), 3);
+  const auto outcome = run_to_good(engine, alg, round_budget(alg.turns().k()));
+  ASSERT_TRUE(outcome.reached);
+  EXPECT_TRUE(graph_good(alg.turns(), g, engine.config()));
+}
+
+}  // namespace
+}  // namespace ssau::unison

@@ -1,0 +1,93 @@
+// Tests for the experiment harness: trial running and output-stabilization
+// measurement semantics.
+#include "analysis/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "sched/scheduler.hpp"
+#include "sync/simple_sync_algs.hpp"
+
+namespace ssau::analysis {
+namespace {
+
+TEST(RunTrials, DeterministicAndIndexed) {
+  const auto a = run_trials(5, 42, [](std::size_t i, util::Rng& rng) {
+    return static_cast<double>(i) + static_cast<double>(rng.below(10)) / 100.0;
+  });
+  const auto b = run_trials(5, 42, [](std::size_t i, util::Rng& rng) {
+    return static_cast<double>(i) + static_cast<double>(rng.below(10)) / 100.0;
+  });
+  ASSERT_EQ(a.size(), 5u);
+  EXPECT_EQ(a, b);
+  // Trial indices are passed through in order.
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_GE(a[i], static_cast<double>(i));
+    EXPECT_LT(a[i], static_cast<double>(i) + 1.0);
+  }
+}
+
+TEST(RunTrials, DifferentBaseSeedsDiffer) {
+  auto coin_sum = [](std::size_t, util::Rng& rng) {
+    double s = 0;
+    for (int i = 0; i < 32; ++i) s += rng.coin() ? 1 : 0;
+    return s;
+  };
+  const auto a = run_trials(8, 1, coin_sum);
+  const auto b = run_trials(8, 2, coin_sum);
+  EXPECT_NE(a, b);
+}
+
+TEST(MeasureOutputStabilization, ImmediatelyGoodRunStaysGood) {
+  const graph::Graph g = graph::path(3);
+  sync::OrFlood alg;
+  sched::SynchronousScheduler sched(3);
+  core::Engine engine(g, alg, sched, core::Configuration(3, 1), 1);
+  const auto r = measure_output_stabilization(
+      engine,
+      [](const core::Engine& e) {
+        for (core::NodeId v = 0; v < 3; ++v) {
+          if (e.state_of(v) != 1) return false;
+        }
+        return true;
+      },
+      20);
+  EXPECT_TRUE(r.good_at_end);
+  EXPECT_TRUE(r.ever_stable);
+  EXPECT_EQ(r.last_bad_round, 0u);
+}
+
+TEST(MeasureOutputStabilization, RecordsLastBadRound) {
+  const graph::Graph g = graph::path(4);
+  sync::OrFlood alg;
+  sched::SynchronousScheduler sched(4);
+  core::Engine engine(g, alg, sched, core::Configuration{1, 0, 0, 0}, 1);
+  const auto r = measure_output_stabilization(
+      engine,
+      [](const core::Engine& e) {
+        for (core::NodeId v = 0; v < 4; ++v) {
+          if (e.state_of(v) != 1) return false;
+        }
+        return true;
+      },
+      30);
+  EXPECT_TRUE(r.ever_stable);
+  // The flood covers the path after 3 synchronous rounds: bad through round 3.
+  EXPECT_EQ(r.last_bad_round, 2u);
+}
+
+TEST(MeasureOutputStabilization, NeverGoodIsNotStable) {
+  const graph::Graph g = graph::path(2);
+  sync::OrFlood alg;
+  sched::SynchronousScheduler sched(2);
+  core::Engine engine(g, alg, sched, core::Configuration(2, 0), 1);
+  const auto r = measure_output_stabilization(
+      engine,
+      [](const core::Engine& e) { return e.state_of(0) == 1; }, 15);
+  EXPECT_FALSE(r.good_at_end);
+  EXPECT_FALSE(r.ever_stable);
+  EXPECT_EQ(r.last_bad_round, 15u);
+}
+
+}  // namespace
+}  // namespace ssau::analysis

@@ -1,0 +1,191 @@
+// Tests for the Appendix-A failed reset-based AU: transition rules ST1–ST3,
+// the Figure 2 live-lock on the 8-cycle, and the contrast with AlgAU which
+// stabilizes on the very same instance and schedule.
+#include "unison/failed_au.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/engine.hpp"
+#include "graph/generators.hpp"
+#include "sched/scheduler.hpp"
+#include "unison/alg_au.hpp"
+#include "unison/au_monitor.hpp"
+
+namespace ssau::unison {
+namespace {
+
+core::Signal sig(std::initializer_list<core::StateId> states) {
+  return core::Signal::from_states(std::vector<core::StateId>(states));
+}
+
+class FailedAuRules : public ::testing::Test {
+ protected:
+  FailedAuRules() : alg_(2, {.c = 2}) {}  // turns 0..4, resets R0..R4
+  FailedAu alg_;
+  util::Rng rng_{1};
+};
+
+TEST_F(FailedAuRules, StateLayout) {
+  EXPECT_EQ(alg_.num_turns(), 5);
+  EXPECT_EQ(alg_.state_count(), 10u);
+  EXPECT_FALSE(alg_.is_reset(alg_.able_id(4)));
+  EXPECT_TRUE(alg_.is_reset(alg_.reset_id(0)));
+  EXPECT_EQ(alg_.value_of(alg_.reset_id(3)), 3);
+  EXPECT_EQ(alg_.state_name(alg_.reset_id(2)), "R2");
+  EXPECT_EQ(alg_.state_name(alg_.able_id(2)), "2");
+}
+
+TEST_F(FailedAuRules, St1TicksModulo) {
+  EXPECT_EQ(alg_.step(alg_.able_id(2), sig({alg_.able_id(2)}), rng_),
+            alg_.able_id(3));
+  EXPECT_EQ(alg_.step(alg_.able_id(4),
+                      sig({alg_.able_id(4), alg_.able_id(0)}), rng_),
+            alg_.able_id(0));
+}
+
+TEST_F(FailedAuRules, St1BlockedByLaggingNeighbor) {
+  EXPECT_EQ(alg_.step(alg_.able_id(2),
+                      sig({alg_.able_id(2), alg_.able_id(1)}), rng_),
+            alg_.able_id(2));
+}
+
+TEST_F(FailedAuRules, St2FiresOnClockDiscrepancy) {
+  EXPECT_EQ(alg_.step(alg_.able_id(2),
+                      sig({alg_.able_id(2), alg_.able_id(0)}), rng_),
+            alg_.reset_id(0));
+}
+
+TEST_F(FailedAuRules, St2FiresOnSensedReset) {
+  EXPECT_EQ(alg_.step(alg_.able_id(2),
+                      sig({alg_.able_id(2), alg_.reset_id(1)}), rng_),
+            alg_.reset_id(0));
+}
+
+TEST_F(FailedAuRules, TurnZeroToleratesLastReset) {
+  // ℓ = 0 additionally tolerates R_cD in its neighborhood (ST2 exemption).
+  EXPECT_EQ(alg_.step(alg_.able_id(0),
+                      sig({alg_.able_id(0), alg_.reset_id(4)}), rng_),
+            alg_.able_id(0));
+  // ...but not other resets.
+  EXPECT_EQ(alg_.step(alg_.able_id(0),
+                      sig({alg_.able_id(0), alg_.reset_id(2)}), rng_),
+            alg_.reset_id(0));
+}
+
+TEST_F(FailedAuRules, St3AdvancesResetChain) {
+  EXPECT_EQ(alg_.step(alg_.reset_id(1),
+                      sig({alg_.reset_id(1), alg_.reset_id(3)}), rng_),
+            alg_.reset_id(2));
+  // Blocked by a smaller reset index.
+  EXPECT_EQ(alg_.step(alg_.reset_id(2),
+                      sig({alg_.reset_id(2), alg_.reset_id(0)}), rng_),
+            alg_.reset_id(2));
+  // Blocked by an able neighbor.
+  EXPECT_EQ(alg_.step(alg_.reset_id(2),
+                      sig({alg_.reset_id(2), alg_.able_id(1)}), rng_),
+            alg_.reset_id(2));
+}
+
+TEST_F(FailedAuRules, St3ExitVariants) {
+  // As stated: Θ ⊆ {R_cD, 0} exits.
+  EXPECT_EQ(alg_.step(alg_.reset_id(4),
+                      sig({alg_.reset_id(4), alg_.able_id(0)}), rng_),
+            alg_.able_id(0));
+  // Strict variant: only Θ = {R_cD} exits (matches Figure 2(b) exactly).
+  FailedAu strict(2, {.c = 2, .strict_exit = true});
+  EXPECT_EQ(strict.step(strict.reset_id(4),
+                        sig({strict.reset_id(4), strict.able_id(0)}), rng_),
+            strict.reset_id(4));
+  EXPECT_EQ(strict.step(strict.reset_id(4), sig({strict.reset_id(4)}), rng_),
+            strict.able_id(0));
+}
+
+TEST_F(FailedAuRules, LegitimatePredicate) {
+  const graph::Graph g = graph::path(3);
+  EXPECT_TRUE(alg_.legitimate(
+      g, {alg_.able_id(1), alg_.able_id(2), alg_.able_id(2)}));
+  EXPECT_TRUE(alg_.legitimate(
+      g, {alg_.able_id(4), alg_.able_id(0), alg_.able_id(0)}));  // wrap
+  EXPECT_FALSE(alg_.legitimate(
+      g, {alg_.able_id(0), alg_.able_id(2), alg_.able_id(2)}));
+  EXPECT_FALSE(alg_.legitimate(
+      g, {alg_.able_id(1), alg_.reset_id(0), alg_.able_id(1)}));
+}
+
+TEST_F(FailedAuRules, Figure2aConfigShape) {
+  const auto c = figure2a_configuration(alg_);
+  ASSERT_EQ(c.size(), 8u);
+  EXPECT_EQ(c[0], alg_.able_id(0));
+  EXPECT_EQ(c[1], alg_.able_id(0));
+  EXPECT_EQ(c[2], alg_.reset_id(0));
+  EXPECT_EQ(c[7], alg_.reset_id(4));
+  FailedAu wrong(3, {.c = 2});
+  EXPECT_THROW(figure2a_configuration(wrong), std::invalid_argument);
+}
+
+TEST(FailedAuFigure2, StrictExitReproducesFigure2bAfterEightSteps) {
+  // One full sweep of the rotating schedule turns Fig 2(a) into Fig 2(b).
+  FailedAu alg(2, {.c = 2, .strict_exit = true});
+  const graph::Graph g = graph::cycle(8);
+  sched::RotatingSingleScheduler sched(8);
+  core::Engine engine(g, alg, sched, figure2a_configuration(alg), 1);
+  for (int t = 0; t < 8; ++t) engine.step();
+  const core::Configuration want{alg.able_id(0),  alg.reset_id(0),
+                                 alg.reset_id(1), alg.reset_id(2),
+                                 alg.reset_id(3), alg.reset_id(4),
+                                 alg.able_id(0),  alg.reset_id(4)};
+  EXPECT_EQ(engine.config(), want);
+}
+
+class Figure2Livelock : public ::testing::TestWithParam<bool> {};
+
+TEST_P(Figure2Livelock, FailedAuNeverStabilizesOnTheEightCycle) {
+  FailedAu alg(2, {.c = 2, .strict_exit = GetParam()});
+  const graph::Graph g = graph::cycle(8);
+  sched::RotatingSingleScheduler sched(8);
+  core::Engine engine(g, alg, sched, figure2a_configuration(alg), 1);
+  const auto detection = detect_livelock(
+      engine, 8, 100000,
+      [&](const core::Configuration& c) { return alg.legitimate(g, c); });
+  EXPECT_TRUE(detection.cycle_found) << "no recurrence within budget";
+  EXPECT_FALSE(detection.legitimate_seen)
+      << "unexpected stabilization of the failed algorithm";
+  EXPECT_GT(detection.cycle_length, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(ExitRules, Figure2Livelock, ::testing::Bool());
+
+TEST(Figure2Livelock, AlgAuStabilizesOnTheSameInstanceAndSchedule) {
+  // The contrast that motivates the paper's reset-free design.
+  const graph::Graph g = graph::cycle(8);
+  const AlgAu alg(4);  // diam(C8) = 4
+  sched::RotatingSingleScheduler sched(8);
+  // A comparable adversarial start: a torn clock plus faulty residue.
+  util::Rng rng(3);
+  core::Engine engine(g, alg, sched,
+                      au_adversarial_configuration("random", alg, g, rng), 1);
+  const auto k = static_cast<std::uint64_t>(alg.turns().k());
+  EXPECT_TRUE(run_to_good(engine, alg, 60 * k * k * k + 300).reached);
+}
+
+TEST(FailedAu, WorksFineFromCleanConfigurations) {
+  // The failed design is only broken under adversarial initialization: from
+  // the uniform all-zero configuration it ticks forever without resets.
+  FailedAu alg(2, {.c = 2});
+  const graph::Graph g = graph::cycle(8);
+  sched::SynchronousScheduler sched(8);
+  core::Engine engine(g, alg, sched,
+                      core::uniform_configuration(8, alg.able_id(0)), 1);
+  for (int t = 0; t < 50; ++t) {
+    engine.step();
+    EXPECT_TRUE(alg.legitimate(g, engine.config())) << "at step " << t;
+  }
+}
+
+TEST(FailedAu, RejectsBadParameters) {
+  EXPECT_THROW(FailedAu(0, {}), std::invalid_argument);
+  EXPECT_THROW(FailedAu(2, {.c = 0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ssau::unison

@@ -1,0 +1,105 @@
+// Tests for the transient-fault campaign harness.
+#include "core/faults.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "mis/alg_mis.hpp"
+#include "sched/scheduler.hpp"
+#include "unison/alg_au.hpp"
+#include "unison/au_invariants.hpp"
+
+namespace ssau::core {
+namespace {
+
+TEST(FaultCampaign, AuRecoversFromEveryBurst) {
+  const graph::Graph g = graph::grid(3, 3);
+  const unison::AlgAu alg(4);  // diam = 4
+  auto sched = sched::make_scheduler("uniform-single", g);
+  util::Rng rng(17);
+  Engine engine(g, alg, *sched,
+                unison::au_adversarial_configuration("random", alg, g, rng),
+                17);
+  FaultCampaignOptions opts;
+  opts.bursts = 6;
+  opts.nodes_per_burst = 3;
+  opts.settle_rounds = 5;
+  const auto result = run_fault_campaign(
+      engine,
+      [&](const Configuration& c) {
+        return unison::graph_good(alg.turns(), g, c);
+      },
+      opts, rng);
+  EXPECT_EQ(result.bursts_injected, 6u);
+  EXPECT_EQ(result.bursts_recovered, 6u);
+  EXPECT_EQ(result.recovery_rounds.size(), 6u);
+  EXPECT_GT(result.availability, 0.0);
+}
+
+TEST(FaultCampaign, MisRecoversFromScrambles) {
+  const graph::Graph g = graph::cycle(8);
+  const mis::AlgMis alg({.diameter_bound = 4});
+  sched::SynchronousScheduler sched(8);
+  Engine engine(g, alg, sched,
+                core::uniform_configuration(8, alg.initial_state()), 21);
+  util::Rng rng(21);
+  FaultCampaignOptions opts;
+  opts.bursts = 4;
+  opts.nodes_per_burst = 2;
+  opts.settle_rounds = 8;
+  const auto result = run_fault_campaign(
+      engine,
+      [&](const Configuration& c) { return mis::mis_legitimate(alg, g, c); },
+      opts, rng);
+  EXPECT_EQ(result.bursts_recovered, 4u);
+  // Recovered configurations persist through the settle windows: a correct
+  // MIS only churns identifiers, never membership.
+  EXPECT_DOUBLE_EQ(result.settle_availability, 1.0);
+  EXPECT_GT(result.availability, 0.0);
+}
+
+TEST(FaultCampaign, SummaryAggregatesRecoveryRounds) {
+  FaultCampaignResult r;
+  r.recovery_rounds = {2.0, 4.0, 6.0};
+  const auto s = r.recovery_summary();
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_DOUBLE_EQ(s.mean, 4.0);
+}
+
+TEST(FaultCampaign, UnrecoverableRunReportsZeroRecovered) {
+  // A predicate that can never hold: the campaign stops at the first budget
+  // exhaustion without crashing.
+  const graph::Graph g = graph::path(3);
+  const unison::AlgAu alg(2);
+  sched::SynchronousScheduler sched(3);
+  Engine engine(g, alg, sched, core::uniform_configuration(3, 0), 5);
+  util::Rng rng(5);
+  FaultCampaignOptions opts;
+  opts.bursts = 2;
+  opts.recovery_budget = 20;
+  const auto result = run_fault_campaign(
+      engine, [](const Configuration&) { return false; }, opts, rng);
+  EXPECT_EQ(result.bursts_recovered, 0u);
+  EXPECT_EQ(result.bursts_injected, 0u);  // never reached legitimacy at all
+}
+
+TEST(FaultCampaign, WholeNetworkScrambleStillRecovers) {
+  const graph::Graph g = graph::cycle(6);
+  const unison::AlgAu alg(3);
+  auto sched = sched::make_scheduler("random-subset", g);
+  util::Rng rng(33);
+  Engine engine(g, alg, *sched, unison::au_config_gradient(alg, g), 33);
+  FaultCampaignOptions opts;
+  opts.bursts = 3;
+  opts.nodes_per_burst = 6;  // every node scrambled
+  const auto result = run_fault_campaign(
+      engine,
+      [&](const Configuration& c) {
+        return unison::graph_good(alg.turns(), g, c);
+      },
+      opts, rng);
+  EXPECT_EQ(result.bursts_recovered, 3u);
+}
+
+}  // namespace
+}  // namespace ssau::core

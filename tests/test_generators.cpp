@@ -1,0 +1,156 @@
+// Tests for graph generators: sizes, degrees, connectivity, diameters.
+#include "graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/metrics.hpp"
+
+namespace ssau::graph {
+namespace {
+
+TEST(Generators, Path) {
+  const Graph g = path(5);
+  EXPECT_EQ(g.num_nodes(), 5u);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_TRUE(g.connected());
+  EXPECT_EQ(diameter(g), 4u);
+}
+
+TEST(Generators, SingletonPath) {
+  const Graph g = path(1);
+  EXPECT_EQ(g.num_nodes(), 1u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(diameter(g), 0u);
+}
+
+TEST(Generators, Cycle) {
+  const Graph g = cycle(8);
+  EXPECT_EQ(g.num_edges(), 8u);
+  for (NodeId v = 0; v < 8; ++v) EXPECT_EQ(g.degree(v), 2u);
+  EXPECT_EQ(diameter(g), 4u);
+  EXPECT_THROW(cycle(2), std::invalid_argument);
+}
+
+TEST(Generators, OddCycleDiameter) {
+  EXPECT_EQ(diameter(cycle(9)), 4u);
+}
+
+TEST(Generators, Complete) {
+  const Graph g = complete(6);
+  EXPECT_EQ(g.num_edges(), 15u);
+  EXPECT_EQ(diameter(g), 1u);
+}
+
+TEST(Generators, Star) {
+  const Graph g = star(7);
+  EXPECT_EQ(g.num_edges(), 6u);
+  EXPECT_EQ(g.degree(0), 6u);
+  EXPECT_EQ(diameter(g), 2u);
+}
+
+TEST(Generators, CompleteBinaryTree) {
+  const Graph g = complete_binary_tree(7);
+  EXPECT_EQ(g.num_edges(), 6u);
+  EXPECT_TRUE(g.connected());
+  EXPECT_EQ(diameter(g), 4u);  // leaf -> root -> leaf
+}
+
+TEST(Generators, Grid) {
+  const Graph g = grid(3, 4);
+  EXPECT_EQ(g.num_nodes(), 12u);
+  EXPECT_EQ(g.num_edges(), 3u * 3 + 2u * 4);  // 17
+  EXPECT_EQ(diameter(g), 5u);                 // (3-1)+(4-1)
+}
+
+TEST(Generators, Torus) {
+  const Graph g = torus(4, 4);
+  EXPECT_EQ(g.num_nodes(), 16u);
+  for (NodeId v = 0; v < 16; ++v) EXPECT_EQ(g.degree(v), 4u);
+  EXPECT_EQ(diameter(g), 4u);
+}
+
+TEST(Generators, Hypercube) {
+  const Graph g = hypercube(4);
+  EXPECT_EQ(g.num_nodes(), 16u);
+  for (NodeId v = 0; v < 16; ++v) EXPECT_EQ(g.degree(v), 4u);
+  EXPECT_EQ(diameter(g), 4u);
+}
+
+TEST(Generators, RingOfCliques) {
+  const Graph g = ring_of_cliques(4, 5);
+  EXPECT_EQ(g.num_nodes(), 20u);
+  EXPECT_TRUE(g.connected());
+  // Each clique contributes C(5,2)=10 edges plus 4 bridges.
+  EXPECT_EQ(g.num_edges(), 4u * 10 + 4);
+}
+
+TEST(Generators, Dumbbell) {
+  const Graph g = dumbbell(4, 3);
+  EXPECT_EQ(g.num_nodes(), 11u);
+  EXPECT_TRUE(g.connected());
+  // Crossing the bridge dominates the diameter: 1 + (3+1) + 1.
+  EXPECT_EQ(diameter(g), 6u);
+}
+
+TEST(Generators, RandomConnectedIsConnected) {
+  util::Rng rng(5);
+  for (int i = 0; i < 10; ++i) {
+    const Graph g = random_connected(30, 0.05, rng);
+    EXPECT_EQ(g.num_nodes(), 30u);
+    EXPECT_TRUE(g.connected());
+  }
+}
+
+TEST(Generators, RandomBoundedDiameterRespectsBound) {
+  util::Rng rng(6);
+  for (unsigned dmax : {2u, 3u, 4u}) {
+    const Graph g = random_bounded_diameter(24, dmax, rng);
+    EXPECT_LE(diameter(g), dmax);
+    EXPECT_TRUE(g.connected());
+  }
+}
+
+TEST(Generators, DamagedCliqueStaysConnected) {
+  util::Rng rng(7);
+  const Graph g = damaged_clique(20, 0.4, rng);
+  EXPECT_TRUE(g.connected());
+  EXPECT_LT(g.num_edges(), 190u);  // some edges dropped (whp)
+}
+
+TEST(Generators, Wheel) {
+  const Graph g = wheel(8);  // hub + 7-cycle
+  EXPECT_EQ(g.num_nodes(), 8u);
+  EXPECT_EQ(g.degree(0), 7u);
+  EXPECT_EQ(g.num_edges(), 14u);
+  EXPECT_EQ(diameter(g), 2u);
+}
+
+TEST(Generators, Lollipop) {
+  const Graph g = lollipop(5, 4);
+  EXPECT_EQ(g.num_nodes(), 9u);
+  EXPECT_TRUE(g.connected());
+  EXPECT_EQ(g.num_edges(), 10u + 4u);
+  EXPECT_EQ(diameter(g), 5u);  // across the clique then down the tail
+}
+
+TEST(Generators, Caterpillar) {
+  const Graph g = caterpillar(4, 2);
+  EXPECT_EQ(g.num_nodes(), 12u);
+  EXPECT_TRUE(g.connected());
+  EXPECT_EQ(g.num_edges(), 3u + 8u);
+  EXPECT_EQ(diameter(g), 5u);  // leg - spine(3 hops) - leg
+}
+
+TEST(Generators, InvalidParametersThrow) {
+  EXPECT_THROW(grid(0, 3), std::invalid_argument);
+  EXPECT_THROW(torus(2, 5), std::invalid_argument);
+  EXPECT_THROW(hypercube(0), std::invalid_argument);
+  EXPECT_THROW(ring_of_cliques(2, 3), std::invalid_argument);
+  EXPECT_THROW(star(1), std::invalid_argument);
+  EXPECT_THROW(wheel(3), std::invalid_argument);
+  EXPECT_THROW(lollipop(1, 2), std::invalid_argument);
+  EXPECT_THROW(caterpillar(0, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ssau::graph

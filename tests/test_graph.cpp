@@ -1,0 +1,66 @@
+// Unit tests for the Graph container.
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace ssau::graph {
+namespace {
+
+TEST(Graph, BasicAdjacency) {
+  Graph g(4, {{0, 1}, {1, 2}, {2, 3}});
+  EXPECT_EQ(g.num_nodes(), 4u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 2));
+  ASSERT_EQ(g.degree(1), 2u);
+  EXPECT_EQ(g.neighbors(1)[0], 0u);
+  EXPECT_EQ(g.neighbors(1)[1], 2u);
+}
+
+TEST(Graph, DeduplicatesParallelEdges) {
+  Graph g(3, {{0, 1}, {1, 0}, {0, 1}});
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.degree(0), 1u);
+}
+
+TEST(Graph, EdgesAreNormalizedLowHigh) {
+  Graph g(3, {{2, 0}});
+  ASSERT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.edges()[0].first, 0u);
+  EXPECT_EQ(g.edges()[0].second, 2u);
+}
+
+TEST(Graph, RejectsSelfLoops) {
+  EXPECT_THROW(Graph(3, {{1, 1}}), std::invalid_argument);
+}
+
+TEST(Graph, RejectsOutOfRangeEndpoints) {
+  EXPECT_THROW(Graph(3, {{0, 3}}), std::invalid_argument);
+  EXPECT_THROW(Graph(3, {{7, 1}}), std::invalid_argument);
+}
+
+TEST(Graph, NeighborListsSorted) {
+  Graph g(5, {{2, 4}, {2, 0}, {2, 3}, {2, 1}});
+  const auto nb = g.neighbors(2);
+  ASSERT_EQ(nb.size(), 4u);
+  for (std::size_t i = 1; i < nb.size(); ++i) EXPECT_LT(nb[i - 1], nb[i]);
+}
+
+TEST(Graph, ConnectedDetection) {
+  EXPECT_TRUE(Graph(1, {}).connected());
+  EXPECT_TRUE(Graph(3, {{0, 1}, {1, 2}}).connected());
+  EXPECT_FALSE(Graph(3, {{0, 1}}).connected());
+  EXPECT_FALSE(Graph(4, {{0, 1}, {2, 3}}).connected());
+}
+
+TEST(Graph, IsolatedNodeHasNoNeighbors) {
+  Graph g(3, {{0, 1}});
+  EXPECT_EQ(g.degree(2), 0u);
+  EXPECT_TRUE(g.neighbors(2).empty());
+}
+
+}  // namespace
+}  // namespace ssau::graph

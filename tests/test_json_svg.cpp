@@ -1,0 +1,94 @@
+// Tests for the JSON writer and the SVG timeline renderer.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "analysis/svg_timeline.hpp"
+#include "util/json.hpp"
+
+namespace ssau {
+namespace {
+
+TEST(Json, FlatObject) {
+  std::ostringstream os;
+  util::JsonWriter w(os);
+  w.begin_object()
+      .key("name")
+      .value("AlgAU")
+      .key("states")
+      .value(std::uint64_t{30})
+      .key("ok")
+      .value(true)
+      .end_object();
+  EXPECT_TRUE(w.complete());
+  EXPECT_EQ(os.str(), R"({"name":"AlgAU","states":30,"ok":true})");
+}
+
+TEST(Json, NestedArraysAndObjects) {
+  std::ostringstream os;
+  util::JsonWriter w(os);
+  w.begin_object().key("rows").begin_array();
+  for (int d = 1; d <= 2; ++d) {
+    w.begin_object().key("d").value(d).key("rounds").value(2.5 * d)
+        .end_object();
+  }
+  w.end_array().end_object();
+  EXPECT_TRUE(w.complete());
+  EXPECT_EQ(os.str(),
+            R"({"rows":[{"d":1,"rounds":2.5},{"d":2,"rounds":5}]})");
+}
+
+TEST(Json, StringEscaping) {
+  std::ostringstream os;
+  util::JsonWriter w(os);
+  w.begin_array().value("a\"b\\c\nd").end_array();
+  EXPECT_EQ(os.str(), "[\"a\\\"b\\\\c\\nd\"]");
+}
+
+TEST(Json, TopLevelArrayOfNumbers) {
+  std::ostringstream os;
+  util::JsonWriter w(os);
+  w.begin_array().value(1).value(2).value(3).end_array();
+  EXPECT_TRUE(w.complete());
+  EXPECT_EQ(os.str(), "[1,2,3]");
+}
+
+TEST(SvgTimeline, RejectsEmptyAndMismatched) {
+  EXPECT_THROW(analysis::Timeline(0), std::invalid_argument);
+  analysis::Timeline t(2);
+  EXPECT_THROW(t.sample({1.0}), std::invalid_argument);
+}
+
+TEST(SvgTimeline, RendersOnePolylinePerSeries) {
+  analysis::Timeline t(3);
+  for (int i = 0; i < 10; ++i) {
+    t.sample({static_cast<double>(i), static_cast<double>(2 * i),
+              static_cast<double>(i * i)});
+  }
+  EXPECT_EQ(t.series(), 3u);
+  EXPECT_EQ(t.samples(), 10u);
+  std::ostringstream os;
+  t.write_svg(os, "clocks");
+  const std::string svg = os.str();
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("clocks"), std::string::npos);
+  std::size_t polylines = 0;
+  for (std::size_t pos = 0;
+       (pos = svg.find("<polyline", pos)) != std::string::npos; ++pos) {
+    ++polylines;
+  }
+  EXPECT_EQ(polylines, 3u);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+}
+
+TEST(SvgTimeline, ConstantSeriesStillRenders) {
+  analysis::Timeline t(1);
+  t.sample({5.0});
+  t.sample({5.0});
+  std::ostringstream os;
+  t.write_svg(os, "flat");
+  EXPECT_NE(os.str().find("<polyline"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ssau

@@ -1,0 +1,178 @@
+// End-to-end tests for AlgLE (Thm 1.3) under the synchronous scheduler: from
+// scratch and from every adversarial configuration, the system converges to
+// exactly one leader and stays there.
+#include "le/alg_le.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <tuple>
+
+#include "analysis/experiment.hpp"
+#include "core/engine.hpp"
+#include "graph/generators.hpp"
+#include "graph/metrics.hpp"
+#include "sched/scheduler.hpp"
+
+namespace ssau::le {
+namespace {
+
+graph::Graph make_graph(const std::string& name) {
+  util::Rng rng(31337);
+  if (name == "clique6") return graph::complete(6);
+  if (name == "star9") return graph::star(9);
+  if (name == "cycle8") return graph::cycle(8);
+  if (name == "grid3x3") return graph::grid(3, 3);
+  if (name == "random12") return graph::random_connected(12, 0.35, rng);
+  throw std::invalid_argument("bad graph name");
+}
+
+/// Budget generous relative to O(D log n) rounds (epochs are D+1 rounds and
+/// restarts add O(D) each).
+std::uint64_t le_budget(int d, core::NodeId n) {
+  const double logn = std::log2(std::max<double>(n, 2));
+  return static_cast<std::uint64_t>(600.0 * (d + 1) * (logn + 1)) + 600;
+}
+
+class LeConvergence
+    : public ::testing::TestWithParam<std::tuple<std::string, std::string>> {};
+
+TEST_P(LeConvergence, ExactlyOneLeaderFromAnywhere) {
+  const auto& [graph_name, adversary] = GetParam();
+  const graph::Graph g = make_graph(graph_name);
+  const int diam = std::max<int>(1, static_cast<int>(graph::diameter(g)));
+  const AlgLe alg({.diameter_bound = diam});
+
+  int successes = 0;
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    util::Rng rng(seed * 104729);
+    sched::SynchronousScheduler sched(g.num_nodes());
+    core::Engine engine(g, alg, sched,
+                        le_adversarial_configuration(adversary, alg, g, rng),
+                        seed);
+    const auto outcome = engine.run_until(
+        [&](const core::Configuration& c) { return le_legitimate(alg, g, c); },
+        le_budget(diam, g.num_nodes()));
+    ASSERT_TRUE(outcome.reached)
+        << graph_name << "/" << adversary << " seed " << seed;
+
+    // Legitimacy is absorbing along real executions: outputs stay fixed with
+    // exactly one leader for a long observation window.
+    bool stable = true;
+    for (std::uint64_t r = 0; r < 12ULL * (diam + 1); ++r) {
+      engine.step();
+      if (le_leader_count(alg, engine.config()) != 1) stable = false;
+    }
+    EXPECT_TRUE(stable) << graph_name << "/" << adversary;
+    if (stable) ++successes;
+  }
+  EXPECT_GE(successes, 3);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, LeConvergence,
+    ::testing::Combine(::testing::Values("clique6", "star9", "cycle8",
+                                         "grid3x3", "random12"),
+                       ::testing::Values("random", "zero-leaders",
+                                         "two-leaders", "all-leaders",
+                                         "mid-restart", "skewed-rounds")));
+
+TEST(Le, FromScratchOnCompleteGraph) {
+  const graph::Graph g = graph::complete(8);
+  const AlgLe alg({.diameter_bound = 1});
+  sched::SynchronousScheduler sched(8);
+  core::Engine engine(
+      g, alg, sched, core::uniform_configuration(8, alg.initial_state()), 3);
+  const auto outcome = engine.run_until(
+      [&](const core::Configuration& c) { return le_legitimate(alg, g, c); },
+      le_budget(1, 8));
+  ASSERT_TRUE(outcome.reached);
+  EXPECT_EQ(le_leader_count(alg, engine.config()), 1u);
+}
+
+TEST(Le, SingleNodeElectsItself) {
+  const graph::Graph g(1, {});
+  const AlgLe alg({.diameter_bound = 1});
+  sched::SynchronousScheduler sched(1);
+  core::Engine engine(g, alg, sched, {alg.initial_state()}, 7);
+  const auto outcome = engine.run_until(
+      [&](const core::Configuration& c) { return le_legitimate(alg, g, c); },
+      le_budget(1, 1));
+  EXPECT_TRUE(outcome.reached);
+}
+
+TEST(Le, ConsistentEpochRoundsDuringCleanExecution) {
+  // From the uniform initial configuration, all nodes always agree on the
+  // epoch round number and never invoke Restart (detection soundness).
+  const graph::Graph g = graph::cycle(6);
+  const AlgLe alg({.diameter_bound = 3});
+  sched::SynchronousScheduler sched(6);
+  core::Engine engine(
+      g, alg, sched, core::uniform_configuration(6, alg.initial_state()), 11);
+  for (int t = 0; t < 400; ++t) {
+    engine.step();
+    int round = -2;
+    for (core::NodeId v = 0; v < 6; ++v) {
+      const LeState s = alg.decode(engine.state_of(v));
+      ASSERT_NE(s.mode, LeState::Mode::kRestart)
+          << "clean run invoked Restart at step " << t;
+      if (round == -2) round = s.r;
+      EXPECT_EQ(s.r, round) << "epoch round disagreement at step " << t;
+    }
+  }
+}
+
+TEST(Le, ElectKeepsAtLeastOneCandidate) {
+  // §3.2.1: at least one node survives as candidate at every epoch end.
+  const graph::Graph g = graph::complete(5);
+  const AlgLe alg({.diameter_bound = 1});
+  sched::SynchronousScheduler sched(5);
+  core::Engine engine(
+      g, alg, sched, core::uniform_configuration(5, alg.initial_state()), 13);
+  for (int t = 0; t < 600; ++t) {
+    engine.step();
+    std::size_t candidates = 0;
+    bool all_compute = true;
+    for (core::NodeId v = 0; v < 5; ++v) {
+      const LeState s = alg.decode(engine.state_of(v));
+      if (s.mode != LeState::Mode::kCompute) all_compute = false;
+      if (s.mode == LeState::Mode::kCompute && s.candidate) ++candidates;
+    }
+    if (all_compute) {
+      EXPECT_GE(candidates, 1u) << "all candidates eliminated at step " << t;
+    }
+  }
+}
+
+TEST(Le, StabilizationRoundsScaleGentlyWithN) {
+  // Thm 1.3 shape probe: rounds-to-legitimacy on cliques grows far slower
+  // than linearly in n (it is O(D log n) with D = 1).
+  std::vector<double> ns, rounds;
+  for (const core::NodeId n : {4u, 8u, 16u, 32u}) {
+    const graph::Graph g = graph::complete(n);
+    const AlgLe alg({.diameter_bound = 1});
+    const auto samples = analysis::run_trials(
+        6, 1000 + n, [&](std::size_t, util::Rng& rng) {
+          sched::SynchronousScheduler sched(n);
+          core::Engine engine(g, alg, sched,
+                              core::random_configuration(alg, n, rng),
+                              rng());
+          const auto outcome = engine.run_until(
+              [&](const core::Configuration& c) {
+                return le_legitimate(alg, g, c);
+              },
+              le_budget(1, n));
+          EXPECT_TRUE(outcome.reached);
+          return static_cast<double>(outcome.rounds);
+        });
+    ns.push_back(n);
+    rounds.push_back(util::summarize(samples).mean);
+  }
+  // Mean rounds from n=4 to n=32 should grow by far less than 8x.
+  EXPECT_LT(rounds.back(), rounds.front() * 6.0)
+      << "LE stabilization grows too fast with n";
+}
+
+}  // namespace
+}  // namespace ssau::le

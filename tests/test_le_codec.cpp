@@ -1,0 +1,98 @@
+// Round-trip and size tests for the AlgLE state codec: the encoding is a
+// bijection onto [0, |Q|) and |Q| = O(D) — the "thin" requirement carried
+// over to the LE automaton.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "le/alg_le.hpp"
+
+namespace ssau::le {
+namespace {
+
+class LeCodec : public ::testing::TestWithParam<int> {};
+
+TEST_P(LeCodec, DecodeEncodeIsIdentityOnAllIds) {
+  const AlgLe alg({.diameter_bound = GetParam(), .id_alphabet = 4});
+  for (core::StateId q = 0; q < alg.state_count(); ++q) {
+    const LeState s = alg.decode(q);
+    EXPECT_EQ(alg.encode(s), q);
+  }
+}
+
+TEST_P(LeCodec, StateCountIsLinearInD) {
+  const int d = GetParam();
+  const AlgLe alg({.diameter_bound = d, .id_alphabet = 4});
+  const auto e = static_cast<core::StateId>(d + 1);
+  // Compute block 32E + verify block 2E(k+1) + restart chain 2D+1.
+  EXPECT_EQ(alg.state_count(), 32 * e + 2 * e * 5 + 2 * d + 1);
+}
+
+TEST_P(LeCodec, ModesPartitionTheStateSpace) {
+  const AlgLe alg({.diameter_bound = GetParam(), .id_alphabet = 4});
+  std::size_t compute = 0, verify = 0, restart = 0;
+  for (core::StateId q = 0; q < alg.state_count(); ++q) {
+    switch (alg.decode(q).mode) {
+      case LeState::Mode::kCompute: ++compute; break;
+      case LeState::Mode::kVerify: ++verify; break;
+      case LeState::Mode::kRestart: ++restart; break;
+    }
+  }
+  const int d = GetParam();
+  EXPECT_EQ(compute, static_cast<std::size_t>(32 * (d + 1)));
+  EXPECT_EQ(verify, static_cast<std::size_t>(2 * (d + 1) * 5));
+  EXPECT_EQ(restart, static_cast<std::size_t>(2 * d + 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(Diameters, LeCodec, ::testing::Values(1, 2, 3, 6));
+
+TEST(LeCodec, InitialStateShape) {
+  const AlgLe alg({.diameter_bound = 3});
+  const LeState s = alg.decode(alg.initial_state());
+  EXPECT_EQ(s.mode, LeState::Mode::kCompute);
+  EXPECT_EQ(s.r, 0);
+  EXPECT_TRUE(s.flag);
+  EXPECT_TRUE(s.candidate);
+  EXPECT_FALSE(s.flag_acc);
+  EXPECT_FALSE(s.coin_acc);
+}
+
+TEST(LeCodec, OutputStatesAreVerifyStage) {
+  const AlgLe alg({.diameter_bound = 2});
+  LeState v;
+  v.mode = LeState::Mode::kVerify;
+  v.leader = true;
+  EXPECT_TRUE(alg.is_output(alg.encode(v)));
+  EXPECT_EQ(alg.output(alg.encode(v)), 1);
+  v.leader = false;
+  EXPECT_EQ(alg.output(alg.encode(v)), 0);
+  EXPECT_FALSE(alg.is_output(alg.initial_state()));
+  LeState r;
+  r.mode = LeState::Mode::kRestart;
+  r.sigma = 1;
+  EXPECT_FALSE(alg.is_output(alg.encode(r)));
+}
+
+TEST(LeCodec, ParameterValidation) {
+  EXPECT_THROW(AlgLe({.diameter_bound = 0}), std::invalid_argument);
+  EXPECT_THROW(AlgLe({.diameter_bound = 2, .id_alphabet = 1}),
+               std::invalid_argument);
+  EXPECT_THROW(AlgLe({.diameter_bound = 2, .id_alphabet = 4, .p0 = 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(AlgLe({.diameter_bound = 2, .id_alphabet = 4, .p0 = 1.0}),
+               std::invalid_argument);
+}
+
+TEST(LeCodec, StateNamesAreHumanReadable) {
+  const AlgLe alg({.diameter_bound = 2});
+  EXPECT_NE(alg.state_name(alg.initial_state()).find("C(r=0"),
+            std::string::npos);
+  LeState v;
+  v.mode = LeState::Mode::kVerify;
+  v.leader = true;
+  v.slot = 2;
+  EXPECT_NE(alg.state_name(alg.encode(v)).find("L"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ssau::le

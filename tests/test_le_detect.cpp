@@ -1,0 +1,155 @@
+// Tests for DetectLE and the Restart integration in AlgLE (§3.2.2): zero
+// leaders detected deterministically, multiple leaders detected whp, and a
+// legitimate single-leader configuration never restarts.
+#include <gtest/gtest.h>
+
+#include "core/engine.hpp"
+#include "graph/generators.hpp"
+#include "graph/metrics.hpp"
+#include "le/alg_le.hpp"
+#include "sched/scheduler.hpp"
+
+namespace ssau::le {
+namespace {
+
+bool any_restart(const AlgLe& alg, const core::Configuration& c) {
+  for (const core::StateId q : c) {
+    if (alg.decode(q).mode == LeState::Mode::kRestart) return true;
+  }
+  return false;
+}
+
+core::Configuration verify_config(const AlgLe& alg, core::NodeId n,
+                                  std::vector<core::NodeId> leaders) {
+  LeState s;
+  s.mode = LeState::Mode::kVerify;
+  s.r = 0;
+  s.leader = false;
+  s.slot = 0;
+  core::Configuration c(n, alg.encode(s));
+  s.leader = true;
+  for (const auto v : leaders) c[v] = alg.encode(s);
+  return c;
+}
+
+TEST(DetectLe, ZeroLeadersDetectedWithinOneEpoch) {
+  const graph::Graph g = graph::cycle(8);
+  const int diam = static_cast<int>(graph::diameter(g));
+  const AlgLe alg({.diameter_bound = diam});
+  sched::SynchronousScheduler sched(8);
+  core::Engine engine(g, alg, sched, verify_config(alg, 8, {}), 3);
+  // The leaderless epoch must end in a restart: deterministic detection.
+  bool restarted = false;
+  for (int t = 0; t <= alg.epoch_length() + 1 && !restarted; ++t) {
+    engine.step();
+    restarted = any_restart(alg, engine.config());
+  }
+  EXPECT_TRUE(restarted);
+}
+
+TEST(DetectLe, TwoLeadersDetectedQuicklyWhp) {
+  const graph::Graph g = graph::grid(3, 3);
+  const int diam = static_cast<int>(graph::diameter(g));
+  const AlgLe alg({.diameter_bound = diam});
+  int detected = 0;
+  const int trials = 20;
+  for (int trial = 0; trial < trials; ++trial) {
+    sched::SynchronousScheduler sched(9);
+    core::Engine engine(g, alg, sched, verify_config(alg, 9, {0, 8}),
+                        1000 + trial);
+    bool restarted = false;
+    // Detection probability >= 1 - 1/k per epoch: give it eight epochs.
+    for (int t = 0; t < 8 * (alg.epoch_length() + 1) && !restarted; ++t) {
+      engine.step();
+      restarted = any_restart(alg, engine.config());
+    }
+    if (restarted) ++detected;
+  }
+  EXPECT_EQ(detected, trials)
+      << "two adjacent-ish leaders escaped detection for 8 epochs";
+}
+
+TEST(DetectLe, AdjacentTwoLeadersDetected) {
+  const graph::Graph g = graph::complete(4);
+  const AlgLe alg({.diameter_bound = 1});
+  sched::SynchronousScheduler sched(4);
+  core::Engine engine(g, alg, sched, verify_config(alg, 4, {0, 1}), 77);
+  bool restarted = false;
+  for (int t = 0; t < 10 * (alg.epoch_length() + 1) && !restarted; ++t) {
+    engine.step();
+    restarted = any_restart(alg, engine.config());
+  }
+  EXPECT_TRUE(restarted);
+}
+
+TEST(DetectLe, SingleLeaderNeverRestarts) {
+  // Soundness: a clean one-leader verification configuration runs forever
+  // without invoking Restart (deterministic claim over many epochs).
+  const graph::Graph g = graph::grid(3, 3);
+  const int diam = static_cast<int>(graph::diameter(g));
+  const AlgLe alg({.diameter_bound = diam});
+  sched::SynchronousScheduler sched(9);
+  core::Engine engine(g, alg, sched, verify_config(alg, 9, {4}), 5);
+  for (int t = 0; t < 30 * (alg.epoch_length() + 1); ++t) {
+    engine.step();
+    ASSERT_FALSE(any_restart(alg, engine.config())) << "at step " << t;
+    EXPECT_EQ(le_leader_count(alg, engine.config()), 1u);
+  }
+}
+
+TEST(DetectLe, RoundMismatchTriggersRestartDeterministically) {
+  const graph::Graph g = graph::path(4);
+  const AlgLe alg({.diameter_bound = 3});
+  sched::SynchronousScheduler sched(4);
+  // Three nodes at epoch round 0, one at round 2: neighbors must notice.
+  LeState s;
+  s.mode = LeState::Mode::kCompute;
+  s.r = 0;
+  s.flag = true;
+  s.candidate = true;
+  core::Configuration c(4, alg.encode(s));
+  s.r = 2;
+  c[2] = alg.encode(s);
+  core::Engine engine(g, alg, sched, c, 9);
+  engine.step();
+  EXPECT_TRUE(any_restart(alg, engine.config()));
+}
+
+TEST(DetectLe, StageMismatchTriggersRestart) {
+  const graph::Graph g = graph::path(2);
+  const AlgLe alg({.diameter_bound = 2});
+  sched::SynchronousScheduler sched(2);
+  LeState compute;
+  compute.mode = LeState::Mode::kCompute;
+  LeState verify;
+  verify.mode = LeState::Mode::kVerify;
+  core::Engine engine(g, alg, sched,
+                      {alg.encode(compute), alg.encode(verify)}, 13);
+  engine.step();
+  EXPECT_TRUE(any_restart(alg, engine.config()));
+}
+
+TEST(DetectLe, RestartBringsEveryoneToInitialStateConcurrently) {
+  const graph::Graph g = graph::cycle(6);
+  const int diam = static_cast<int>(graph::diameter(g));
+  const AlgLe alg({.diameter_bound = diam});
+  sched::SynchronousScheduler sched(6);
+  // Mid-restart chaos.
+  util::Rng rng(21);
+  core::Engine engine(
+      g, alg, sched,
+      le_adversarial_configuration("mid-restart", alg, g, rng), 21);
+  // Find the concurrent exit: all nodes simultaneously at q0*.
+  bool reset_together = false;
+  for (int t = 0; t < 10 * diam + 50 && !reset_together; ++t) {
+    engine.step();
+    reset_together = true;
+    for (core::NodeId v = 0; v < 6; ++v) {
+      if (engine.state_of(v) != alg.initial_state()) reset_together = false;
+    }
+  }
+  EXPECT_TRUE(reset_together);
+}
+
+}  // namespace
+}  // namespace ssau::le

@@ -1,0 +1,56 @@
+// Tests for BFS metrics.
+#include "graph/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "graph/generators.hpp"
+
+namespace ssau::graph {
+namespace {
+
+TEST(Metrics, BfsDistancesOnPath) {
+  const Graph g = path(5);
+  const auto d = bfs_distances(g, 0);
+  for (NodeId v = 0; v < 5; ++v) EXPECT_EQ(d[v], v);
+}
+
+TEST(Metrics, BfsDistancesFromMiddle) {
+  const Graph g = path(5);
+  const auto d = bfs_distances(g, 2);
+  EXPECT_EQ(d[0], 2u);
+  EXPECT_EQ(d[2], 0u);
+  EXPECT_EQ(d[4], 2u);
+}
+
+TEST(Metrics, BfsUnreachableIsInfinity) {
+  const Graph g(3, {{0, 1}});
+  const auto d = bfs_distances(g, 0);
+  EXPECT_EQ(d[2], std::numeric_limits<std::uint32_t>::max());
+}
+
+TEST(Metrics, EccentricityOfPathEnd) {
+  EXPECT_EQ(eccentricity(path(6), 0), 5u);
+  EXPECT_EQ(eccentricity(path(6), 3), 3u);
+}
+
+TEST(Metrics, EccentricityThrowsOnDisconnected) {
+  const Graph g(3, {{0, 1}});
+  EXPECT_THROW((void)eccentricity(g, 0), std::runtime_error);
+}
+
+TEST(Metrics, DiameterMatchesKnownFamilies) {
+  EXPECT_EQ(diameter(complete(10)), 1u);
+  EXPECT_EQ(diameter(star(10)), 2u);
+  EXPECT_EQ(diameter(cycle(10)), 5u);
+  EXPECT_EQ(diameter(path(10)), 9u);
+  EXPECT_EQ(diameter(grid(4, 4)), 6u);
+}
+
+TEST(Metrics, SingletonDiameterIsZero) {
+  EXPECT_EQ(diameter(path(1)), 0u);
+}
+
+}  // namespace
+}  // namespace ssau::graph

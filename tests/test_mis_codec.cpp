@@ -1,0 +1,85 @@
+// Round-trip and size tests for the AlgMIS state codec.
+#include <gtest/gtest.h>
+
+#include "mis/alg_mis.hpp"
+
+namespace ssau::mis {
+namespace {
+
+class MisCodec : public ::testing::TestWithParam<int> {};
+
+TEST_P(MisCodec, DecodeEncodeIsIdentityOnAllIds) {
+  const AlgMis alg({.diameter_bound = GetParam(), .id_alphabet = 5});
+  for (core::StateId q = 0; q < alg.state_count(); ++q) {
+    EXPECT_EQ(alg.encode(alg.decode(q)), q);
+  }
+}
+
+TEST_P(MisCodec, StateCountIsLinearInD) {
+  const int d = GetParam();
+  const AlgMis alg({.diameter_bound = d, .id_alphabet = 5});
+  // Undecided 16(D+3) + IN k + OUT 1 + restart 2D+1.
+  EXPECT_EQ(alg.state_count(),
+            static_cast<core::StateId>(16 * (d + 3) + 5 + 1 + 2 * d + 1));
+}
+
+TEST_P(MisCodec, ModesPartition) {
+  const int d = GetParam();
+  const AlgMis alg({.diameter_bound = d, .id_alphabet = 5});
+  std::size_t undecided = 0, in = 0, out = 0, restart = 0;
+  for (core::StateId q = 0; q < alg.state_count(); ++q) {
+    switch (alg.decode(q).mode) {
+      case MisState::Mode::kUndecided: ++undecided; break;
+      case MisState::Mode::kIn: ++in; break;
+      case MisState::Mode::kOut: ++out; break;
+      case MisState::Mode::kRestart: ++restart; break;
+    }
+  }
+  EXPECT_EQ(undecided, static_cast<std::size_t>(16 * (d + 3)));
+  EXPECT_EQ(in, 5u);
+  EXPECT_EQ(out, 1u);
+  EXPECT_EQ(restart, static_cast<std::size_t>(2 * d + 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(Diameters, MisCodec, ::testing::Values(1, 2, 4, 7));
+
+TEST(MisCodec, InitialStateShape) {
+  const AlgMis alg({.diameter_bound = 2});
+  const MisState s = alg.decode(alg.initial_state());
+  EXPECT_EQ(s.mode, MisState::Mode::kUndecided);
+  EXPECT_EQ(s.step, 0);
+  EXPECT_TRUE(s.flag);
+  EXPECT_TRUE(s.candidate);
+  EXPECT_FALSE(s.trial_collect);
+}
+
+TEST(MisCodec, OutputsAreInAndOut) {
+  const AlgMis alg({.diameter_bound = 2});
+  const auto in = alg.encode({.mode = MisState::Mode::kIn, .id = 3});
+  const auto out = alg.encode({.mode = MisState::Mode::kOut});
+  EXPECT_TRUE(alg.is_output(in));
+  EXPECT_TRUE(alg.is_output(out));
+  EXPECT_EQ(alg.output(in), 1);
+  EXPECT_EQ(alg.output(out), 0);
+  EXPECT_FALSE(alg.is_output(alg.initial_state()));
+}
+
+TEST(MisCodec, ParameterValidation) {
+  EXPECT_THROW(AlgMis({.diameter_bound = 0}), std::invalid_argument);
+  EXPECT_THROW(AlgMis({.diameter_bound = 2, .id_alphabet = 1}),
+               std::invalid_argument);
+  EXPECT_THROW(AlgMis({.diameter_bound = 2, .id_alphabet = 4, .p0 = 1.5}),
+               std::invalid_argument);
+}
+
+TEST(MisCodec, StateNames) {
+  const AlgMis alg({.diameter_bound = 2});
+  EXPECT_NE(alg.state_name(alg.initial_state()).find("U(step=0"),
+            std::string::npos);
+  EXPECT_EQ(alg.state_name(alg.encode({.mode = MisState::Mode::kOut})), "OUT");
+  EXPECT_EQ(alg.state_name(alg.encode({.mode = MisState::Mode::kIn, .id = 2})),
+            "IN(id=2)");
+}
+
+}  // namespace
+}  // namespace ssau::mis

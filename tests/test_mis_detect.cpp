@@ -1,0 +1,145 @@
+// Tests for DetectMIS (§3.1.3): orphaned OUT nodes detected
+// deterministically, adjacent IN pairs detected whp, soundness on correct
+// configurations, and the RandPhase validity check.
+#include <gtest/gtest.h>
+
+#include "core/engine.hpp"
+#include "graph/generators.hpp"
+#include "graph/metrics.hpp"
+#include "mis/alg_mis.hpp"
+#include "sched/scheduler.hpp"
+
+namespace ssau::mis {
+namespace {
+
+bool any_restart(const AlgMis& alg, const core::Configuration& c) {
+  for (const core::StateId q : c) {
+    if (alg.decode(q).mode == MisState::Mode::kRestart) return true;
+  }
+  return false;
+}
+
+TEST(DetectMis, OrphanOutDetectedImmediately) {
+  // A path of three OUT nodes: no IN anywhere — every node restarts on its
+  // first activation (deterministic detection).
+  const graph::Graph g = graph::path(3);
+  const AlgMis alg({.diameter_bound = 2});
+  sched::SynchronousScheduler sched(3);
+  const auto out = alg.encode({.mode = MisState::Mode::kOut});
+  core::Engine engine(g, alg, sched, core::uniform_configuration(3, out), 1);
+  engine.step();
+  for (core::NodeId v = 0; v < 3; ++v) {
+    EXPECT_EQ(alg.decode(engine.state_of(v)).mode, MisState::Mode::kRestart);
+  }
+}
+
+TEST(DetectMis, AdjacentInPairDetectedWhp) {
+  const graph::Graph g = graph::path(2);
+  const AlgMis alg({.diameter_bound = 1, .id_alphabet = 4});
+  int detected = 0;
+  const int trials = 30;
+  for (int trial = 0; trial < trials; ++trial) {
+    sched::SynchronousScheduler sched(2);
+    core::Engine engine(
+        g, alg, sched,
+        {alg.encode({.mode = MisState::Mode::kIn, .id = 1}),
+         alg.encode({.mode = MisState::Mode::kIn, .id = 1})},
+        9000 + trial);
+    bool restarted = false;
+    // Per-round detection probability >= 1 - 1/k = 3/4.
+    for (int t = 0; t < 40 && !restarted; ++t) {
+      engine.step();
+      restarted = any_restart(alg, engine.config());
+    }
+    if (restarted) ++detected;
+  }
+  EXPECT_EQ(detected, trials);
+}
+
+TEST(DetectMis, CorrectMisNeverRestarts) {
+  // Soundness: a legitimate decided configuration runs forever restart-free.
+  const graph::Graph g = graph::star(6);  // hub 0 + 5 leaves
+  const AlgMis alg({.diameter_bound = 2});
+  sched::SynchronousScheduler sched(6);
+  core::Configuration c(6, alg.encode({.mode = MisState::Mode::kOut}));
+  c[0] = alg.encode({.mode = MisState::Mode::kIn, .id = 1});
+  core::Engine engine(g, alg, sched, c, 33);
+  for (int t = 0; t < 500; ++t) {
+    engine.step();
+    ASSERT_FALSE(any_restart(alg, engine.config())) << "at step " << t;
+    EXPECT_TRUE(mis_legitimate(alg, g, engine.config()));
+  }
+}
+
+TEST(DetectMis, LeafMisOnStarIsAlsoStable) {
+  // The complementary MIS on a star: all leaves IN, hub OUT.
+  const graph::Graph g = graph::star(6);
+  const AlgMis alg({.diameter_bound = 2});
+  sched::SynchronousScheduler sched(6);
+  core::Configuration c(6);
+  c[0] = alg.encode({.mode = MisState::Mode::kOut});
+  for (core::NodeId v = 1; v < 6; ++v) {
+    c[v] = alg.encode(
+        {.mode = MisState::Mode::kIn, .id = static_cast<int>(v % 4) + 1});
+  }
+  core::Engine engine(g, alg, sched, c, 44);
+  for (int t = 0; t < 300; ++t) {
+    engine.step();
+    ASSERT_FALSE(any_restart(alg, engine.config())) << "at step " << t;
+  }
+}
+
+TEST(DetectMis, StepDiscrepancyTriggersRestart) {
+  // RandPhase's validity check: |step difference| > 1 across an edge.
+  const graph::Graph g = graph::path(2);
+  const AlgMis alg({.diameter_bound = 3});
+  sched::SynchronousScheduler sched(2);
+  MisState a;
+  a.mode = MisState::Mode::kUndecided;
+  a.step = 0;
+  a.flag = false;
+  MisState b = a;
+  b.step = 4;
+  core::Engine engine(g, alg, sched, {alg.encode(a), alg.encode(b)}, 3);
+  engine.step();
+  EXPECT_TRUE(any_restart(alg, engine.config()));
+}
+
+TEST(DetectMis, UndecidedNextToInJoinsOut) {
+  const graph::Graph g = graph::path(2);
+  const AlgMis alg({.diameter_bound = 1});
+  sched::SynchronousScheduler sched(2);
+  core::Engine engine(
+      g, alg, sched,
+      {alg.initial_state(),
+       alg.encode({.mode = MisState::Mode::kIn, .id = 2})},
+      5);
+  engine.step();
+  EXPECT_EQ(alg.decode(engine.state_of(0)).mode, MisState::Mode::kOut);
+  EXPECT_EQ(alg.decode(engine.state_of(1)).mode, MisState::Mode::kIn);
+}
+
+TEST(DetectMis, RecoveryAfterMidRunFaultInjection) {
+  // Stabilize, then scramble a third of the nodes (transient fault burst) and
+  // verify the system re-stabilizes to a correct MIS.
+  const graph::Graph g = graph::grid(3, 4);
+  const int diam = static_cast<int>(graph::diameter(g));
+  const AlgMis alg({.diameter_bound = diam});
+  sched::SynchronousScheduler sched(12);
+  util::Rng rng(55);
+  core::Engine engine(
+      g, alg, sched, core::uniform_configuration(12, alg.initial_state()), 55);
+  auto legit = [&](const core::Configuration& c) {
+    return mis_legitimate(alg, g, c);
+  };
+  ASSERT_TRUE(engine.run_until(legit, 20000).reached);
+
+  for (core::NodeId v = 0; v < 12; v += 3) {
+    engine.inject_state(v, rng.below(alg.state_count()));
+  }
+  EXPECT_TRUE(engine.run_until(legit, 20000).reached)
+      << "no recovery after transient fault burst";
+}
+
+}  // namespace
+}  // namespace ssau::mis

@@ -1,0 +1,115 @@
+// Parameterized sweeps over the algorithm knobs the paper leaves to the
+// designer: the identifier alphabet k_id (detection probability 1 - 1/k) and
+// the coin bias p0 (random prefix/stage length), plus diameter-bound slack.
+// Correctness must hold across the whole grid; only performance may shift.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/engine.hpp"
+#include "graph/generators.hpp"
+#include "graph/metrics.hpp"
+#include "le/alg_le.hpp"
+#include "mis/alg_mis.hpp"
+#include "sched/scheduler.hpp"
+#include "unison/alg_au.hpp"
+#include "unison/au_monitor.hpp"
+
+namespace ssau {
+namespace {
+
+class LeParams : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(LeParams, ElectsOneLeaderAcrossTheGrid) {
+  const auto& [k_id, p0] = GetParam();
+  const graph::Graph g = graph::complete(6);
+  const le::AlgLe alg({.diameter_bound = 1, .id_alphabet = k_id, .p0 = p0});
+  int ok = 0;
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    util::Rng rng(seed * 997);
+    sched::SynchronousScheduler sched(6);
+    core::Engine engine(g, alg, sched,
+                        core::random_configuration(alg, 6, rng), seed);
+    const auto outcome = engine.run_until(
+        [&](const core::Configuration& c) {
+          return le::le_legitimate(alg, g, c);
+        },
+        300000);
+    if (outcome.reached) ++ok;
+  }
+  EXPECT_GE(ok, 2) << "k_id=" << k_id << " p0=" << p0;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, LeParams,
+    ::testing::Combine(::testing::Values(2, 4, 16),
+                       ::testing::Values(0.2, 0.5, 0.8)));
+
+class MisParams : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(MisParams, ComputesCorrectMisAcrossTheGrid) {
+  const auto& [k_id, p0] = GetParam();
+  const graph::Graph g = graph::cycle(6);
+  const mis::AlgMis alg(
+      {.diameter_bound = 3, .id_alphabet = k_id, .p0 = p0});
+  int ok = 0;
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    util::Rng rng(seed * 1009);
+    sched::SynchronousScheduler sched(6);
+    core::Engine engine(g, alg, sched,
+                        core::random_configuration(alg, 6, rng), seed);
+    const auto outcome = engine.run_until(
+        [&](const core::Configuration& c) {
+          return mis::mis_legitimate(alg, g, c);
+        },
+        300000);
+    if (outcome.reached) ++ok;
+  }
+  EXPECT_GE(ok, 2) << "k_id=" << k_id << " p0=" << p0;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, MisParams,
+    ::testing::Combine(::testing::Values(2, 8, 16),
+                       ::testing::Values(0.15, 0.3, 0.6)));
+
+class AuSlack : public ::testing::TestWithParam<int> {};
+
+TEST_P(AuSlack, StabilizesWithAnyDiameterSlack) {
+  // The algorithm requires diam(G) <= D; any slack must be tolerated (at a
+  // state-space cost of 12*slack).
+  const int slack = GetParam();
+  const graph::Graph g = graph::grid(2, 3);
+  const int diam = static_cast<int>(graph::diameter(g));
+  const unison::AlgAu alg(diam + slack);
+  util::Rng rng(slack * 131 + 7);
+  auto sched = sched::make_scheduler("uniform-single", g);
+  core::Engine engine(g, alg, *sched,
+                      unison::au_adversarial_configuration("random", alg, g,
+                                                           rng),
+                      slack + 1);
+  const auto k = static_cast<std::uint64_t>(alg.turns().k());
+  const auto outcome = unison::run_to_good(engine, alg, 60 * k * k * k + 400);
+  ASSERT_TRUE(outcome.reached) << "slack " << slack;
+  const auto report = unison::verify_post_stabilization(engine, alg, 40);
+  EXPECT_TRUE(report.safety_ok);
+  // Liveness is stated against the bound D (ticks >= rounds - D with the
+  // configured D, not the true diameter).
+  EXPECT_TRUE(report.liveness_ok);
+}
+
+INSTANTIATE_TEST_SUITE_P(Slacks, AuSlack, ::testing::Values(0, 1, 2, 5));
+
+TEST(ParamValidation, ConstantStateInterpretation) {
+  // §1.3: with D regarded as a fixed parameter the state spaces are
+  // constants. Spot the actual constants for D = 2.
+  EXPECT_EQ(unison::AlgAu(2).state_count(), 30u);
+  EXPECT_EQ(le::AlgLe({.diameter_bound = 2, .id_alphabet = 4}).state_count(),
+            96u + 30u + 5u);  // 32E + 2E(k+1) + (2D+1), E = 3
+  EXPECT_EQ(
+      mis::AlgMis({.diameter_bound = 2, .id_alphabet = 8}).state_count(),
+      16u * 5 + 8 + 1 + 5);
+}
+
+}  // namespace
+}  // namespace ssau

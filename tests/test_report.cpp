@@ -1,0 +1,65 @@
+// Tests for the configuration/report formatting helpers and DOT export.
+#include "analysis/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/dot.hpp"
+#include "graph/generators.hpp"
+#include "sched/scheduler.hpp"
+#include "unison/alg_au.hpp"
+
+namespace ssau::analysis {
+namespace {
+
+TEST(Report, FormatConfigurationUsesStateNames) {
+  const unison::AlgAu alg(1);
+  const auto& ts = alg.turns();
+  const core::Configuration c{ts.able_id(3), ts.faulty_id(-2), ts.able_id(-1)};
+  EXPECT_EQ(format_configuration(alg, c), "[3 ^-2 -1]");
+}
+
+TEST(Report, FormatOutputsMarksNonOutputStates) {
+  const unison::AlgAu alg(1);
+  const auto& ts = alg.turns();
+  const core::Configuration c{ts.able_id(1), ts.faulty_id(2)};
+  // κ(1) = 0; ^2 is not an output state.
+  EXPECT_EQ(format_outputs(alg, c), "[0 ·]");
+}
+
+TEST(Report, FormatEngineMentionsTimeAndRounds) {
+  const graph::Graph g = graph::path(2);
+  const unison::AlgAu alg(1);
+  sched::SynchronousScheduler sched(2);
+  core::Engine e(g, alg, sched,
+                 {alg.turns().able_id(1), alg.turns().able_id(1)}, 1);
+  e.step();
+  const std::string s = format_engine(e);
+  EXPECT_NE(s.find("t=1"), std::string::npos);
+  EXPECT_NE(s.find("rounds=1"), std::string::npos);
+  EXPECT_NE(s.find("states=["), std::string::npos);
+}
+
+TEST(Dot, UndirectedGraphExport) {
+  const graph::Graph g = graph::path(3);
+  std::ostringstream os;
+  graph::write_dot(os, g);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("graph G {"), std::string::npos);
+  EXPECT_NE(out.find("n0 -- n1;"), std::string::npos);
+  EXPECT_NE(out.find("n1 -- n2;"), std::string::npos);
+  EXPECT_EQ(out.find("n0 -- n2"), std::string::npos);
+}
+
+TEST(Dot, NodeLabelsApplied) {
+  const graph::Graph g = graph::path(2);
+  std::ostringstream os;
+  graph::write_dot(os, g, [](graph::NodeId v) {
+    return "cell" + std::to_string(v);
+  });
+  EXPECT_NE(os.str().find("label=\"cell1\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ssau::analysis

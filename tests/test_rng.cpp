@@ -1,0 +1,137 @@
+// Unit tests for util::Rng: determinism, bounds, distribution sanity.
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <set>
+
+namespace ssau::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, BelowOneIsAlwaysZero) {
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BelowCoversAllResidues) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, UniformInclusiveBounds) {
+  Rng rng(13);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const auto x = rng.uniform(-3, 3);
+    EXPECT_GE(x, -3);
+    EXPECT_LE(x, 3);
+    saw_lo = saw_lo || x == -3;
+    saw_hi = saw_hi || x == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, Uniform01InHalfOpenInterval) {
+  Rng rng(17);
+  double sum = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const double u = rng.uniform01();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 20000.0, 0.5, 0.02);
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Rng rng(19);
+  int hits = 0;
+  const int trials = 50000;
+  for (int i = 0; i < trials; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.02);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(23);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, CoinIsRoughlyFair) {
+  Rng rng(29);
+  int heads = 0;
+  const int trials = 50000;
+  for (int i = 0; i < trials; ++i) heads += rng.coin() ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(heads) / trials, 0.5, 0.02);
+}
+
+TEST(Rng, GeometricMeanMatches) {
+  Rng rng(31);
+  const double p = 0.25;
+  double sum = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    const auto g = rng.geometric(p);
+    ASSERT_GE(g, 1u);
+    sum += static_cast<double>(g);
+  }
+  EXPECT_NEAR(sum / trials, 1.0 / p, 0.15);
+}
+
+TEST(Rng, GeometricProbabilityOneIsOneTrial) {
+  Rng rng(37);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.geometric(1.0), 1u);
+}
+
+TEST(Rng, ForkedStreamsAreIndependentAndDeterministic) {
+  Rng a(5);
+  Rng b(5);
+  Rng fa = a.fork();
+  Rng fb = b.fork();
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(fa(), fb());
+  // The parent streams stay in lockstep too.
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, SatisfiesUniformRandomBitGenerator) {
+  static_assert(Rng::min() == 0);
+  static_assert(Rng::max() == ~std::uint64_t{0});
+  Rng rng(41);
+  (void)rng();
+}
+
+}  // namespace
+}  // namespace ssau::util

@@ -1,0 +1,183 @@
+// Tests for the scheduler suite: correctness of each activation pattern and
+// fairness (every node activated infinitely often).
+#include "sched/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "graph/generators.hpp"
+
+namespace ssau::sched {
+namespace {
+
+std::vector<core::NodeId> run(Scheduler& s, core::Time t, util::Rng& rng) {
+  std::vector<core::NodeId> out;
+  s.activations(t, out, rng);
+  return out;
+}
+
+TEST(Synchronous, ActivatesEveryone) {
+  SynchronousScheduler s(5);
+  util::Rng rng(1);
+  const auto a = run(s, 0, rng);
+  EXPECT_EQ(a.size(), 5u);
+  for (core::NodeId v = 0; v < 5; ++v) EXPECT_EQ(a[v], v);
+}
+
+TEST(UniformSingle, OneNodePerStepCoversAll) {
+  UniformSingleScheduler s(6);
+  util::Rng rng(2);
+  std::set<core::NodeId> seen;
+  for (core::Time t = 0; t < 300; ++t) {
+    const auto a = run(s, t, rng);
+    ASSERT_EQ(a.size(), 1u);
+    ASSERT_LT(a[0], 6u);
+    seen.insert(a[0]);
+  }
+  EXPECT_EQ(seen.size(), 6u);
+}
+
+TEST(RandomSubset, NeverEmptyAlwaysValid) {
+  RandomSubsetScheduler s(8, 0.3);
+  util::Rng rng(3);
+  for (core::Time t = 0; t < 200; ++t) {
+    const auto a = run(s, t, rng);
+    ASSERT_FALSE(a.empty());
+    std::set<core::NodeId> distinct(a.begin(), a.end());
+    EXPECT_EQ(distinct.size(), a.size());
+    for (const auto v : a) EXPECT_LT(v, 8u);
+  }
+}
+
+TEST(RandomSubset, ProbabilityShapesSize) {
+  RandomSubsetScheduler s(100, 0.7);
+  util::Rng rng(4);
+  double total = 0;
+  for (core::Time t = 0; t < 200; ++t) total += run(s, t, rng).size();
+  EXPECT_NEAR(total / 200.0, 70.0, 5.0);
+}
+
+TEST(RotatingSingle, MatchesFigure2Schedule) {
+  // "node v_{t-1} is activated in step t" — zero-based: node t mod n at step t.
+  RotatingSingleScheduler s(8);
+  util::Rng rng(5);
+  for (core::Time t = 0; t < 20; ++t) {
+    const auto a = run(s, t, rng);
+    ASSERT_EQ(a.size(), 1u);
+    EXPECT_EQ(a[0], t % 8);
+  }
+}
+
+TEST(RotatingSingle, OffsetApplies) {
+  RotatingSingleScheduler s(5, 2);
+  util::Rng rng(6);
+  EXPECT_EQ(run(s, 0, rng)[0], 2u);
+  EXPECT_EQ(run(s, 4, rng)[0], 1u);
+}
+
+TEST(Laggard, StarvesOneNodePerBurst) {
+  LaggardScheduler s(4, 3);
+  util::Rng rng(7);
+  // Steps 0..2: everyone except node 0; step 3: node 0 alone.
+  for (core::Time t = 0; t < 3; ++t) {
+    const auto a = run(s, t, rng);
+    EXPECT_EQ(a.size(), 3u);
+    EXPECT_TRUE(std::find(a.begin(), a.end(), 0u) == a.end());
+  }
+  const auto a3 = run(s, 3, rng);
+  ASSERT_EQ(a3.size(), 1u);
+  EXPECT_EQ(a3[0], 0u);
+  // Next cycle starves node 1.
+  const auto a4 = run(s, 4, rng);
+  EXPECT_TRUE(std::find(a4.begin(), a4.end(), 1u) == a4.end());
+}
+
+TEST(Wave, ActivatesBfsLayers) {
+  const graph::Graph g = graph::path(4);
+  WaveScheduler s(g);
+  util::Rng rng(8);
+  for (core::Time t = 0; t < 8; ++t) {
+    const auto a = run(s, t, rng);
+    ASSERT_EQ(a.size(), 1u);        // each BFS layer of a path has one node
+    EXPECT_EQ(a[0], t % 4);         // layers in distance order from node 0
+  }
+}
+
+TEST(Permutation, EachWindowOfNStepsIsAPermutation) {
+  PermutationScheduler s(7);
+  util::Rng rng(9);
+  for (int round = 0; round < 20; ++round) {
+    std::set<core::NodeId> seen;
+    for (core::Time t = 0; t < 7; ++t) {
+      const auto a = run(s, static_cast<core::Time>(round) * 7 + t, rng);
+      ASSERT_EQ(a.size(), 1u);
+      seen.insert(a[0]);
+    }
+    EXPECT_EQ(seen.size(), 7u) << "window " << round << " not a permutation";
+  }
+}
+
+TEST(Permutation, OrdersVaryAcrossWindows) {
+  PermutationScheduler s(6);
+  util::Rng rng(10);
+  std::set<std::vector<core::NodeId>> orders;
+  for (int round = 0; round < 30; ++round) {
+    std::vector<core::NodeId> order;
+    for (core::Time t = 0; t < 6; ++t) {
+      order.push_back(run(s, static_cast<core::Time>(round) * 6 + t, rng)[0]);
+    }
+    orders.insert(order);
+  }
+  EXPECT_GT(orders.size(), 5u);
+}
+
+TEST(Burst, RepeatsEachNodeBurstTimes) {
+  BurstScheduler s(3, 4);
+  util::Rng rng(11);
+  // Steps 0..3 -> node 0, 4..7 -> node 1, 8..11 -> node 2, 12 -> node 0.
+  for (core::Time t = 0; t < 24; ++t) {
+    const auto a = run(s, t, rng);
+    ASSERT_EQ(a.size(), 1u);
+    EXPECT_EQ(a[0], (t % 12) / 4);
+  }
+}
+
+TEST(Factory, BuildsEveryScheduler) {
+  const graph::Graph g = graph::cycle(6);
+  for (const auto& name : async_scheduler_names()) {
+    const auto s = make_scheduler(name, g);
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(s->name(), name);
+  }
+  EXPECT_EQ(make_scheduler("synchronous", g)->name(), "synchronous");
+  EXPECT_THROW(make_scheduler("nope", g), std::invalid_argument);
+}
+
+// Fairness audit: over a long window every scheduler activates every node.
+class SchedulerFairness : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SchedulerFairness, EveryNodeActivatedRepeatedly) {
+  const graph::Graph g = graph::cycle(9);
+  const auto s = make_scheduler(GetParam(), g);
+  util::Rng rng(11);
+  std::vector<int> counts(9, 0);
+  std::vector<core::NodeId> a;
+  for (core::Time t = 0; t < 2000; ++t) {
+    s->activations(t, a, rng);
+    for (const auto v : a) ++counts[v];
+  }
+  for (core::NodeId v = 0; v < 9; ++v) {
+    EXPECT_GE(counts[v], 10) << GetParam() << " starves node " << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchedulers, SchedulerFairness,
+                         ::testing::Values("synchronous", "uniform-single",
+                                           "random-subset", "rotating-single",
+                                           "laggard", "wave", "permutation",
+                                           "burst"));
+
+}  // namespace
+}  // namespace ssau::sched

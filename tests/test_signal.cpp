@@ -1,0 +1,50 @@
+// Tests for the SA set-broadcast signal: set semantics (presence only,
+// no counts, no identities).
+#include "core/signal.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ssau::core {
+namespace {
+
+TEST(Signal, DeduplicatesAndSorts) {
+  const Signal s = Signal::from_states({5, 1, 5, 3, 1});
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.states()[0], 1u);
+  EXPECT_EQ(s.states()[1], 3u);
+  EXPECT_EQ(s.states()[2], 5u);
+}
+
+TEST(Signal, ContainsIsPresenceOnly) {
+  const Signal s = Signal::from_states({2, 2, 2});
+  EXPECT_TRUE(s.contains(2));
+  EXPECT_FALSE(s.contains(1));
+  EXPECT_EQ(s.size(), 1u);  // multiplicity erased: the SA "no counting" rule
+}
+
+TEST(Signal, AnyAll) {
+  const Signal s = Signal::from_states({2, 4, 6});
+  EXPECT_TRUE(s.any([](StateId q) { return q == 4; }));
+  EXPECT_FALSE(s.any([](StateId q) { return q == 5; }));
+  EXPECT_TRUE(s.all([](StateId q) { return q % 2 == 0; }));
+  EXPECT_FALSE(s.all([](StateId q) { return q < 6; }));
+}
+
+TEST(Signal, EqualSignalsCompareEqual) {
+  // Identical presence sets from different multiplicities/orders: the same
+  // signal, as the SA model demands.
+  const Signal a = Signal::from_states({1, 2, 2, 3});
+  const Signal b = Signal::from_states({3, 1, 2});
+  EXPECT_EQ(a, b);
+}
+
+TEST(Signal, EmptySignal) {
+  const Signal s;
+  EXPECT_EQ(s.size(), 0u);
+  EXPECT_FALSE(s.contains(0));
+  EXPECT_TRUE(s.all([](StateId) { return false; }));
+  EXPECT_FALSE(s.any([](StateId) { return true; }));
+}
+
+}  // namespace
+}  // namespace ssau::core

@@ -1,0 +1,115 @@
+// Unit tests for util::stats: summaries, quantiles, and growth fits.
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace ssau::util {
+namespace {
+
+TEST(Summarize, EmptyInputIsZeroed) {
+  const Summary s = summarize(std::span<const double>{});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+  EXPECT_EQ(s.max, 0.0);
+}
+
+TEST(Summarize, SingleValue) {
+  const std::vector<double> xs{4.0};
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_EQ(s.mean, 4.0);
+  EXPECT_EQ(s.min, 4.0);
+  EXPECT_EQ(s.max, 4.0);
+  EXPECT_EQ(s.p50, 4.0);
+  EXPECT_EQ(s.stddev, 0.0);
+}
+
+TEST(Summarize, KnownSample) {
+  const std::vector<double> xs{1, 2, 3, 4, 5};
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.p50, 3.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(2.5), 1e-12);
+}
+
+TEST(Summarize, UnsortedInputHandled) {
+  const std::vector<double> xs{5, 1, 4, 2, 3};
+  const Summary s = summarize(xs);
+  EXPECT_DOUBLE_EQ(s.p50, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+}
+
+TEST(Summarize, IntegerOverload) {
+  const std::vector<std::uint64_t> xs{10, 20, 30};
+  const Summary s = summarize(xs);
+  EXPECT_DOUBLE_EQ(s.mean, 20.0);
+}
+
+TEST(Quantile, InterpolatesBetweenPoints) {
+  EXPECT_DOUBLE_EQ(quantile({0.0, 10.0}, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(quantile({0.0, 10.0}, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(quantile({0.0, 10.0}, 1.0), 10.0);
+  EXPECT_DOUBLE_EQ(quantile({1.0, 2.0, 3.0, 4.0}, 0.95), 3.85);
+}
+
+TEST(PowerFit, RecoversExactPowerLaw) {
+  // y = 2 x^3
+  std::vector<double> x, y;
+  for (double v = 1; v <= 32; v *= 2) {
+    x.push_back(v);
+    y.push_back(2.0 * v * v * v);
+  }
+  const PowerFit fit = power_fit(x, y);
+  EXPECT_NEAR(fit.exponent, 3.0, 1e-9);
+  EXPECT_NEAR(fit.coefficient, 2.0, 1e-9);
+}
+
+TEST(PowerFit, ToleratesNoise) {
+  Rng rng(99);
+  std::vector<double> x, y;
+  for (double v = 2; v <= 64; v *= 2) {
+    x.push_back(v);
+    y.push_back(5.0 * v * v * (0.9 + 0.2 * rng.uniform01()));
+  }
+  const PowerFit fit = power_fit(x, y);
+  EXPECT_NEAR(fit.exponent, 2.0, 0.15);
+}
+
+TEST(PowerFit, DegenerateInputsYieldZero) {
+  const std::vector<double> x{1.0};
+  const std::vector<double> y{1.0};
+  EXPECT_EQ(power_fit(x, y).exponent, 0.0);
+  const std::vector<double> bad_x{-1.0, 0.0};
+  const std::vector<double> bad_y{1.0, 2.0};
+  EXPECT_EQ(power_fit(bad_x, bad_y).exponent, 0.0);
+}
+
+TEST(LogFit, RecoversLogarithmicGrowth) {
+  // y = 7 + 3 log2(x)
+  std::vector<double> x, y;
+  for (double v = 1; v <= 1024; v *= 2) {
+    x.push_back(v);
+    y.push_back(7.0 + 3.0 * std::log2(v));
+  }
+  const LogFit fit = log_fit(x, y);
+  EXPECT_NEAR(fit.slope, 3.0, 1e-9);
+  EXPECT_NEAR(fit.intercept, 7.0, 1e-9);
+}
+
+TEST(ToString, MentionsHeadlineNumbers) {
+  const std::vector<double> xs{1, 2, 3};
+  const std::string s = to_string(summarize(xs));
+  EXPECT_NE(s.find("n=3"), std::string::npos);
+  EXPECT_NE(s.find("mean="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ssau::util

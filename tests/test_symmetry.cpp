@@ -1,0 +1,115 @@
+// Randomized-symmetry property tests for the competition mechanisms.
+//
+// The SA model is anonymous: on a vertex-transitive graph, symmetry can only
+// be broken by coin tosses, so every node must win with equal probability.
+// These tests estimate the winner distributions of Compete (AlgMIS) and
+// Elect (AlgLE) over many seeded runs and check near-uniformity — the
+// empirical footprint of Compete's property (1),
+// P(∧_{w∈W} Z(u) > Z(w)) >= Ω(1/(|W|+1)).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/engine.hpp"
+#include "graph/generators.hpp"
+#include "le/alg_le.hpp"
+#include "mis/alg_mis.hpp"
+#include "sched/scheduler.hpp"
+
+namespace ssau {
+namespace {
+
+TEST(Symmetry, MisWinnerUniformOnClique) {
+  // complete(4): the MIS is a single node; count who wins across seeds.
+  const core::NodeId n = 4;
+  const graph::Graph g = graph::complete(n);
+  const mis::AlgMis alg({.diameter_bound = 1});
+  std::vector<int> wins(n, 0);
+  const int trials = 160;
+  for (int trial = 0; trial < trials; ++trial) {
+    sched::SynchronousScheduler sched(n);
+    core::Engine engine(
+        g, alg, sched, core::uniform_configuration(n, alg.initial_state()),
+        10007ULL * (trial + 1));
+    const auto outcome = engine.run_until(
+        [&](const core::Configuration& c) {
+          return mis::mis_legitimate(alg, g, c);
+        },
+        100000);
+    ASSERT_TRUE(outcome.reached);
+    for (core::NodeId v = 0; v < n; ++v) {
+      if (alg.output(engine.state_of(v)) == 1) ++wins[v];
+    }
+  }
+  // Uniform expectation 40 wins each; allow generous sampling slack.
+  for (core::NodeId v = 0; v < n; ++v) {
+    EXPECT_GT(wins[v], trials / 10) << "node " << v << " starved";
+    EXPECT_LT(wins[v], trials / 2) << "node " << v << " dominates";
+  }
+}
+
+TEST(Symmetry, LeaderUniformOnClique) {
+  const core::NodeId n = 4;
+  const graph::Graph g = graph::complete(n);
+  const le::AlgLe alg({.diameter_bound = 1});
+  std::vector<int> wins(n, 0);
+  const int trials = 120;
+  for (int trial = 0; trial < trials; ++trial) {
+    sched::SynchronousScheduler sched(n);
+    core::Engine engine(
+        g, alg, sched, core::uniform_configuration(n, alg.initial_state()),
+        20011ULL * (trial + 1));
+    const auto outcome = engine.run_until(
+        [&](const core::Configuration& c) {
+          return le::le_legitimate(alg, g, c);
+        },
+        100000);
+    ASSERT_TRUE(outcome.reached);
+    for (core::NodeId v = 0; v < n; ++v) {
+      if (alg.output(engine.state_of(v)) == 1) ++wins[v];
+    }
+  }
+  for (core::NodeId v = 0; v < n; ++v) {
+    EXPECT_GT(wins[v], trials / 10) << "node " << v << " never leads";
+    EXPECT_LT(wins[v], trials / 2) << "node " << v << " always leads";
+  }
+}
+
+TEST(Symmetry, MisOnCycleSelectsBothParitiesOverSeeds) {
+  // cycle(6) has exactly two maximum independent sets ({0,2,4} and {1,3,5})
+  // plus several 2-element maximal ones; anonymity means the even/odd
+  // 3-element outcomes appear with similar frequency.
+  const graph::Graph g = graph::cycle(6);
+  const mis::AlgMis alg({.diameter_bound = 3});
+  int even3 = 0, odd3 = 0, size2 = 0;
+  const int trials = 120;
+  for (int trial = 0; trial < trials; ++trial) {
+    sched::SynchronousScheduler sched(6);
+    core::Engine engine(
+        g, alg, sched, core::uniform_configuration(6, alg.initial_state()),
+        30013ULL * (trial + 1));
+    const auto outcome = engine.run_until(
+        [&](const core::Configuration& c) {
+          return mis::mis_legitimate(alg, g, c);
+        },
+        100000);
+    ASSERT_TRUE(outcome.reached);
+    std::vector<core::NodeId> in;
+    for (core::NodeId v = 0; v < 6; ++v) {
+      if (alg.output(engine.state_of(v)) == 1) in.push_back(v);
+    }
+    if (in.size() == 3) {
+      (in[0] % 2 == 0 ? even3 : odd3) += 1;
+    } else {
+      ASSERT_EQ(in.size(), 2u);  // the only other maximal sizes on C6
+      ++size2;
+    }
+  }
+  // Both 3-parities occur; neither dominates 20:1.
+  EXPECT_GT(even3, 2);
+  EXPECT_GT(odd3, 2);
+  EXPECT_EQ(even3 + odd3 + size2, trials);
+}
+
+}  // namespace
+}  // namespace ssau

@@ -1,0 +1,135 @@
+// Unit tests for the §4 synchronizer: product-state codec, state-space size
+// (Cor 1.2's O(D · |Q|^2)), output projection, and pulse-gated simulation.
+#include "sync/synchronizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/engine.hpp"
+#include "graph/generators.hpp"
+#include "sched/scheduler.hpp"
+#include "sync/simple_sync_algs.hpp"
+#include "unison/au_monitor.hpp"
+
+namespace ssau::sync {
+namespace {
+
+TEST(Synchronizer, ProductCodecRoundTrips) {
+  MinPropagation pi(7);
+  Synchronizer s(pi, 2);
+  for (core::StateId cur = 0; cur < 7; ++cur) {
+    for (core::StateId prev = 0; prev < 7; prev += 2) {
+      for (core::StateId turn = 0; turn < s.unison().state_count();
+           turn += 5) {
+        const auto id = s.encode({cur, prev, turn});
+        const auto d = s.decode(id);
+        EXPECT_EQ(d.current, cur);
+        EXPECT_EQ(d.previous, prev);
+        EXPECT_EQ(d.turn, turn);
+      }
+    }
+  }
+}
+
+TEST(Synchronizer, StateSpaceIsQSquaredTimesTurns) {
+  MinPropagation pi(5);
+  for (int d = 1; d <= 4; ++d) {
+    Synchronizer s(pi, d);
+    EXPECT_EQ(s.state_count(),
+              25u * static_cast<core::StateId>(12 * d + 6));
+  }
+}
+
+TEST(Synchronizer, OutputProjectsFirstCoordinate) {
+  MinPropagation pi(5);
+  Synchronizer s(pi, 1);
+  const auto able = s.unison().turns().able_id(3);
+  const auto faulty = s.unison().turns().faulty_id(3);
+  EXPECT_TRUE(s.is_output(s.encode({2, 4, able})));
+  EXPECT_EQ(s.output(s.encode({2, 4, able})), 2);
+  EXPECT_FALSE(s.is_output(s.encode({2, 4, faulty})));
+}
+
+TEST(Synchronizer, PulseAdvanceSimulatesOneRound) {
+  // A lone node: every activation is an AA pulse, so the Blinker must flip on
+  // every step.
+  Blinker pi;
+  Synchronizer s(pi, 1);
+  const graph::Graph g(1, {});
+  sched::SynchronousScheduler sched(1);
+  core::Engine engine(g, s, sched, {s.initial_state(0)}, 1);
+  for (int t = 1; t <= 10; ++t) {
+    engine.step();
+    EXPECT_EQ(s.output(engine.state_of(0)),
+              static_cast<std::int64_t>(t % 2));
+  }
+}
+
+TEST(Synchronizer, NoPulseNoSimulation) {
+  // Two neighbors, one torn far ahead: the lagging node cannot pulse until
+  // the gap heals, and its Π-state must stay frozen while faulty detours run.
+  Blinker pi;
+  Synchronizer s(pi, 1);
+  const auto& ts = s.unison().turns();
+  const graph::Graph g = graph::path(2);
+  sched::SynchronousScheduler sched(2);
+  core::Engine engine(
+      g, s, sched,
+      {s.encode({0, 0, ts.able_id(1)}), s.encode({0, 0, ts.able_id(4)})}, 1);
+  engine.step();
+  // Neither side can AA-tick across a non-adjacent tear on its first step;
+  // Π-states unchanged.
+  EXPECT_EQ(s.decode(engine.state_of(0)).current, 0u);
+  EXPECT_EQ(s.decode(engine.state_of(1)).current, 0u);
+}
+
+TEST(Synchronizer, BlinkerStaysWithinOnePulseAcrossEdges) {
+  // Fidelity: neighbors' simulated round counters differ by at most one, so
+  // Blinker outputs across an edge differ only as adjacent rounds allow.
+  // Track simulated rounds via transition listener on AA pulses.
+  Blinker pi;
+  Synchronizer s(pi, 2);
+  const graph::Graph g = graph::cycle(6);
+  auto sched = sched::make_scheduler("uniform-single", g);
+  core::Engine engine(g, s, *sched, core::Configuration(6, s.initial_state(0)),
+                      5);
+
+  std::vector<std::int64_t> pulses(6, 0);
+  engine.set_transition_listener([&](core::NodeId v, core::StateId from,
+                                     core::StateId to, const core::Signal&,
+                                     core::Time) {
+    const auto& ts = s.unison().turns();
+    const auto f = s.decode(from);
+    const auto t2 = s.decode(to);
+    if (ts.is_able(f.turn) && ts.is_able(t2.turn) && f.turn != t2.turn) {
+      ++pulses[v];
+    }
+  });
+  for (int t = 0; t < 4000; ++t) {
+    engine.step();
+    for (const auto& [u, v] : g.edges()) {
+      EXPECT_LE(std::abs(pulses[u] - pulses[v]), 1)
+          << "pulse counts tore apart at step " << t;
+    }
+  }
+  // Liveness: everyone pulsed many times.
+  for (core::NodeId v = 0; v < 6; ++v) EXPECT_GT(pulses[v], 50);
+}
+
+TEST(Synchronizer, RejectsOversizedProducts) {
+  // |Q|^2 alone overflows StateId: the constructor must refuse.
+  MinPropagation huge(1ULL << 32);
+  EXPECT_THROW(Synchronizer(huge, 3), std::invalid_argument);
+}
+
+TEST(Synchronizer, StateNameMentionsAllCoordinates) {
+  MinPropagation pi(5);
+  Synchronizer s(pi, 1);
+  const auto name =
+      s.state_name(s.encode({2, 4, s.unison().turns().able_id(-1)}));
+  EXPECT_NE(name.find("q2"), std::string::npos);
+  EXPECT_NE(name.find("q4"), std::string::npos);
+  EXPECT_NE(name.find("-1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ssau::sync

@@ -1,0 +1,77 @@
+// Unit tests for the table builder and CLI flag parser.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace ssau::util {
+namespace {
+
+TEST(Table, AlignedPlainTextOutput) {
+  Table t({"name", "value"});
+  t.row().add("alpha").add(std::uint64_t{42});
+  t.row().add("b").add(3.14159, 2);
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| name "), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("3.14"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"a", "b"});
+  t.row().add(1).add(2);
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(Table, AddWithoutRowStartsOne) {
+  Table t({"x"});
+  t.add("implicit");
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(Cli, ParsesEqualsForm) {
+  const char* argv[] = {"prog", "--n=10", "--name=test"};
+  Cli cli(3, const_cast<char**>(argv));
+  EXPECT_EQ(cli.get_int("n", 0), 10);
+  EXPECT_EQ(cli.get("name", ""), "test");
+}
+
+TEST(Cli, ParsesSpaceForm) {
+  const char* argv[] = {"prog", "--n", "10"};
+  Cli cli(3, const_cast<char**>(argv));
+  EXPECT_EQ(cli.get_int("n", 0), 10);
+}
+
+TEST(Cli, BooleanFlag) {
+  const char* argv[] = {"prog", "--verbose"};
+  Cli cli(2, const_cast<char**>(argv));
+  EXPECT_TRUE(cli.get_bool("verbose", false));
+  EXPECT_TRUE(cli.has("verbose"));
+  EXPECT_FALSE(cli.has("quiet"));
+}
+
+TEST(Cli, FallbacksApply) {
+  const char* argv[] = {"prog"};
+  Cli cli(1, const_cast<char**>(argv));
+  EXPECT_EQ(cli.get_int("n", 7), 7);
+  EXPECT_DOUBLE_EQ(cli.get_double("p", 0.25), 0.25);
+  EXPECT_FALSE(cli.get_bool("x", false));
+}
+
+TEST(Cli, PositionalArguments) {
+  const char* argv[] = {"prog", "file1", "--k=2", "file2"};
+  Cli cli(4, const_cast<char**>(argv));
+  ASSERT_EQ(cli.positional().size(), 2u);
+  EXPECT_EQ(cli.positional()[0], "file1");
+  EXPECT_EQ(cli.positional()[1], "file2");
+}
+
+}  // namespace
+}  // namespace ssau::util
