@@ -1,87 +1,243 @@
-// E12 — engine micro-performance (google-benchmark): supporting bench, not a
-// paper artifact. Quantifies simulator throughput for the main automata so
-// the stabilization benches' budgets are known to be cheap.
-#include <benchmark/benchmark.h>
+// E12 — engine throughput harness (supporting bench, not a paper artifact).
+//
+// Measures simulator throughput (steps/sec and node-activations/sec) for the
+// main automata under the synchronous and asynchronous schedulers, in both
+// engine modes:
+//   * fast   — SignalView scratch + step_fast (+ CompiledAutomaton table
+//              kernel for deterministic |Q| <= 64 automata)
+//   * legacy — per-activation Signal::from_states + virtual Automaton::step
+//
+// Writes BENCH_engine.json (machine-readable, schema below) so the perf
+// trajectory is tracked from PR to PR, and prints a table with the per-cell
+// fast/legacy speedup. Trajectory equality of the two modes is asserted here
+// on a small instance (the full differential matrix lives in
+// tests/test_fastpath_differential.cpp).
+//
+// Usage: bench_engine_perf [--nodes=10000] [--edge-p=0.0008]
+//                          [--sync-steps=100] [--single-steps=200000]
+//                          [--json=BENCH_engine.json] [--seed=7]
+#include <chrono>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "core/engine.hpp"
 #include "graph/generators.hpp"
-#include "graph/metrics.hpp"
 #include "le/alg_le.hpp"
 #include "mis/alg_mis.hpp"
 #include "sched/scheduler.hpp"
-#include "sync/synchronizer.hpp"
+#include "sync/simple_sync_algs.hpp"
 #include "unison/alg_au.hpp"
+#include "unison/baselines.hpp"
+#include "util/cli.hpp"
+#include "util/json.hpp"
 
 using namespace ssau;
 
 namespace {
 
-void BM_AlgAuSynchronousStep(benchmark::State& state) {
-  const auto n = static_cast<core::NodeId>(state.range(0));
-  const graph::Graph g = graph::cycle(n);
-  const unison::AlgAu alg(static_cast<int>(n) / 2);
-  sched::SynchronousScheduler sched(n);
-  util::Rng rng(1);
-  core::Engine engine(g, alg, sched,
-                      unison::au_adversarial_configuration("random", alg, g,
-                                                           rng),
-                      1);
-  for (auto _ : state) {
-    engine.step();
-    benchmark::DoNotOptimize(engine.config().data());
-  }
-  state.SetItemsProcessed(state.iterations() * n);
-}
-BENCHMARK(BM_AlgAuSynchronousStep)->Arg(64)->Arg(256)->Arg(1024);
+struct Workload {
+  std::string name;
+  const core::Automaton* alg;
+  core::Configuration initial;
+};
 
-void BM_SignalConstruction(benchmark::State& state) {
-  const auto n = static_cast<core::NodeId>(state.range(0));
-  const graph::Graph g = graph::complete(n);
-  const unison::AlgAu alg(1);
-  sched::SynchronousScheduler sched(n);
-  util::Rng rng(2);
-  core::Engine engine(g, alg, sched,
-                      unison::au_adversarial_configuration("random", alg, g,
-                                                           rng),
-                      2);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(engine.signal_of(0));
-  }
-}
-BENCHMARK(BM_SignalConstruction)->Arg(16)->Arg(64)->Arg(256);
+struct Measurement {
+  std::string algorithm;
+  std::string scheduler;
+  std::string mode;    // "fast" | "legacy"
+  std::string kernel;  // "signal" | "view" | "mask" | "table"
+  std::uint64_t steps = 0;
+  std::uint64_t activations = 0;
+  double seconds = 0.0;
 
-void BM_AlgMisSynchronousRound(benchmark::State& state) {
-  const auto n = static_cast<core::NodeId>(state.range(0));
-  const graph::Graph g = graph::grid(n / 8, 8);
-  const int d = static_cast<int>(graph::diameter(g));
-  const mis::AlgMis alg({.diameter_bound = d});
-  sched::SynchronousScheduler sched(g.num_nodes());
-  core::Engine engine(
-      g, alg, sched,
-      core::uniform_configuration(g.num_nodes(), alg.initial_state()), 3);
-  for (auto _ : state) {
-    engine.step();
-    benchmark::DoNotOptimize(engine.config().data());
+  [[nodiscard]] double steps_per_sec() const {
+    return seconds > 0 ? static_cast<double>(steps) / seconds : 0.0;
   }
-  state.SetItemsProcessed(state.iterations() * g.num_nodes());
-}
-BENCHMARK(BM_AlgMisSynchronousRound)->Arg(64)->Arg(256);
+  [[nodiscard]] double activations_per_sec() const {
+    return seconds > 0 ? static_cast<double>(activations) / seconds : 0.0;
+  }
+};
 
-void BM_SynchronizerStep(benchmark::State& state) {
-  const graph::Graph g = graph::cycle(16);
-  const le::AlgLe pi({.diameter_bound = 2});
-  const sync::Synchronizer s(pi, 2);
-  sched::SynchronousScheduler sched(16);
-  util::Rng rng(4);
-  core::Engine engine(g, s, sched, core::random_configuration(s, 16, rng), 4);
-  for (auto _ : state) {
-    engine.step();
-    benchmark::DoNotOptimize(engine.config().data());
+Measurement run_one(const Workload& w, const graph::Graph& g,
+                    const std::string& sched_name, std::uint64_t steps,
+                    bool fast, std::uint64_t seed) {
+  auto sched = sched::make_scheduler(sched_name, g);
+  core::Engine engine(g, *w.alg, *sched, w.initial, seed,
+                      core::EngineOptions{.fast_path = fast, .compile = fast});
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::uint64_t s = 0; s < steps; ++s) engine.step();
+  const auto t1 = std::chrono::steady_clock::now();
+
+  Measurement m;
+  m.algorithm = w.name;
+  m.scheduler = sched_name;
+  m.mode = fast ? "fast" : "legacy";
+  m.kernel = !fast ? "signal"
+             : engine.compiled() != nullptr
+                 ? "table"
+                 : (w.alg->native_mask_kernel() ? "mask" : "view");
+  m.steps = steps;
+  for (core::NodeId v = 0; v < g.num_nodes(); ++v) {
+    m.activations += engine.activation_count(v);
   }
-  state.SetItemsProcessed(state.iterations() * 16);
+  m.seconds = std::chrono::duration<double>(t1 - t0).count();
+  return m;
 }
-BENCHMARK(BM_SynchronizerStep);
+
+/// Cheap smoke check that both modes walk the same trajectory (the real
+/// differential matrix is a test, not a bench).
+void assert_modes_agree(const Workload& w, const graph::Graph& g,
+                        const std::string& sched_name, std::uint64_t steps,
+                        std::uint64_t seed) {
+  auto s1 = sched::make_scheduler(sched_name, g);
+  auto s2 = sched::make_scheduler(sched_name, g);
+  core::Engine fast(g, *w.alg, *s1, w.initial, seed,
+                    core::EngineOptions{.fast_path = true, .compile = true});
+  core::Engine legacy(g, *w.alg, *s2, w.initial, seed,
+                      core::EngineOptions{.fast_path = false});
+  for (std::uint64_t s = 0; s < steps; ++s) {
+    fast.step();
+    legacy.step();
+  }
+  if (fast.config() != legacy.config() ||
+      fast.rounds_completed() != legacy.rounds_completed()) {
+    std::cerr << "FATAL: fast/legacy trajectory divergence (" << w.name << ", "
+              << sched_name << ")\n";
+    std::exit(1);
+  }
+}
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  const auto n = static_cast<core::NodeId>(cli.get_int("nodes", 10000));
+  const double edge_p = cli.get_double("edge-p", 0.0008);
+  const auto sync_steps =
+      static_cast<std::uint64_t>(cli.get_int("sync-steps", 100));
+  const auto single_steps =
+      static_cast<std::uint64_t>(cli.get_int("single-steps", 200000));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 7));
+  const std::string json_path = cli.get("json", "BENCH_engine.json");
+
+  util::Rng rng(seed);
+  const graph::Graph g = graph::random_connected(n, edge_p, rng);
+
+  const unison::AlgAu au(3);  // |Q| = 42: native AlgAu bitmask kernel
+  const unison::ResetUnison reset(1, 6);  // |Q| = 9: dense table kernel
+  const sync::MinPropagation minprop(32);  // |Q| = 32: lazy memo table kernel
+  const mis::AlgMis mis({.diameter_bound = 2});   // randomized, |Q| = 94
+  const le::AlgLe le({.diameter_bound = 2});      // randomized
+
+  const std::vector<Workload> workloads = {
+      {"alg-au", &au, unison::au_adversarial_configuration("random", au, g, rng)},
+      {"reset-unison", &reset,
+       core::random_configuration(reset, g.num_nodes(), rng)},
+      {"min-prop-32", &minprop,
+       core::random_configuration(minprop, g.num_nodes(), rng)},
+      {"alg-mis", &mis,
+       mis::mis_adversarial_configuration("random", mis, g, rng)},
+      {"alg-le", &le, le_adversarial_configuration("random", le, g, rng)},
+  };
+  const std::vector<std::pair<std::string, std::uint64_t>> schedulers = {
+      {"synchronous", sync_steps},
+      {"uniform-single", single_steps},
+  };
+
+  // Differential smoke check on a small instance before timing.
+  {
+    util::Rng small_rng(seed + 1);
+    const graph::Graph sg = graph::random_connected(64, 0.05, small_rng);
+    for (const Workload& w : workloads) {
+      Workload sw{w.name, w.alg, {}};
+      sw.initial = core::random_configuration(*w.alg, sg.num_nodes(), small_rng);
+      for (const auto& [sched_name, _] : schedulers) {
+        assert_modes_agree(sw, sg, sched_name, 512, seed + 2);
+      }
+    }
+  }
+
+  std::vector<Measurement> results;
+  for (const Workload& w : workloads) {
+    for (const auto& [sched_name, steps] : schedulers) {
+      for (const bool fast : {false, true}) {
+        results.push_back(run_one(w, g, sched_name, steps, fast, seed + 3));
+      }
+    }
+  }
+
+  // --- table + speedups ------------------------------------------------------
+  std::cout << "\n==== E12 engine throughput (n=" << n
+            << ", |E|=" << g.num_edges() << ") ====\n\n";
+  std::cout << std::left << std::setw(14) << "algorithm" << std::setw(16)
+            << "scheduler" << std::setw(8) << "mode" << std::setw(10)
+            << "kernel" << std::right << std::setw(14) << "steps/s"
+            << std::setw(16) << "activations/s" << std::setw(10) << "speedup"
+            << "\n";
+  struct Speedup {
+    std::string algorithm, scheduler;
+    double factor;
+  };
+  std::vector<Speedup> speedups;
+  for (std::size_t i = 0; i + 1 < results.size(); i += 2) {
+    const Measurement& legacy = results[i];
+    const Measurement& fast = results[i + 1];
+    const double factor = legacy.activations_per_sec() > 0
+                              ? fast.activations_per_sec() /
+                                    legacy.activations_per_sec()
+                              : 0.0;
+    speedups.push_back({fast.algorithm, fast.scheduler, factor});
+    for (const Measurement* m : {&legacy, &fast}) {
+      std::cout << std::left << std::setw(14) << m->algorithm << std::setw(16)
+                << m->scheduler << std::setw(8) << m->mode << std::setw(10)
+                << m->kernel << std::right << std::fixed << std::setprecision(0)
+                << std::setw(14) << m->steps_per_sec() << std::setw(16)
+                << m->activations_per_sec();
+      if (m == &fast) {
+        std::cout << std::setprecision(2) << std::setw(9) << factor << "x";
+      }
+      std::cout << "\n";
+    }
+  }
+
+  // --- BENCH_engine.json -----------------------------------------------------
+  std::ofstream os(json_path);
+  util::JsonWriter jw(os);
+  jw.begin_object();
+  jw.key("bench").value("engine_perf");
+  jw.key("nodes").value(static_cast<std::uint64_t>(n));
+  jw.key("edges").value(static_cast<std::uint64_t>(g.num_edges()));
+  jw.key("seed").value(seed);
+  jw.key("results").begin_array();
+  for (const Measurement& m : results) {
+    jw.begin_object();
+    jw.key("algorithm").value(m.algorithm);
+    jw.key("scheduler").value(m.scheduler);
+    jw.key("mode").value(m.mode);
+    jw.key("kernel").value(m.kernel);
+    jw.key("steps").value(m.steps);
+    jw.key("activations").value(m.activations);
+    jw.key("seconds").value(m.seconds);
+    jw.key("steps_per_sec").value(m.steps_per_sec());
+    jw.key("activations_per_sec").value(m.activations_per_sec());
+    jw.end_object();
+  }
+  jw.end_array();
+  jw.key("speedups").begin_array();
+  for (const Speedup& s : speedups) {
+    jw.begin_object();
+    jw.key("algorithm").value(s.algorithm);
+    jw.key("scheduler").value(s.scheduler);
+    jw.key("fast_over_legacy").value(s.factor);
+    jw.end_object();
+  }
+  jw.end_array();
+  jw.end_object();
+  os << "\n";
+  std::cout << "\nwrote " << json_path << "\n";
+  return 0;
+}

@@ -1,6 +1,19 @@
 #include "core/automaton.hpp"
 
+#include <bit>
+#include <vector>
+
 namespace ssau::core {
+
+StateId Automaton::step_mask(StateId q, std::uint64_t mask,
+                             util::Rng& rng) const {
+  thread_local std::vector<StateId> scratch;
+  scratch.clear();
+  for (std::uint64_t m = mask; m != 0; m &= m - 1) {
+    scratch.push_back(static_cast<StateId>(std::countr_zero(m)));
+  }
+  return step_fast(q, SignalView(scratch, mask, true), rng);
+}
 
 std::string Automaton::state_name(StateId q) const {
   return "q" + std::to_string(q);

@@ -13,6 +13,7 @@
 #include <string>
 
 #include "core/signal.hpp"
+#include "core/signal_view.hpp"
 #include "core/types.hpp"
 #include "util/rng.hpp"
 
@@ -34,8 +35,42 @@ class Automaton {
 
   /// One activation of a node in state `q` sensing `sig` (which includes q
   /// itself). Returns the post-step state; returning q means "no transition".
+  ///
+  /// The default forwards to step_fast through a SignalView, so an automaton
+  /// implements δ exactly once — in whichever overload fits it — and gets the
+  /// other for free. Overriding NEITHER step nor step_fast is ill-formed
+  /// (infinite mutual recursion).
   [[nodiscard]] virtual StateId step(StateId q, const Signal& sig,
-                                     util::Rng& rng) const = 0;
+                                     util::Rng& rng) const {
+    return step_fast(q, SignalView(sig), rng);
+  }
+
+  /// The zero-allocation δ used by the engine hot path: identical semantics to
+  /// step(), but the signal is a non-owning view (span + optional bitmask).
+  /// The default materializes a Signal and calls step() — correct but
+  /// allocating; hot automata override this one instead of step().
+  [[nodiscard]] virtual StateId step_fast(StateId q, const SignalView& sig,
+                                          util::Rng& rng) const {
+    return step(q, sig.materialize(), rng);
+  }
+
+  /// δ from the presence bitmask alone — the engine's innermost kernel when
+  /// |Q| <= 64 (the mask is then an exact encoding of the signal). The
+  /// default unpacks the mask into a scratch SignalView and calls step_fast;
+  /// automata with a native bitmask kernel (precomputed predicate masks,
+  /// transition tables) override this for O(1) transitions.
+  [[nodiscard]] virtual StateId step_mask(StateId q, std::uint64_t mask,
+                                          util::Rng& rng) const;
+
+  /// True iff δ never consults the Rng. Deterministic automata with
+  /// |Q| <= SignalView::kMaskBits are eligible for table compilation
+  /// (CompiledAutomaton).
+  [[nodiscard]] virtual bool deterministic() const { return false; }
+
+  /// True iff step_mask is a native O(1) kernel (not the unpacking default).
+  /// The engine skips CompiledAutomaton table compilation for such automata —
+  /// wrapping a memo around an O(1) kernel only adds overhead.
+  [[nodiscard]] virtual bool native_mask_kernel() const { return false; }
 
   /// Human-readable state name for traces and diagrams.
   [[nodiscard]] virtual std::string state_name(StateId q) const;

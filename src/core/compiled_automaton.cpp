@@ -1,0 +1,108 @@
+#include "core/compiled_automaton.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace ssau::core {
+
+namespace {
+
+/// SplitMix64 finalizer — mixes (state, mask) into a table index.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t memo_hash(StateId q, std::uint64_t mask) {
+  return mix(mask ^ (q * 0xD6E8FEB86659FD93ULL));
+}
+
+}  // namespace
+
+CompiledAutomaton::CompiledAutomaton(const Automaton& base)
+    : base_(base), num_states_(base.state_count()) {
+  if (!compilable(base)) {
+    throw std::invalid_argument(
+        "CompiledAutomaton: automaton must be deterministic with |Q| <= 64");
+  }
+  unpack_scratch_.reserve(SignalView::kMaskBits);
+  if (num_states_ <= kDenseStateLimit) {
+    // Eager dense table over every (state, signal-bitmask) pair. Masks that do
+    // not contain the node's own state never occur in a valid execution (a
+    // node always senses itself); they map to the identity for safety.
+    const std::uint64_t masks = std::uint64_t{1} << num_states_;
+    dense_table_.resize(static_cast<std::size_t>(num_states_ * masks));
+    for (StateId q = 0; q < num_states_; ++q) {
+      const std::uint64_t own_bit = std::uint64_t{1} << q;
+      for (std::uint64_t mask = 0; mask < masks; ++mask) {
+        const StateId next =
+            (mask & own_bit) != 0 ? evaluate(q, mask) : q;
+        dense_table_[static_cast<std::size_t>((q << num_states_) | mask)] =
+            static_cast<std::uint8_t>(next);
+      }
+    }
+  } else {
+    memo_.resize(1024);
+  }
+}
+
+std::uint64_t CompiledAutomaton::transitions_cached() const {
+  return dense() ? static_cast<std::uint64_t>(dense_table_.size())
+                 : memo_occupied_;
+}
+
+StateId CompiledAutomaton::evaluate(StateId q, std::uint64_t mask) const {
+  unpack_scratch_.clear();
+  for (std::uint64_t m = mask; m != 0; m &= m - 1) {
+    unpack_scratch_.push_back(static_cast<StateId>(std::countr_zero(m)));
+  }
+  const SignalView view(unpack_scratch_, mask, true);
+  util::Rng dummy(0);  // deterministic base: never consulted
+  return base_.step_fast(q, view, dummy);
+}
+
+StateId CompiledAutomaton::memo_lookup(StateId q, std::uint64_t mask) const {
+  const std::uint64_t cap_mask = memo_.size() - 1;
+  std::uint64_t idx = memo_hash(q, mask) & cap_mask;
+  for (;;) {
+    MemoEntry& e = memo_[idx];
+    if (e.state_plus_1 == 0) {
+      // Miss: evaluate once, insert, maybe grow.
+      const StateId next = evaluate(q, mask);
+      e.mask = mask;
+      e.next = next;
+      e.state_plus_1 = static_cast<std::uint8_t>(q + 1);
+      if (++memo_occupied_ * 10 >= memo_.size() * 7) memo_grow();
+      return next;
+    }
+    if (e.mask == mask && e.state_plus_1 == q + 1) return e.next;
+    idx = (idx + 1) & cap_mask;
+  }
+}
+
+void CompiledAutomaton::memo_grow() const {
+  std::vector<MemoEntry> old = std::move(memo_);
+  memo_.assign(old.size() * 2, MemoEntry{});
+  const std::uint64_t cap_mask = memo_.size() - 1;
+  for (const MemoEntry& e : old) {
+    if (e.state_plus_1 == 0) continue;
+    std::uint64_t idx =
+        memo_hash(static_cast<StateId>(e.state_plus_1 - 1), e.mask) & cap_mask;
+    while (memo_[idx].state_plus_1 != 0) idx = (idx + 1) & cap_mask;
+    memo_[idx] = e;
+  }
+}
+
+StateId CompiledAutomaton::step_fast(StateId q, const SignalView& sig,
+                                     util::Rng& rng) const {
+  if (!sig.has_mask()) {
+    // All states of a compilable automaton are < 64, so engine-built views
+    // always carry a mask; this covers hand-built sparse views only.
+    return base_.step_fast(q, sig, rng);
+  }
+  return step_mask(q, sig.mask(), rng);
+}
+
+}  // namespace ssau::core

@@ -1,0 +1,110 @@
+// Table-driven δ kernel for small deterministic automata.
+//
+// For a deterministic automaton with |Q| <= 64, the signal of the SA model is
+// fully captured by a presence bitmask over Q, so δ is a pure function
+// (state, mask) -> state. CompiledAutomaton precomputes that function:
+//
+//   * |Q| <= kDenseStateLimit: a dense eager table of |Q| * 2^|Q| entries —
+//     one branchless load per node-activation (AlgAU for D = 1, ResetUnison,
+//     FailedAu, the toy synchronous automata, ...).
+//   * kDenseStateLimit < |Q| <= 64: a lazily filled open-addressing memo keyed
+//     by (state, mask) — only the (state, mask) pairs the execution actually
+//     visits are ever evaluated. (AlgAU up to D = 4 also fits the mask, but
+//     ships its own native bitmask kernel, which the engine prefers over a
+//     memo; the memo serves mid-size deterministic automata without one.)
+//
+// Randomized automata (MIS, LE) are NOT compilable: their δ consults the Rng,
+// and memoizing around those draws would change the rng stream and break
+// trajectory reproducibility. They keep the zero-allocation SignalView path.
+//
+// CompiledAutomaton is itself an Automaton, so it drops into the Engine (which
+// compiles eligible automata automatically) and into any other harness
+// unchanged. The memo is mutable state: one engine/thread per instance.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/automaton.hpp"
+
+namespace ssau::core {
+
+class CompiledAutomaton final : public Automaton {
+ public:
+  /// Largest |Q| compiled into the eager dense table (|Q| * 2^|Q| entries;
+  /// 14 -> 224 KiB of uint8 entries, built once).
+  static constexpr StateId kDenseStateLimit = 14;
+
+  /// True iff `base` can be compiled: deterministic δ and a bitmask-sized
+  /// state space.
+  [[nodiscard]] static bool compilable(const Automaton& base) {
+    return base.deterministic() && base.state_count() >= 1 &&
+           base.state_count() <= SignalView::kMaskBits;
+  }
+
+  /// Compiles `base` (throws std::invalid_argument if !compilable(base)).
+  /// `base` must outlive this wrapper.
+  explicit CompiledAutomaton(const Automaton& base);
+
+  [[nodiscard]] const Automaton& base() const { return base_; }
+  /// True when the eager dense table is in use (vs the lazy memo).
+  [[nodiscard]] bool dense() const { return !dense_table_.empty(); }
+  /// Number of distinct (state, mask) pairs resolved so far (dense: the full
+  /// table; lazy: memo occupancy). Observability for tests and benches.
+  [[nodiscard]] std::uint64_t transitions_cached() const;
+
+  // --- Automaton -----------------------------------------------------------
+  [[nodiscard]] StateId state_count() const override {
+    return base_.state_count();
+  }
+  [[nodiscard]] bool is_output(StateId q) const override {
+    return base_.is_output(q);
+  }
+  [[nodiscard]] std::int64_t output(StateId q) const override {
+    return base_.output(q);
+  }
+  [[nodiscard]] StateId step_fast(StateId q, const SignalView& sig,
+                                  util::Rng& rng) const override;
+
+  /// The raw kernel: one table probe per activation.
+  [[nodiscard]] StateId step_mask(StateId q, std::uint64_t mask,
+                                  util::Rng& /*rng*/) const override {
+    if (!dense_table_.empty()) {
+      return dense_table_[static_cast<std::size_t>((q << num_states_) | mask)];
+    }
+    return memo_lookup(q, mask);
+  }
+  [[nodiscard]] bool native_mask_kernel() const override { return true; }
+  [[nodiscard]] bool deterministic() const override { return true; }
+  [[nodiscard]] std::string state_name(StateId q) const override {
+    return base_.state_name(q);
+  }
+
+ private:
+  struct MemoEntry {
+    std::uint64_t mask = 0;
+    StateId next = 0;
+    std::uint8_t state_plus_1 = 0;  // 0 = empty slot
+  };
+
+  /// Evaluates the base δ on (q, mask) by unpacking the mask into a scratch
+  /// span — the single source of truth both tables are filled from.
+  [[nodiscard]] StateId evaluate(StateId q, std::uint64_t mask) const;
+  [[nodiscard]] StateId memo_lookup(StateId q, std::uint64_t mask) const;
+  void memo_grow() const;
+
+  const Automaton& base_;
+  StateId num_states_;
+
+  // Dense path: entry (q << |Q|) | mask. uint8 suffices since |Q| <= 64.
+  std::vector<std::uint8_t> dense_table_;
+
+  // Lazy path: open-addressing memo (power-of-two capacity, linear probing).
+  mutable std::vector<MemoEntry> memo_;
+  mutable std::uint64_t memo_occupied_ = 0;
+
+  mutable std::vector<StateId> unpack_scratch_;
+};
+
+}  // namespace ssau::core

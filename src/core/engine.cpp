@@ -1,18 +1,21 @@
 #include "core/engine.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace ssau::core {
 
 Engine::Engine(const graph::Graph& g, const Automaton& alg,
                sched::Scheduler& sched, Configuration initial,
-               std::uint64_t seed)
+               std::uint64_t seed, EngineOptions options)
     : graph_(g),
       automaton_(alg),
       scheduler_(sched),
       config_(std::move(initial)),
       rng_(seed),
       sched_rng_(rng_.fork()),
+      options_(options),
+      stepper_(&alg),
       pending_(g.num_nodes(), true),
       pending_count_(g.num_nodes()),
       activation_counts_(g.num_nodes(), 0) {
@@ -23,6 +26,21 @@ Engine::Engine(const graph::Graph& g, const Automaton& alg,
     if (q >= automaton_.state_count()) {
       throw std::invalid_argument("initial state out of range");
     }
+  }
+  if (options_.fast_path) {
+    mask_kernel_ = automaton_.state_count() <= SignalView::kMaskBits;
+    if (options_.compile && CompiledAutomaton::compilable(automaton_) &&
+        !automaton_.native_mask_kernel()) {
+      compiled_ = std::make_unique<CompiledAutomaton>(automaton_);
+      stepper_ = compiled_.get();
+    }
+    full_activation_ = scheduler_.full_activation();
+    if (full_activation_) next_config_.resize(graph_.num_nodes());
+    std::size_t max_degree = 0;
+    for (NodeId v = 0; v < graph_.num_nodes(); ++v) {
+      max_degree = std::max(max_degree, graph_.degree(v));
+    }
+    scratch_.reserve(max_degree + 1);
   }
 }
 
@@ -35,10 +53,90 @@ Signal Engine::signal_of(NodeId v) const {
 }
 
 void Engine::step() {
+  if (!options_.fast_path) {
+    step_legacy();
+  } else if (full_activation_) {
+    step_synchronous();
+  } else {
+    step_async();
+  }
+}
+
+// Batched synchronous kernel: A_t = V, so the next configuration is computed
+// into the double buffer in one pass (no update list, no pending-bitmap
+// churn) and every step closes exactly one round.
+void Engine::step_synchronous() {
+  const NodeId n = graph_.num_nodes();
+  if (mask_kernel_ && !listener_) {
+    // Bitmask kernel: |Q| <= 64, so sensing collapses to OR-ing neighborhood
+    // bits and δ to one step_mask call (a table probe or native bit-ops).
+    const Automaton& kernel = *stepper_;
+    for (NodeId v = 0; v < n; ++v) {
+      const StateId cur = config_[v];
+      std::uint64_t mask = std::uint64_t{1} << cur;
+      for (const NodeId u : graph_.neighbors(v)) {
+        mask |= std::uint64_t{1} << config_[u];
+      }
+      next_config_[v] = kernel.step_mask(cur, mask, rng_);
+      ++activation_counts_[v];
+    }
+  } else {
+    for (NodeId v = 0; v < n; ++v) {
+      const SignalView sig = scratch_.sense(graph_, config_, v);
+      const StateId cur = config_[v];
+      const StateId next = stepper_->step_fast(cur, sig, rng_);
+      if (next != cur && listener_) {
+        listener_(v, cur, next, sig.materialize(), time_);
+      }
+      next_config_[v] = next;
+      ++activation_counts_[v];
+    }
+  }
+  config_.swap(next_config_);
+  ++time_;
+  ++rounds_;
+  last_boundary_time_ = time_;
+  // pending_ stays all-true / pending_count_ stays n: the round that opened
+  // at this step's start closed at its end.
+}
+
+void Engine::step_async() {
   scheduler_.activations(time_, active_, sched_rng_);
   updates_.clear();
 
   // Phase 1: all activated nodes read C_t and compute their next state.
+  if (mask_kernel_ && !listener_) {
+    const Automaton& kernel = *stepper_;
+    for (const NodeId v : active_) {
+      const StateId cur = config_[v];
+      std::uint64_t mask = std::uint64_t{1} << cur;
+      for (const NodeId u : graph_.neighbors(v)) {
+        mask |= std::uint64_t{1} << config_[u];
+      }
+      updates_.emplace_back(v, kernel.step_mask(cur, mask, rng_));
+    }
+  } else {
+    for (const NodeId v : active_) {
+      const SignalView sig = scratch_.sense(graph_, config_, v);
+      const StateId cur = config_[v];
+      const StateId next = stepper_->step_fast(cur, sig, rng_);
+      if (next != cur && listener_) {
+        listener_(v, cur, next, sig.materialize(), time_);
+      }
+      updates_.emplace_back(v, next);
+    }
+  }
+
+  apply_updates_and_close_rounds();
+}
+
+// The pre-fast-path engine, verbatim: one owning Signal per activation via
+// sort + dedup, dispatched through Automaton::step. Kept as the differential
+// oracle; produces bit-identical trajectories to the fast path.
+void Engine::step_legacy() {
+  scheduler_.activations(time_, active_, sched_rng_);
+  updates_.clear();
+
   for (const NodeId v : active_) {
     sense_buffer_.clear();
     sense_buffer_.push_back(config_[v]);
@@ -53,7 +151,11 @@ void Engine::step() {
     updates_.emplace_back(v, next);
   }
 
-  // Phase 2: apply simultaneously; advance round bookkeeping.
+  apply_updates_and_close_rounds();
+}
+
+// Phase 2: apply simultaneously; advance round bookkeeping.
+void Engine::apply_updates_and_close_rounds() {
   for (const auto& [v, q] : updates_) {
     config_[v] = q;
     ++activation_counts_[v];
@@ -69,11 +171,6 @@ void Engine::step() {
     pending_.assign(graph_.num_nodes(), true);
     pending_count_ = graph_.num_nodes();
   }
-}
-
-std::uint64_t Engine::round_index_now() const {
-  if (time_ == 0) return 0;
-  return last_boundary_time_ == time_ ? rounds_ : rounds_ + 1;
 }
 
 RunOutcome Engine::run_until(
@@ -108,6 +205,14 @@ void Engine::run_rounds(std::uint64_t rounds) {
 void Engine::inject_configuration(Configuration config) {
   if (config.size() != graph_.num_nodes()) {
     throw std::invalid_argument("injected configuration size mismatch");
+  }
+  // Same range check as the constructor: the bitmask kernels index
+  // state-indexed tables (and shift by StateId), so an out-of-range state
+  // must fail loudly here rather than corrupt the run.
+  for (const StateId q : config) {
+    if (q >= automaton_.state_count()) {
+      throw std::invalid_argument("injected state out of range");
+    }
   }
   config_ = std::move(config);
 }

@@ -11,22 +11,38 @@
 //
 // The engine is algorithm-agnostic: it drives any core::Automaton under any
 // sched::Scheduler from any initial configuration (the adversary's C_0).
+//
+// Hot path (EngineOptions::fast_path, the default):
+//   * signals are zero-allocation SignalViews built in a reusable scratch
+//     (bitmask construction when every sensed StateId < 64, sorted-span
+//     otherwise) and fed to Automaton::step_fast;
+//   * deterministic automata with |Q| <= 64 are compiled into a table-driven
+//     kernel (CompiledAutomaton) at engine construction;
+//   * under a full-activation scheduler (Scheduler::full_activation), the
+//     phase-1/phase-2 split is replaced by double-buffering the whole
+//     configuration, and activation/round bookkeeping folds into the same
+//     pass (every synchronous step closes exactly one round).
+// The legacy interpreted path (fast_path = false) builds an owning Signal via
+// Signal::from_states per activation and dispatches Automaton::step; it is
+// kept as the differential-testing oracle. Both paths produce bit-identical
+// trajectories for equal seeds: they consume the engine and scheduler rng
+// streams identically.
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "core/automaton.hpp"
+#include "core/compiled_automaton.hpp"
 #include "core/signal.hpp"
+#include "core/signal_view.hpp"
 #include "core/types.hpp"
 #include "graph/graph.hpp"
 #include "sched/scheduler.hpp"
 #include "util/rng.hpp"
 
 namespace ssau::core {
-
-/// A configuration C : V -> Q.
-using Configuration = std::vector<StateId>;
 
 /// Result of run_until_*: whether the predicate was reached, at what time,
 /// and the smallest round index i with R(i) >= that time.
@@ -36,15 +52,27 @@ struct RunOutcome {
   std::uint64_t rounds = 0;
 };
 
+/// Execution-path knobs. Defaults give the fastest exact-semantics engine.
+struct EngineOptions {
+  /// false: legacy interpreted path (owning Signal + Automaton::step per
+  /// activation) — the differential-testing oracle.
+  bool fast_path = true;
+  /// Compile deterministic |Q| <= 64 automata into a transition table
+  /// (ignored when fast_path is false or the automaton is not compilable).
+  bool compile = true;
+};
+
 class Engine {
  public:
   /// Observes every state transition (from != to) as it is applied.
+  /// Attaching a listener re-introduces one Signal allocation per observed
+  /// transition on the fast path (the view is materialized for the callback).
   using TransitionListener = std::function<void(
       NodeId v, StateId from, StateId to, const Signal& sig, Time t)>;
 
   /// The engine borrows graph/automaton/scheduler; they must outlive it.
   Engine(const graph::Graph& g, const Automaton& alg, sched::Scheduler& sched,
-         Configuration initial, std::uint64_t seed);
+         Configuration initial, std::uint64_t seed, EngineOptions options = {});
 
   /// Executes one step (one scheduler activation set).
   void step();
@@ -62,11 +90,16 @@ class Engine {
   [[nodiscard]] Time time() const { return time_; }
   [[nodiscard]] std::uint64_t rounds_completed() const { return rounds_; }
 
-  /// Smallest i such that R(i) >= current time (the paper-style round stamp of
-  /// "now").
-  [[nodiscard]] std::uint64_t round_index_now() const;
+  /// Smallest i such that R(i) >= current time (the paper-style round stamp
+  /// of "now"). At a round boundary — time_ == R(rounds_), which includes
+  /// t = 0 = R(0) — this is exactly rounds_; strictly inside a round it is
+  /// rounds_ + 1, the index of the round that will close next.
+  [[nodiscard]] std::uint64_t round_index_now() const {
+    return time_ == last_boundary_time_ ? rounds_ : rounds_ + 1;
+  }
 
-  /// The signal of node v under the *current* configuration.
+  /// The signal of node v under the *current* configuration (owning; for
+  /// inspection — the hot path never calls this).
   [[nodiscard]] Signal signal_of(NodeId v) const;
 
   /// Number of activations applied to node v so far (fairness auditing).
@@ -80,6 +113,12 @@ class Engine {
 
   [[nodiscard]] const graph::Graph& graph() const { return graph_; }
   [[nodiscard]] const Automaton& automaton() const { return automaton_; }
+  /// The compiled table kernel, or nullptr when the automaton was not
+  /// compiled (randomized, |Q| > 64, or disabled via EngineOptions).
+  [[nodiscard]] const CompiledAutomaton* compiled() const {
+    return compiled_.get();
+  }
+  [[nodiscard]] const EngineOptions& options() const { return options_; }
 
   /// Overwrites the configuration (models a burst of transient faults /
   /// adversarial re-initialization mid-run). Round tracking continues.
@@ -89,6 +128,11 @@ class Engine {
   void inject_state(NodeId v, StateId q);
 
  private:
+  void step_synchronous();
+  void step_async();
+  void step_legacy();
+  void apply_updates_and_close_rounds();
+
   const graph::Graph& graph_;
   const Automaton& automaton_;
   sched::Scheduler& scheduler_;
@@ -96,12 +140,21 @@ class Engine {
   util::Rng rng_;
   util::Rng sched_rng_;
   Time time_ = 0;
+  EngineOptions options_;
+
+  // Fast-path kernel state.
+  std::unique_ptr<CompiledAutomaton> compiled_;
+  const Automaton* stepper_;       // compiled_ if present, else &automaton_
+  bool full_activation_ = false;   // scheduler guarantees A_t = V
+  bool mask_kernel_ = false;       // |Q| <= 64: step_mask drives the hot loop
+  SignalScratch scratch_;
+  Configuration next_config_;      // double buffer for the synchronous kernel
 
   // Round operator tracking.
   std::uint64_t rounds_ = 0;
   std::vector<bool> pending_;      // not yet activated in the current round
-  NodeId pending_count_;
-  Time last_boundary_time_ = 0;    // R(rounds_) if rounds_ > 0
+  std::uint64_t pending_count_;
+  Time last_boundary_time_ = 0;    // R(rounds_): 0 initially (R(0) = 0)
 
   std::vector<std::uint64_t> activation_counts_;
   TransitionListener listener_;

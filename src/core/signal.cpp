@@ -1,10 +1,20 @@
 #include "core/signal.hpp"
 
+#include <cassert>
+
 namespace ssau::core {
 
 Signal Signal::from_states(std::vector<StateId> states) {
   std::sort(states.begin(), states.end());
   states.erase(std::unique(states.begin(), states.end()), states.end());
+  Signal s;
+  s.states_ = std::move(states);
+  return s;
+}
+
+Signal Signal::from_sorted_unique(std::vector<StateId> states) {
+  assert(std::is_sorted(states.begin(), states.end()) &&
+         std::adjacent_find(states.begin(), states.end()) == states.end());
   Signal s;
   s.states_ = std::move(states);
   return s;

@@ -25,6 +25,10 @@ class Signal {
   /// Builds from an arbitrary list of sensed states (sorts, deduplicates).
   static Signal from_states(std::vector<StateId> states);
 
+  /// Builds from a list that is already sorted and deduplicated (the engine
+  /// fast path and SignalView::materialize provide such lists for free).
+  static Signal from_sorted_unique(std::vector<StateId> states);
+
   /// True iff state q appears somewhere in N+(v).
   [[nodiscard]] bool contains(StateId q) const {
     return std::binary_search(states_.begin(), states_.end(), q);

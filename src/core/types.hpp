@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "graph/graph.hpp"
 
@@ -15,5 +16,8 @@ using StateId = std::uint64_t;
 
 /// Discrete time: step t spans [t, t+1) as in the paper.
 using Time = std::uint64_t;
+
+/// A configuration C : V -> Q.
+using Configuration = std::vector<StateId>;
 
 }  // namespace ssau::core

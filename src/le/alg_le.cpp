@@ -110,8 +110,8 @@ std::int64_t AlgLe::output(core::StateId q) const {
   return s.mode == LeState::Mode::kVerify && s.leader ? 1 : 0;
 }
 
-core::StateId AlgLe::step(core::StateId q, const core::Signal& sig,
-                          util::Rng& rng) const {
+core::StateId AlgLe::step_fast(core::StateId q, const core::SignalView& sig,
+                               util::Rng& rng) const {
   const LeState self = decode(q);
   const int exit_idx = restart_.exit_index();
 

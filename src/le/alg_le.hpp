@@ -78,8 +78,12 @@ class AlgLe final : public core::Automaton {
   /// Output states: the verification stage (ω = leader bit).
   [[nodiscard]] bool is_output(core::StateId q) const override;
   [[nodiscard]] std::int64_t output(core::StateId q) const override;
-  [[nodiscard]] core::StateId step(core::StateId q, const core::Signal& sig,
-                                   util::Rng& rng) const override;
+  /// Randomized, so ineligible for table compilation — but the SignalView
+  /// overload keeps the engine hot path allocation-free, and the rng draw
+  /// sequence is identical either way.
+  [[nodiscard]] core::StateId step_fast(core::StateId q,
+                                        const core::SignalView& sig,
+                                        util::Rng& rng) const override;
   [[nodiscard]] std::string state_name(core::StateId q) const override;
 
  private:

@@ -97,8 +97,8 @@ std::int64_t AlgMis::output(core::StateId q) const {
   return decode(q).mode == MisState::Mode::kIn ? 1 : 0;
 }
 
-core::StateId AlgMis::step(core::StateId q, const core::Signal& sig,
-                           util::Rng& rng) const {
+core::StateId AlgMis::step_fast(core::StateId q, const core::SignalView& sig,
+                                util::Rng& rng) const {
   const MisState self = decode(q);
   const int exit_idx = restart_.exit_index();
   const int max_step = params_.diameter_bound + 2;  // D+2

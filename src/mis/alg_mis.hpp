@@ -71,8 +71,12 @@ class AlgMis final : public core::Automaton {
   /// Output states: IN (ω=1) and OUT (ω=0).
   [[nodiscard]] bool is_output(core::StateId q) const override;
   [[nodiscard]] std::int64_t output(core::StateId q) const override;
-  [[nodiscard]] core::StateId step(core::StateId q, const core::Signal& sig,
-                                   util::Rng& rng) const override;
+  /// Randomized, so ineligible for table compilation — but the SignalView
+  /// overload keeps the engine hot path allocation-free, and the rng draw
+  /// sequence is identical either way.
+  [[nodiscard]] core::StateId step_fast(core::StateId q,
+                                        const core::SignalView& sig,
+                                        util::Rng& rng) const override;
   [[nodiscard]] std::string state_name(core::StateId q) const override;
 
  private:

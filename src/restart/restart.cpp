@@ -71,8 +71,9 @@ std::int64_t StandaloneRestart::output(core::StateId q) const {
   return static_cast<std::int64_t>(q) - rules_.chain_length();
 }
 
-core::StateId StandaloneRestart::step(core::StateId q, const core::Signal& sig,
-                                      util::Rng& /*rng*/) const {
+core::StateId StandaloneRestart::step_fast(core::StateId q,
+                                           const core::SignalView& sig,
+                                           util::Rng& /*rng*/) const {
   std::optional<int> min_sigma;
   bool senses_non_sigma = false;
   bool all_exit = true;

@@ -73,8 +73,10 @@ class StandaloneRestart final : public core::Automaton {
     return !is_sigma(q);
   }
   [[nodiscard]] std::int64_t output(core::StateId q) const override;
-  [[nodiscard]] core::StateId step(core::StateId q, const core::Signal& sig,
-                                   util::Rng& rng) const override;
+  [[nodiscard]] core::StateId step_fast(core::StateId q,
+                                        const core::SignalView& sig,
+                                        util::Rng& rng) const override;
+  [[nodiscard]] bool deterministic() const override { return true; }
   [[nodiscard]] std::string state_name(core::StateId q) const override;
 
  private:

@@ -29,6 +29,11 @@ class Scheduler {
   virtual void activations(core::Time t, std::vector<core::NodeId>& out,
                            util::Rng& rng) = 0;
 
+  /// True iff this scheduler guarantees A_t = V for every t AND activations()
+  /// never consumes the rng. The engine then skips activation-set
+  /// construction entirely and runs its batched double-buffered kernel.
+  [[nodiscard]] virtual bool full_activation() const { return false; }
+
   [[nodiscard]] virtual std::string name() const = 0;
 };
 
@@ -38,6 +43,7 @@ class SynchronousScheduler final : public Scheduler {
   explicit SynchronousScheduler(core::NodeId n) : n_(n) {}
   void activations(core::Time, std::vector<core::NodeId>& out,
                    util::Rng&) override;
+  [[nodiscard]] bool full_activation() const override { return true; }
   [[nodiscard]] std::string name() const override { return "synchronous"; }
 
  private:

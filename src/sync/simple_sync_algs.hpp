@@ -22,10 +22,12 @@ class MinPropagation final : public core::Automaton {
   [[nodiscard]] std::int64_t output(core::StateId q) const override {
     return static_cast<std::int64_t>(q);
   }
-  [[nodiscard]] core::StateId step(core::StateId, const core::Signal& sig,
-                                   util::Rng&) const override {
+  [[nodiscard]] core::StateId step_fast(core::StateId,
+                                        const core::SignalView& sig,
+                                        util::Rng&) const override {
     return sig.states().front();  // sorted ascending: front is the minimum
   }
+  [[nodiscard]] bool deterministic() const override { return true; }
 
  private:
   core::StateId m_;
@@ -39,10 +41,12 @@ class OrFlood final : public core::Automaton {
   [[nodiscard]] std::int64_t output(core::StateId q) const override {
     return static_cast<std::int64_t>(q);
   }
-  [[nodiscard]] core::StateId step(core::StateId q, const core::Signal& sig,
-                                   util::Rng&) const override {
+  [[nodiscard]] core::StateId step_fast(core::StateId q,
+                                        const core::SignalView& sig,
+                                        util::Rng&) const override {
     return sig.contains(1) ? 1 : q;
   }
+  [[nodiscard]] bool deterministic() const override { return true; }
 };
 
 /// Blinker: state alternates 0/1 every synchronous round, ignoring the
@@ -55,10 +59,12 @@ class Blinker final : public core::Automaton {
   [[nodiscard]] std::int64_t output(core::StateId q) const override {
     return static_cast<std::int64_t>(q);
   }
-  [[nodiscard]] core::StateId step(core::StateId q, const core::Signal&,
-                                   util::Rng&) const override {
+  [[nodiscard]] core::StateId step_fast(core::StateId q,
+                                        const core::SignalView&,
+                                        util::Rng&) const override {
     return 1 - q;
   }
+  [[nodiscard]] bool deterministic() const override { return true; }
 };
 
 }  // namespace ssau::sync

@@ -49,18 +49,19 @@ std::int64_t Synchronizer::output(core::StateId q) const {
   return pi_.output(decode(q).current);
 }
 
-core::StateId Synchronizer::step(core::StateId q, const core::Signal& sig,
-                                 util::Rng& rng) const {
+core::StateId Synchronizer::step_fast(core::StateId q,
+                                      const core::SignalView& sig,
+                                      util::Rng& rng) const {
   const ProductState self = decode(q);
 
-  // Project the AlgAU signal out of the sensed product states.
-  std::vector<core::StateId> turn_states;
-  turn_states.reserve(sig.size());
+  // Project the AlgAU signal out of the sensed product states (into the
+  // reusable scratch: no allocation once warmed up).
+  turn_scratch_.clear();
   for (const core::StateId s : sig.states()) {
-    turn_states.push_back(decode(s).turn);
+    turn_scratch_.push_back(decode(s).turn);
   }
-  const core::Signal au_sig = core::Signal::from_states(std::move(turn_states));
-  const core::StateId next_turn = au_.step(self.turn, au_sig, rng);
+  const core::SignalView au_sig = core::make_signal_view(turn_scratch_);
+  const core::StateId next_turn = au_.step_fast(self.turn, au_sig, rng);
 
   const bool clock_advance =
       next_turn != self.turn && au_.turns().is_able(self.turn) &&
@@ -71,15 +72,14 @@ core::StateId Synchronizer::step(core::StateId q, const core::Signal& sig,
 
   // Simulate one synchronous round of Π. The simulated signal senses r iff a
   // sensed product state has the form (r, ·, ν) or (·, r, ν').
-  std::vector<core::StateId> pi_states;
-  pi_states.reserve(sig.size());
+  pi_scratch_.clear();
   for (const core::StateId s : sig.states()) {
     const ProductState ds = decode(s);
-    if (ds.turn == self.turn) pi_states.push_back(ds.current);
-    if (ds.turn == next_turn) pi_states.push_back(ds.previous);
+    if (ds.turn == self.turn) pi_scratch_.push_back(ds.current);
+    if (ds.turn == next_turn) pi_scratch_.push_back(ds.previous);
   }
-  const core::Signal pi_sig = core::Signal::from_states(std::move(pi_states));
-  const core::StateId next_pi = pi_.step(self.current, pi_sig, rng);
+  const core::SignalView pi_sig = core::make_signal_view(pi_scratch_);
+  const core::StateId next_pi = pi_.step_fast(self.current, pi_sig, rng);
   return encode({next_pi, self.current, next_turn});
 }
 

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <memory>
+#include <vector>
 
 #include "core/automaton.hpp"
 #include "unison/alg_au.hpp"
@@ -48,13 +49,23 @@ class Synchronizer final : public core::Automaton {
   [[nodiscard]] bool is_output(core::StateId q) const override;
   /// ω*(q, q', ν) = ω(q).
   [[nodiscard]] std::int64_t output(core::StateId q) const override;
-  [[nodiscard]] core::StateId step(core::StateId q, const core::Signal& sig,
-                                   util::Rng& rng) const override;
+  [[nodiscard]] core::StateId step_fast(core::StateId q,
+                                        const core::SignalView& sig,
+                                        util::Rng& rng) const override;
+  /// Deterministic iff Π is (the AlgAU coordinate always is).
+  [[nodiscard]] bool deterministic() const override {
+    return pi_.deterministic();
+  }
   [[nodiscard]] std::string state_name(core::StateId q) const override;
 
  private:
   const core::Automaton& pi_;
   unison::AlgAu au_;
+  // Reusable projection buffers for the per-coordinate signals. The engine is
+  // single-threaded per instance; share a Synchronizer across threads only
+  // with external synchronization.
+  mutable std::vector<core::StateId> turn_scratch_;
+  mutable std::vector<core::StateId> pi_scratch_;
 };
 
 }  // namespace ssau::sync

@@ -9,10 +9,75 @@
 namespace ssau::unison {
 
 AlgAu::AlgAu(int diameter_bound, AlgAuOptions options)
-    : turns_(diameter_bound), options_(options) {}
+    : turns_(diameter_bound), options_(options) {
+  if (turns_.state_count() <= core::SignalView::kMaskBits) {
+    build_mask_tables();
+  }
+}
 
-core::StateId AlgAu::step(core::StateId q, const core::Signal& sig,
-                          util::Rng& /*rng*/) const {
+void AlgAu::build_mask_tables() {
+  const core::StateId n = turns_.state_count();
+  mask_tables_.resize(n);
+  for (core::StateId s = 0; s < n; ++s) {
+    if (turns_.is_faulty(s)) faulty_mask_ |= std::uint64_t{1} << s;
+  }
+  for (core::StateId q = 0; q < n; ++q) {
+    TurnMasks& tm = mask_tables_[q];
+    const Level l = turns_.level_of(q);
+    const Level fwd = turns_.forward(l);
+    for (core::StateId s = 0; s < n; ++s) {
+      const Level sl = turns_.level_of(s);
+      const std::uint64_t bit = std::uint64_t{1} << s;
+      if (turns_.adjacent(l, sl)) tm.adjacent |= bit;
+      if (sl == l || sl == fwd) tm.in_step |= bit;
+      if (turns_.strictly_outwards(sl, l)) tm.outwards |= bit;
+    }
+    if (turns_.is_able(q)) {
+      tm.aa_next = turns_.able_id(fwd);
+      tm.has_faulty_twin = turns_.has_faulty(l);
+      if (tm.has_faulty_twin) {
+        tm.af_next = turns_.faulty_id(l);
+        const Level inward = turns_.outwards(l, -1);
+        if (turns_.has_faulty(inward)) {
+          tm.af_inward = std::uint64_t{1} << turns_.faulty_id(inward);
+        }
+      }
+    } else {
+      tm.fa_next = turns_.able_id(turns_.outwards(l, -1));
+    }
+  }
+}
+
+core::StateId AlgAu::step_mask(core::StateId q, std::uint64_t mask,
+                               util::Rng& rng) const {
+  if (mask_tables_.empty()) return Automaton::step_mask(q, mask, rng);
+  const TurnMasks& tm = mask_tables_[q];
+
+  if (turns_.is_able(q)) {
+    // --- type AA: good (or merely protected under the ablation) and
+    // Λ_v ⊆ {ℓ, φ(ℓ)} ------------------------------------------------------
+    const bool prot = (mask & ~tm.adjacent) == 0;
+    const bool good =
+        options_.aa_requires_good ? prot && (mask & faulty_mask_) == 0 : prot;
+    if (good && (mask & ~tm.in_step) == 0) return tm.aa_next;
+
+    // --- type AF (only levels with |ℓ| >= 2 have a faulty twin) ------------
+    if (tm.has_faulty_twin) {
+      if (!prot) return tm.af_next;
+      if (options_.af_inward_trigger && (mask & tm.af_inward) != 0) {
+        return tm.af_next;
+      }
+    }
+    return q;
+  }
+
+  // --- type FA -------------------------------------------------------------
+  if (options_.fa_outward_guard && (mask & tm.outwards) != 0) return q;
+  return tm.fa_next;
+}
+
+core::StateId AlgAu::step_fast(core::StateId q, const core::SignalView& sig,
+                               util::Rng& /*rng*/) const {
   const Level l = turns_.level_of(q);
 
   if (turns_.is_able(q)) {
@@ -74,7 +139,8 @@ AlgAu::TransitionType AlgAu::classify(core::StateId from,
                          turns_.turn_name(to) + ")");
 }
 
-bool AlgAu::locally_protected(core::StateId q, const core::Signal& sig) const {
+bool AlgAu::locally_protected(core::StateId q,
+                              const core::SignalView& sig) const {
   const Level l = turns_.level_of(q);
   for (const core::StateId s : sig.states()) {
     if (!turns_.adjacent(l, turns_.level_of(s))) return false;
@@ -82,7 +148,7 @@ bool AlgAu::locally_protected(core::StateId q, const core::Signal& sig) const {
   return true;
 }
 
-bool AlgAu::locally_good(core::StateId q, const core::Signal& sig) const {
+bool AlgAu::locally_good(core::StateId q, const core::SignalView& sig) const {
   if (!locally_protected(q, sig)) return false;
   for (const core::StateId s : sig.states()) {
     if (turns_.is_faulty(s)) return false;

@@ -53,8 +53,19 @@ class AlgAu final : public core::Automaton {
   [[nodiscard]] std::int64_t output(core::StateId q) const override {
     return turns_.clock(turns_.level_of(q));
   }
-  [[nodiscard]] core::StateId step(core::StateId q, const core::Signal& sig,
-                                   util::Rng& rng) const override;
+  [[nodiscard]] core::StateId step_fast(core::StateId q,
+                                        const core::SignalView& sig,
+                                        util::Rng& rng) const override;
+  /// Native bitmask δ: every Table-1 guard is a precomputed per-turn bitmask
+  /// test (protected / good / Λ_v ⊆ {ℓ, φ(ℓ)} / faulty-inward / Ψ>), so one
+  /// activation costs a handful of AND/compare ops. Built whenever
+  /// |Q| = 4k-2 <= 64, i.e. D <= 4; larger D falls back to the scalar path.
+  [[nodiscard]] core::StateId step_mask(core::StateId q, std::uint64_t mask,
+                                        util::Rng& rng) const override;
+  [[nodiscard]] bool deterministic() const override { return true; }
+  [[nodiscard]] bool native_mask_kernel() const override {
+    return !mask_tables_.empty();
+  }
   [[nodiscard]] std::string state_name(core::StateId q) const override {
     return turns_.turn_name(q);
   }
@@ -67,17 +78,33 @@ class AlgAu final : public core::Automaton {
                                         core::StateId to) const;
 
   // --- local predicates over a signal (the node's own view) ---------------
+  // SignalView converts implicitly from Signal, so both work here.
 
   /// All sensed levels adjacent to own level (node is protected).
   [[nodiscard]] bool locally_protected(core::StateId q,
-                                       const core::Signal& sig) const;
+                                       const core::SignalView& sig) const;
   /// Protected and sensing no faulty turn.
   [[nodiscard]] bool locally_good(core::StateId q,
-                                  const core::Signal& sig) const;
+                                  const core::SignalView& sig) const;
 
  private:
+  /// Per-turn guard masks for the bitmask kernel (empty when |Q| > 64).
+  struct TurnMasks {
+    std::uint64_t adjacent = 0;     // turns whose level is adjacent to ours
+    std::uint64_t in_step = 0;      // turns with level in {ℓ, φ(ℓ)}
+    std::uint64_t af_inward = 0;    // the faulty turn at ψ_{-1}(ℓ), if any
+    std::uint64_t outwards = 0;     // turns with level in Ψ>(ℓ)
+    core::StateId aa_next = 0;      // able φ(ℓ)
+    core::StateId af_next = 0;      // faulty ℓ̂ (able turns with |ℓ| >= 2)
+    core::StateId fa_next = 0;      // able ψ_{-1}(ℓ) (faulty turns)
+    bool has_faulty_twin = false;   // |ℓ| >= 2
+  };
+  void build_mask_tables();
+
   TurnSystem turns_;
   AlgAuOptions options_;
+  std::vector<TurnMasks> mask_tables_;  // indexed by StateId
+  std::uint64_t faulty_mask_ = 0;       // all faulty turns
 };
 
 [[nodiscard]] std::string to_string(AlgAu::TransitionType t);

@@ -5,9 +5,9 @@
 
 namespace ssau::unison {
 
-core::StateId MinPlusOneUnison::step(core::StateId /*q*/,
-                                     const core::Signal& sig,
-                                     util::Rng& /*rng*/) const {
+core::StateId MinPlusOneUnison::step_fast(core::StateId /*q*/,
+                                          const core::SignalView& sig,
+                                          util::Rng& /*rng*/) const {
   // Signal states are sorted ascending, so the minimum sensed clock is the
   // first entry. N+(v) includes v, so sig is never empty.
   const core::StateId next = sig.states().front() + 1;
@@ -51,8 +51,9 @@ int ResetUnison::value_of(core::StateId q) const {
   return is_sigma(q) ? v - m_ : v;
 }
 
-core::StateId ResetUnison::step(core::StateId q, const core::Signal& sig,
-                                util::Rng& /*rng*/) const {
+core::StateId ResetUnison::step_fast(core::StateId q,
+                                     const core::SignalView& sig,
+                                     util::Rng& /*rng*/) const {
   const bool senses_sigma =
       sig.any([&](core::StateId s) { return is_sigma(s); });
 

@@ -32,8 +32,10 @@ class MinPlusOneUnison final : public core::Automaton {
   [[nodiscard]] std::int64_t output(core::StateId q) const override {
     return static_cast<std::int64_t>(q);
   }
-  [[nodiscard]] core::StateId step(core::StateId q, const core::Signal& sig,
-                                   util::Rng& rng) const override;
+  [[nodiscard]] core::StateId step_fast(core::StateId q,
+                                        const core::SignalView& sig,
+                                        util::Rng& rng) const override;
+  [[nodiscard]] bool deterministic() const override { return true; }
 
   /// Safety: every edge's clocks differ by at most 1 (integer difference).
   [[nodiscard]] bool legitimate(const graph::Graph& g,
@@ -63,8 +65,10 @@ class ResetUnison final : public core::Automaton {
   [[nodiscard]] std::int64_t output(core::StateId q) const override {
     return value_of(q);
   }
-  [[nodiscard]] core::StateId step(core::StateId q, const core::Signal& sig,
-                                   util::Rng& rng) const override;
+  [[nodiscard]] core::StateId step_fast(core::StateId q,
+                                        const core::SignalView& sig,
+                                        util::Rng& rng) const override;
+  [[nodiscard]] bool deterministic() const override { return true; }
   [[nodiscard]] std::string state_name(core::StateId q) const override;
 
   /// All able with every edge within cyclic distance 1 (mod M).

@@ -33,8 +33,8 @@ int FailedAu::value_of(core::StateId q) const {
   return is_reset(q) ? v - (cd_ + 1) : v;
 }
 
-core::StateId FailedAu::step(core::StateId q, const core::Signal& sig,
-                             util::Rng& /*rng*/) const {
+core::StateId FailedAu::step_fast(core::StateId q, const core::SignalView& sig,
+                                  util::Rng& /*rng*/) const {
   const int m = cd_ + 1;  // modulus of the main clock
   if (!is_reset(q)) {
     const int l = value_of(q);

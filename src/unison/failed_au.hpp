@@ -47,8 +47,10 @@ class FailedAu final : public core::Automaton {
   [[nodiscard]] std::int64_t output(core::StateId q) const override {
     return value_of(q);
   }
-  [[nodiscard]] core::StateId step(core::StateId q, const core::Signal& sig,
-                                   util::Rng& rng) const override;
+  [[nodiscard]] core::StateId step_fast(core::StateId q,
+                                        const core::SignalView& sig,
+                                        util::Rng& rng) const override;
+  [[nodiscard]] bool deterministic() const override { return true; }
   [[nodiscard]] std::string state_name(core::StateId q) const override;
 
   /// Legitimate AU configuration for this algorithm: all able, every edge's

@@ -1,0 +1,167 @@
+// Tests for the table-driven δ kernel: eligibility rules, dense-table and
+// lazy-memo equivalence with the base automaton, and the AlgAu native bitmask
+// kernel against its scalar δ.
+#include "core/compiled_automaton.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "mis/alg_mis.hpp"
+#include "sync/simple_sync_algs.hpp"
+#include "unison/alg_au.hpp"
+#include "unison/baselines.hpp"
+#include "util/rng.hpp"
+
+namespace ssau::core {
+namespace {
+
+/// Builds the SignalView for a presence bitmask (scratch-backed).
+class MaskSignal {
+ public:
+  explicit MaskSignal(std::uint64_t mask) : mask_(mask) {
+    for (std::uint64_t m = mask; m != 0; m &= m - 1) {
+      states_.push_back(static_cast<StateId>(std::countr_zero(m)));
+    }
+  }
+  [[nodiscard]] SignalView view() const { return {states_, mask_, true}; }
+
+ private:
+  std::vector<StateId> states_;
+  std::uint64_t mask_;
+};
+
+TEST(CompiledAutomaton, EligibilityRules) {
+  const sync::OrFlood or_flood;                    // deterministic, |Q| = 2
+  const unison::ResetUnison reset(1, 6);           // deterministic, |Q| = 9
+  const unison::MinPlusOneUnison unbounded;        // deterministic, |Q| = 2^40
+  const mis::AlgMis mis({.diameter_bound = 2});    // randomized
+  EXPECT_TRUE(CompiledAutomaton::compilable(or_flood));
+  EXPECT_TRUE(CompiledAutomaton::compilable(reset));
+  EXPECT_FALSE(CompiledAutomaton::compilable(unbounded));
+  EXPECT_FALSE(CompiledAutomaton::compilable(mis));
+  EXPECT_THROW(CompiledAutomaton{mis}, std::invalid_argument);
+}
+
+TEST(CompiledAutomaton, DenseTableMatchesBaseExhaustively) {
+  const unison::ResetUnison base(1, 6);  // |Q| = 9 <= dense limit
+  const CompiledAutomaton compiled(base);
+  ASSERT_TRUE(compiled.dense());
+  util::Rng rng(1);
+  const StateId n = base.state_count();
+  for (StateId q = 0; q < n; ++q) {
+    const std::uint64_t own = std::uint64_t{1} << q;
+    for (std::uint64_t mask = 0; mask < (std::uint64_t{1} << n); ++mask) {
+      if ((mask & own) == 0) continue;  // a node always senses itself
+      const MaskSignal sig(mask);
+      EXPECT_EQ(compiled.step_fast(q, sig.view(), rng),
+                base.step_fast(q, sig.view(), rng))
+          << "q=" << q << " mask=" << mask;
+    }
+  }
+}
+
+TEST(CompiledAutomaton, LazyMemoMatchesBaseOnRandomMasks) {
+  // MinPropagation over 20 states: deterministic, above the dense limit.
+  const sync::MinPropagation base(20);
+  const CompiledAutomaton compiled(base);
+  ASSERT_FALSE(compiled.dense());
+  EXPECT_EQ(compiled.transitions_cached(), 0u);
+  util::Rng rng(2);
+  for (int trial = 0; trial < 5000; ++trial) {
+    const StateId q = rng.below(20);
+    std::uint64_t mask = std::uint64_t{1} << q;
+    for (int b = 0; b < 4; ++b) mask |= std::uint64_t{1} << rng.below(20);
+    const MaskSignal sig(mask);
+    EXPECT_EQ(compiled.step_fast(q, sig.view(), rng),
+              base.step_fast(q, sig.view(), rng));
+  }
+  // Memoization actually happened (and far fewer entries than calls).
+  EXPECT_GT(compiled.transitions_cached(), 0u);
+  EXPECT_LT(compiled.transitions_cached(), 5000u);
+}
+
+TEST(CompiledAutomaton, MemoSurvivesGrowth) {
+  // Enough distinct (q, mask) pairs to force several table growths.
+  const sync::MinPropagation base(24);
+  const CompiledAutomaton compiled(base);
+  util::Rng rng(3);
+  std::vector<std::pair<StateId, std::uint64_t>> keys;
+  for (int trial = 0; trial < 4000; ++trial) {
+    const StateId q = rng.below(24);
+    std::uint64_t mask = std::uint64_t{1} << q;
+    for (int b = 0; b < 8; ++b) mask |= std::uint64_t{1} << rng.below(24);
+    keys.emplace_back(q, mask);
+    const MaskSignal sig(mask);
+    ASSERT_EQ(compiled.step_fast(q, sig.view(), rng),
+              base.step_fast(q, sig.view(), rng));
+  }
+  // Re-query every key: cached answers must still be correct after rehashing.
+  for (const auto& [q, mask] : keys) {
+    const MaskSignal sig(mask);
+    util::Rng dummy(0);
+    ASSERT_EQ(compiled.step_fast(q, sig.view(), dummy),
+              base.step_fast(q, sig.view(), dummy));
+  }
+}
+
+TEST(CompiledAutomaton, ForwardsMetadata) {
+  const unison::ResetUnison base(1, 5);
+  const CompiledAutomaton compiled(base);
+  EXPECT_EQ(compiled.state_count(), base.state_count());
+  EXPECT_TRUE(compiled.deterministic());
+  EXPECT_TRUE(compiled.native_mask_kernel());
+  for (StateId q = 0; q < base.state_count(); ++q) {
+    EXPECT_EQ(compiled.is_output(q), base.is_output(q));
+    EXPECT_EQ(compiled.output(q), base.output(q));
+    EXPECT_EQ(compiled.state_name(q), base.state_name(q));
+  }
+}
+
+TEST(AlgAuMaskKernel, MatchesScalarStepOnRandomSignals) {
+  // D = 2 -> |Q| = 4k-2 = 30 <= 64: the native bitmask kernel is active.
+  // Validate it against the scalar SignalView path over random signals from
+  // every state, including ablated variants.
+  for (const unison::AlgAuOptions opts :
+       {unison::AlgAuOptions{},
+        unison::AlgAuOptions{.af_inward_trigger = false},
+        unison::AlgAuOptions{.fa_outward_guard = false},
+        unison::AlgAuOptions{.aa_requires_good = false}}) {
+    const unison::AlgAu alg(2, opts);
+    ASSERT_TRUE(alg.native_mask_kernel());
+    const StateId n = alg.state_count();
+    util::Rng rng(7);
+    for (StateId q = 0; q < n; ++q) {
+      for (int trial = 0; trial < 400; ++trial) {
+        std::uint64_t mask = std::uint64_t{1} << q;
+        const int extra = 1 + static_cast<int>(rng.below(4));
+        for (int b = 0; b < extra; ++b) {
+          mask |= std::uint64_t{1} << rng.below(n);
+        }
+        const MaskSignal sig(mask);
+        util::Rng r1(0), r2(0);
+        ASSERT_EQ(alg.step_mask(q, mask, r1), alg.step_fast(q, sig.view(), r2))
+            << "q=" << q << " mask=" << mask;
+      }
+    }
+  }
+}
+
+TEST(AlgAuMaskKernel, DisabledForLargeDiameterBounds) {
+  const unison::AlgAu big(5);  // k = 17 -> |Q| = 66 > 64
+  EXPECT_FALSE(big.native_mask_kernel());
+  // The default unpacking step_mask must still agree with step_fast.
+  util::Rng rng(9);
+  const StateId n = 64;  // masks can only name states < 64
+  for (int trial = 0; trial < 2000; ++trial) {
+    const StateId q = rng.below(n);
+    std::uint64_t mask = std::uint64_t{1} << q;
+    for (int b = 0; b < 3; ++b) mask |= std::uint64_t{1} << rng.below(n);
+    const MaskSignal sig(mask);
+    util::Rng r1(0), r2(0);
+    ASSERT_EQ(big.step_mask(q, mask, r1), big.step_fast(q, sig.view(), r2));
+  }
+}
+
+}  // namespace
+}  // namespace ssau::core

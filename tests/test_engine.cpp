@@ -106,6 +106,61 @@ TEST(Engine, RoundIndexNowRoundsUpMidRound) {
   EXPECT_EQ(engine.round_index_now(), 1u);
 }
 
+TEST(Engine, RoundIndexNowExactlyAtBoundaries) {
+  // Satellite regression: at every time R(i) (including t = 0 = R(0)) the
+  // round stamp must be exactly i — not i+1 — and strictly inside a round it
+  // must round up. Exercised over several consecutive rounds and under both
+  // engine paths.
+  for (const bool fast : {false, true}) {
+    const graph::Graph g = graph::path(3);
+    CounterAutomaton alg(100);
+    sched::RotatingSingleScheduler sched(3);
+    Engine engine(g, alg, sched, Configuration(3, 0), 1,
+                  EngineOptions{.fast_path = fast});
+    EXPECT_EQ(engine.time(), 0u);
+    EXPECT_EQ(engine.round_index_now(), 0u);  // t = 0 = R(0)
+    for (std::uint64_t i = 1; i <= 4; ++i) {
+      engine.step();  // node 0: round i begins
+      EXPECT_EQ(engine.round_index_now(), i) << "mid-round, fast=" << fast;
+      engine.step();  // node 1: still mid-round
+      EXPECT_EQ(engine.round_index_now(), i) << "mid-round, fast=" << fast;
+      engine.step();  // node 2: round i closes exactly now (time == R(i))
+      EXPECT_EQ(engine.rounds_completed(), i);
+      EXPECT_EQ(engine.time(), 3 * i);
+      EXPECT_EQ(engine.round_index_now(), i) << "boundary, fast=" << fast;
+    }
+  }
+}
+
+TEST(Engine, RoundIndexNowSynchronousBoundaryEveryStep) {
+  // Under synchrony every step ends on a boundary: R(i) = i, and the stamp
+  // must never round up.
+  const graph::Graph g = graph::cycle(4);
+  CounterAutomaton alg(100);
+  sched::SynchronousScheduler sched(4);
+  Engine engine(g, alg, sched, Configuration(4, 0), 1);
+  for (std::uint64_t i = 1; i <= 5; ++i) {
+    engine.step();
+    EXPECT_EQ(engine.time(), i);
+    EXPECT_EQ(engine.rounds_completed(), i);
+    EXPECT_EQ(engine.round_index_now(), i);
+  }
+}
+
+TEST(Engine, PendingCountSurvivesLargeNodeCounts) {
+  // Satellite regression for the pending_count_ type fix: a full round over
+  // n nodes driven one activation at a time keeps exact bookkeeping.
+  const NodeId n = 300;
+  const graph::Graph g = graph::cycle(n);
+  CounterAutomaton alg(1000);
+  sched::RotatingSingleScheduler sched(n);
+  Engine engine(g, alg, sched, Configuration(n, 0), 1);
+  engine.run_rounds(2);
+  EXPECT_EQ(engine.time(), 2u * n);
+  EXPECT_EQ(engine.rounds_completed(), 2u);
+  for (NodeId v = 0; v < n; ++v) EXPECT_EQ(engine.activation_count(v), 2u);
+}
+
 TEST(Engine, RunUntilStopsAtPredicate) {
   const graph::Graph g = graph::path(4);
   sync::OrFlood alg;
@@ -185,6 +240,11 @@ TEST(Engine, InjectionOverridesStates) {
   EXPECT_THROW(engine.inject_state(0, 1000), std::invalid_argument);
   EXPECT_THROW(engine.inject_configuration(Configuration{1, 2}),
                std::invalid_argument);
+  // Out-of-range states must be rejected too (the bitmask kernels index
+  // state-indexed tables, so this failing loudly is load-bearing).
+  EXPECT_THROW(engine.inject_configuration(Configuration{1, 2, 1000}),
+               std::invalid_argument);
+  EXPECT_EQ(engine.config(), (Configuration{7, 8, 9}));  // unchanged on throw
 }
 
 TEST(Engine, RejectsBadInitialConfiguration) {

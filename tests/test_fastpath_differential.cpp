@@ -1,0 +1,200 @@
+// Differential tests pinning the fast-path engine (SignalView scratch,
+// step_mask bit kernels, CompiledAutomaton tables, batched synchronous
+// double-buffering) bit-for-bit to the legacy interpreted path
+// (Signal::from_states + Automaton::step per activation).
+//
+// AU, MIS, and LE run under the synchronous schedule and every scheduler in
+// async_scheduler_names() with fixed seeds; at every step the two engines
+// must agree on the configuration, time, completed rounds, round stamp, and
+// per-node activation counts.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "graph/generators.hpp"
+#include "le/alg_le.hpp"
+#include "mis/alg_mis.hpp"
+#include "sched/scheduler.hpp"
+#include "sync/simple_sync_algs.hpp"
+#include "sync/synchronizer.hpp"
+#include "unison/alg_au.hpp"
+#include "unison/baselines.hpp"
+#include "util/rng.hpp"
+
+namespace ssau {
+namespace {
+
+std::vector<std::string> all_scheduler_names() {
+  std::vector<std::string> names = sched::async_scheduler_names();
+  names.insert(names.begin(), "synchronous");
+  return names;
+}
+
+/// Runs `steps` steps in lockstep and asserts the full engine state agrees.
+void expect_identical_trajectories(const graph::Graph& g,
+                                   const core::Automaton& alg,
+                                   const core::Configuration& initial,
+                                   const std::string& sched_name,
+                                   std::uint64_t seed, int steps) {
+  auto fast_sched = sched::make_scheduler(sched_name, g);
+  auto legacy_sched = sched::make_scheduler(sched_name, g);
+  core::Engine fast(g, alg, *fast_sched, initial, seed,
+                    core::EngineOptions{.fast_path = true, .compile = true});
+  core::Engine legacy(g, alg, *legacy_sched, initial, seed,
+                      core::EngineOptions{.fast_path = false});
+  for (int s = 0; s < steps; ++s) {
+    fast.step();
+    legacy.step();
+    ASSERT_EQ(fast.config(), legacy.config())
+        << sched_name << " diverged at step " << s;
+    ASSERT_EQ(fast.time(), legacy.time());
+    ASSERT_EQ(fast.rounds_completed(), legacy.rounds_completed())
+        << sched_name << " round drift at step " << s;
+    ASSERT_EQ(fast.round_index_now(), legacy.round_index_now());
+  }
+  for (core::NodeId v = 0; v < g.num_nodes(); ++v) {
+    ASSERT_EQ(fast.activation_count(v), legacy.activation_count(v));
+  }
+}
+
+TEST(FastPathDifferential, AlgAuEverySchedulerEveryAdversary) {
+  // D = 2: |Q| = 30 -> native bitmask kernel on the fast path.
+  const unison::AlgAu alg(2);
+  util::Rng rng(11);
+  const graph::Graph g = graph::random_bounded_diameter(12, 2, rng);
+  for (const std::string& kind : unison::au_adversary_kinds()) {
+    const core::Configuration c0 =
+        unison::au_adversarial_configuration(kind, alg, g, rng);
+    for (const std::string& sched_name : all_scheduler_names()) {
+      expect_identical_trajectories(g, alg, c0, sched_name, 101, 300);
+    }
+  }
+}
+
+TEST(FastPathDifferential, AlgAuLargeDiameterSparsePath) {
+  // D = 5: |Q| = 66 > 64 -> the fast path uses the sorted-span SignalView
+  // (no bitmask, no table) and must still match exactly.
+  const unison::AlgAu alg(5);
+  util::Rng rng(13);
+  const graph::Graph g = graph::cycle(10);
+  const core::Configuration c0 =
+      unison::au_adversarial_configuration("random", alg, g, rng);
+  for (const std::string& sched_name : all_scheduler_names()) {
+    expect_identical_trajectories(g, alg, c0, sched_name, 103, 300);
+  }
+}
+
+TEST(FastPathDifferential, AlgMisEveryScheduler) {
+  // Randomized: the differential additionally pins the rng draw sequence
+  // (any reordering of coin tosses would diverge within a few steps).
+  const mis::AlgMis alg({.diameter_bound = 2});
+  util::Rng rng(17);
+  const graph::Graph g = graph::random_bounded_diameter(12, 2, rng);
+  for (const char* kind : {"random", "adjacent-in", "skewed-steps"}) {
+    const core::Configuration c0 =
+        mis::mis_adversarial_configuration(kind, alg, g, rng);
+    for (const std::string& sched_name : all_scheduler_names()) {
+      expect_identical_trajectories(g, alg, c0, sched_name, 107, 300);
+    }
+  }
+}
+
+TEST(FastPathDifferential, AlgLeEveryScheduler) {
+  const le::AlgLe alg({.diameter_bound = 2});
+  util::Rng rng(19);
+  const graph::Graph g = graph::random_bounded_diameter(10, 2, rng);
+  for (const char* kind : {"random", "two-leaders", "zero-leaders"}) {
+    const core::Configuration c0 =
+        le::le_adversarial_configuration(kind, alg, g, rng);
+    for (const std::string& sched_name : all_scheduler_names()) {
+      expect_identical_trajectories(g, alg, c0, sched_name, 109, 300);
+    }
+  }
+}
+
+TEST(FastPathDifferential, SmallDeterministicAutomataCompileToTables) {
+  // ResetUnison (dense table) and the Blinker synchronizer product (sparse
+  // view; |Q*| > 64) both ride the fast path.
+  const unison::ResetUnison reset(1, 6);
+  const sync::Blinker blinker;
+  const sync::Synchronizer synced(blinker, 1);
+  util::Rng rng(23);
+  const graph::Graph g = graph::wheel(9);
+  const core::Configuration r0 =
+      core::random_configuration(reset, g.num_nodes(), rng);
+  const core::Configuration s0 =
+      core::random_configuration(synced, g.num_nodes(), rng);
+  for (const std::string& sched_name : all_scheduler_names()) {
+    expect_identical_trajectories(g, reset, r0, sched_name, 113, 400);
+    expect_identical_trajectories(g, synced, s0, sched_name, 113, 120);
+  }
+}
+
+TEST(FastPathDifferential, ListenerSeesIdenticalTransitions) {
+  // Attaching a listener switches the fast engine off the mask-only loop;
+  // the observed transition streams must match the legacy engine's exactly.
+  const unison::AlgAu alg(1);
+  util::Rng rng(29);
+  const graph::Graph g = graph::cycle(8);
+  const core::Configuration c0 =
+      unison::au_adversarial_configuration("tear", alg, g, rng);
+  struct Event {
+    core::NodeId v;
+    core::StateId from, to;
+    core::Time t;
+    bool operator==(const Event&) const = default;
+  };
+  auto run = [&](bool fast_path) {
+    auto sched = sched::make_scheduler("rotating-single", g);
+    core::Engine engine(g, alg, *sched, c0, 131,
+                        core::EngineOptions{.fast_path = fast_path});
+    std::vector<Event> events;
+    std::vector<core::Signal> signals;
+    engine.set_transition_listener(
+        [&](core::NodeId v, core::StateId from, core::StateId to,
+            const core::Signal& sig, core::Time t) {
+          events.push_back({v, from, to, t});
+          signals.push_back(sig);
+        });
+    for (int s = 0; s < 200; ++s) engine.step();
+    return std::make_pair(events, signals);
+  };
+  const auto [fast_events, fast_signals] = run(true);
+  const auto [legacy_events, legacy_signals] = run(false);
+  EXPECT_EQ(fast_events, legacy_events);
+  EXPECT_EQ(fast_signals, legacy_signals);
+  EXPECT_FALSE(fast_events.empty());
+}
+
+TEST(FastPathDifferential, EngineCompilesOnlyEligibleAutomata) {
+  const graph::Graph g = graph::path(4);
+  sched::SynchronousScheduler sched(4);
+
+  // ResetUnison: deterministic, |Q| = 9, no native kernel -> compiled.
+  const unison::ResetUnison reset(1, 6);
+  core::Engine e1(g, reset, sched, core::uniform_configuration(4, 0), 1);
+  EXPECT_NE(e1.compiled(), nullptr);
+  EXPECT_TRUE(e1.compiled()->dense());
+
+  // AlgAu D=2: native bitmask kernel -> no table wrapped around it.
+  const unison::AlgAu au(2);
+  core::Engine e2(g, au, sched, core::uniform_configuration(4, 0), 1);
+  EXPECT_EQ(e2.compiled(), nullptr);
+
+  // AlgMis: randomized -> never compiled.
+  const mis::AlgMis mis({.diameter_bound = 2});
+  core::Engine e3(g, mis, sched,
+                  core::uniform_configuration(4, mis.initial_state()), 1);
+  EXPECT_EQ(e3.compiled(), nullptr);
+
+  // Opting out via EngineOptions.
+  core::Engine e4(g, reset, sched, core::uniform_configuration(4, 0), 1,
+                  core::EngineOptions{.compile = false});
+  EXPECT_EQ(e4.compiled(), nullptr);
+}
+
+}  // namespace
+}  // namespace ssau
