@@ -9,17 +9,29 @@
 //
 // Writes BENCH_engine.json (machine-readable, schema below) so the perf
 // trajectory is tracked from PR to PR, and prints a table with the per-cell
-// fast/legacy speedup. Trajectory equality of the two modes is asserted here
-// on a small instance (the full differential matrix lives in
-// tests/test_fastpath_differential.cpp).
+// fast/legacy speedup. Trajectory equality of the modes — including the
+// sharded multi-threaded kernel — is asserted here on a small instance (the
+// full differential matrix lives in tests/test_fastpath_differential.cpp and
+// tests/test_parallel_engine.cpp).
+//
+// The thread sweep re-times every workload under the synchronous scheduler
+// at each thread count in --threads, emitting per-thread-count throughput
+// and scaling-vs-serial into the "thread_sweep" JSON array.
+//
+// Every timed cell is run --repeats times and the best throughput is kept —
+// run-to-run noise only ever slows a run down, so best-of-N is the stable
+// estimator the regression gate needs.
 //
 // Usage: bench_engine_perf [--nodes=10000] [--edge-p=0.0008]
 //                          [--sync-steps=100] [--single-steps=200000]
+//                          [--threads=1,2,4,8] [--repeats=3]
 //                          [--json=BENCH_engine.json] [--seed=7]
+#include <algorithm>
 #include <chrono>
 #include <fstream>
 #include <iomanip>
 #include <iostream>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -50,6 +62,7 @@ struct Measurement {
   std::string scheduler;
   std::string mode;    // "fast" | "legacy"
   std::string kernel;  // "signal" | "view" | "mask" | "table"
+  unsigned threads = 1;
   std::uint64_t steps = 0;
   std::uint64_t activations = 0;
   double seconds = 0.0;
@@ -64,10 +77,12 @@ struct Measurement {
 
 Measurement run_one(const Workload& w, const graph::Graph& g,
                     const std::string& sched_name, std::uint64_t steps,
-                    bool fast, std::uint64_t seed) {
+                    bool fast, std::uint64_t seed, unsigned threads = 1) {
   auto sched = sched::make_scheduler(sched_name, g);
-  core::Engine engine(g, *w.alg, *sched, w.initial, seed,
-                      core::EngineOptions{.fast_path = fast, .compile = fast});
+  core::Engine engine(
+      g, *w.alg, *sched, w.initial, seed,
+      core::EngineOptions{
+          .fast_path = fast, .compile = fast, .thread_count = threads});
   const auto t0 = std::chrono::steady_clock::now();
   for (std::uint64_t s = 0; s < steps; ++s) engine.step();
   const auto t1 = std::chrono::steady_clock::now();
@@ -80,6 +95,11 @@ Measurement run_one(const Workload& w, const graph::Graph& g,
              : engine.compiled() != nullptr
                  ? "table"
                  : (w.alg->native_mask_kernel() ? "mask" : "view");
+  // Effective shard count, not the request: --threads=0 resolves to hardware
+  // concurrency, and non-shardable cells run serial — the JSON must record
+  // what actually executed (also keeps the sweep's threads==1 serial
+  // reference well-defined).
+  m.threads = engine.shard_count();
   m.steps = steps;
   for (core::NodeId v = 0; v < g.num_nodes(); ++v) {
     m.activations += engine.activation_count(v);
@@ -95,20 +115,69 @@ void assert_modes_agree(const Workload& w, const graph::Graph& g,
                         std::uint64_t seed) {
   auto s1 = sched::make_scheduler(sched_name, g);
   auto s2 = sched::make_scheduler(sched_name, g);
+  auto s3 = sched::make_scheduler(sched_name, g);
   core::Engine fast(g, *w.alg, *s1, w.initial, seed,
                     core::EngineOptions{.fast_path = true, .compile = true});
   core::Engine legacy(g, *w.alg, *s2, w.initial, seed,
                       core::EngineOptions{.fast_path = false});
+  core::Engine sharded(g, *w.alg, *s3, w.initial, seed,
+                       core::EngineOptions{.thread_count = 4});
   for (std::uint64_t s = 0; s < steps; ++s) {
     fast.step();
     legacy.step();
+    sharded.step();
   }
   if (fast.config() != legacy.config() ||
-      fast.rounds_completed() != legacy.rounds_completed()) {
-    std::cerr << "FATAL: fast/legacy trajectory divergence (" << w.name << ", "
-              << sched_name << ")\n";
+      fast.rounds_completed() != legacy.rounds_completed() ||
+      sharded.config() != legacy.config() ||
+      sharded.rounds_completed() != legacy.rounds_completed()) {
+    std::cerr << "FATAL: fast/legacy/sharded trajectory divergence ("
+              << w.name << ", " << sched_name << ")\n";
     std::exit(1);
   }
+}
+
+/// Best-of-N wrapper around run_one: keeps the repeat with the highest
+/// throughput (noise is one-sided — interference only slows runs down).
+Measurement run_best(int repeats, const Workload& w, const graph::Graph& g,
+                     const std::string& sched_name, std::uint64_t steps,
+                     bool fast, std::uint64_t seed, unsigned threads = 1) {
+  Measurement best;
+  for (int r = 0; r < repeats; ++r) {
+    Measurement m = run_one(w, g, sched_name, steps, fast, seed, threads);
+    if (r == 0 || m.activations_per_sec() > best.activations_per_sec()) {
+      best = m;
+    }
+  }
+  return best;
+}
+
+/// Parses a comma-separated thread-count list ("1,2,4,8"); exits with a
+/// usage message on malformed tokens.
+std::vector<unsigned> parse_thread_list(const std::string& csv) {
+  std::vector<unsigned> threads;
+  std::size_t pos = 0;
+  while (pos < csv.size()) {
+    const std::size_t comma = csv.find(',', pos);
+    const std::string tok =
+        csv.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    if (!tok.empty()) {
+      try {
+        std::size_t consumed = 0;
+        const unsigned long value = std::stoul(tok, &consumed);
+        if (consumed != tok.size() || value > 1024) throw std::out_of_range(tok);
+        threads.push_back(static_cast<unsigned>(value));
+      } catch (const std::exception&) {
+        std::cerr << "bad --threads value '" << tok
+                  << "' (expected comma-separated counts in [0, 1024])\n";
+        std::exit(2);
+      }
+    }
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  if (threads.empty()) threads.push_back(1);
+  return threads;
 }
 
 }  // namespace
@@ -123,6 +192,9 @@ int main(int argc, char** argv) {
       static_cast<std::uint64_t>(cli.get_int("single-steps", 200000));
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 7));
   const std::string json_path = cli.get("json", "BENCH_engine.json");
+  const std::vector<unsigned> thread_list =
+      parse_thread_list(cli.get("threads", "1,2,4,8"));
+  const int repeats = std::max<int>(1, cli.get_int("repeats", 3));
 
   util::Rng rng(seed);
   const graph::Graph g = graph::random_connected(n, edge_p, rng);
@@ -165,7 +237,24 @@ int main(int argc, char** argv) {
   for (const Workload& w : workloads) {
     for (const auto& [sched_name, steps] : schedulers) {
       for (const bool fast : {false, true}) {
-        results.push_back(run_one(w, g, sched_name, steps, fast, seed + 3));
+        results.push_back(
+            run_best(repeats, w, g, sched_name, steps, fast, seed + 3));
+      }
+    }
+  }
+
+  // --- thread sweep (sharded synchronous kernel) -----------------------------
+  // A 1-thread-only sweep would just duplicate the serial fast cells above,
+  // so --threads=1 disables the sweep entirely (what the CI regression gate
+  // passes — it never compares sweep rows).
+  std::vector<Measurement> sweep;
+  const bool sweep_enabled =
+      thread_list.size() > 1 || thread_list.front() != 1;
+  if (sweep_enabled) {
+    for (const Workload& w : workloads) {
+      for (const unsigned threads : thread_list) {
+        sweep.push_back(run_best(repeats, w, g, "synchronous", sync_steps,
+                                 true, seed + 3, threads));
       }
     }
   }
@@ -204,6 +293,41 @@ int main(int argc, char** argv) {
     }
   }
 
+  // --- thread-sweep table ----------------------------------------------------
+  if (sweep_enabled) {
+    std::cout << "\n==== sharded synchronous kernel thread sweep ====\n\n";
+    std::cout << std::left << std::setw(14) << "algorithm" << std::right
+              << std::setw(9) << "threads" << std::setw(16) << "activations/s"
+              << std::setw(10) << "scaling" << "\n";
+  }
+  struct SweepPoint {
+    std::string algorithm;
+    unsigned threads;
+    double activations_per_sec;
+    double scaling;  // vs the 1-thread sweep entry of the same algorithm
+  };
+  std::vector<SweepPoint> sweep_points;
+  {
+    // Serial reference per algorithm, wherever threads=1 sits in the list
+    // (0 when the list omits it — scaling is then reported as 0 / unknown).
+    std::map<std::string, double> serial_rate;
+    for (const Measurement& m : sweep) {
+      if (m.threads == 1) serial_rate[m.algorithm] = m.activations_per_sec();
+    }
+    for (const Measurement& m : sweep) {
+      const double serial = serial_rate[m.algorithm];
+      const double scaling =
+          serial > 0 ? m.activations_per_sec() / serial : 0.0;
+      sweep_points.push_back(
+          {m.algorithm, m.threads, m.activations_per_sec(), scaling});
+      std::cout << std::left << std::setw(14) << m.algorithm << std::right
+                << std::setw(9) << m.threads << std::fixed
+                << std::setprecision(0) << std::setw(16)
+                << m.activations_per_sec() << std::setprecision(2)
+                << std::setw(9) << scaling << "x\n";
+    }
+  }
+
   // --- BENCH_engine.json -----------------------------------------------------
   std::ofstream os(json_path);
   util::JsonWriter jw(os);
@@ -219,11 +343,23 @@ int main(int argc, char** argv) {
     jw.key("scheduler").value(m.scheduler);
     jw.key("mode").value(m.mode);
     jw.key("kernel").value(m.kernel);
+    jw.key("threads").value(static_cast<std::uint64_t>(m.threads));
     jw.key("steps").value(m.steps);
     jw.key("activations").value(m.activations);
     jw.key("seconds").value(m.seconds);
     jw.key("steps_per_sec").value(m.steps_per_sec());
     jw.key("activations_per_sec").value(m.activations_per_sec());
+    jw.end_object();
+  }
+  jw.end_array();
+  jw.key("thread_sweep").begin_array();
+  for (const SweepPoint& p : sweep_points) {
+    jw.begin_object();
+    jw.key("algorithm").value(p.algorithm);
+    jw.key("scheduler").value(std::string("synchronous"));
+    jw.key("threads").value(static_cast<std::uint64_t>(p.threads));
+    jw.key("activations_per_sec").value(p.activations_per_sec);
+    jw.key("scaling_vs_serial").value(p.scaling);
     jw.end_object();
   }
   jw.end_array();

@@ -1,0 +1,182 @@
+#!/usr/bin/env python3
+"""Bench-regression gate over BENCH_engine.json files.
+
+Compares a freshly measured bench_engine_perf run against the committed
+baseline and fails (exit 1) when any kernel regressed by more than the
+allowed fraction.
+
+The gated metric is the *normalized* per-cell speedup (fast mode over legacy
+mode, per algorithm x scheduler — the "speedups" array), not raw
+activations/sec: the baseline is recorded on a developer machine while CI
+runs on whatever runner it gets, so absolute throughput is not comparable
+across the two, but the fast-kernel-over-interpreter ratio on the *same*
+machine and build is. A real kernel regression (say the mask kernel falling
+back to the scalar path, or an allocation sneaking into the hot loop) drags
+that ratio down on every machine.
+
+Raw throughput can additionally be gated with --absolute when baseline and
+current come from the same machine (e.g. comparing two CI runs).
+
+Thread-sweep scaling factors depend on the runner's core count, so they are
+never compared against the committed baseline. They CAN be gated against an
+absolute floor measured within the current run itself via --min-scaling
+(e.g. `--min-scaling alg-au:4:1.4` fails unless the alg-au sweep entry at 4
+threads reached >=1.4x its own serial rate) — CI uses this on a multi-core
+runner to keep the sharded kernel's speedup real; without such a gate a
+parallel regression to below-serial throughput would pass every job.
+
+Usage:
+  scripts/bench_compare.py BASELINE.json CURRENT.json [--max-regression 0.30]
+                           [--absolute] [--min-scaling ALGO:THREADS:FACTOR ...]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def index_speedups(doc):
+    return {
+        (s["algorithm"], s["scheduler"]): s["fast_over_legacy"]
+        for s in doc.get("speedups", [])
+    }
+
+
+def index_results(doc):
+    out = {}
+    for r in doc.get("results", []):
+        key = (
+            r["algorithm"],
+            r["scheduler"],
+            r["mode"],
+            r["kernel"],
+            r.get("threads", 1),
+        )
+        out[key] = r["activations_per_sec"]
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.30,
+        help="maximum tolerated fractional drop (default 0.30 = 30%%)",
+    )
+    parser.add_argument(
+        "--absolute",
+        action="store_true",
+        help="also gate raw activations/sec per result cell "
+        "(only meaningful when both files come from the same machine)",
+    )
+    parser.add_argument(
+        "--min-scaling",
+        action="append",
+        default=[],
+        metavar="ALGO:THREADS:FACTOR",
+        help="require the current run's thread_sweep entry for ALGO at "
+        "THREADS to reach FACTOR x its serial rate (repeatable)",
+    )
+    parser.add_argument(
+        "--scaling-only",
+        action="store_true",
+        help="skip the baseline speedup comparison and gate only "
+        "--min-scaling (use when no meaningful baseline exists, e.g. the "
+        "CI scaling job gating a run against itself)",
+    )
+    args = parser.parse_args()
+
+    baseline = load(args.baseline)
+    current = load(args.current)
+    floor = 1.0 - args.max_regression
+    failures = []
+
+    base_speedups = {} if args.scaling_only else index_speedups(baseline)
+    cur_speedups = index_speedups(current)
+    for key, base in sorted(base_speedups.items()):
+        cur = cur_speedups.get(key)
+        if cur is None:
+            failures.append(f"speedup cell {key} missing from current run")
+            continue
+        ratio = cur / base if base > 0 else float("inf")
+        status = "OK " if ratio >= floor else "FAIL"
+        print(
+            f"[{status}] {key[0]:<14} {key[1]:<16} "
+            f"fast/legacy {base:6.2f}x -> {cur:6.2f}x  ({ratio:5.2f} of baseline)"
+        )
+        if ratio < floor:
+            failures.append(
+                f"{key[0]}/{key[1]}: fast-over-legacy speedup fell "
+                f"{(1 - ratio) * 100:.0f}% below baseline "
+                f"({base:.2f}x -> {cur:.2f}x)"
+            )
+
+    if args.absolute:
+        base_results = index_results(baseline)
+        cur_results = index_results(current)
+        for key, base in sorted(base_results.items()):
+            cur = cur_results.get(key)
+            if cur is None or base <= 0:
+                continue
+            ratio = cur / base
+            status = "OK " if ratio >= floor else "FAIL"
+            print(f"[{status}] {key}: {base:.3g} -> {cur:.3g} act/s ({ratio:5.2f})")
+            if ratio < floor:
+                failures.append(
+                    f"{key}: throughput fell {(1 - ratio) * 100:.0f}% below baseline"
+                )
+
+    sweep_scaling = {}
+    for sweep in current.get("thread_sweep", []):
+        sweep_scaling[(sweep["algorithm"], sweep["threads"])] = sweep.get(
+            "scaling_vs_serial", 0
+        )
+        print(
+            f"[info] thread sweep: {sweep['algorithm']:<14} "
+            f"threads={sweep['threads']:<3} "
+            f"{sweep['activations_per_sec']:.3g} act/s "
+            f"({sweep.get('scaling_vs_serial', 0):.2f}x vs serial)"
+        )
+
+    for spec in args.min_scaling:
+        try:
+            algo, threads, factor = spec.rsplit(":", 2)
+            threads, factor = int(threads), float(factor)
+        except ValueError:
+            print(f"bad --min-scaling spec '{spec}'", file=sys.stderr)
+            return 2
+        got = sweep_scaling.get((algo, threads))
+        if got is None:
+            failures.append(
+                f"no thread_sweep entry for {algo} at {threads} threads "
+                f"(required by --min-scaling {spec})"
+            )
+            continue
+        status = "OK " if got >= factor else "FAIL"
+        print(f"[{status}] scaling gate: {algo} @ {threads} threads: "
+              f"{got:.2f}x (floor {factor:.2f}x)")
+        if got < factor:
+            failures.append(
+                f"{algo} @ {threads} threads scaled only {got:.2f}x "
+                f"(floor {factor:.2f}x)"
+            )
+
+    if failures:
+        print("\nBENCH REGRESSION GATE FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print(f"\nbench gate passed (floor {floor:.2f} of baseline)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,20 +3,20 @@
 #include <bit>
 #include <vector>
 
+#include "util/strings.hpp"
+
 namespace ssau::core {
 
 StateId Automaton::step_mask(StateId q, std::uint64_t mask,
                              util::Rng& rng) const {
   thread_local std::vector<StateId> scratch;
   scratch.clear();
-  for (std::uint64_t m = mask; m != 0; m &= m - 1) {
-    scratch.push_back(static_cast<StateId>(std::countr_zero(m)));
-  }
+  unpack_mask(mask, scratch);
   return step_fast(q, SignalView(scratch, mask, true), rng);
 }
 
 std::string Automaton::state_name(StateId q) const {
-  return "q" + std::to_string(q);
+  return util::labeled("q", q);
 }
 
 }  // namespace ssau::core

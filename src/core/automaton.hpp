@@ -72,6 +72,15 @@ class Automaton {
   /// wrapping a memo around an O(1) kernel only adds overhead.
   [[nodiscard]] virtual bool native_mask_kernel() const { return false; }
 
+  /// True iff concurrent step/step_fast/step_mask calls on ONE instance are
+  /// safe (no mutable per-call state; thread_local scratch is fine). The
+  /// engine shards its synchronous kernel across worker threads only for
+  /// automata that opt in; the default is conservative because C++ cannot
+  /// check this property. Audit for `mutable` members before overriding —
+  /// e.g. sync::Synchronizer keeps per-call projection scratch and must stay
+  /// serial.
+  [[nodiscard]] virtual bool parallel_safe() const { return false; }
+
   /// Human-readable state name for traces and diagrams.
   [[nodiscard]] virtual std::string state_name(StateId q) const;
 };

@@ -55,9 +55,7 @@ std::uint64_t CompiledAutomaton::transitions_cached() const {
 
 StateId CompiledAutomaton::evaluate(StateId q, std::uint64_t mask) const {
   unpack_scratch_.clear();
-  for (std::uint64_t m = mask; m != 0; m &= m - 1) {
-    unpack_scratch_.push_back(static_cast<StateId>(std::countr_zero(m)));
-  }
+  unpack_mask(mask, unpack_scratch_);
   const SignalView view(unpack_scratch_, mask, true);
   util::Rng dummy(0);  // deterministic base: never consulted
   return base_.step_fast(q, view, dummy);

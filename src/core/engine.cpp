@@ -5,6 +5,22 @@
 
 namespace ssau::core {
 
+namespace {
+
+/// The 64-bit presence bitmask of node v's inclusive neighborhood under `c` —
+/// the one definition of mask sensing shared by the serial, sharded, and
+/// async kernels (all three must stay bit-identical).
+inline std::uint64_t neighborhood_mask(const graph::Graph& g,
+                                       const Configuration& c, NodeId v) {
+  std::uint64_t mask = std::uint64_t{1} << c[v];
+  for (const NodeId u : g.neighbors(v)) {
+    mask |= std::uint64_t{1} << c[u];
+  }
+  return mask;
+}
+
+}  // namespace
+
 Engine::Engine(const graph::Graph& g, const Automaton& alg,
                sched::Scheduler& sched, Configuration initial,
                std::uint64_t seed, EngineOptions options)
@@ -27,6 +43,13 @@ Engine::Engine(const graph::Graph& g, const Automaton& alg,
       throw std::invalid_argument("initial state out of range");
     }
   }
+  randomized_ = !automaton_.deterministic();
+  if (randomized_) {
+    node_rngs_.reserve(graph_.num_nodes());
+    for (NodeId v = 0; v < graph_.num_nodes(); ++v) {
+      node_rngs_.push_back(util::Rng::stream(seed, v));
+    }
+  }
   if (options_.fast_path) {
     mask_kernel_ = automaton_.state_count() <= SignalView::kMaskBits;
     if (options_.compile && CompiledAutomaton::compilable(automaton_) &&
@@ -41,6 +64,23 @@ Engine::Engine(const graph::Graph& g, const Automaton& alg,
       max_degree = std::max(max_degree, graph_.degree(v));
     }
     scratch_.reserve(max_degree + 1);
+
+    const unsigned threads =
+        ParallelEngine::resolve_thread_count(options_.thread_count);
+    if (full_activation_ && threads > 1 && graph_.num_nodes() > 1 &&
+        automaton_.parallel_safe()) {
+      pool_ = std::make_unique<ParallelEngine>(make_shards(graph_, threads));
+      shard_ws_.resize(pool_->shard_count());
+      for (ShardWorkspace& ws : shard_ws_) {
+        ws.scratch.reserve(max_degree + 1);
+        if (compiled_ && !compiled_->dense()) {
+          ws.compiled = std::make_unique<CompiledAutomaton>(automaton_);
+          ws.stepper = ws.compiled.get();
+        } else {
+          ws.stepper = stepper_;
+        }
+      }
+    }
   }
 }
 
@@ -66,6 +106,10 @@ void Engine::step() {
 // into the double buffer in one pass (no update list, no pending-bitmap
 // churn) and every step closes exactly one round.
 void Engine::step_synchronous() {
+  if (pool_) {
+    step_parallel_synchronous();
+    return;
+  }
   const NodeId n = graph_.num_nodes();
   if (mask_kernel_ && !listener_) {
     // Bitmask kernel: |Q| <= 64, so sensing collapses to OR-ing neighborhood
@@ -73,18 +117,15 @@ void Engine::step_synchronous() {
     const Automaton& kernel = *stepper_;
     for (NodeId v = 0; v < n; ++v) {
       const StateId cur = config_[v];
-      std::uint64_t mask = std::uint64_t{1} << cur;
-      for (const NodeId u : graph_.neighbors(v)) {
-        mask |= std::uint64_t{1} << config_[u];
-      }
-      next_config_[v] = kernel.step_mask(cur, mask, rng_);
+      next_config_[v] = kernel.step_mask(
+          cur, neighborhood_mask(graph_, config_, v), step_rng(v));
       ++activation_counts_[v];
     }
   } else {
     for (NodeId v = 0; v < n; ++v) {
       const SignalView sig = scratch_.sense(graph_, config_, v);
       const StateId cur = config_[v];
-      const StateId next = stepper_->step_fast(cur, sig, rng_);
+      const StateId next = stepper_->step_fast(cur, sig, step_rng(v));
       if (next != cur && listener_) {
         listener_(v, cur, next, sig.materialize(), time_);
       }
@@ -100,6 +141,59 @@ void Engine::step_synchronous() {
   // at this step's start closed at its end.
 }
 
+// Sharded synchronous kernel: each worker computes its contiguous node range
+// of the double buffer against per-shard workspaces; the epoch barrier in
+// ParallelEngine::run makes all writes visible before the buffer swap. With a
+// listener attached, workers log transitions and the engine replays them in
+// node order afterwards (shards are contiguous and ascending, so shard-order
+// concatenation IS node order) — the observed stream is bit-identical to the
+// serial kernel's.
+void Engine::step_parallel_synchronous() {
+  const bool log_transitions = static_cast<bool>(listener_);
+  pool_->run([&](const Shard& shard, unsigned shard_index) {
+    ShardWorkspace& ws = shard_ws_[shard_index];
+    ws.transitions.clear();
+    const Automaton& kernel = *ws.stepper;
+    if (mask_kernel_) {
+      for (NodeId v = shard.begin; v < shard.end; ++v) {
+        const StateId cur = config_[v];
+        const StateId next =
+            kernel.step_mask(cur, neighborhood_mask(graph_, config_, v),
+                             randomized_ ? node_rngs_[v] : ws.dummy_rng);
+        if (log_transitions && next != cur) {
+          ws.transitions.push_back({v, cur, next});
+        }
+        next_config_[v] = next;
+        ++activation_counts_[v];
+      }
+    } else {
+      for (NodeId v = shard.begin; v < shard.end; ++v) {
+        const SignalView sig = ws.scratch.sense(graph_, config_, v);
+        const StateId cur = config_[v];
+        const StateId next = kernel.step_fast(
+            cur, sig, randomized_ ? node_rngs_[v] : ws.dummy_rng);
+        if (log_transitions && next != cur) {
+          ws.transitions.push_back({v, cur, next});
+        }
+        next_config_[v] = next;
+        ++activation_counts_[v];
+      }
+    }
+  });
+  if (log_transitions) {
+    for (const ShardWorkspace& ws : shard_ws_) {
+      for (const TransitionRec& tr : ws.transitions) {
+        const SignalView sig = scratch_.sense(graph_, config_, tr.v);
+        listener_(tr.v, tr.from, tr.to, sig.materialize(), time_);
+      }
+    }
+  }
+  config_.swap(next_config_);
+  ++time_;
+  ++rounds_;
+  last_boundary_time_ = time_;
+}
+
 void Engine::step_async() {
   scheduler_.activations(time_, active_, sched_rng_);
   updates_.clear();
@@ -109,17 +203,15 @@ void Engine::step_async() {
     const Automaton& kernel = *stepper_;
     for (const NodeId v : active_) {
       const StateId cur = config_[v];
-      std::uint64_t mask = std::uint64_t{1} << cur;
-      for (const NodeId u : graph_.neighbors(v)) {
-        mask |= std::uint64_t{1} << config_[u];
-      }
-      updates_.emplace_back(v, kernel.step_mask(cur, mask, rng_));
+      updates_.emplace_back(
+          v, kernel.step_mask(cur, neighborhood_mask(graph_, config_, v),
+                              step_rng(v)));
     }
   } else {
     for (const NodeId v : active_) {
       const SignalView sig = scratch_.sense(graph_, config_, v);
       const StateId cur = config_[v];
-      const StateId next = stepper_->step_fast(cur, sig, rng_);
+      const StateId next = stepper_->step_fast(cur, sig, step_rng(v));
       if (next != cur && listener_) {
         listener_(v, cur, next, sig.materialize(), time_);
       }
@@ -130,9 +222,10 @@ void Engine::step_async() {
   apply_updates_and_close_rounds();
 }
 
-// The pre-fast-path engine, verbatim: one owning Signal per activation via
-// sort + dedup, dispatched through Automaton::step. Kept as the differential
-// oracle; produces bit-identical trajectories to the fast path.
+// The pre-fast-path engine: one owning Signal per activation via sort +
+// dedup, dispatched through Automaton::step. Kept as the differential oracle;
+// it draws from the same per-node rng streams as the fast and sharded
+// kernels, so all paths produce bit-identical trajectories.
 void Engine::step_legacy() {
   scheduler_.activations(time_, active_, sched_rng_);
   updates_.clear();
@@ -144,7 +237,7 @@ void Engine::step_legacy() {
       sense_buffer_.push_back(config_[u]);
     }
     const Signal sig = Signal::from_states(sense_buffer_);
-    const StateId next = automaton_.step(config_[v], sig, rng_);
+    const StateId next = automaton_.step(config_[v], sig, step_rng(v));
     if (next != config_[v] && listener_) {
       listener_(v, config_[v], next, sig, time_);
     }

@@ -24,9 +24,30 @@
 //     pass (every synchronous step closes exactly one round).
 // The legacy interpreted path (fast_path = false) builds an owning Signal via
 // Signal::from_states per activation and dispatches Automaton::step; it is
-// kept as the differential-testing oracle. Both paths produce bit-identical
-// trajectories for equal seeds: they consume the engine and scheduler rng
-// streams identically.
+// kept as the differential-testing oracle.
+//
+// Parallel kernel (EngineOptions::thread_count != 1):
+//   * under a full-activation scheduler the double-buffered synchronous step
+//     is sharded over contiguous degree-weighted node ranges (core/shard.hpp)
+//     and executed by a persistent worker pool with an epoch barrier
+//     (core/parallel_engine.hpp); every node reads the previous buffer and
+//     writes only its own slot, so shards never contend;
+//   * transition listeners stay exact: workers log (v, from, to) per shard
+//     and the engine replays the concatenated logs in node order after the
+//     barrier, materializing each signal from the pre-step configuration;
+//   * asynchronous schedulers run the serial path regardless of thread_count
+//     (their activation sets are small by construction).
+//
+// RNG discipline — all paths, all thread counts, bit-identical:
+//   * scheduler draws always come from the engine's forked sched_rng_ stream,
+//     consumed only on the (serial) scheduler call, so a randomized schedule
+//     is a pure function of the seed, untouched by thread_count;
+//   * automaton coin flips come from per-node counter-based streams
+//     (util::Rng::stream(seed, v)), pre-split so that node v's draw sequence
+//     depends only on (seed, v) and v's own activation history — never on
+//     which shard, thread, or engine path executed the activation.
+// Consequently the legacy oracle, the serial fast path, and the sharded
+// kernel at every thread count all walk the same trajectory for equal seeds.
 #pragma once
 
 #include <functional>
@@ -35,6 +56,8 @@
 
 #include "core/automaton.hpp"
 #include "core/compiled_automaton.hpp"
+#include "core/parallel_engine.hpp"
+#include "core/shard.hpp"
 #include "core/signal.hpp"
 #include "core/signal_view.hpp"
 #include "core/types.hpp"
@@ -60,6 +83,11 @@ struct EngineOptions {
   /// Compile deterministic |Q| <= 64 automata into a transition table
   /// (ignored when fast_path is false or the automaton is not compilable).
   bool compile = true;
+  /// Shard count for the parallel synchronous kernel. 1 (default) = serial;
+  /// 0 = auto (hardware concurrency); N > 1 = N degree-weighted shards on a
+  /// persistent worker pool. Only full-activation schedulers on the fast path
+  /// are sharded; every setting produces bit-identical trajectories.
+  unsigned thread_count = 1;
 };
 
 class Engine {
@@ -120,6 +148,12 @@ class Engine {
   }
   [[nodiscard]] const EngineOptions& options() const { return options_; }
 
+  /// Shard count of the parallel synchronous kernel, or 1 when the engine
+  /// runs serial (thread_count 1, an async scheduler, or the legacy path).
+  [[nodiscard]] unsigned shard_count() const {
+    return pool_ ? pool_->shard_count() : 1;
+  }
+
   /// Overwrites the configuration (models a burst of transient faults /
   /// adversarial re-initialization mid-run). Round tracking continues.
   void inject_configuration(Configuration config);
@@ -129,9 +163,17 @@ class Engine {
 
  private:
   void step_synchronous();
+  void step_parallel_synchronous();
   void step_async();
   void step_legacy();
   void apply_updates_and_close_rounds();
+
+  /// The rng stream for an activation of node v (per-node counter-based
+  /// stream for randomized automata; the never-consulted engine stream for
+  /// deterministic ones).
+  [[nodiscard]] util::Rng& step_rng(NodeId v) {
+    return randomized_ ? node_rngs_[v] : rng_;
+  }
 
   const graph::Graph& graph_;
   const Automaton& automaton_;
@@ -149,6 +191,29 @@ class Engine {
   bool mask_kernel_ = false;       // |Q| <= 64: step_mask drives the hot loop
   SignalScratch scratch_;
   Configuration next_config_;      // double buffer for the synchronous kernel
+
+  // Randomized automata draw from per-node counter-based streams (see the
+  // RNG-discipline note above); deterministic ones never draw at all.
+  bool randomized_ = false;
+  std::vector<util::Rng> node_rngs_;
+
+  // Sharded kernel state (null / empty when running serial).
+  struct TransitionRec {
+    NodeId v;
+    StateId from;
+    StateId to;
+  };
+  struct ShardWorkspace {
+    SignalScratch scratch;
+    std::vector<TransitionRec> transitions;
+    // Lazy-memo compiled kernels are single-threaded; each shard gets its own
+    // instance (dense tables are immutable after construction and shared).
+    std::unique_ptr<CompiledAutomaton> compiled;
+    const Automaton* stepper = nullptr;
+    util::Rng dummy_rng{0};  // deterministic automata: never consulted
+  };
+  std::unique_ptr<ParallelEngine> pool_;
+  std::vector<ShardWorkspace> shard_ws_;
 
   // Round operator tracking.
   std::uint64_t rounds_ = 0;

@@ -1,0 +1,72 @@
+#include "core/parallel_engine.hpp"
+
+#include <stdexcept>
+
+namespace ssau::core {
+
+ParallelEngine::ParallelEngine(std::vector<Shard> shards)
+    : shards_(std::move(shards)) {
+  if (shards_.empty()) {
+    throw std::invalid_argument("ParallelEngine: shard list must be non-empty");
+  }
+  workers_.reserve(shards_.size() - 1);
+  for (unsigned i = 1; i < shards_.size(); ++i) {
+    workers_.emplace_back(&ParallelEngine::worker_loop, this, i);
+  }
+}
+
+ParallelEngine::~ParallelEngine() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ParallelEngine::run(const ShardFn& fn) {
+  if (workers_.empty()) {  // single shard: no barrier needed
+    fn(shards_[0], 0);
+    return;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    job_ = &fn;
+    outstanding_ = static_cast<unsigned>(workers_.size());
+    ++epoch_;
+  }
+  work_ready_.notify_all();
+  fn(shards_[0], 0);
+  std::unique_lock<std::mutex> lock(mutex_);
+  work_done_.wait(lock, [this] { return outstanding_ == 0; });
+  job_ = nullptr;
+}
+
+void ParallelEngine::worker_loop(unsigned shard_index) {
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    const ShardFn* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_ready_.wait(
+          lock, [&] { return stopping_ || epoch_ != seen_epoch; });
+      if (stopping_) return;
+      seen_epoch = epoch_;
+      job = job_;
+    }
+    (*job)(shards_[shard_index], shard_index);
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      --outstanding_;
+      if (outstanding_ == 0) work_done_.notify_one();
+    }
+  }
+}
+
+unsigned ParallelEngine::resolve_thread_count(unsigned requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+}  // namespace ssau::core

@@ -1,0 +1,75 @@
+// Persistent worker pool driving the sharded synchronous kernel.
+//
+// One worker owns one shard for the lifetime of the pool, so per-shard
+// workspaces (signal scratch, transition logs, memo tables) stay warm in that
+// worker's cache across steps. Shard 0 is executed by the calling thread —
+// a pool with one shard degenerates to plain serial execution with zero
+// synchronization, and with k shards only k-1 OS threads are parked.
+//
+// Synchronization is a lightweight epoch barrier: run() publishes the job
+// under a mutex, bumps the epoch, and wakes the workers; each worker executes
+// its shard and decrements the outstanding count; the last one wakes the
+// caller. The mutex/condition-variable pair gives the happens-before edges
+// that make the workers' writes to the double buffer visible to the caller
+// (and keeps the pool ThreadSanitizer-clean); for multi-millisecond
+// synchronous steps the wakeup cost is noise.
+//
+// The pool is deliberately policy-free: it knows nothing about engines or
+// automata, it just executes a per-shard callback once per epoch. The Engine
+// layers the actual kernel (and its bit-identical-to-serial guarantees) on
+// top.
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/shard.hpp"
+
+namespace ssau::core {
+
+class ParallelEngine {
+ public:
+  /// Executes one shard of the current epoch; `shard_index` identifies the
+  /// per-shard workspace. Must not throw.
+  using ShardFn = std::function<void(const Shard& shard, unsigned shard_index)>;
+
+  /// Spawns shards.size() - 1 worker threads (shard 0 runs on the caller).
+  /// `shards` must be non-empty.
+  explicit ParallelEngine(std::vector<Shard> shards);
+  ~ParallelEngine();
+
+  ParallelEngine(const ParallelEngine&) = delete;
+  ParallelEngine& operator=(const ParallelEngine&) = delete;
+
+  /// Runs `fn` on every shard and returns once all shards completed (the
+  /// epoch barrier). Workers' memory effects happen-before the return.
+  void run(const ShardFn& fn);
+
+  [[nodiscard]] unsigned shard_count() const {
+    return static_cast<unsigned>(shards_.size());
+  }
+  [[nodiscard]] const std::vector<Shard>& shards() const { return shards_; }
+
+  /// Resolves an EngineOptions::thread_count request: 0 = auto (hardware
+  /// concurrency, at least 1), anything else verbatim.
+  [[nodiscard]] static unsigned resolve_thread_count(unsigned requested);
+
+ private:
+  void worker_loop(unsigned shard_index);
+
+  std::vector<Shard> shards_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable work_done_;
+  const ShardFn* job_ = nullptr;   // valid while an epoch is in flight
+  std::uint64_t epoch_ = 0;        // bumped once per run()
+  unsigned outstanding_ = 0;       // workers still running this epoch
+  bool stopping_ = false;
+};
+
+}  // namespace ssau::core

@@ -1,0 +1,69 @@
+// Contiguous node sharding for the parallel synchronous kernel.
+//
+// The synchronous full-activation step is embarrassingly parallel: every node
+// reads the previous double-buffered configuration and writes only its own
+// slot of the next one. A shard is therefore just a contiguous node range
+// [begin, end); contiguity keeps each worker's reads/writes on config_ and
+// next_config_ sequential (and makes the concatenation of per-shard event
+// logs equal to the node-order event stream of the serial kernel).
+//
+// Work per node is dominated by the neighborhood scan, so shards are balanced
+// by degree weight (deg(v) + 1), computed once from the immutable graph: on
+// skewed graphs an equal-node split would leave the hub shard the straggler
+// of every epoch barrier.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "core/types.hpp"
+#include "graph/graph.hpp"
+
+namespace ssau::core {
+
+/// A contiguous node range [begin, end); shards partition [0, n).
+struct Shard {
+  NodeId begin = 0;
+  NodeId end = 0;
+
+  [[nodiscard]] NodeId size() const { return end - begin; }
+};
+
+/// Partitions [0, n) into at most `shard_count` non-empty contiguous shards
+/// of near-equal total degree weight (deg(v) + 1 per node). Returns fewer
+/// shards when n < shard_count. shard_count must be >= 1.
+[[nodiscard]] inline std::vector<Shard> make_shards(const graph::Graph& g,
+                                                    unsigned shard_count) {
+  const NodeId n = g.num_nodes();
+  std::vector<Shard> shards;
+  if (n == 0) return shards;
+  const auto k = static_cast<NodeId>(
+      std::min<std::uint64_t>(shard_count == 0 ? 1 : shard_count, n));
+
+  std::uint64_t total_weight = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    total_weight += static_cast<std::uint64_t>(g.degree(v)) + 1;
+  }
+
+  shards.reserve(k);
+  NodeId begin = 0;
+  std::uint64_t cumulative = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    cumulative += static_cast<std::uint64_t>(g.degree(v)) + 1;
+    const auto filled = static_cast<NodeId>(shards.size());
+    // Close the shard once its share of the weight is reached, but never so
+    // late that the remaining shards could not all be non-empty.
+    const bool quota_met =
+        cumulative * k >= total_weight * (static_cast<std::uint64_t>(filled) + 1);
+    const bool must_close = n - (v + 1) == k - filled - 1;
+    if ((quota_met || must_close) && filled + 1 < k) {
+      shards.push_back({begin, v + 1});
+      begin = v + 1;
+    }
+  }
+  shards.push_back({begin, n});
+  return shards;
+}
+
+}  // namespace ssau::core

@@ -23,6 +23,15 @@
 
 namespace ssau::core {
 
+/// Appends the set bits of `mask` to `out` in ascending order — the one
+/// definition of the mask -> sorted-StateId-span decoding that SignalScratch,
+/// the default Automaton::step_mask, and CompiledAutomaton all share.
+inline void unpack_mask(std::uint64_t mask, std::vector<StateId>& out) {
+  for (std::uint64_t m = mask; m != 0; m &= m - 1) {
+    out.push_back(static_cast<StateId>(std::countr_zero(m)));
+  }
+}
+
 class SignalView {
  public:
   /// Maximum StateId representable in the presence bitmask.
@@ -121,9 +130,7 @@ class SignalScratch {
         mask |= std::uint64_t{1} << q;
       }
       if (small) {
-        for (std::uint64_t m = mask; m != 0; m &= m - 1) {
-          buffer_.push_back(static_cast<StateId>(std::countr_zero(m)));
-        }
+        unpack_mask(mask, buffer_);
         return {buffer_, mask, true};
       }
     }

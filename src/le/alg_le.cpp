@@ -4,6 +4,8 @@
 #include <set>
 #include <stdexcept>
 
+#include "util/strings.hpp"
+
 namespace ssau::le {
 
 namespace {
@@ -252,7 +254,7 @@ std::string AlgLe::state_name(core::StateId q) const {
       return "V(r=" + std::to_string(s.r) + (s.leader ? ",L" : "") +
              ",id=" + std::to_string(s.slot) + ")";
     case LeState::Mode::kRestart:
-      return "s" + std::to_string(s.sigma);
+      return util::labeled("s", s.sigma);
   }
   return "?";
 }

@@ -85,6 +85,8 @@ class AlgLe final : public core::Automaton {
                                         const core::SignalView& sig,
                                         util::Rng& rng) const override;
   [[nodiscard]] std::string state_name(core::StateId q) const override;
+  /// Stateless δ (decode/encode on the stack): safe to shard.
+  [[nodiscard]] bool parallel_safe() const override { return true; }
 
  private:
   AlgLeParams params_;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/strings.hpp"
+
 namespace ssau::mis {
 
 AlgMis::AlgMis(AlgMisParams params)
@@ -251,7 +253,7 @@ std::string AlgMis::state_name(core::StateId q) const {
     case MisState::Mode::kOut:
       return "OUT";
     case MisState::Mode::kRestart:
-      return "s" + std::to_string(s.sigma);
+      return util::labeled("s", s.sigma);
   }
   return "?";
 }

@@ -78,6 +78,8 @@ class AlgMis final : public core::Automaton {
                                         const core::SignalView& sig,
                                         util::Rng& rng) const override;
   [[nodiscard]] std::string state_name(core::StateId q) const override;
+  /// Stateless δ (decode/encode on the stack): safe to shard.
+  [[nodiscard]] bool parallel_safe() const override { return true; }
 
  private:
   AlgMisParams params_;

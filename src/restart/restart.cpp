@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/strings.hpp"
+
 namespace ssau::restart {
 
 RestartRules::RestartRules(int diameter_bound) : d_(diameter_bound) {
@@ -105,8 +107,9 @@ core::StateId StandaloneRestart::step_fast(core::StateId q,
 }
 
 std::string StandaloneRestart::state_name(core::StateId q) const {
-  if (is_sigma(q)) return "s" + std::to_string(sigma_index(q));
-  return "h" + std::to_string(static_cast<int>(q) - rules_.chain_length());
+  return is_sigma(q)
+             ? util::labeled("s", sigma_index(q))
+             : util::labeled("h", static_cast<int>(q) - rules_.chain_length());
 }
 
 }  // namespace ssau::restart

@@ -77,6 +77,7 @@ class StandaloneRestart final : public core::Automaton {
                                         const core::SignalView& sig,
                                         util::Rng& rng) const override;
   [[nodiscard]] bool deterministic() const override { return true; }
+  [[nodiscard]] bool parallel_safe() const override { return true; }
   [[nodiscard]] std::string state_name(core::StateId q) const override;
 
  private:

@@ -31,7 +31,11 @@ class Scheduler {
 
   /// True iff this scheduler guarantees A_t = V for every t AND activations()
   /// never consumes the rng. The engine then skips activation-set
-  /// construction entirely and runs its batched double-buffered kernel.
+  /// construction entirely and runs its batched double-buffered kernel —
+  /// sharded across a worker pool when EngineOptions::thread_count asks for
+  /// it (core/parallel_engine.hpp), serial otherwise. Schedulers returning
+  /// true here are the engine's only parallel entry point: asynchronous
+  /// daemons activate few nodes per step and always run serial.
   [[nodiscard]] virtual bool full_activation() const { return false; }
 
   [[nodiscard]] virtual std::string name() const = 0;

@@ -28,6 +28,7 @@ class MinPropagation final : public core::Automaton {
     return sig.states().front();  // sorted ascending: front is the minimum
   }
   [[nodiscard]] bool deterministic() const override { return true; }
+  [[nodiscard]] bool parallel_safe() const override { return true; }
 
  private:
   core::StateId m_;
@@ -47,6 +48,7 @@ class OrFlood final : public core::Automaton {
     return sig.contains(1) ? 1 : q;
   }
   [[nodiscard]] bool deterministic() const override { return true; }
+  [[nodiscard]] bool parallel_safe() const override { return true; }
 };
 
 /// Blinker: state alternates 0/1 every synchronous round, ignoring the
@@ -65,6 +67,7 @@ class Blinker final : public core::Automaton {
     return 1 - q;
   }
   [[nodiscard]] bool deterministic() const override { return true; }
+  [[nodiscard]] bool parallel_safe() const override { return true; }
 };
 
 }  // namespace ssau::sync

@@ -85,8 +85,15 @@ core::StateId Synchronizer::step_fast(core::StateId q,
 
 std::string Synchronizer::state_name(core::StateId q) const {
   const ProductState s = decode(q);
-  return "<" + pi_.state_name(s.current) + "|" + pi_.state_name(s.previous) +
-         "|" + au_.state_name(s.turn) + ">";
+  // Append form avoids a GCC 12 -Wrestrict false positive.
+  std::string name = "<";
+  name += pi_.state_name(s.current);
+  name += "|";
+  name += pi_.state_name(s.previous);
+  name += "|";
+  name += au_.state_name(s.turn);
+  name += ">";
+  return name;
 }
 
 }  // namespace ssau::sync

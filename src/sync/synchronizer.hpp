@@ -63,7 +63,8 @@ class Synchronizer final : public core::Automaton {
   unison::AlgAu au_;
   // Reusable projection buffers for the per-coordinate signals. The engine is
   // single-threaded per instance; share a Synchronizer across threads only
-  // with external synchronization.
+  // with external synchronization. This is why parallel_safe() stays at its
+  // false default: the engine must never shard a Synchronizer.
   mutable std::vector<core::StateId> turn_scratch_;
   mutable std::vector<core::StateId> pi_scratch_;
 };

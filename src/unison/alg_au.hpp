@@ -66,6 +66,8 @@ class AlgAu final : public core::Automaton {
   [[nodiscard]] bool native_mask_kernel() const override {
     return !mask_tables_.empty();
   }
+  /// Stateless δ over precomputed per-turn tables: safe to shard.
+  [[nodiscard]] bool parallel_safe() const override { return true; }
   [[nodiscard]] std::string state_name(core::StateId q) const override {
     return turns_.turn_name(q);
   }

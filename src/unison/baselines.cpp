@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/strings.hpp"
+
 namespace ssau::unison {
 
 core::StateId MinPlusOneUnison::step_fast(core::StateId /*q*/,
@@ -88,8 +90,7 @@ core::StateId ResetUnison::step_fast(core::StateId q,
 }
 
 std::string ResetUnison::state_name(core::StateId q) const {
-  return is_sigma(q) ? "s" + std::to_string(value_of(q))
-                     : std::to_string(value_of(q));
+  return util::labeled(is_sigma(q) ? "s" : "", value_of(q));
 }
 
 bool ResetUnison::legitimate(const graph::Graph& g,

@@ -36,6 +36,7 @@ class MinPlusOneUnison final : public core::Automaton {
                                         const core::SignalView& sig,
                                         util::Rng& rng) const override;
   [[nodiscard]] bool deterministic() const override { return true; }
+  [[nodiscard]] bool parallel_safe() const override { return true; }
 
   /// Safety: every edge's clocks differ by at most 1 (integer difference).
   [[nodiscard]] bool legitimate(const graph::Graph& g,
@@ -69,6 +70,7 @@ class ResetUnison final : public core::Automaton {
                                         const core::SignalView& sig,
                                         util::Rng& rng) const override;
   [[nodiscard]] bool deterministic() const override { return true; }
+  [[nodiscard]] bool parallel_safe() const override { return true; }
   [[nodiscard]] std::string state_name(core::StateId q) const override;
 
   /// All able with every edge within cyclic distance 1 (mod M).

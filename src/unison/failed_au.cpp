@@ -3,6 +3,8 @@
 #include <map>
 #include <stdexcept>
 
+#include "util/strings.hpp"
+
 namespace ssau::unison {
 
 FailedAu::FailedAu(int diameter_bound, FailedAuOptions options)
@@ -83,8 +85,7 @@ core::StateId FailedAu::step_fast(core::StateId q, const core::SignalView& sig,
 }
 
 std::string FailedAu::state_name(core::StateId q) const {
-  return is_reset(q) ? "R" + std::to_string(value_of(q))
-                     : std::to_string(value_of(q));
+  return util::labeled(is_reset(q) ? "R" : "", value_of(q));
 }
 
 bool FailedAu::legitimate(const graph::Graph& g,

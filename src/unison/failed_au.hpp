@@ -51,6 +51,7 @@ class FailedAu final : public core::Automaton {
                                         const core::SignalView& sig,
                                         util::Rng& rng) const override;
   [[nodiscard]] bool deterministic() const override { return true; }
+  [[nodiscard]] bool parallel_safe() const override { return true; }
   [[nodiscard]] std::string state_name(core::StateId q) const override;
 
   /// Legitimate AU configuration for this algorithm: all able, every edge's

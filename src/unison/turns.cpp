@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <stdexcept>
 
+#include "util/strings.hpp"
+
 namespace ssau::unison {
 
 TurnSystem::TurnSystem(int diameter_bound) : d_(diameter_bound) {
@@ -97,8 +99,7 @@ bool TurnSystem::weakly_outwards(Level a, Level b) const {
 }
 
 std::string TurnSystem::turn_name(core::StateId q) const {
-  const Level l = level_of(q);
-  return (is_faulty(q) ? "^" : "") + std::to_string(l);
+  return util::labeled(is_faulty(q) ? "^" : "", level_of(q));
 }
 
 }  // namespace ssau::unison

@@ -88,4 +88,13 @@ Rng Rng::fork() noexcept {
   return child;
 }
 
+Rng Rng::stream(std::uint64_t seed, std::uint64_t stream_id) noexcept {
+  // The stream_id-th output of a SplitMix64 counter sequence anchored at
+  // `seed` (offset by an odd constant so stream 0 differs from Rng(seed)'s
+  // own state words) becomes the child seed; the Rng constructor then
+  // avalanches it into the four state words.
+  std::uint64_t x = (seed ^ 0x6A09E667F3BCC909ULL) + stream_id * kSplitMixGamma;
+  return Rng(splitmix64(x));
+}
+
 }  // namespace ssau::util

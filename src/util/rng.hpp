@@ -54,6 +54,14 @@ class Rng {
   /// current state.
   [[nodiscard]] Rng fork() noexcept;
 
+  /// Counter-based stream derivation: the generator seeded for stream
+  /// `stream_id` of root `seed`. Unlike fork(), it has no shared state — any
+  /// subset of streams can be constructed in any order (or concurrently) and
+  /// always yields the same sequences, which is what makes sharded parallel
+  /// execution reproducible: stream i is a pure function of (seed, i).
+  [[nodiscard]] static Rng stream(std::uint64_t seed,
+                                  std::uint64_t stream_id) noexcept;
+
  private:
   std::uint64_t s_[4];
 };

@@ -1,0 +1,18 @@
+// Small string helpers shared across the library.
+#pragma once
+
+#include <string>
+
+namespace ssau::util {
+
+/// prefix + std::to_string(value), built by append. This exists because the
+/// natural `"x" + std::to_string(v)` trips a GCC 12 -Wrestrict false
+/// positive under -Werror; every state_name-style label funnels through here
+/// so the workaround (and this note) lives in one place.
+template <typename T>
+[[nodiscard]] std::string labeled(std::string prefix, T value) {
+  prefix += std::to_string(value);
+  return prefix;
+}
+
+}  // namespace ssau::util

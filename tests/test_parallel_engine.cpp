@@ -1,0 +1,324 @@
+// Sharded multi-threaded synchronous kernel: partition correctness and the
+// engine's bit-identity guarantee — the parallel kernel at every thread
+// count must walk exactly the trajectory of the serial fast path and the
+// legacy oracle (configurations, time, rounds, activation counts, and
+// listener streams), for deterministic and randomized automata alike, under
+// full-activation and asynchronous schedulers.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/parallel_engine.hpp"
+#include "core/shard.hpp"
+#include "graph/generators.hpp"
+#include "le/alg_le.hpp"
+#include "mis/alg_mis.hpp"
+#include "sched/scheduler.hpp"
+#include "sync/simple_sync_algs.hpp"
+#include "sync/synchronizer.hpp"
+#include "unison/alg_au.hpp"
+#include "unison/au_invariants.hpp"
+#include "util/rng.hpp"
+
+namespace ssau {
+namespace {
+
+using core::EngineOptions;
+using core::Shard;
+
+// --- sharding ---------------------------------------------------------------
+
+void expect_valid_partition(const graph::Graph& g,
+                            const std::vector<Shard>& shards,
+                            unsigned requested) {
+  ASSERT_FALSE(shards.empty());
+  EXPECT_LE(shards.size(), static_cast<std::size_t>(requested));
+  EXPECT_LE(shards.size(), static_cast<std::size_t>(g.num_nodes()));
+  core::NodeId expected_begin = 0;
+  for (const Shard& s : shards) {
+    EXPECT_EQ(s.begin, expected_begin);
+    EXPECT_GT(s.end, s.begin) << "empty shard";
+    expected_begin = s.end;
+  }
+  EXPECT_EQ(expected_begin, g.num_nodes());
+}
+
+TEST(Shards, PartitionContiguousNonEmptyCovering) {
+  util::Rng rng(5);
+  for (const core::NodeId n : {1u, 2u, 7u, 64u, 500u}) {
+    const graph::Graph g = graph::random_connected(n, 0.05, rng);
+    for (const unsigned k : {1u, 2u, 3u, 8u, 64u, 1000u}) {
+      expect_valid_partition(g, core::make_shards(g, k), k);
+    }
+  }
+}
+
+TEST(Shards, DegreeWeightedBalance) {
+  // A star graph: the hub carries half the total weight, so with 4 shards a
+  // node-count split would give the hub shard ~2x the ideal weight of every
+  // other; the degree-weighted split must keep every shard at or below
+  // ideal + heaviest node.
+  util::Rng rng(7);
+  const graph::Graph g = graph::random_connected(400, 0.02, rng);
+  const unsigned k = 4;
+  const std::vector<Shard> shards = core::make_shards(g, k);
+  ASSERT_EQ(shards.size(), k);
+  std::uint64_t total = 0;
+  std::uint64_t heaviest = 0;
+  for (core::NodeId v = 0; v < g.num_nodes(); ++v) {
+    total += g.degree(v) + 1;
+    heaviest = std::max<std::uint64_t>(heaviest, g.degree(v) + 1);
+  }
+  for (const Shard& s : shards) {
+    std::uint64_t w = 0;
+    for (core::NodeId v = s.begin; v < s.end; ++v) w += g.degree(v) + 1;
+    EXPECT_LE(w, total / k + heaviest)
+        << "shard [" << s.begin << "," << s.end << ") over weight";
+  }
+}
+
+TEST(Shards, MoreShardsThanNodesClamps) {
+  const graph::Graph g = graph::path(3);
+  const std::vector<Shard> shards = core::make_shards(g, 16);
+  ASSERT_EQ(shards.size(), 3u);
+  for (const Shard& s : shards) EXPECT_EQ(s.size(), 1u);
+}
+
+// --- worker pool ------------------------------------------------------------
+
+TEST(ParallelEnginePool, RunsEveryShardEveryEpoch) {
+  core::ParallelEngine pool({{0, 10}, {10, 25}, {25, 30}});
+  EXPECT_EQ(pool.shard_count(), 3u);
+  std::vector<int> hits(3, 0);
+  std::vector<core::NodeId> begins(3, 0);
+  for (int epoch = 0; epoch < 50; ++epoch) {
+    pool.run([&](const Shard& s, unsigned idx) {
+      ++hits[idx];  // each index touched by exactly one worker per epoch
+      begins[idx] = s.begin;
+    });
+  }
+  EXPECT_EQ(hits, (std::vector<int>{50, 50, 50}));
+  EXPECT_EQ(begins, (std::vector<core::NodeId>{0, 10, 25}));
+}
+
+TEST(ParallelEnginePool, ResolveThreadCount) {
+  EXPECT_EQ(core::ParallelEngine::resolve_thread_count(1), 1u);
+  EXPECT_EQ(core::ParallelEngine::resolve_thread_count(6), 6u);
+  EXPECT_GE(core::ParallelEngine::resolve_thread_count(0), 1u);  // auto
+}
+
+// --- engine bit-identity ----------------------------------------------------
+
+/// Runs a reference engine (serial fast path) and one engine per thread count
+/// in lockstep; every aspect of the engine state must stay bit-identical.
+/// Also runs the legacy oracle when `against_legacy`.
+void expect_thread_count_invariance(const graph::Graph& g,
+                                    const core::Automaton& alg,
+                                    const core::Configuration& initial,
+                                    const std::string& sched_name,
+                                    std::uint64_t seed, int steps,
+                                    bool against_legacy = true) {
+  auto ref_sched = sched::make_scheduler(sched_name, g);
+  core::Engine reference(g, alg, *ref_sched, initial, seed,
+                         EngineOptions{.thread_count = 1});
+
+  struct Candidate {
+    std::unique_ptr<sched::Scheduler> sched;
+    std::unique_ptr<core::Engine> engine;
+    std::string label;
+  };
+  std::vector<Candidate> candidates;
+  for (const unsigned threads : {0u, 2u, 4u, 8u}) {
+    Candidate c;
+    c.sched = sched::make_scheduler(sched_name, g);
+    c.engine = std::make_unique<core::Engine>(
+        g, alg, *c.sched, initial, seed, EngineOptions{.thread_count = threads});
+    c.label = "threads=" + std::to_string(threads);
+    candidates.push_back(std::move(c));
+  }
+  if (against_legacy) {
+    Candidate c;
+    c.sched = sched::make_scheduler(sched_name, g);
+    c.engine = std::make_unique<core::Engine>(
+        g, alg, *c.sched, initial, seed, EngineOptions{.fast_path = false});
+    c.label = "legacy";
+    candidates.push_back(std::move(c));
+  }
+
+  for (int s = 0; s < steps; ++s) {
+    reference.step();
+    for (Candidate& c : candidates) {
+      c.engine->step();
+      ASSERT_EQ(c.engine->config(), reference.config())
+          << c.label << " diverged at step " << s << " (" << sched_name << ")";
+      ASSERT_EQ(c.engine->time(), reference.time()) << c.label;
+      ASSERT_EQ(c.engine->rounds_completed(), reference.rounds_completed())
+          << c.label;
+      ASSERT_EQ(c.engine->round_index_now(), reference.round_index_now())
+          << c.label;
+    }
+  }
+  for (core::NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (Candidate& c : candidates) {
+      ASSERT_EQ(c.engine->activation_count(v), reference.activation_count(v))
+          << c.label << " activation count drift at node " << v;
+    }
+  }
+}
+
+TEST(ParallelEngine, AlgAuMaskKernelBitIdentical) {
+  // D = 2 (|Q| = 30): the native AlgAu bitmask kernel runs sharded.
+  const unison::AlgAu alg(2);
+  util::Rng rng(41);
+  const graph::Graph g = graph::random_connected(500, 0.01, rng);
+  for (const char* kind : {"tear", "all-faulty", "random"}) {
+    const core::Configuration c0 =
+        unison::au_adversarial_configuration(kind, alg, g, rng);
+    expect_thread_count_invariance(g, alg, c0, "synchronous", 211, 40);
+  }
+}
+
+TEST(ParallelEngine, AlgAuViewKernelBitIdentical) {
+  // D = 5 (|Q| = 66 > 64): the sorted-span SignalView path runs sharded.
+  const unison::AlgAu alg(5);
+  util::Rng rng(43);
+  const graph::Graph g = graph::random_connected(200, 0.02, rng);
+  const core::Configuration c0 =
+      unison::au_adversarial_configuration("random", alg, g, rng);
+  expect_thread_count_invariance(g, alg, c0, "synchronous", 223, 40);
+}
+
+TEST(ParallelEngine, LazyMemoCompiledKernelBitIdentical) {
+  // Deterministic, 14 < |Q| <= 64, no native kernel: the engine compiles a
+  // lazily memoized table — each shard must get its own memo instance.
+  const sync::MinPropagation minprop(32);
+  util::Rng rng(47);
+  const graph::Graph g = graph::random_connected(300, 0.02, rng);
+  const core::Configuration c0 =
+      core::random_configuration(minprop, g.num_nodes(), rng);
+  expect_thread_count_invariance(g, minprop, c0, "synchronous", 227, 30);
+}
+
+TEST(ParallelEngine, AlgMisBitIdenticalSynchronousAndAsync) {
+  // Randomized: per-node counter-based rng streams keep every thread count
+  // (and the legacy oracle) on the same trajectory; the uniform-single
+  // scheduler additionally pins the scheduler's own rng stream.
+  const mis::AlgMis alg({.diameter_bound = 2});
+  util::Rng rng(53);
+  const graph::Graph g = graph::random_connected(150, 0.04, rng);
+  const core::Configuration c0 =
+      mis::mis_adversarial_configuration("random", alg, g, rng);
+  expect_thread_count_invariance(g, alg, c0, "synchronous", 229, 40);
+  expect_thread_count_invariance(g, alg, c0, "uniform-single", 229, 600);
+}
+
+TEST(ParallelEngine, AlgLeBitIdenticalSynchronousAndAsync) {
+  const le::AlgLe alg({.diameter_bound = 2});
+  util::Rng rng(59);
+  const graph::Graph g = graph::random_connected(120, 0.05, rng);
+  const core::Configuration c0 =
+      le::le_adversarial_configuration("random", alg, g, rng);
+  expect_thread_count_invariance(g, alg, c0, "synchronous", 233, 40);
+  expect_thread_count_invariance(g, alg, c0, "uniform-single", 233, 600);
+}
+
+TEST(ParallelEngine, ListenerStreamBitIdentical) {
+  // Workers log transitions per shard and the engine replays them in node
+  // order: the observed (v, from, to, signal, t) stream must match the
+  // serial fast path and the legacy oracle exactly.
+  const unison::AlgAu alg(2);
+  util::Rng rng(61);
+  const graph::Graph g = graph::random_connected(160, 0.03, rng);
+  const core::Configuration c0 =
+      unison::au_adversarial_configuration("tear", alg, g, rng);
+
+  struct Event {
+    core::NodeId v;
+    core::StateId from, to;
+    core::Time t;
+    bool operator==(const Event&) const = default;
+  };
+  auto run = [&](EngineOptions options) {
+    auto sched = sched::make_scheduler("synchronous", g);
+    core::Engine engine(g, alg, *sched, c0, 271, options);
+    std::vector<Event> events;
+    std::vector<core::Signal> signals;
+    engine.set_transition_listener(
+        [&](core::NodeId v, core::StateId from, core::StateId to,
+            const core::Signal& sig, core::Time t) {
+          events.push_back({v, from, to, t});
+          signals.push_back(sig);
+        });
+    for (int s = 0; s < 30; ++s) engine.step();
+    return std::make_pair(events, signals);
+  };
+
+  const auto [serial_events, serial_signals] =
+      run(EngineOptions{.thread_count = 1});
+  ASSERT_FALSE(serial_events.empty());
+  for (const unsigned threads : {2u, 4u, 8u}) {
+    const auto [events, signals] = run(EngineOptions{.thread_count = threads});
+    EXPECT_EQ(events, serial_events) << "threads=" << threads;
+    EXPECT_EQ(signals, serial_signals) << "threads=" << threads;
+  }
+  const auto [legacy_events, legacy_signals] =
+      run(EngineOptions{.fast_path = false});
+  EXPECT_EQ(legacy_events, serial_events);
+  EXPECT_EQ(legacy_signals, serial_signals);
+}
+
+TEST(ParallelEngine, ShardCountReflectsRouting) {
+  const unison::AlgAu alg(2);
+  util::Rng rng(67);
+  const graph::Graph g = graph::random_connected(64, 0.08, rng);
+  const core::Configuration c0 =
+      unison::au_adversarial_configuration("random", alg, g, rng);
+
+  sched::SynchronousScheduler sync_sched(g.num_nodes());
+  core::Engine sharded(g, alg, sync_sched, c0, 1,
+                       EngineOptions{.thread_count = 4});
+  EXPECT_EQ(sharded.shard_count(), 4u);
+
+  core::Engine serial(g, alg, sync_sched, c0, 1,
+                      EngineOptions{.thread_count = 1});
+  EXPECT_EQ(serial.shard_count(), 1u);
+
+  // Automata with mutable per-call scratch (parallel_safe() false, e.g. the
+  // synchronizer product) never shard — the engine silently stays serial.
+  const sync::Blinker blinker;
+  const sync::Synchronizer synced(blinker, 1);
+  core::Engine synced_engine(
+      g, synced, sync_sched,
+      core::uniform_configuration(g.num_nodes(), 0), 1,
+      EngineOptions{.thread_count = 4});
+  EXPECT_EQ(synced_engine.shard_count(), 1u);
+
+  // Async schedulers never shard, whatever thread_count asks for.
+  auto async_sched = sched::make_scheduler("uniform-single", g);
+  core::Engine async_engine(g, alg, *async_sched, c0, 1,
+                            EngineOptions{.thread_count = 4});
+  EXPECT_EQ(async_engine.shard_count(), 1u);
+
+  // Auto (0) resolves to hardware concurrency, at least one shard.
+  core::Engine auto_engine(g, alg, sync_sched, c0, 1,
+                           EngineOptions{.thread_count = 0});
+  EXPECT_GE(auto_engine.shard_count(), 1u);
+
+  // run_until drives the sharded kernel to a legitimate configuration (all
+  // nodes able with adjacent clocks).
+  const auto outcome = sharded.run_until(
+      [&](const core::Configuration& c) {
+        for (const core::StateId q : c) {
+          if (!alg.is_output(q)) return false;
+        }
+        return unison::au_safety_holds(alg.turns(), g, c);
+      },
+      5000);
+  EXPECT_TRUE(outcome.reached);
+}
+
+}  // namespace
+}  // namespace ssau

@@ -126,6 +126,38 @@ TEST(Rng, ForkedStreamsAreIndependentAndDeterministic) {
   for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
 }
 
+TEST(Rng, StreamIsAPureFunctionOfSeedAndId) {
+  // Counter-based derivation: stream i of seed s yields the same sequence no
+  // matter when, where, or in what order the streams are constructed — the
+  // property the sharded engine's per-node streams rely on.
+  Rng early = Rng::stream(99, 3);
+  Rng other = Rng::stream(99, 7);
+  for (int i = 0; i < 50; ++i) (void)other();
+  Rng late = Rng::stream(99, 3);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(early(), late());
+}
+
+TEST(Rng, StreamsAreDistinct) {
+  // Different ids (and different seeds) give different sequences; stream 0
+  // differs from the root generator of the same seed.
+  Rng s0 = Rng::stream(11, 0);
+  Rng s1 = Rng::stream(11, 1);
+  Rng other_seed = Rng::stream(12, 0);
+  Rng root(11);
+  int agree01 = 0;
+  int agree_seed = 0;
+  int agree_root = 0;
+  for (int i = 0; i < 64; ++i) {
+    const std::uint64_t a = s0();
+    if (a == s1()) ++agree01;
+    if (a == other_seed()) ++agree_seed;
+    if (a == root()) ++agree_root;
+  }
+  EXPECT_EQ(agree01, 0);
+  EXPECT_EQ(agree_seed, 0);
+  EXPECT_EQ(agree_root, 0);
+}
+
 TEST(Rng, SatisfiesUniformRandomBitGenerator) {
   static_assert(Rng::min() == 0);
   static_assert(Rng::max() == ~std::uint64_t{0});
