@@ -14,9 +14,13 @@
 // full differential matrix lives in tests/test_fastpath_differential.cpp and
 // tests/test_parallel_engine.cpp).
 //
-// The thread sweep re-times every workload under the synchronous scheduler
-// at each thread count in --threads, emitting per-thread-count throughput
-// and scaling-vs-serial into the "thread_sweep" JSON array.
+// The thread sweep re-times every workload at each thread count in --threads,
+// emitting per-thread-count throughput and scaling-vs-serial into the
+// "thread_sweep" JSON array — under the synchronous scheduler (the sharded
+// double-buffered kernel) and under every asynchronous daemon with large
+// activation sets (laggard, random-subset, wave: the sparse-activation
+// sharded kernel, which fans phase 1 of any |A_t| above the engine's sparse
+// threshold out over the worker pool).
 //
 // Every timed cell is run --repeats times and the best throughput is kept —
 // run-to-run noise only ever slows a run down, so best-of-N is the stable
@@ -108,8 +112,11 @@ Measurement run_one(const Workload& w, const graph::Graph& g,
   return m;
 }
 
-/// Cheap smoke check that both modes walk the same trajectory (the real
-/// differential matrix is a test, not a bench).
+/// Cheap smoke check that all engine paths walk the same trajectory (the
+/// real differential matrix is a test, not a bench). "sharded" covers the
+/// synchronous double-buffered kernel under full-activation schedules and
+/// the sparse-activation kernel under the large-set daemons (the tiny
+/// threshold forces it to engage on the 64-node smoke instance).
 void assert_modes_agree(const Workload& w, const graph::Graph& g,
                         const std::string& sched_name, std::uint64_t steps,
                         std::uint64_t seed) {
@@ -121,7 +128,8 @@ void assert_modes_agree(const Workload& w, const graph::Graph& g,
   core::Engine legacy(g, *w.alg, *s2, w.initial, seed,
                       core::EngineOptions{.fast_path = false});
   core::Engine sharded(g, *w.alg, *s3, w.initial, seed,
-                       core::EngineOptions{.thread_count = 4});
+                       core::EngineOptions{.thread_count = 4,
+                                           .sparse_activation_threshold = 2});
   for (std::uint64_t s = 0; s < steps; ++s) {
     fast.step();
     legacy.step();
@@ -220,14 +228,26 @@ int main(int argc, char** argv) {
       {"uniform-single", single_steps},
   };
 
-  // Differential smoke check on a small instance before timing.
+  // Asynchronous daemons with large activation sets: these route into the
+  // sparse-activation sharded kernel and get their own thread sweep.
+  const std::vector<std::string> sparse_schedulers = {"laggard",
+                                                      "random-subset", "wave"};
+
+  // Differential smoke check on a small instance before timing — including
+  // the sparse-kernel daemons.
   {
     util::Rng small_rng(seed + 1);
     const graph::Graph sg = graph::random_connected(64, 0.05, small_rng);
+    std::vector<std::string> smoke_scheds;
+    for (const auto& [sched_name, _] : schedulers) {
+      smoke_scheds.push_back(sched_name);
+    }
+    smoke_scheds.insert(smoke_scheds.end(), sparse_schedulers.begin(),
+                        sparse_schedulers.end());
     for (const Workload& w : workloads) {
       Workload sw{w.name, w.alg, {}};
       sw.initial = core::random_configuration(*w.alg, sg.num_nodes(), small_rng);
-      for (const auto& [sched_name, _] : schedulers) {
+      for (const std::string& sched_name : smoke_scheds) {
         assert_modes_agree(sw, sg, sched_name, 512, seed + 2);
       }
     }
@@ -243,10 +263,13 @@ int main(int argc, char** argv) {
     }
   }
 
-  // --- thread sweep (sharded synchronous kernel) -----------------------------
+  // --- thread sweep (sharded kernels) ----------------------------------------
   // A 1-thread-only sweep would just duplicate the serial fast cells above,
   // so --threads=1 disables the sweep entirely (what the CI regression gate
-  // passes — it never compares sweep rows).
+  // passes — it never compares sweep rows). The synchronous rows exercise
+  // the double-buffered kernel; the laggard/random-subset/wave rows exercise
+  // the sparse-activation kernel (their large A_t clears the engine's
+  // default sparse threshold on the 10k-node instance).
   std::vector<Measurement> sweep;
   const bool sweep_enabled =
       thread_list.size() > 1 || thread_list.front() != 1;
@@ -255,6 +278,12 @@ int main(int argc, char** argv) {
       for (const unsigned threads : thread_list) {
         sweep.push_back(run_best(repeats, w, g, "synchronous", sync_steps,
                                  true, seed + 3, threads));
+      }
+      for (const std::string& sched_name : sparse_schedulers) {
+        for (const unsigned threads : thread_list) {
+          sweep.push_back(run_best(repeats, w, g, sched_name, sync_steps,
+                                   true, seed + 3, threads));
+        }
       }
     }
   }
@@ -295,34 +324,40 @@ int main(int argc, char** argv) {
 
   // --- thread-sweep table ----------------------------------------------------
   if (sweep_enabled) {
-    std::cout << "\n==== sharded synchronous kernel thread sweep ====\n\n";
-    std::cout << std::left << std::setw(14) << "algorithm" << std::right
-              << std::setw(9) << "threads" << std::setw(16) << "activations/s"
-              << std::setw(10) << "scaling" << "\n";
+    std::cout << "\n==== sharded kernel thread sweep "
+                 "(synchronous + sparse-activation) ====\n\n";
+    std::cout << std::left << std::setw(14) << "algorithm" << std::setw(16)
+              << "scheduler" << std::right << std::setw(9) << "threads"
+              << std::setw(16) << "activations/s" << std::setw(10) << "scaling"
+              << "\n";
   }
   struct SweepPoint {
     std::string algorithm;
+    std::string scheduler;
     unsigned threads;
     double activations_per_sec;
-    double scaling;  // vs the 1-thread sweep entry of the same algorithm
+    double scaling;  // vs the 1-thread sweep entry of the same cell
   };
   std::vector<SweepPoint> sweep_points;
   {
-    // Serial reference per algorithm, wherever threads=1 sits in the list
-    // (0 when the list omits it — scaling is then reported as 0 / unknown).
-    std::map<std::string, double> serial_rate;
+    // Serial reference per algorithm x scheduler, wherever threads=1 sits in
+    // the list (0 when the list omits it — scaling is then reported as
+    // 0 / unknown).
+    std::map<std::pair<std::string, std::string>, double> serial_rate;
     for (const Measurement& m : sweep) {
-      if (m.threads == 1) serial_rate[m.algorithm] = m.activations_per_sec();
+      if (m.threads == 1) {
+        serial_rate[{m.algorithm, m.scheduler}] = m.activations_per_sec();
+      }
     }
     for (const Measurement& m : sweep) {
-      const double serial = serial_rate[m.algorithm];
+      const double serial = serial_rate[{m.algorithm, m.scheduler}];
       const double scaling =
           serial > 0 ? m.activations_per_sec() / serial : 0.0;
-      sweep_points.push_back(
-          {m.algorithm, m.threads, m.activations_per_sec(), scaling});
-      std::cout << std::left << std::setw(14) << m.algorithm << std::right
-                << std::setw(9) << m.threads << std::fixed
-                << std::setprecision(0) << std::setw(16)
+      sweep_points.push_back({m.algorithm, m.scheduler, m.threads,
+                              m.activations_per_sec(), scaling});
+      std::cout << std::left << std::setw(14) << m.algorithm << std::setw(16)
+                << m.scheduler << std::right << std::setw(9) << m.threads
+                << std::fixed << std::setprecision(0) << std::setw(16)
                 << m.activations_per_sec() << std::setprecision(2)
                 << std::setw(9) << scaling << "x\n";
     }
@@ -356,7 +391,7 @@ int main(int argc, char** argv) {
   for (const SweepPoint& p : sweep_points) {
     jw.begin_object();
     jw.key("algorithm").value(p.algorithm);
-    jw.key("scheduler").value(std::string("synchronous"));
+    jw.key("scheduler").value(p.scheduler);
     jw.key("threads").value(static_cast<std::uint64_t>(p.threads));
     jw.key("activations_per_sec").value(p.activations_per_sec);
     jw.key("scaling_vs_serial").value(p.scaling);

@@ -14,20 +14,30 @@ machine and build is. A real kernel regression (say the mask kernel falling
 back to the scalar path, or an allocation sneaking into the hot loop) drags
 that ratio down on every machine.
 
+Zero or missing baseline cells are reported as warnings and skipped rather
+than dividing by them: a malformed baseline must neither crash the gate
+(masking a real regression behind a CI crash) nor silently pass.
+
 Raw throughput can additionally be gated with --absolute when baseline and
 current come from the same machine (e.g. comparing two CI runs).
 
 Thread-sweep scaling factors depend on the runner's core count, so they are
 never compared against the committed baseline. They CAN be gated against an
-absolute floor measured within the current run itself via --min-scaling
-(e.g. `--min-scaling alg-au:4:1.4` fails unless the alg-au sweep entry at 4
-threads reached >=1.4x its own serial rate) — CI uses this on a multi-core
-runner to keep the sharded kernel's speedup real; without such a gate a
-parallel regression to below-serial throughput would pass every job.
+absolute floor measured within the current run itself via --min-scaling.
+Sweep rows exist per algorithm x scheduler x threads: the synchronous rows
+cover the sharded double-buffered kernel, the laggard / random-subset / wave
+rows cover the sparse-activation kernel. Specs take the form
+ALGO:SCHEDULER:THREADS:FACTOR (e.g. `alg-au:laggard:2:1.1`); the three-field
+form ALGO:THREADS:FACTOR defaults the scheduler to "synchronous" for
+backward compatibility. CI uses these on a multi-core runner to keep both
+sharded kernels' speedups real; without such a gate a parallel regression to
+below-serial throughput would pass every job.
 
 Usage:
   scripts/bench_compare.py BASELINE.json CURRENT.json [--max-regression 0.30]
-                           [--absolute] [--min-scaling ALGO:THREADS:FACTOR ...]
+                           [--absolute]
+                           [--min-scaling ALGO[:SCHED]:THREADS:FACTOR ...]
+  scripts/bench_compare.py --self-check
 """
 
 import argparse
@@ -40,31 +50,311 @@ def load(path):
         return json.load(f)
 
 
+def as_number(value):
+    """Returns the value as a float, or None when missing/non-numeric."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return None
+    return float(value)
+
+
 def index_speedups(doc):
-    return {
-        (s["algorithm"], s["scheduler"]): s["fast_over_legacy"]
-        for s in doc.get("speedups", [])
-    }
+    out = {}
+    for s in doc.get("speedups", []):
+        try:
+            key = (s["algorithm"], s["scheduler"])
+        except (KeyError, TypeError):
+            continue
+        out[key] = as_number(s.get("fast_over_legacy"))
+    return out
 
 
 def index_results(doc):
     out = {}
     for r in doc.get("results", []):
-        key = (
-            r["algorithm"],
-            r["scheduler"],
-            r["mode"],
-            r["kernel"],
-            r.get("threads", 1),
-        )
-        out[key] = r["activations_per_sec"]
+        try:
+            key = (
+                r["algorithm"],
+                r["scheduler"],
+                r["mode"],
+                r["kernel"],
+                r.get("threads", 1),
+            )
+        except (KeyError, TypeError):
+            continue
+        out[key] = as_number(r.get("activations_per_sec"))
     return out
+
+
+def index_sweep(doc):
+    """thread_sweep rows keyed by (algorithm, scheduler, threads). Rows
+    written before the async sweep existed carry no scheduler field and
+    default to "synchronous"."""
+    out = {}
+    for sweep in doc.get("thread_sweep", []):
+        try:
+            key = (
+                sweep["algorithm"],
+                sweep.get("scheduler", "synchronous"),
+                sweep["threads"],
+            )
+        except (KeyError, TypeError):
+            continue
+        out[key] = {
+            "scaling": as_number(sweep.get("scaling_vs_serial")),
+            "rate": as_number(sweep.get("activations_per_sec")),
+        }
+    return out
+
+
+def parse_min_scaling(spec):
+    """ALGO:SCHED:THREADS:FACTOR, or ALGO:THREADS:FACTOR with the scheduler
+    defaulting to "synchronous". Returns (algo, sched, threads, factor) or
+    None on a malformed spec."""
+    parts = spec.split(":")
+    try:
+        if len(parts) == 3:
+            algo, sched = parts[0], "synchronous"
+            threads, factor = int(parts[1]), float(parts[2])
+        elif len(parts) == 4:
+            algo, sched = parts[0], parts[1]
+            threads, factor = int(parts[2]), float(parts[3])
+        else:
+            return None
+    except ValueError:
+        return None
+    if not algo or not sched:
+        return None
+    return algo, sched, threads, factor
+
+
+def run_gate(baseline, current, args, out=sys.stdout, err=sys.stderr):
+    floor = 1.0 - args.max_regression
+    failures = []
+    warnings = []
+
+    base_speedups = {} if args.scaling_only else index_speedups(baseline)
+    cur_speedups = index_speedups(current)
+    for key, base in sorted(base_speedups.items()):
+        cur = cur_speedups.get(key)
+        if base is None or base <= 0:
+            warnings.append(
+                f"speedup cell {key} has zero/invalid baseline "
+                f"({base!r}) — cell skipped, regenerate the baseline"
+            )
+            continue
+        if cur is None:
+            failures.append(f"speedup cell {key} missing from current run")
+            continue
+        ratio = cur / base
+        status = "OK " if ratio >= floor else "FAIL"
+        print(
+            f"[{status}] {key[0]:<14} {key[1]:<16} "
+            f"fast/legacy {base:6.2f}x -> {cur:6.2f}x  ({ratio:5.2f} of baseline)",
+            file=out,
+        )
+        if ratio < floor:
+            failures.append(
+                f"{key[0]}/{key[1]}: fast-over-legacy speedup fell "
+                f"{(1 - ratio) * 100:.0f}% below baseline "
+                f"({base:.2f}x -> {cur:.2f}x)"
+            )
+
+    if args.absolute:
+        base_results = index_results(baseline)
+        cur_results = index_results(current)
+        for key, base in sorted(base_results.items()):
+            cur = cur_results.get(key)
+            if base is None or base <= 0:
+                warnings.append(
+                    f"result cell {key} has zero/invalid baseline ({base!r}) "
+                    f"— cell skipped"
+                )
+                continue
+            if cur is None:
+                warnings.append(
+                    f"result cell {key} missing from current run — a "
+                    f"disappeared kernel cell deserves a look"
+                )
+                continue
+            ratio = cur / base
+            status = "OK " if ratio >= floor else "FAIL"
+            print(
+                f"[{status}] {key}: {base:.3g} -> {cur:.3g} act/s ({ratio:5.2f})",
+                file=out,
+            )
+            if ratio < floor:
+                failures.append(
+                    f"{key}: throughput fell {(1 - ratio) * 100:.0f}% below baseline"
+                )
+
+    cur_sweep = index_sweep(current)
+    for (algo, sched, threads), cell in sorted(cur_sweep.items()):
+        scaling = cell["scaling"]
+        rate = cell["rate"]
+        print(
+            f"[info] thread sweep: {algo:<14} {sched:<16} "
+            f"threads={threads:<3} "
+            f"{rate if rate is not None else 0:.3g} act/s "
+            f"({scaling if scaling is not None else 0:.2f}x vs serial)",
+            file=out,
+        )
+
+    for spec in args.min_scaling:
+        parsed = parse_min_scaling(spec)
+        if parsed is None:
+            print(f"bad --min-scaling spec '{spec}'", file=err)
+            return 2
+        algo, sched, threads, factor = parsed
+        cell = cur_sweep.get((algo, sched, threads))
+        got = cell["scaling"] if cell else None
+        if got is None:
+            failures.append(
+                f"no thread_sweep entry for {algo} under {sched} at {threads} "
+                f"threads (required by --min-scaling {spec})"
+            )
+            continue
+        status = "OK " if got >= factor else "FAIL"
+        print(
+            f"[{status}] scaling gate: {algo} under {sched} @ {threads} "
+            f"threads: {got:.2f}x (floor {factor:.2f}x)",
+            file=out,
+        )
+        if got < factor:
+            failures.append(
+                f"{algo} under {sched} @ {threads} threads scaled only "
+                f"{got:.2f}x (floor {factor:.2f}x)"
+            )
+
+    for w in warnings:
+        print(f"[warn] {w}", file=out)
+
+    if failures:
+        print("\nBENCH REGRESSION GATE FAILED:", file=err)
+        for f in failures:
+            print(f"  - {f}", file=err)
+        return 1
+    print(f"\nbench gate passed (floor {floor:.2f} of baseline)", file=out)
+    return 0
+
+
+def self_check():
+    """Exercises the gate against embedded fixtures; exits non-zero on any
+    deviation from the expected verdicts."""
+    import io
+
+    def gate(baseline, current, **kw):
+        args = argparse.Namespace(
+            max_regression=kw.get("max_regression", 0.30),
+            absolute=kw.get("absolute", False),
+            min_scaling=kw.get("min_scaling", []),
+            scaling_only=kw.get("scaling_only", False),
+        )
+        return run_gate(baseline, current, args, out=io.StringIO(),
+                        err=io.StringIO())
+
+    def speedup_doc(factor):
+        return {
+            "speedups": [
+                {
+                    "algorithm": "alg-au",
+                    "scheduler": "synchronous",
+                    "fast_over_legacy": factor,
+                }
+            ]
+        }
+
+    sweep_doc = {
+        "speedups": [],
+        "thread_sweep": [
+            # Synchronous rows (sharded double-buffered kernel).
+            {"algorithm": "alg-au", "scheduler": "synchronous", "threads": 1,
+             "activations_per_sec": 1e6, "scaling_vs_serial": 1.0},
+            {"algorithm": "alg-au", "scheduler": "synchronous", "threads": 2,
+             "activations_per_sec": 1.8e6, "scaling_vs_serial": 1.8},
+            # Async rows (sparse-activation kernel) — same algorithm, other
+            # scheduler: keys must not collide with the synchronous rows.
+            {"algorithm": "alg-au", "scheduler": "laggard", "threads": 2,
+             "activations_per_sec": 1.2e6, "scaling_vs_serial": 1.2},
+            # Legacy row without a scheduler field: defaults to synchronous.
+            {"algorithm": "reset-unison", "threads": 2,
+             "activations_per_sec": 1e6, "scaling_vs_serial": 1.5},
+        ],
+    }
+
+    checks = [
+        # (description, expected exit code, thunk)
+        ("clean pass", 0,
+         lambda: gate(speedup_doc(5.0), speedup_doc(5.0))),
+        ("regression fails", 1,
+         lambda: gate(speedup_doc(5.0), speedup_doc(2.0))),
+        ("missing current cell fails", 1,
+         lambda: gate(speedup_doc(5.0), {"speedups": []})),
+        ("zero baseline warns but does not crash or fail", 0,
+         lambda: gate(speedup_doc(0.0), speedup_doc(5.0))),
+        ("missing/null baseline value warns but does not crash", 0,
+         lambda: gate({"speedups": [{"algorithm": "alg-au",
+                                     "scheduler": "synchronous"}]},
+                      speedup_doc(5.0))),
+        ("zero absolute baseline warns but does not crash", 0,
+         lambda: gate(
+             {"speedups": [],
+              "results": [{"algorithm": "a", "scheduler": "s", "mode": "fast",
+                           "kernel": "mask", "activations_per_sec": 0.0}]},
+             {"speedups": [],
+              "results": [{"algorithm": "a", "scheduler": "s", "mode": "fast",
+                           "kernel": "mask", "activations_per_sec": 1.0}]},
+             absolute=True)),
+        ("missing absolute current cell warns but does not crash", 0,
+         lambda: gate(
+             {"speedups": [],
+              "results": [{"algorithm": "a", "scheduler": "s", "mode": "fast",
+                           "kernel": "mask", "activations_per_sec": 1.0}]},
+             {"speedups": [], "results": []},
+             absolute=True)),
+        ("sync scaling gate passes (3-field spec defaults scheduler)", 0,
+         lambda: gate(sweep_doc, sweep_doc, scaling_only=True,
+                      min_scaling=["alg-au:2:1.5"])),
+        ("async scaling gate passes (4-field spec)", 0,
+         lambda: gate(sweep_doc, sweep_doc, scaling_only=True,
+                      min_scaling=["alg-au:laggard:2:1.1"])),
+        ("async scaling below floor fails", 1,
+         lambda: gate(sweep_doc, sweep_doc, scaling_only=True,
+                      min_scaling=["alg-au:laggard:2:1.5"])),
+        ("async spec does not match the synchronous row", 1,
+         lambda: gate(sweep_doc, sweep_doc, scaling_only=True,
+                      min_scaling=["alg-au:wave:2:1.0"])),
+        ("schedulerless legacy sweep row gates as synchronous", 0,
+         lambda: gate(sweep_doc, sweep_doc, scaling_only=True,
+                      min_scaling=["reset-unison:2:1.4"])),
+        ("malformed spec is a usage error", 2,
+         lambda: gate(sweep_doc, sweep_doc, scaling_only=True,
+                      min_scaling=["alg-au:two:threads:1.0:x"])),
+    ]
+
+    failed = 0
+    for description, expected, thunk in checks:
+        try:
+            got = thunk()
+        except Exception as exc:  # a crash is always a self-check failure
+            print(f"[FAIL] {description}: raised {exc!r}")
+            failed += 1
+            continue
+        status = "ok" if got == expected else "FAIL"
+        if got != expected:
+            failed += 1
+        print(f"[{status:>4}] {description} (exit {got}, expected {expected})")
+    if failed:
+        print(f"\nself-check: {failed}/{len(checks)} checks failed",
+              file=sys.stderr)
+        return 1
+    print(f"\nself-check: all {len(checks)} checks passed")
+    return 0
 
 
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("baseline")
-    parser.add_argument("current")
+    parser.add_argument("baseline", nargs="?")
+    parser.add_argument("current", nargs="?")
     parser.add_argument(
         "--max-regression",
         type=float,
@@ -81,9 +371,10 @@ def main():
         "--min-scaling",
         action="append",
         default=[],
-        metavar="ALGO:THREADS:FACTOR",
-        help="require the current run's thread_sweep entry for ALGO at "
-        "THREADS to reach FACTOR x its serial rate (repeatable)",
+        metavar="ALGO[:SCHED]:THREADS:FACTOR",
+        help="require the current run's thread_sweep entry for ALGO under "
+        "SCHED (default: synchronous) at THREADS to reach FACTOR x its "
+        "serial rate (repeatable)",
     )
     parser.add_argument(
         "--scaling-only",
@@ -92,90 +383,20 @@ def main():
         "--min-scaling (use when no meaningful baseline exists, e.g. the "
         "CI scaling job gating a run against itself)",
     )
+    parser.add_argument(
+        "--self-check",
+        action="store_true",
+        help="run the embedded gate-behavior checks against fixtures "
+        "(no input files needed) and exit",
+    )
     args = parser.parse_args()
 
-    baseline = load(args.baseline)
-    current = load(args.current)
-    floor = 1.0 - args.max_regression
-    failures = []
-
-    base_speedups = {} if args.scaling_only else index_speedups(baseline)
-    cur_speedups = index_speedups(current)
-    for key, base in sorted(base_speedups.items()):
-        cur = cur_speedups.get(key)
-        if cur is None:
-            failures.append(f"speedup cell {key} missing from current run")
-            continue
-        ratio = cur / base if base > 0 else float("inf")
-        status = "OK " if ratio >= floor else "FAIL"
-        print(
-            f"[{status}] {key[0]:<14} {key[1]:<16} "
-            f"fast/legacy {base:6.2f}x -> {cur:6.2f}x  ({ratio:5.2f} of baseline)"
-        )
-        if ratio < floor:
-            failures.append(
-                f"{key[0]}/{key[1]}: fast-over-legacy speedup fell "
-                f"{(1 - ratio) * 100:.0f}% below baseline "
-                f"({base:.2f}x -> {cur:.2f}x)"
-            )
-
-    if args.absolute:
-        base_results = index_results(baseline)
-        cur_results = index_results(current)
-        for key, base in sorted(base_results.items()):
-            cur = cur_results.get(key)
-            if cur is None or base <= 0:
-                continue
-            ratio = cur / base
-            status = "OK " if ratio >= floor else "FAIL"
-            print(f"[{status}] {key}: {base:.3g} -> {cur:.3g} act/s ({ratio:5.2f})")
-            if ratio < floor:
-                failures.append(
-                    f"{key}: throughput fell {(1 - ratio) * 100:.0f}% below baseline"
-                )
-
-    sweep_scaling = {}
-    for sweep in current.get("thread_sweep", []):
-        sweep_scaling[(sweep["algorithm"], sweep["threads"])] = sweep.get(
-            "scaling_vs_serial", 0
-        )
-        print(
-            f"[info] thread sweep: {sweep['algorithm']:<14} "
-            f"threads={sweep['threads']:<3} "
-            f"{sweep['activations_per_sec']:.3g} act/s "
-            f"({sweep.get('scaling_vs_serial', 0):.2f}x vs serial)"
-        )
-
-    for spec in args.min_scaling:
-        try:
-            algo, threads, factor = spec.rsplit(":", 2)
-            threads, factor = int(threads), float(factor)
-        except ValueError:
-            print(f"bad --min-scaling spec '{spec}'", file=sys.stderr)
-            return 2
-        got = sweep_scaling.get((algo, threads))
-        if got is None:
-            failures.append(
-                f"no thread_sweep entry for {algo} at {threads} threads "
-                f"(required by --min-scaling {spec})"
-            )
-            continue
-        status = "OK " if got >= factor else "FAIL"
-        print(f"[{status}] scaling gate: {algo} @ {threads} threads: "
-              f"{got:.2f}x (floor {factor:.2f}x)")
-        if got < factor:
-            failures.append(
-                f"{algo} @ {threads} threads scaled only {got:.2f}x "
-                f"(floor {factor:.2f}x)"
-            )
-
-    if failures:
-        print("\nBENCH REGRESSION GATE FAILED:", file=sys.stderr)
-        for f in failures:
-            print(f"  - {f}", file=sys.stderr)
-        return 1
-    print(f"\nbench gate passed (floor {floor:.2f} of baseline)")
-    return 0
+    if args.self_check:
+        return self_check()
+    if args.baseline is None or args.current is None:
+        parser.error("baseline and current JSON paths are required "
+                     "(or pass --self-check)")
+    return run_gate(load(args.baseline), load(args.current), args)
 
 
 if __name__ == "__main__":

@@ -1,6 +1,7 @@
 #include "core/engine.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <stdexcept>
 
 namespace ssau::core {
@@ -67,19 +68,42 @@ Engine::Engine(const graph::Graph& g, const Automaton& alg,
 
     const unsigned threads =
         ParallelEngine::resolve_thread_count(options_.thread_count);
-    if (full_activation_ && threads > 1 && graph_.num_nodes() > 1 &&
-        automaton_.parallel_safe()) {
+    const bool shardable =
+        threads > 1 && graph_.num_nodes() > 1 && automaton_.parallel_safe();
+    // Asynchronous daemons shard only when their activation sets can reach
+    // the sparse threshold (the hint is consulted once; the per-step |A_t|
+    // check is in step_async). Single-node daemons spawn no workers.
+    sparse_eligible_ =
+        shardable && !full_activation_ &&
+        scheduler_.max_activation_hint() >= options_.sparse_activation_threshold;
+    if (shardable && (full_activation_ || sparse_eligible_)) {
       pool_ = std::make_unique<ParallelEngine>(make_shards(graph_, threads));
       shard_ws_.resize(pool_->shard_count());
-      for (ShardWorkspace& ws : shard_ws_) {
+      for (std::size_t i = 0; i < shard_ws_.size(); ++i) {
+        ShardWorkspace& ws = shard_ws_[i];
         ws.scratch.reserve(max_degree + 1);
-        if (compiled_ && !compiled_->dense()) {
+        if (compiled_ && !compiled_->dense() && i != 0) {
+          // Lazy-memo kernels are single-threaded; workers get their own
+          // instance. Shard 0 always executes on the caller thread, so it
+          // shares the engine-level memo — one warm cache for both the
+          // serial and sharded steps of a threshold-straddling run.
           ws.compiled = std::make_unique<CompiledAutomaton>(automaton_);
           ws.stepper = ws.compiled.get();
         } else {
           ws.stepper = stepper_;
         }
       }
+    }
+    if (sparse_eligible_) {
+      // Size the activation workspaces once from the scheduler's bound
+      // (clamped to n), so sharded steps never reallocate mid-run. Serial
+      // engines keep growing lazily to the observed |A_t| instead — a
+      // loose worst-case hint (e.g. random-subset's n) must not charge
+      // engines that never shard for memory they will not touch.
+      const std::size_t hint = std::min<std::size_t>(
+          scheduler_.max_activation_hint(), graph_.num_nodes());
+      active_.reserve(hint);
+      updates_.reserve(hint);
     }
   }
 }
@@ -141,6 +165,42 @@ void Engine::step_synchronous() {
   // at this step's start closed at its end.
 }
 
+// Phase 1 of one shard, shared by the synchronous and sparse-activation
+// parallel kernels — one definition so the two loop bodies cannot drift out
+// of lockstep (bit-identity depends on them staying identical).
+template <typename NodeOf, typename Emit>
+void Engine::shard_phase1(const Shard& shard, ShardWorkspace& ws,
+                          const bool log_transitions, const NodeOf& node_of,
+                          const Emit& emit) {
+  ws.transitions.clear();
+  const Automaton& kernel = *ws.stepper;
+  if (mask_kernel_) {
+    for (NodeId i = shard.begin; i < shard.end; ++i) {
+      const NodeId v = node_of(i);
+      const StateId cur = config_[v];
+      const StateId next =
+          kernel.step_mask(cur, neighborhood_mask(graph_, config_, v),
+                           randomized_ ? node_rngs_[v] : ws.dummy_rng);
+      if (log_transitions && next != cur) {
+        ws.transitions.push_back({v, cur, next});
+      }
+      emit(i, v, next);
+    }
+  } else {
+    for (NodeId i = shard.begin; i < shard.end; ++i) {
+      const NodeId v = node_of(i);
+      const SignalView sig = ws.scratch.sense(graph_, config_, v);
+      const StateId cur = config_[v];
+      const StateId next =
+          kernel.step_fast(cur, sig, randomized_ ? node_rngs_[v] : ws.dummy_rng);
+      if (log_transitions && next != cur) {
+        ws.transitions.push_back({v, cur, next});
+      }
+      emit(i, v, next);
+    }
+  }
+}
+
 // Sharded synchronous kernel: each worker computes its contiguous node range
 // of the double buffer against per-shard workspaces; the epoch barrier in
 // ParallelEngine::run makes all writes visible before the buffer swap. With a
@@ -151,34 +211,13 @@ void Engine::step_synchronous() {
 void Engine::step_parallel_synchronous() {
   const bool log_transitions = static_cast<bool>(listener_);
   pool_->run([&](const Shard& shard, unsigned shard_index) {
-    ShardWorkspace& ws = shard_ws_[shard_index];
-    ws.transitions.clear();
-    const Automaton& kernel = *ws.stepper;
-    if (mask_kernel_) {
-      for (NodeId v = shard.begin; v < shard.end; ++v) {
-        const StateId cur = config_[v];
-        const StateId next =
-            kernel.step_mask(cur, neighborhood_mask(graph_, config_, v),
-                             randomized_ ? node_rngs_[v] : ws.dummy_rng);
-        if (log_transitions && next != cur) {
-          ws.transitions.push_back({v, cur, next});
-        }
-        next_config_[v] = next;
-        ++activation_counts_[v];
-      }
-    } else {
-      for (NodeId v = shard.begin; v < shard.end; ++v) {
-        const SignalView sig = ws.scratch.sense(graph_, config_, v);
-        const StateId cur = config_[v];
-        const StateId next = kernel.step_fast(
-            cur, sig, randomized_ ? node_rngs_[v] : ws.dummy_rng);
-        if (log_transitions && next != cur) {
-          ws.transitions.push_back({v, cur, next});
-        }
-        next_config_[v] = next;
-        ++activation_counts_[v];
-      }
-    }
+    shard_phase1(
+        shard, shard_ws_[shard_index], log_transitions,
+        [](NodeId i) { return i; },
+        [&](NodeId, NodeId v, StateId next) {
+          next_config_[v] = next;
+          ++activation_counts_[v];
+        });
   });
   if (log_transitions) {
     for (const ShardWorkspace& ws : shard_ws_) {
@@ -195,7 +234,17 @@ void Engine::step_parallel_synchronous() {
 }
 
 void Engine::step_async() {
+  // The scheduler draw is always serial (it owns the engine's sched_rng_
+  // stream), so the schedule is identical whatever kernel runs phase 1.
   scheduler_.activations(time_, active_, sched_rng_);
+  // The !empty() guard keeps a sparse_activation_threshold of 0 (or a
+  // scheduler emitting an empty A_t) on the serial path, which handles the
+  // degenerate step gracefully — zero activations cannot be sharded.
+  if (sparse_eligible_ && !active_.empty() &&
+      active_.size() >= options_.sparse_activation_threshold) {
+    step_sparse_parallel();
+    return;
+  }
   updates_.clear();
 
   // Phase 1: all activated nodes read C_t and compute their next state.
@@ -219,6 +268,60 @@ void Engine::step_async() {
     }
   }
 
+  apply_updates_and_close_rounds();
+}
+
+// Sparse-activation sharded kernel: phase 1 of one asynchronous step with a
+// large A_t, fanned out over the worker pool. The activation list is
+// re-partitioned every step into contiguous degree-weighted index spans
+// (activation sets differ step to step); worker i computes the next state of
+// every node in its span and writes it into that span's slots of the update
+// list — disjoint indices, so shards never contend — drawing randomized
+// transitions from the per-node rng streams (node v's draw depends only on
+// (seed, v) and v's activation history, never on the shard that ran it).
+// Phase 2 — applying updates, activation counts, and round bookkeeping —
+// runs serially after the barrier, exactly the code path the serial kernel
+// uses, so trajectories are bit-identical at every thread count. With a
+// listener attached, workers log transitions per shard and the engine
+// replays the concatenated logs after the barrier; spans are contiguous and
+// ascending, so shard-order concatenation IS activation-list order, and each
+// signal is materialized from the still-unmodified pre-step configuration —
+// the observed stream matches the serial kernel's exactly.
+void Engine::step_sparse_parallel() {
+#ifndef NDEBUG
+  {
+    // The distinct-node-ids contract of Scheduler::activations is what makes
+    // the concurrent per-node rng draws below race-free; a scheduler that
+    // violates it must fail loudly here, not corrupt rng state under TSan's
+    // radar in release builds.
+    std::vector<bool> seen(graph_.num_nodes(), false);
+    for (const NodeId v : active_) {
+      assert(!seen[v] && "Scheduler emitted duplicate node ids in one A_t");
+      seen[v] = true;
+    }
+  }
+#endif
+  const bool log_transitions = static_cast<bool>(listener_);
+  const auto count = static_cast<NodeId>(active_.size());
+  updates_.resize(count);
+  make_weighted_shards_into(
+      sparse_shards_, count, pool_->shard_count(), [&](NodeId i) {
+        return static_cast<std::uint64_t>(graph_.degree(active_[i])) + 1;
+      });
+  pool_->run(sparse_shards_, [&](const Shard& shard, unsigned shard_index) {
+    shard_phase1(
+        shard, shard_ws_[shard_index], log_transitions,
+        [&](NodeId i) { return active_[i]; },
+        [&](NodeId i, NodeId v, StateId next) { updates_[i] = {v, next}; });
+  });
+  if (log_transitions) {
+    for (std::size_t s = 0; s < sparse_shards_.size(); ++s) {
+      for (const TransitionRec& tr : shard_ws_[s].transitions) {
+        const SignalView sig = scratch_.sense(graph_, config_, tr.v);
+        listener_(tr.v, tr.from, tr.to, sig.materialize(), time_);
+      }
+    }
+  }
   apply_updates_and_close_rounds();
 }
 

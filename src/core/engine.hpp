@@ -26,17 +26,26 @@
 // Signal::from_states per activation and dispatches Automaton::step; it is
 // kept as the differential-testing oracle.
 //
-// Parallel kernel (EngineOptions::thread_count != 1):
+// Parallel kernels (EngineOptions::thread_count != 1):
 //   * under a full-activation scheduler the double-buffered synchronous step
 //     is sharded over contiguous degree-weighted node ranges (core/shard.hpp)
 //     and executed by a persistent worker pool with an epoch barrier
 //     (core/parallel_engine.hpp); every node reads the previous buffer and
 //     writes only its own slot, so shards never contend;
+//   * under an asynchronous daemon whose activation sets can get large
+//     (Scheduler::max_activation_hint() at or above
+//     EngineOptions::sparse_activation_threshold), phase 1 of any step with
+//     |A_t| >= that threshold is sharded over contiguous degree-weighted
+//     index ranges of the activation list: workers write disjoint slots of
+//     the update list (and per-shard transition logs), then the engine
+//     applies updates and round bookkeeping serially after the barrier —
+//     the scheduler draw itself stays serial, so the schedule is untouched;
+//     steps below the threshold run the serial per-activation path;
 //   * transition listeners stay exact: workers log (v, from, to) per shard
-//     and the engine replays the concatenated logs in node order after the
-//     barrier, materializing each signal from the pre-step configuration;
-//   * asynchronous schedulers run the serial path regardless of thread_count
-//     (their activation sets are small by construction).
+//     and the engine replays the concatenated logs in iteration order after
+//     the barrier, materializing each signal from the pre-step configuration;
+//   * single-node daemons (max_activation_hint() below the threshold) run
+//     the serial path regardless of thread_count and spawn no workers.
 //
 // RNG discipline — all paths, all thread counts, bit-identical:
 //   * scheduler draws always come from the engine's forked sched_rng_ stream,
@@ -83,11 +92,21 @@ struct EngineOptions {
   /// Compile deterministic |Q| <= 64 automata into a transition table
   /// (ignored when fast_path is false or the automaton is not compilable).
   bool compile = true;
-  /// Shard count for the parallel synchronous kernel. 1 (default) = serial;
-  /// 0 = auto (hardware concurrency); N > 1 = N degree-weighted shards on a
-  /// persistent worker pool. Only full-activation schedulers on the fast path
-  /// are sharded; every setting produces bit-identical trajectories.
+  /// Shard count for the parallel kernels. 1 (default) = serial; 0 = auto
+  /// (hardware concurrency); N > 1 = N degree-weighted shards on a persistent
+  /// worker pool. Full-activation schedulers shard the synchronous kernel;
+  /// asynchronous daemons with large activation sets shard phase 1 of the
+  /// sparse-activation kernel. Every setting produces bit-identical
+  /// trajectories. Ignored when fast_path is false — the legacy oracle is
+  /// always serial.
   unsigned thread_count = 1;
+  /// Minimum |A_t| for the sparse-activation sharded kernel. Steps with
+  /// smaller activation sets (and daemons whose max_activation_hint() never
+  /// reaches it) run the serial per-activation path — below this size the
+  /// epoch barrier costs more than the phase-1 work it parallelizes. Purely
+  /// a performance knob: trajectories are bit-identical either way. Ignored
+  /// when fast_path is false or thread_count resolves to 1.
+  std::size_t sparse_activation_threshold = 1024;
 };
 
 class Engine {
@@ -148,8 +167,10 @@ class Engine {
   }
   [[nodiscard]] const EngineOptions& options() const { return options_; }
 
-  /// Shard count of the parallel synchronous kernel, or 1 when the engine
-  /// runs serial (thread_count 1, an async scheduler, or the legacy path).
+  /// Shard count of the parallel kernels (synchronous or sparse-activation),
+  /// or 1 when the engine runs serial (thread_count 1, a daemon whose
+  /// activation sets stay below the sparse threshold, a parallel-unsafe
+  /// automaton, or the legacy path).
   [[nodiscard]] unsigned shard_count() const {
     return pool_ ? pool_->shard_count() : 1;
   }
@@ -162,11 +183,26 @@ class Engine {
   void inject_state(NodeId v, StateId q);
 
  private:
+  struct ShardWorkspace;
+
   void step_synchronous();
   void step_parallel_synchronous();
   void step_async();
+  void step_sparse_parallel();
   void step_legacy();
   void apply_updates_and_close_rounds();
+
+  /// Phase 1 of one shard, shared by both parallel kernels (their loop
+  /// bodies must stay in lockstep or bit-identity silently breaks):
+  /// computes the next state of every index in [shard.begin, shard.end),
+  /// mapping indices to nodes via `node_of` (identity for the synchronous
+  /// kernel, the activation list for the sparse kernel) and handing results
+  /// to `emit(i, v, next)` (double-buffer slot vs update-list slot). Logs
+  /// transitions into `ws` when `log_transitions`.
+  template <typename NodeOf, typename Emit>
+  void shard_phase1(const Shard& shard, ShardWorkspace& ws,
+                    bool log_transitions, const NodeOf& node_of,
+                    const Emit& emit);
 
   /// The rng stream for an activation of node v (per-node counter-based
   /// stream for randomized automata; the never-consulted engine stream for
@@ -214,6 +250,11 @@ class Engine {
   };
   std::unique_ptr<ParallelEngine> pool_;
   std::vector<ShardWorkspace> shard_ws_;
+  // Sparse-activation kernel: true when the pool may shard asynchronous
+  // steps (the scheduler's hint reaches the threshold); the actual |A_t| is
+  // still checked every step.
+  bool sparse_eligible_ = false;
+  std::vector<Shard> sparse_shards_;  // per-step index partition of active_
 
   // Round operator tracking.
   std::uint64_t rounds_ = 0;

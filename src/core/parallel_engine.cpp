@@ -1,6 +1,7 @@
 #include "core/parallel_engine.hpp"
 
 #include <stdexcept>
+#include <utility>
 
 namespace ssau::core {
 
@@ -25,27 +26,61 @@ ParallelEngine::~ParallelEngine() {
 }
 
 void ParallelEngine::run(const ShardFn& fn) {
-  if (workers_.empty()) {  // single shard: no barrier needed
-    fn(shards_[0], 0);
+  run_impl(shards_.data(), static_cast<unsigned>(shards_.size()), fn);
+}
+
+void ParallelEngine::run(const std::vector<Shard>& shards, const ShardFn& fn) {
+  if (shards.empty() || shards.size() > shards_.size()) {
+    throw std::invalid_argument(
+        "ParallelEngine: per-epoch shard list must have 1..shard_count() "
+        "entries");
+  }
+  run_impl(shards.data(), static_cast<unsigned>(shards.size()), fn);
+}
+
+void ParallelEngine::run_impl(const Shard* shards, unsigned count,
+                              const ShardFn& fn) {
+  if (count == 1 || workers_.empty()) {  // single shard: no barrier needed
+    fn(shards[0], 0);
     return;
   }
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     job_ = &fn;
-    outstanding_ = static_cast<unsigned>(workers_.size());
+    epoch_shards_ = shards;
+    epoch_shard_count_ = count;
+    outstanding_ = count - 1;  // workers 1..count-1; shard 0 runs here
+    error_ = nullptr;
     ++epoch_;
   }
   work_ready_.notify_all();
-  fn(shards_[0], 0);
+  // Shard 0 runs on the caller; a throw here must NOT unwind past the
+  // barrier below — workers would still be executing against the ShardFn
+  // temporary and the caller's per-shard state. Capture, wait, rethrow.
+  try {
+    fn(shards[0], 0);
+  } catch (...) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (!error_) error_ = std::current_exception();
+  }
   std::unique_lock<std::mutex> lock(mutex_);
   work_done_.wait(lock, [this] { return outstanding_ == 0; });
   job_ = nullptr;
+  epoch_shards_ = nullptr;
+  epoch_shard_count_ = 0;
+  if (error_) {
+    const std::exception_ptr error = std::exchange(error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
 }
 
 void ParallelEngine::worker_loop(unsigned shard_index) {
   std::uint64_t seen_epoch = 0;
   for (;;) {
     const ShardFn* job = nullptr;
+    const Shard* shards = nullptr;
+    unsigned count = 0;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       work_ready_.wait(
@@ -53,10 +88,21 @@ void ParallelEngine::worker_loop(unsigned shard_index) {
       if (stopping_) return;
       seen_epoch = epoch_;
       job = job_;
+      shards = epoch_shards_;
+      count = epoch_shard_count_;
     }
-    (*job)(shards_[shard_index], shard_index);
+    if (shard_index >= count) continue;  // no shard this epoch; not counted
+    std::exception_ptr error;
+    try {
+      (*job)(shards[shard_index], shard_index);
+    } catch (...) {
+      // Don't let the exception terminate the worker (std::terminate) —
+      // complete the barrier and hand it to the caller instead.
+      error = std::current_exception();
+    }
     {
       const std::lock_guard<std::mutex> lock(mutex_);
+      if (error && !error_) error_ = error;
       --outstanding_;
       if (outstanding_ == 0) work_done_.notify_one();
     }

@@ -1,10 +1,17 @@
-// Persistent worker pool driving the sharded synchronous kernel.
+// Persistent worker pool driving the sharded engine kernels.
 //
-// One worker owns one shard for the lifetime of the pool, so per-shard
+// One worker owns one shard index for the lifetime of the pool, so per-shard
 // workspaces (signal scratch, transition logs, memo tables) stay warm in that
 // worker's cache across steps. Shard 0 is executed by the calling thread —
 // a pool with one shard degenerates to plain serial execution with zero
 // synchronization, and with k shards only k-1 OS threads are parked.
+//
+// The pool serves two kernels: the synchronous kernel runs the fixed node
+// partition the pool was constructed with (run(fn)), and the
+// sparse-activation kernel passes a fresh per-epoch shard list over the
+// activation list (run(shards, fn)) — worker i then executes shards[i] for
+// this epoch only, and workers beyond the epoch's shard count sit the epoch
+// out (they still observe the epoch tick, so the barrier stays uniform).
 //
 // Synchronization is a lightweight epoch barrier: run() publishes the job
 // under a mutex, bumps the epoch, and wakes the workers; each worker executes
@@ -21,6 +28,7 @@
 #pragma once
 
 #include <condition_variable>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -33,7 +41,11 @@ namespace ssau::core {
 class ParallelEngine {
  public:
   /// Executes one shard of the current epoch; `shard_index` identifies the
-  /// per-shard workspace. Must not throw.
+  /// per-shard workspace. Should not throw; if it does anyway (e.g. a
+  /// sharded automaton's bad_alloc), the epoch still completes its barrier
+  /// — every shard finishes or fails before run() returns — and the first
+  /// captured exception is rethrown on the calling thread, so the caller's
+  /// state is never unwound while workers still execute.
   using ShardFn = std::function<void(const Shard& shard, unsigned shard_index)>;
 
   /// Spawns shards.size() - 1 worker threads (shard 0 runs on the caller).
@@ -44,9 +56,17 @@ class ParallelEngine {
   ParallelEngine(const ParallelEngine&) = delete;
   ParallelEngine& operator=(const ParallelEngine&) = delete;
 
-  /// Runs `fn` on every shard and returns once all shards completed (the
-  /// epoch barrier). Workers' memory effects happen-before the return.
+  /// Runs `fn` on every shard of the fixed construction-time partition and
+  /// returns once all shards completed (the epoch barrier). Workers' memory
+  /// effects happen-before the return.
   void run(const ShardFn& fn);
+
+  /// Runs `fn` over a caller-supplied per-epoch shard list instead of the
+  /// fixed partition (the sparse-activation kernel re-shards the activation
+  /// list every step). `shards` must be non-empty and at most shard_count()
+  /// long; worker i executes shards[i], workers with no shard this epoch
+  /// skip it. `shards` must stay alive until run returns.
+  void run(const std::vector<Shard>& shards, const ShardFn& fn);
 
   [[nodiscard]] unsigned shard_count() const {
     return static_cast<unsigned>(shards_.size());
@@ -58,6 +78,7 @@ class ParallelEngine {
   [[nodiscard]] static unsigned resolve_thread_count(unsigned requested);
 
  private:
+  void run_impl(const Shard* shards, unsigned count, const ShardFn& fn);
   void worker_loop(unsigned shard_index);
 
   std::vector<Shard> shards_;
@@ -67,6 +88,9 @@ class ParallelEngine {
   std::condition_variable work_ready_;
   std::condition_variable work_done_;
   const ShardFn* job_ = nullptr;   // valid while an epoch is in flight
+  const Shard* epoch_shards_ = nullptr;  // this epoch's shard list
+  unsigned epoch_shard_count_ = 0;       // shards in this epoch (<= pool size)
+  std::exception_ptr error_;       // first exception of this epoch, if any
   std::uint64_t epoch_ = 0;        // bumped once per run()
   unsigned outstanding_ = 0;       // workers still running this epoch
   bool stopping_ = false;

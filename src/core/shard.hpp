@@ -1,16 +1,20 @@
-// Contiguous node sharding for the parallel synchronous kernel.
+// Contiguous weighted sharding for the parallel engine kernels.
 //
-// The synchronous full-activation step is embarrassingly parallel: every node
-// reads the previous double-buffered configuration and writes only its own
-// slot of the next one. A shard is therefore just a contiguous node range
-// [begin, end); contiguity keeps each worker's reads/writes on config_ and
-// next_config_ sequential (and makes the concatenation of per-shard event
-// logs equal to the node-order event stream of the serial kernel).
+// Both parallel kernels are embarrassingly parallel in their phase 1: every
+// activated node reads the pre-step configuration and writes only its own
+// slot (of the double buffer in the synchronous kernel, of the update list in
+// the sparse-activation kernel). A shard is therefore just a contiguous index
+// range [begin, end); contiguity keeps each worker's reads/writes sequential
+// and makes the concatenation of per-shard event logs equal to the serial
+// iteration-order event stream.
 //
-// Work per node is dominated by the neighborhood scan, so shards are balanced
-// by degree weight (deg(v) + 1), computed once from the immutable graph: on
-// skewed graphs an equal-node split would leave the hub shard the straggler
-// of every epoch barrier.
+// Work per index is dominated by the neighborhood scan, so shards are
+// balanced by a caller-supplied weight (deg(v) + 1 in both kernels): on
+// skewed graphs an equal-count split would leave the hub shard the straggler
+// of every barrier. The synchronous kernel partitions the node range [0, n)
+// once at engine construction; the sparse-activation kernel re-partitions the
+// index range [0, |A_t|) of the activation list every step (two O(|A_t|)
+// passes into a reused buffer).
 #pragma once
 
 #include <algorithm>
@@ -22,7 +26,7 @@
 
 namespace ssau::core {
 
-/// A contiguous node range [begin, end); shards partition [0, n).
+/// A contiguous index range [begin, end); shards partition [0, count).
 struct Shard {
   NodeId begin = 0;
   NodeId end = 0;
@@ -30,39 +34,52 @@ struct Shard {
   [[nodiscard]] NodeId size() const { return end - begin; }
 };
 
-/// Partitions [0, n) into at most `shard_count` non-empty contiguous shards
-/// of near-equal total degree weight (deg(v) + 1 per node). Returns fewer
-/// shards when n < shard_count. shard_count must be >= 1.
-[[nodiscard]] inline std::vector<Shard> make_shards(const graph::Graph& g,
-                                                    unsigned shard_count) {
-  const NodeId n = g.num_nodes();
-  std::vector<Shard> shards;
-  if (n == 0) return shards;
+/// Partitions [0, count) into at most `shard_count` non-empty contiguous
+/// shards of near-equal total weight, where `weight(i)` yields the (positive)
+/// cost of index i. Writes into `out` (cleared first; capacity reused across
+/// calls — the sparse kernel re-shards every step). Produces fewer shards
+/// when count < shard_count; produces none when count == 0.
+template <typename WeightFn>
+inline void make_weighted_shards_into(std::vector<Shard>& out, NodeId count,
+                                      unsigned shard_count, WeightFn&& weight) {
+  out.clear();
+  if (count == 0) return;
   const auto k = static_cast<NodeId>(
-      std::min<std::uint64_t>(shard_count == 0 ? 1 : shard_count, n));
+      std::min<std::uint64_t>(shard_count == 0 ? 1 : shard_count, count));
 
   std::uint64_t total_weight = 0;
-  for (NodeId v = 0; v < n; ++v) {
-    total_weight += static_cast<std::uint64_t>(g.degree(v)) + 1;
+  for (NodeId i = 0; i < count; ++i) {
+    total_weight += static_cast<std::uint64_t>(weight(i));
   }
 
-  shards.reserve(k);
+  out.reserve(k);
   NodeId begin = 0;
   std::uint64_t cumulative = 0;
-  for (NodeId v = 0; v < n; ++v) {
-    cumulative += static_cast<std::uint64_t>(g.degree(v)) + 1;
-    const auto filled = static_cast<NodeId>(shards.size());
+  for (NodeId i = 0; i < count; ++i) {
+    cumulative += static_cast<std::uint64_t>(weight(i));
+    const auto filled = static_cast<NodeId>(out.size());
     // Close the shard once its share of the weight is reached, but never so
     // late that the remaining shards could not all be non-empty.
     const bool quota_met =
         cumulative * k >= total_weight * (static_cast<std::uint64_t>(filled) + 1);
-    const bool must_close = n - (v + 1) == k - filled - 1;
+    const bool must_close = count - (i + 1) == k - filled - 1;
     if ((quota_met || must_close) && filled + 1 < k) {
-      shards.push_back({begin, v + 1});
-      begin = v + 1;
+      out.push_back({begin, i + 1});
+      begin = i + 1;
     }
   }
-  shards.push_back({begin, n});
+  out.push_back({begin, count});
+}
+
+/// Partitions the node range [0, n) into at most `shard_count` shards of
+/// near-equal total degree weight (deg(v) + 1 per node) — the synchronous
+/// kernel's once-per-engine partition.
+[[nodiscard]] inline std::vector<Shard> make_shards(const graph::Graph& g,
+                                                    unsigned shard_count) {
+  std::vector<Shard> shards;
+  make_weighted_shards_into(shards, g.num_nodes(), shard_count, [&](NodeId v) {
+    return static_cast<std::uint64_t>(g.degree(v)) + 1;
+  });
   return shards;
 }
 

@@ -5,8 +5,6 @@
 #include <numeric>
 #include <stdexcept>
 
-#include "graph/metrics.hpp"
-
 namespace ssau::sched {
 
 void SynchronousScheduler::activations(core::Time, std::vector<core::NodeId>& out,
@@ -37,6 +35,17 @@ void RotatingSingleScheduler::activations(core::Time t,
   out.assign(1, static_cast<core::NodeId>((t + offset_) % n_));
 }
 
+LaggardScheduler::LaggardScheduler(core::NodeId n, unsigned burst)
+    : n_(n), burst_(burst) {
+  if (burst_ == 0) {
+    throw std::invalid_argument("LaggardScheduler: burst must be >= 1");
+  }
+  // n == 0 would reach `(t / cycle) % 0` on the first activation.
+  if (n_ == 0) {
+    throw std::invalid_argument("LaggardScheduler: n must be >= 1");
+  }
+}
+
 void LaggardScheduler::activations(core::Time t, std::vector<core::NodeId>& out,
                                    util::Rng&) {
   const core::Time cycle = burst_ + 1;
@@ -54,17 +63,37 @@ void LaggardScheduler::activations(core::Time t, std::vector<core::NodeId>& out,
 }
 
 WaveScheduler::WaveScheduler(const graph::Graph& g) {
-  const auto dist = graph::bfs_distances(g, 0);
+  // One BFS per connected component, seeded at its lowest-id node; layer d
+  // collects every node at distance d from its own component's seed. All
+  // components wave simultaneously, so each node sits in exactly one layer
+  // and the daemon is fair on any graph, connected or not.
+  const core::NodeId n = g.num_nodes();
+  constexpr auto kUnvisited = std::numeric_limits<std::uint32_t>::max();
+  std::vector<std::uint32_t> dist(n, kUnvisited);
+  std::vector<core::NodeId> queue;
   std::uint32_t max_d = 0;
-  for (const auto d : dist) {
-    if (d == std::numeric_limits<std::uint32_t>::max()) {
-      throw std::invalid_argument("WaveScheduler requires a connected graph");
+  for (core::NodeId root = 0; root < n; ++root) {
+    if (dist[root] != kUnvisited) continue;
+    dist[root] = 0;
+    queue.clear();
+    queue.push_back(root);
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const core::NodeId v = queue[head];
+      for (const core::NodeId u : g.neighbors(v)) {
+        if (dist[u] == kUnvisited) {
+          dist[u] = dist[v] + 1;
+          max_d = std::max(max_d, dist[u]);
+          queue.push_back(u);
+        }
+      }
     }
-    max_d = std::max(max_d, d);
   }
   layers_.resize(max_d + 1);
-  for (core::NodeId v = 0; v < g.num_nodes(); ++v) {
+  for (core::NodeId v = 0; v < n; ++v) {
     layers_[dist[v]].push_back(v);
+  }
+  for (const auto& layer : layers_) {
+    max_layer_ = std::max(max_layer_, static_cast<core::NodeId>(layer.size()));
   }
 }
 
@@ -91,6 +120,18 @@ void PermutationScheduler::activations(core::Time t,
   out.assign(1, order_[pos]);
 }
 
+BurstScheduler::BurstScheduler(core::NodeId n, unsigned burst)
+    : n_(n), burst_(burst) {
+  // burst == 0 (or n == 0) would make the cycle length zero and `t % cycle`
+  // undefined behavior — fail at construction, not mid-run.
+  if (burst_ == 0) {
+    throw std::invalid_argument("BurstScheduler: burst must be >= 1");
+  }
+  if (n_ == 0) {
+    throw std::invalid_argument("BurstScheduler: n must be >= 1");
+  }
+}
+
 void BurstScheduler::activations(core::Time t, std::vector<core::NodeId>& out,
                                  util::Rng&) {
   const core::Time cycle = static_cast<core::Time>(burst_) * n_;
@@ -102,6 +143,11 @@ std::unique_ptr<Scheduler> make_scheduler(const std::string& name,
                                           double subset_p,
                                           unsigned laggard_burst) {
   const core::NodeId n = g.num_nodes();
+  // Every schedule is over a non-empty node set (A_t must be non-empty);
+  // several daemons would otherwise hit `t % 0` mid-run.
+  if (n == 0) {
+    throw std::invalid_argument("make_scheduler: graph must be non-empty");
+  }
   if (name == "synchronous") return std::make_unique<SynchronousScheduler>(n);
   if (name == "uniform-single") return std::make_unique<UniformSingleScheduler>(n);
   if (name == "random-subset")

@@ -33,10 +33,18 @@ class Scheduler {
   /// never consumes the rng. The engine then skips activation-set
   /// construction entirely and runs its batched double-buffered kernel —
   /// sharded across a worker pool when EngineOptions::thread_count asks for
-  /// it (core/parallel_engine.hpp), serial otherwise. Schedulers returning
-  /// true here are the engine's only parallel entry point: asynchronous
-  /// daemons activate few nodes per step and always run serial.
+  /// it (core/parallel_engine.hpp), serial otherwise.
   [[nodiscard]] virtual bool full_activation() const { return false; }
+
+  /// An upper bound on |A_t| over all steps. The engine uses it once, at
+  /// construction, to size activation workspaces and to decide whether the
+  /// sparse-activation sharded kernel can ever engage (a daemon whose sets
+  /// never reach EngineOptions::sparse_activation_threshold keeps the serial
+  /// path and spawns no workers). A loose bound is harmless — the kernel
+  /// checks the actual |A_t| every step — but an under-estimate pins large
+  /// steps to the serial path, so daemons with big activation sets should
+  /// override. Defaults to 1 (the single-node daemons).
+  [[nodiscard]] virtual core::NodeId max_activation_hint() const { return 1; }
 
   [[nodiscard]] virtual std::string name() const = 0;
 };
@@ -48,6 +56,7 @@ class SynchronousScheduler final : public Scheduler {
   void activations(core::Time, std::vector<core::NodeId>& out,
                    util::Rng&) override;
   [[nodiscard]] bool full_activation() const override { return true; }
+  [[nodiscard]] core::NodeId max_activation_hint() const override { return n_; }
   [[nodiscard]] std::string name() const override { return "synchronous"; }
 
  private:
@@ -73,6 +82,7 @@ class RandomSubsetScheduler final : public Scheduler {
   RandomSubsetScheduler(core::NodeId n, double p) : n_(n), p_(p) {}
   void activations(core::Time, std::vector<core::NodeId>& out,
                    util::Rng& rng) override;
+  [[nodiscard]] core::NodeId max_activation_hint() const override { return n_; }
   [[nodiscard]] std::string name() const override { return "random-subset"; }
 
  private:
@@ -99,11 +109,16 @@ class RotatingSingleScheduler final : public Scheduler {
 /// Starvation adversary: activates all nodes except a rotating "laggard" for
 /// `burst` consecutive steps, then the laggard alone once. Rounds are long and
 /// lopsided — the worst legal daemon shape for unison gap-closing.
+/// Throws std::invalid_argument when burst == 0 (the schedule needs at least
+/// one starvation step per cycle).
 class LaggardScheduler final : public Scheduler {
  public:
-  LaggardScheduler(core::NodeId n, unsigned burst) : n_(n), burst_(burst) {}
+  LaggardScheduler(core::NodeId n, unsigned burst);
   void activations(core::Time t, std::vector<core::NodeId>& out,
                    util::Rng&) override;
+  [[nodiscard]] core::NodeId max_activation_hint() const override {
+    return n_ > 1 ? n_ - 1 : 1;
+  }
   [[nodiscard]] std::string name() const override { return "laggard"; }
 
  private:
@@ -111,17 +126,24 @@ class LaggardScheduler final : public Scheduler {
   unsigned burst_;
 };
 
-/// Activates one BFS layer (from node 0) per step, cycling through layers —
-/// a "wave" daemon that propagates information one hop per step.
+/// Activates one BFS layer per step, cycling through layers — a "wave" daemon
+/// that propagates information one hop per step. On a disconnected graph the
+/// BFS is seeded from the lowest-id node of every component (waves sweep all
+/// components in parallel), so the daemon stays fair: every node belongs to
+/// exactly one layer and is activated once per cycle.
 class WaveScheduler final : public Scheduler {
  public:
   explicit WaveScheduler(const graph::Graph& g);
   void activations(core::Time t, std::vector<core::NodeId>& out,
                    util::Rng&) override;
+  [[nodiscard]] core::NodeId max_activation_hint() const override {
+    return max_layer_;
+  }
   [[nodiscard]] std::string name() const override { return "wave"; }
 
  private:
   std::vector<std::vector<core::NodeId>> layers_;
+  core::NodeId max_layer_ = 1;  // size of the largest layer
 };
 
 /// One node per step, drawn from a fresh uniformly random permutation every
@@ -142,9 +164,11 @@ class PermutationScheduler final : public Scheduler {
 /// Activates each node `burst` consecutive steps before moving on
 /// (round-robin with repetition) — a daemon that lets one node run far ahead
 /// of its neighbors between their activations.
+/// Throws std::invalid_argument when burst == 0 (the cycle length burst * n
+/// would be zero, making the schedule's `t % cycle` undefined).
 class BurstScheduler final : public Scheduler {
  public:
-  BurstScheduler(core::NodeId n, unsigned burst) : n_(n), burst_(burst) {}
+  BurstScheduler(core::NodeId n, unsigned burst);
   void activations(core::Time t, std::vector<core::NodeId>& out,
                    util::Rng&) override;
   [[nodiscard]] std::string name() const override { return "burst"; }
@@ -155,7 +179,9 @@ class BurstScheduler final : public Scheduler {
 };
 
 /// Factory by name for benches: synchronous | uniform-single | random-subset |
-/// rotating-single | laggard | wave | permutation | burst.
+/// rotating-single | laggard | wave | permutation | burst. Throws
+/// std::invalid_argument on an unknown name, an empty graph, or on
+/// laggard_burst == 0 for the burst-parameterized daemons (laggard, burst).
 [[nodiscard]] std::unique_ptr<Scheduler> make_scheduler(
     const std::string& name, const graph::Graph& g, double subset_p = 0.5,
     unsigned laggard_burst = 4);

@@ -16,6 +16,7 @@ void JsonWriter::comma_if_needed() {
 }
 
 std::string JsonWriter::escape(const std::string& s) {
+  static constexpr char kHex[] = "0123456789abcdef";
   std::string out;
   out.reserve(s.size() + 2);
   for (const char c : s) {
@@ -25,7 +26,20 @@ std::string JsonWriter::escape(const std::string& s) {
       case '\n': out += "\\n"; break;
       case '\t': out += "\\t"; break;
       case '\r': out += "\\r"; break;
-      default: out += c;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        // RFC 8259: every control character below 0x20 must be escaped —
+        // emit the \u00XX form for the ones without a short escape, so any
+        // label string round-trips through strict parsers.
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += "\\u00";
+          out += kHex[(static_cast<unsigned char>(c) >> 4) & 0xf];
+          out += kHex[static_cast<unsigned char>(c) & 0xf];
+        } else {
+          out += c;
+        }
+        break;
     }
   }
   return out;

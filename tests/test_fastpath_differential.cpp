@@ -202,6 +202,49 @@ TEST(FastPathDifferential, ShardedKernelMatchesLegacyOracle) {
   }
 }
 
+TEST(FastPathDifferential, SparseKernelMatchesLegacyOracle) {
+  // The sparse-activation sharded kernel (asynchronous daemons with large
+  // A_t, phase 1 fanned out over the worker pool) must sit on the same
+  // trajectory as the interpreted oracle — for the deterministic AlgAu mask
+  // kernel and for randomized MIS (per-node rng streams) under every daemon
+  // routed into it.
+  util::Rng rng(37);
+  const graph::Graph g = graph::random_bounded_diameter(80, 2, rng);
+  const unison::AlgAu au(2);
+  const mis::AlgMis mis({.diameter_bound = 2});
+  const std::vector<std::pair<const core::Automaton*, core::Configuration>>
+      workloads = {
+          {&au, unison::au_adversarial_configuration("random", au, g, rng)},
+          {&mis, mis::mis_adversarial_configuration("random", mis, g, rng)},
+      };
+  for (const auto& [alg, c0] : workloads) {
+    for (const char* sched_name : {"laggard", "random-subset", "wave"}) {
+      for (const unsigned threads : {2u, 4u, 8u}) {
+        auto sparse_sched = sched::make_scheduler(sched_name, g);
+        auto legacy_sched = sched::make_scheduler(sched_name, g);
+        core::Engine sparse(
+            g, *alg, *sparse_sched, c0, 137,
+            core::EngineOptions{.thread_count = threads,
+                                .sparse_activation_threshold = 2});
+        core::Engine legacy(g, *alg, *legacy_sched, c0, 137,
+                            core::EngineOptions{.fast_path = false});
+        ASSERT_EQ(sparse.shard_count(), threads) << sched_name;
+        for (int s = 0; s < 150; ++s) {
+          sparse.step();
+          legacy.step();
+          ASSERT_EQ(sparse.config(), legacy.config())
+              << sched_name << " threads=" << threads << " diverged at step "
+              << s;
+        }
+        ASSERT_EQ(sparse.rounds_completed(), legacy.rounds_completed());
+        for (core::NodeId v = 0; v < g.num_nodes(); ++v) {
+          ASSERT_EQ(sparse.activation_count(v), legacy.activation_count(v));
+        }
+      }
+    }
+  }
+}
+
 TEST(FastPathDifferential, EngineCompilesOnlyEligibleAutomata) {
   const graph::Graph g = graph::path(4);
   sched::SynchronousScheduler sched(4);

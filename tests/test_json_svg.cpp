@@ -45,6 +45,28 @@ TEST(Json, StringEscaping) {
   EXPECT_EQ(os.str(), "[\"a\\\"b\\\\c\\nd\"]");
 }
 
+TEST(Json, ControlCharacterEscaping) {
+  // RFC 8259 requires every control character below 0x20 escaped; the short
+  // forms cover \n \t \r \b \f, everything else must become \u00XX — a label
+  // containing e.g. ESC or NUL must not corrupt BENCH/report output.
+  std::ostringstream os;
+  util::JsonWriter w(os);
+  w.begin_array()
+      .value(std::string("a\x01" "b\x1f") + '\0' + "\x7f")
+      .value("\b\f")
+      .end_array();
+  EXPECT_EQ(os.str(),
+            "[\"a\\u0001b\\u001f\\u0000\x7f\",\"\\b\\f\"]");
+}
+
+TEST(Json, ControlCharactersInKeysStayParseable) {
+  std::ostringstream os;
+  util::JsonWriter w(os);
+  w.begin_object().key("k\x02").value(1).end_object();
+  EXPECT_TRUE(w.complete());
+  EXPECT_EQ(os.str(), "{\"k\\u0002\":1}");
+}
+
 TEST(Json, TopLevelArrayOfNumbers) {
   std::ostringstream os;
   util::JsonWriter w(os);

@@ -6,7 +6,9 @@
 // full-activation and asynchronous schedulers.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -87,6 +89,59 @@ TEST(Shards, MoreShardsThanNodesClamps) {
   for (const Shard& s : shards) EXPECT_EQ(s.size(), 1u);
 }
 
+TEST(Shards, WeightedIndexRangePartition) {
+  // The sparse-activation kernel partitions [0, |A_t|) of the activation
+  // list, not [0, n): the same contiguity/coverage invariants must hold for
+  // an arbitrary weight callback over an arbitrary count.
+  std::vector<Shard> shards;
+  for (const core::NodeId count : {1u, 2u, 5u, 63u, 512u}) {
+    for (const unsigned k : {1u, 2u, 4u, 8u, 600u}) {
+      core::make_weighted_shards_into(shards, count, k, [&](core::NodeId i) {
+        return std::uint64_t{1} + (i % 7);
+      });
+      ASSERT_FALSE(shards.empty());
+      EXPECT_LE(shards.size(), static_cast<std::size_t>(k));
+      EXPECT_LE(shards.size(), static_cast<std::size_t>(count));
+      core::NodeId expected_begin = 0;
+      for (const Shard& s : shards) {
+        EXPECT_EQ(s.begin, expected_begin);
+        EXPECT_GT(s.end, s.begin) << "empty shard";
+        expected_begin = s.end;
+      }
+      EXPECT_EQ(expected_begin, count);
+    }
+  }
+  // count == 0 (no activations) produces no shards, not a bogus [0, 0).
+  core::make_weighted_shards_into(shards, 0, 4,
+                                  [](core::NodeId) { return 1; });
+  EXPECT_TRUE(shards.empty());
+}
+
+TEST(Shards, WeightedIndexRangeBalance) {
+  // A heavily skewed weight profile (one hub index) must not overload any
+  // shard beyond ideal + heaviest, mirroring the node-partition guarantee.
+  std::vector<Shard> shards;
+  const core::NodeId count = 256;
+  const auto weight = [](core::NodeId i) {
+    return i == 17 ? std::uint64_t{200} : std::uint64_t{2};
+  };
+  std::uint64_t total = 0;
+  std::uint64_t heaviest = 0;
+  for (core::NodeId i = 0; i < count; ++i) {
+    total += weight(i);
+    heaviest = std::max(heaviest, weight(i));
+  }
+  const unsigned k = 4;
+  core::make_weighted_shards_into(shards, count, k, weight);
+  ASSERT_EQ(shards.size(), k);
+  for (const Shard& s : shards) {
+    std::uint64_t w = 0;
+    for (core::NodeId i = s.begin; i < s.end; ++i) w += weight(i);
+    EXPECT_LE(w, total / k + heaviest)
+        << "shard [" << s.begin << "," << s.end << ") over weight";
+  }
+}
+
 // --- worker pool ------------------------------------------------------------
 
 TEST(ParallelEnginePool, RunsEveryShardEveryEpoch) {
@@ -104,6 +159,66 @@ TEST(ParallelEnginePool, RunsEveryShardEveryEpoch) {
   EXPECT_EQ(begins, (std::vector<core::NodeId>{0, 10, 25}));
 }
 
+TEST(ParallelEnginePool, PerEpochShardListOverridesFixedPartition) {
+  // The sparse-activation kernel passes a fresh shard list every epoch; the
+  // pool must run exactly that list, and workers beyond the epoch's shard
+  // count must sit the epoch out without disturbing the barrier.
+  core::ParallelEngine pool({{0, 10}, {10, 20}, {20, 30}, {30, 40}});
+  std::vector<int> hits(4, 0);
+  std::vector<Shard> seen(4);
+  const std::vector<Shard> two = {{0, 7}, {7, 13}};
+  for (int epoch = 0; epoch < 50; ++epoch) {
+    pool.run(two, [&](const Shard& s, unsigned idx) {
+      ++hits[idx];
+      seen[idx] = s;
+    });
+  }
+  EXPECT_EQ(hits, (std::vector<int>{50, 50, 0, 0}));
+  EXPECT_EQ(seen[0].begin, 0u);
+  EXPECT_EQ(seen[0].end, 7u);
+  EXPECT_EQ(seen[1].begin, 7u);
+  EXPECT_EQ(seen[1].end, 13u);
+
+  // Mixed fixed-partition and per-epoch runs interleave cleanly.
+  pool.run([&](const Shard& s, unsigned idx) {
+    ++hits[idx];
+    seen[idx] = s;
+  });
+  EXPECT_EQ(hits, (std::vector<int>{51, 51, 1, 1}));
+  EXPECT_EQ(seen[3].begin, 30u);
+  EXPECT_EQ(seen[3].end, 40u);
+
+  // An over-long or empty per-epoch list is rejected.
+  const std::vector<Shard> five(5, Shard{0, 1});
+  EXPECT_THROW(pool.run(five, [](const Shard&, unsigned) {}),
+               std::invalid_argument);
+  EXPECT_THROW(pool.run(std::vector<Shard>{}, [](const Shard&, unsigned) {}),
+               std::invalid_argument);
+}
+
+TEST(ParallelEnginePool, ShardExceptionCompletesBarrierAndRethrows) {
+  // A throwing ShardFn must neither terminate a worker nor let the caller
+  // unwind while shards are still executing: the epoch completes its
+  // barrier, then the first captured exception is rethrown on the caller.
+  core::ParallelEngine pool({{0, 8}, {8, 16}, {16, 24}});
+  std::atomic<int> completed{0};
+  for (int epoch = 0; epoch < 20; ++epoch) {
+    // Alternate which shard throws — caller-run shard 0 included.
+    const unsigned thrower = static_cast<unsigned>(epoch % 3);
+    EXPECT_THROW(
+        pool.run([&](const Shard&, unsigned idx) {
+          if (idx == thrower) throw std::runtime_error("shard failure");
+          ++completed;
+        }),
+        std::runtime_error);
+  }
+  EXPECT_EQ(completed.load(), 20 * 2);  // the two non-throwing shards ran
+  // The pool remains usable after failed epochs.
+  std::vector<int> hits(3, 0);
+  pool.run([&](const Shard&, unsigned idx) { ++hits[idx]; });
+  EXPECT_EQ(hits, (std::vector<int>{1, 1, 1}));
+}
+
 TEST(ParallelEnginePool, ResolveThreadCount) {
   EXPECT_EQ(core::ParallelEngine::resolve_thread_count(1), 1u);
   EXPECT_EQ(core::ParallelEngine::resolve_thread_count(6), 6u);
@@ -114,13 +229,16 @@ TEST(ParallelEnginePool, ResolveThreadCount) {
 
 /// Runs a reference engine (serial fast path) and one engine per thread count
 /// in lockstep; every aspect of the engine state must stay bit-identical.
-/// Also runs the legacy oracle when `against_legacy`.
+/// Also runs the legacy oracle when `against_legacy`. `sparse_threshold`
+/// forces the sparse-activation kernel onto small test instances (the
+/// default production threshold would keep them serial).
 void expect_thread_count_invariance(const graph::Graph& g,
                                     const core::Automaton& alg,
                                     const core::Configuration& initial,
                                     const std::string& sched_name,
                                     std::uint64_t seed, int steps,
-                                    bool against_legacy = true) {
+                                    bool against_legacy = true,
+                                    std::size_t sparse_threshold = 1024) {
   auto ref_sched = sched::make_scheduler(sched_name, g);
   core::Engine reference(g, alg, *ref_sched, initial, seed,
                          EngineOptions{.thread_count = 1});
@@ -135,7 +253,9 @@ void expect_thread_count_invariance(const graph::Graph& g,
     Candidate c;
     c.sched = sched::make_scheduler(sched_name, g);
     c.engine = std::make_unique<core::Engine>(
-        g, alg, *c.sched, initial, seed, EngineOptions{.thread_count = threads});
+        g, alg, *c.sched, initial, seed,
+        EngineOptions{.thread_count = threads,
+                      .sparse_activation_threshold = sparse_threshold});
     c.label = "threads=" + std::to_string(threads);
     candidates.push_back(std::move(c));
   }
@@ -225,6 +345,172 @@ TEST(ParallelEngine, AlgLeBitIdenticalSynchronousAndAsync) {
   expect_thread_count_invariance(g, alg, c0, "uniform-single", 233, 600);
 }
 
+// --- sparse-activation kernel ----------------------------------------------
+
+TEST(SparseActivationKernel, AlgAuLaggardBitIdentical) {
+  // The laggard daemon activates n-1 nodes per step (then one): |A_t| sits
+  // above the forced threshold, so phase 1 runs sharded over the activation
+  // list; trajectories must match the serial fast path and legacy oracle at
+  // every thread count.
+  const unison::AlgAu alg(2);
+  util::Rng rng(71);
+  const graph::Graph g = graph::random_connected(300, 0.015, rng);
+  for (const char* kind : {"tear", "random"}) {
+    const core::Configuration c0 =
+        unison::au_adversarial_configuration(kind, alg, g, rng);
+    expect_thread_count_invariance(g, alg, c0, "laggard", 307, 60,
+                                   /*against_legacy=*/true,
+                                   /*sparse_threshold=*/2);
+  }
+}
+
+TEST(SparseActivationKernel, AlgAuViewKernelLaggard) {
+  // D = 5 (|Q| = 66 > 64): the sparse kernel's sorted-span SignalView branch.
+  const unison::AlgAu alg(5);
+  util::Rng rng(73);
+  const graph::Graph g = graph::random_connected(150, 0.03, rng);
+  const core::Configuration c0 =
+      unison::au_adversarial_configuration("random", alg, g, rng);
+  expect_thread_count_invariance(g, alg, c0, "laggard", 311, 60,
+                                 /*against_legacy=*/true,
+                                 /*sparse_threshold=*/2);
+}
+
+TEST(SparseActivationKernel, RandomSubsetBitIdentical) {
+  // |A_t| varies randomly around n/2, straddling the threshold: steps above
+  // it shard, steps below it fall back to the serial path — the mix must
+  // still be bit-identical, and the scheduler's rng stream (consumed on the
+  // serial draw) must be unperturbed by the kernel choice.
+  const unison::AlgAu au(2);
+  const mis::AlgMis mis({.diameter_bound = 2});
+  util::Rng rng(79);
+  const graph::Graph g = graph::random_connected(200, 0.02, rng);
+  const core::Configuration au0 =
+      unison::au_adversarial_configuration("random", au, g, rng);
+  const core::Configuration mis0 =
+      mis::mis_adversarial_configuration("random", mis, g, rng);
+  expect_thread_count_invariance(g, au, au0, "random-subset", 313, 80,
+                                 /*against_legacy=*/true,
+                                 /*sparse_threshold=*/100);
+  // Randomized MIS: per-node rng streams must survive sharded phase 1.
+  expect_thread_count_invariance(g, mis, mis0, "random-subset", 317, 80,
+                                 /*against_legacy=*/true,
+                                 /*sparse_threshold=*/100);
+}
+
+TEST(SparseActivationKernel, WaveBitIdenticalIncludingDisconnected) {
+  // BFS-layer activation sets of wildly varying size; the disconnected graph
+  // exercises the multi-component wave daemon through the sparse kernel (on
+  // a disconnected G the daemon must still activate every node, or rounds
+  // never close — guarded below by the round-progress check).
+  const unison::AlgAu alg(2);
+  util::Rng rng(83);
+  const graph::Graph connected = graph::random_connected(240, 0.02, rng);
+  const core::Configuration c0 =
+      unison::au_adversarial_configuration("random", alg, connected, rng);
+  expect_thread_count_invariance(connected, alg, c0, "wave", 331, 80,
+                                 /*against_legacy=*/true,
+                                 /*sparse_threshold=*/2);
+
+  // Two random components + an isolated node, stitched into one node range.
+  std::vector<std::pair<graph::NodeId, graph::NodeId>> edges;
+  const graph::Graph a = graph::random_connected(90, 0.05, rng);
+  const graph::Graph b = graph::random_connected(60, 0.07, rng);
+  for (const auto& [u, v] : a.edges()) edges.emplace_back(u, v);
+  for (const auto& [u, v] : b.edges()) edges.emplace_back(u + 90, v + 90);
+  const graph::Graph disconnected(151, std::move(edges));
+  ASSERT_FALSE(disconnected.connected());
+  const core::Configuration d0 = unison::au_adversarial_configuration(
+      "random", alg, disconnected, rng);
+  expect_thread_count_invariance(disconnected, alg, d0, "wave", 337, 80,
+                                 /*against_legacy=*/true,
+                                 /*sparse_threshold=*/2);
+
+  // Fairness through the engine: rounds actually close under the wave daemon
+  // on the disconnected graph (every node gets activated every cycle).
+  auto sched = sched::make_scheduler("wave", disconnected);
+  core::Engine engine(disconnected, alg, *sched, d0, 337,
+                      EngineOptions{.thread_count = 4,
+                                    .sparse_activation_threshold = 2});
+  engine.run_rounds(5);
+  EXPECT_GE(engine.rounds_completed(), 5u);
+  for (graph::NodeId v = 0; v < disconnected.num_nodes(); ++v) {
+    EXPECT_GE(engine.activation_count(v), 5u) << "node " << v << " starved";
+  }
+}
+
+TEST(SparseActivationKernel, ZeroThresholdRunsEveryStepWithoutThrowing) {
+  // sparse_activation_threshold = 0 ("always shard") must not push a
+  // degenerate empty activation set into the pool (an empty per-epoch shard
+  // list is rejected there); the mix of single-node and bulk laggard steps
+  // must run to completion and stay on the reference trajectory.
+  const unison::AlgAu alg(2);
+  util::Rng rng(97);
+  const graph::Graph g = graph::random_connected(80, 0.05, rng);
+  const core::Configuration c0 =
+      unison::au_adversarial_configuration("random", alg, g, rng);
+  auto sched = sched::make_scheduler("laggard", g);
+  core::Engine engine(g, alg, *sched, c0, 353,
+                      EngineOptions{.thread_count = 4,
+                                    .sparse_activation_threshold = 0});
+  auto ref_sched = sched::make_scheduler("laggard", g);
+  core::Engine reference(g, alg, *ref_sched, c0, 353,
+                         EngineOptions{.thread_count = 1});
+  for (int s = 0; s < 100; ++s) {
+    engine.step();
+    reference.step();
+    ASSERT_EQ(engine.config(), reference.config()) << "step " << s;
+  }
+  EXPECT_EQ(engine.rounds_completed(), reference.rounds_completed());
+}
+
+TEST(SparseActivationKernel, ListenerStreamBitIdentical) {
+  // Workers log per-shard transitions during sharded phase 1; the replayed
+  // stream (activation-list order, pre-step signals) must match the serial
+  // fast path and the legacy oracle exactly.
+  const unison::AlgAu alg(2);
+  util::Rng rng(89);
+  const graph::Graph g = graph::random_connected(140, 0.04, rng);
+  const core::Configuration c0 =
+      unison::au_adversarial_configuration("tear", alg, g, rng);
+
+  struct Event {
+    core::NodeId v;
+    core::StateId from, to;
+    core::Time t;
+    bool operator==(const Event&) const = default;
+  };
+  auto run = [&](EngineOptions options) {
+    auto sched = sched::make_scheduler("laggard", g);
+    core::Engine engine(g, alg, *sched, c0, 347, options);
+    std::vector<Event> events;
+    std::vector<core::Signal> signals;
+    engine.set_transition_listener(
+        [&](core::NodeId v, core::StateId from, core::StateId to,
+            const core::Signal& sig, core::Time t) {
+          events.push_back({v, from, to, t});
+          signals.push_back(sig);
+        });
+    for (int s = 0; s < 60; ++s) engine.step();
+    return std::make_pair(events, signals);
+  };
+
+  const auto [serial_events, serial_signals] =
+      run(EngineOptions{.thread_count = 1, .sparse_activation_threshold = 2});
+  ASSERT_FALSE(serial_events.empty());
+  for (const unsigned threads : {2u, 4u, 8u}) {
+    const auto [events, signals] =
+        run(EngineOptions{.thread_count = threads,
+                          .sparse_activation_threshold = 2});
+    EXPECT_EQ(events, serial_events) << "threads=" << threads;
+    EXPECT_EQ(signals, serial_signals) << "threads=" << threads;
+  }
+  const auto [legacy_events, legacy_signals] =
+      run(EngineOptions{.fast_path = false});
+  EXPECT_EQ(legacy_events, serial_events);
+  EXPECT_EQ(legacy_signals, serial_signals);
+}
+
 TEST(ParallelEngine, ListenerStreamBitIdentical) {
   // Workers log transitions per shard and the engine replays them in node
   // order: the observed (v, from, to, signal, t) stream must match the
@@ -296,11 +582,26 @@ TEST(ParallelEngine, ShardCountReflectsRouting) {
       EngineOptions{.thread_count = 4});
   EXPECT_EQ(synced_engine.shard_count(), 1u);
 
-  // Async schedulers never shard, whatever thread_count asks for.
+  // Single-node daemons never shard, whatever thread_count asks for: their
+  // max_activation_hint() (1) can never reach the sparse threshold.
   auto async_sched = sched::make_scheduler("uniform-single", g);
   core::Engine async_engine(g, alg, *async_sched, c0, 1,
                             EngineOptions{.thread_count = 4});
   EXPECT_EQ(async_engine.shard_count(), 1u);
+
+  // Large-set daemons shard once the threshold is within their hint...
+  auto laggard_sched = sched::make_scheduler("laggard", g);
+  core::Engine sparse_engine(
+      g, alg, *laggard_sched, c0, 1,
+      EngineOptions{.thread_count = 4, .sparse_activation_threshold = 2});
+  EXPECT_EQ(sparse_engine.shard_count(), 4u);
+
+  // ...but stay serial (and spawn no workers) when the hint can't reach it
+  // (here: n - 1 = 63 < the default 1024 threshold).
+  auto laggard_serial = sched::make_scheduler("laggard", g);
+  core::Engine sparse_serial(g, alg, *laggard_serial, c0, 1,
+                             EngineOptions{.thread_count = 4});
+  EXPECT_EQ(sparse_serial.shard_count(), 1u);
 
   // Auto (0) resolves to hardware concurrency, at least one shard.
   core::Engine auto_engine(g, alg, sync_sched, c0, 1,

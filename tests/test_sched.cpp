@@ -105,6 +105,30 @@ TEST(Wave, ActivatesBfsLayers) {
   }
 }
 
+TEST(Wave, FairOnDisconnectedGraphs) {
+  // Two components: a path 0-1-2 and a path 3-4-5-6, plus the isolated node
+  // 7. The BFS is seeded at each component's lowest-id node, so layer d holds
+  // every node at distance d from its own seed; one full cycle of layers
+  // activates every node exactly once.
+  const graph::Graph g(8, {{0, 1}, {1, 2}, {3, 4}, {4, 5}, {5, 6}});
+  WaveScheduler s(g);
+  util::Rng rng(12);
+  // Longest component eccentricity is 3 (node 6 from seed 3) -> 4 layers.
+  const std::vector<std::vector<core::NodeId>> expected = {
+      {0, 3, 7}, {1, 4}, {2, 5}, {6}};
+  std::vector<int> counts(8, 0);
+  for (core::Time t = 0; t < 8; ++t) {
+    const auto a = run(s, t, rng);
+    EXPECT_EQ(a, expected[t % 4]) << "step " << t;
+    ASSERT_FALSE(a.empty());
+    for (const auto v : a) ++counts[v];
+  }
+  for (core::NodeId v = 0; v < 8; ++v) {
+    EXPECT_EQ(counts[v], 2) << "node " << v
+                            << " not activated once per cycle";
+  }
+}
+
 TEST(Permutation, EachWindowOfNStepsIsAPermutation) {
   PermutationScheduler s(7);
   util::Rng rng(9);
@@ -142,6 +166,58 @@ TEST(Burst, RepeatsEachNodeBurstTimes) {
     ASSERT_EQ(a.size(), 1u);
     EXPECT_EQ(a[0], (t % 12) / 4);
   }
+}
+
+TEST(Burst, ZeroBurstOrZeroNodesThrows) {
+  // burst == 0 (and n == 0) used to reach `t % 0` (division by zero, UB) on
+  // the first activation; both must fail loudly at construction instead.
+  EXPECT_THROW(BurstScheduler(4, 0), std::invalid_argument);
+  EXPECT_THROW(BurstScheduler(0, 4), std::invalid_argument);
+  EXPECT_NO_THROW(BurstScheduler(4, 1));
+}
+
+TEST(Laggard, ZeroBurstOrZeroNodesThrows) {
+  EXPECT_THROW(LaggardScheduler(4, 0), std::invalid_argument);
+  EXPECT_THROW(LaggardScheduler(0, 4), std::invalid_argument);
+  EXPECT_NO_THROW(LaggardScheduler(4, 1));
+}
+
+TEST(Factory, ZeroBurstThrowsForBurstParameterizedDaemons) {
+  const graph::Graph g = graph::cycle(5);
+  EXPECT_THROW(make_scheduler("laggard", g, 0.5, 0), std::invalid_argument);
+  EXPECT_THROW(make_scheduler("burst", g, 0.5, 0), std::invalid_argument);
+  // Daemons that ignore the burst parameter still construct.
+  EXPECT_NO_THROW(make_scheduler("uniform-single", g, 0.5, 0));
+  EXPECT_NO_THROW(make_scheduler("wave", g, 0.5, 0));
+}
+
+TEST(Factory, EmptyGraphThrows) {
+  const graph::Graph empty(0, {});
+  EXPECT_THROW(make_scheduler("synchronous", empty), std::invalid_argument);
+  EXPECT_THROW(make_scheduler("burst", empty), std::invalid_argument);
+}
+
+TEST(ActivationHint, BoundsEverySchedulersSets) {
+  // The hint must upper-bound every |A_t| the scheduler can emit; the engine
+  // trusts it to size workspaces and to route daemons between the serial and
+  // sparse-activation kernels.
+  const graph::Graph g = graph::star(9);  // hub 0 + 8 spokes: 2 BFS layers
+  util::Rng rng(13);
+  for (const std::string& name : async_scheduler_names()) {
+    const auto s = make_scheduler(name, g);
+    const core::NodeId hint = s->max_activation_hint();
+    std::vector<core::NodeId> a;
+    for (core::Time t = 0; t < 500; ++t) {
+      s->activations(t, a, rng);
+      ASSERT_LE(a.size(), hint) << name << " exceeded its hint at step " << t;
+    }
+  }
+  EXPECT_EQ(SynchronousScheduler(9).max_activation_hint(), 9u);
+  EXPECT_EQ(RandomSubsetScheduler(9, 0.5).max_activation_hint(), 9u);
+  EXPECT_EQ(LaggardScheduler(9, 4).max_activation_hint(), 8u);
+  EXPECT_EQ(WaveScheduler(g).max_activation_hint(), 8u);  // the spoke layer
+  EXPECT_EQ(UniformSingleScheduler(9).max_activation_hint(), 1u);
+  EXPECT_EQ(BurstScheduler(9, 4).max_activation_hint(), 1u);
 }
 
 TEST(Factory, BuildsEveryScheduler) {
