@@ -26,8 +26,20 @@
 // run-to-run noise only ever slows a run down, so best-of-N is the stable
 // estimator the regression gate needs.
 //
+// The single-activation-daemon table measures the signal-field layer
+// (core/signal_field.hpp) in its target regime: every single-node daemon
+// (uniform-single, rotating-single, permutation, burst) on a DENSE random
+// graph (--single-act-edge-p, default avg degree ~200), each cell timed
+// once with the field forced on (delta-maintained O(1) senses) and once
+// forced off (the pre-signal-field serial path: an O(deg) neighborhood
+// rescan per sense — the PR 3 baseline code path, measured in-run so the
+// ratio is machine-independent). The per-cell field_over_rescan ratio is
+// what CI gates via bench_compare.py --min-speedup.
+//
 // Usage: bench_engine_perf [--nodes=10000] [--edge-p=0.0008]
 //                          [--sync-steps=100] [--single-steps=200000]
+//                          [--single-act-steps=200000]
+//                          [--single-act-edge-p=0.02]
 //                          [--threads=1,2,4,8] [--repeats=3]
 //                          [--json=BENCH_engine.json] [--seed=7]
 #include <algorithm>
@@ -81,12 +93,14 @@ struct Measurement {
 
 Measurement run_one(const Workload& w, const graph::Graph& g,
                     const std::string& sched_name, std::uint64_t steps,
-                    bool fast, std::uint64_t seed, unsigned threads = 1) {
+                    bool fast, std::uint64_t seed, unsigned threads = 1,
+                    core::SignalFieldMode field = core::SignalFieldMode::kAuto) {
   auto sched = sched::make_scheduler(sched_name, g);
-  core::Engine engine(
-      g, *w.alg, *sched, w.initial, seed,
-      core::EngineOptions{
-          .fast_path = fast, .compile = fast, .thread_count = threads});
+  core::Engine engine(g, *w.alg, *sched, w.initial, seed,
+                      core::EngineOptions{.fast_path = fast,
+                                          .compile = fast,
+                                          .thread_count = threads,
+                                          .signal_field = field});
   const auto t0 = std::chrono::steady_clock::now();
   for (std::uint64_t s = 0; s < steps; ++s) engine.step();
   const auto t1 = std::chrono::steady_clock::now();
@@ -123,6 +137,7 @@ void assert_modes_agree(const Workload& w, const graph::Graph& g,
   auto s1 = sched::make_scheduler(sched_name, g);
   auto s2 = sched::make_scheduler(sched_name, g);
   auto s3 = sched::make_scheduler(sched_name, g);
+  auto s4 = sched::make_scheduler(sched_name, g);
   core::Engine fast(g, *w.alg, *s1, w.initial, seed,
                     core::EngineOptions{.fast_path = true, .compile = true});
   core::Engine legacy(g, *w.alg, *s2, w.initial, seed,
@@ -130,16 +145,22 @@ void assert_modes_agree(const Workload& w, const graph::Graph& g,
   core::Engine sharded(g, *w.alg, *s3, w.initial, seed,
                        core::EngineOptions{.thread_count = 4,
                                            .sparse_activation_threshold = 2});
+  core::Engine field(g, *w.alg, *s4, w.initial, seed,
+                     core::EngineOptions{
+                         .signal_field = core::SignalFieldMode::kOn});
   for (std::uint64_t s = 0; s < steps; ++s) {
     fast.step();
     legacy.step();
     sharded.step();
+    field.step();
   }
   if (fast.config() != legacy.config() ||
       fast.rounds_completed() != legacy.rounds_completed() ||
       sharded.config() != legacy.config() ||
-      sharded.rounds_completed() != legacy.rounds_completed()) {
-    std::cerr << "FATAL: fast/legacy/sharded trajectory divergence ("
+      sharded.rounds_completed() != legacy.rounds_completed() ||
+      field.config() != legacy.config() ||
+      field.rounds_completed() != legacy.rounds_completed()) {
+    std::cerr << "FATAL: fast/legacy/sharded/field trajectory divergence ("
               << w.name << ", " << sched_name << ")\n";
     std::exit(1);
   }
@@ -149,10 +170,11 @@ void assert_modes_agree(const Workload& w, const graph::Graph& g,
 /// throughput (noise is one-sided — interference only slows runs down).
 Measurement run_best(int repeats, const Workload& w, const graph::Graph& g,
                      const std::string& sched_name, std::uint64_t steps,
-                     bool fast, std::uint64_t seed, unsigned threads = 1) {
+                     bool fast, std::uint64_t seed, unsigned threads = 1,
+                     core::SignalFieldMode field = core::SignalFieldMode::kAuto) {
   Measurement best;
   for (int r = 0; r < repeats; ++r) {
-    Measurement m = run_one(w, g, sched_name, steps, fast, seed, threads);
+    Measurement m = run_one(w, g, sched_name, steps, fast, seed, threads, field);
     if (r == 0 || m.activations_per_sec() > best.activations_per_sec()) {
       best = m;
     }
@@ -198,6 +220,9 @@ int main(int argc, char** argv) {
       static_cast<std::uint64_t>(cli.get_int("sync-steps", 100));
   const auto single_steps =
       static_cast<std::uint64_t>(cli.get_int("single-steps", 200000));
+  const auto single_act_steps =
+      static_cast<std::uint64_t>(cli.get_int("single-act-steps", 200000));
+  const double single_act_edge_p = cli.get_double("single-act-edge-p", 0.02);
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 7));
   const std::string json_path = cli.get("json", "BENCH_engine.json");
   const std::vector<unsigned> thread_list =
@@ -288,6 +313,62 @@ int main(int argc, char** argv) {
     }
   }
 
+  // --- single-activation daemon table (signal field vs rescan) ---------------
+  // The serial-daemon regime on a dense graph: one node per step, sensed via
+  // the delta-maintained signal field (forced on) vs the neighborhood rescan
+  // (forced off — the PR 3 baseline serial path, re-measured in this run so
+  // the ratio is machine-independent). Both runs are bit-identical in
+  // trajectory; only the sensing machinery differs.
+  struct SingleActPoint {
+    std::string algorithm;
+    std::string scheduler;
+    double field_rate = 0.0;
+    double rescan_rate = 0.0;
+    double speedup = 0.0;  // field over rescan
+  };
+  std::vector<SingleActPoint> single_act;
+  std::size_t single_act_edges = 0;
+  // --single-act-steps=0 skips the table entirely (the CI scaling run
+  // measures a 50k-node sparse instance where generating a dense companion
+  // graph would dwarf the benchmark itself).
+  if (single_act_steps > 0) {
+    util::Rng dense_rng(seed + 17);
+    const graph::Graph dg =
+        graph::random_connected(n, single_act_edge_p, dense_rng);
+    single_act_edges = dg.num_edges();
+    const std::vector<Workload> dense_workloads = {
+        {"alg-au", &au,
+         unison::au_adversarial_configuration("random", au, dg, dense_rng)},
+        {"reset-unison", &reset,
+         core::random_configuration(reset, dg.num_nodes(), dense_rng)},
+        {"min-prop-32", &minprop,
+         core::random_configuration(minprop, dg.num_nodes(), dense_rng)},
+        {"alg-mis", &mis,
+         mis::mis_adversarial_configuration("random", mis, dg, dense_rng)},
+        {"alg-le", &le,
+         le_adversarial_configuration("random", le, dg, dense_rng)},
+    };
+    const std::vector<std::string> single_daemons = {
+        "uniform-single", "rotating-single", "permutation", "burst"};
+    for (const Workload& w : dense_workloads) {
+      for (const std::string& sched_name : single_daemons) {
+        const Measurement field_m =
+            run_best(repeats, w, dg, sched_name, single_act_steps, true,
+                     seed + 5, 1, core::SignalFieldMode::kOn);
+        const Measurement rescan_m =
+            run_best(repeats, w, dg, sched_name, single_act_steps, true,
+                     seed + 5, 1, core::SignalFieldMode::kOff);
+        SingleActPoint p;
+        p.algorithm = w.name;
+        p.scheduler = sched_name;
+        p.field_rate = field_m.activations_per_sec();
+        p.rescan_rate = rescan_m.activations_per_sec();
+        p.speedup = p.rescan_rate > 0 ? p.field_rate / p.rescan_rate : 0.0;
+        single_act.push_back(p);
+      }
+    }
+  }
+
   // --- table + speedups ------------------------------------------------------
   std::cout << "\n==== E12 engine throughput (n=" << n
             << ", |E|=" << g.num_edges() << ") ====\n\n";
@@ -319,6 +400,23 @@ int main(int argc, char** argv) {
         std::cout << std::setprecision(2) << std::setw(9) << factor << "x";
       }
       std::cout << "\n";
+    }
+  }
+
+  // --- single-activation table -----------------------------------------------
+  if (!single_act.empty()) {
+    std::cout << "\n==== single-activation daemons: signal field vs rescan "
+                 "(n=" << n << ", |E|=" << single_act_edges << ") ====\n\n";
+    std::cout << std::left << std::setw(14) << "algorithm" << std::setw(18)
+              << "scheduler" << std::right << std::setw(14) << "field act/s"
+              << std::setw(15) << "rescan act/s" << std::setw(10) << "speedup"
+              << "\n";
+    for (const SingleActPoint& p : single_act) {
+      std::cout << std::left << std::setw(14) << p.algorithm << std::setw(18)
+                << p.scheduler << std::right << std::fixed
+                << std::setprecision(0) << std::setw(14) << p.field_rate
+                << std::setw(15) << p.rescan_rate << std::setprecision(2)
+                << std::setw(9) << p.speedup << "x\n";
     }
   }
 
@@ -395,6 +493,17 @@ int main(int argc, char** argv) {
     jw.key("threads").value(static_cast<std::uint64_t>(p.threads));
     jw.key("activations_per_sec").value(p.activations_per_sec);
     jw.key("scaling_vs_serial").value(p.scaling);
+    jw.end_object();
+  }
+  jw.end_array();
+  jw.key("single_activation").begin_array();
+  for (const SingleActPoint& p : single_act) {
+    jw.begin_object();
+    jw.key("algorithm").value(p.algorithm);
+    jw.key("scheduler").value(p.scheduler);
+    jw.key("field_activations_per_sec").value(p.field_rate);
+    jw.key("rescan_activations_per_sec").value(p.rescan_rate);
+    jw.key("field_over_rescan").value(p.speedup);
     jw.end_object();
   }
   jw.end_array();

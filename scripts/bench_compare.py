@@ -33,10 +33,20 @@ backward compatibility. CI uses these on a multi-core runner to keep both
 sharded kernels' speedups real; without such a gate a parallel regression to
 below-serial throughput would pass every job.
 
+The single-activation table (signal field vs rescan under the single-node
+daemons, "single_activation" rows keyed algorithm x scheduler) is gated the
+same way via --min-speedup ALGO:SCHED:FACTOR: the row's field_over_rescan —
+the delta-maintained engine over the neighborhood-rescan engine, both
+measured within the current run on the same machine, so the ratio is
+machine-independent — must reach FACTOR. CI uses this to keep the
+signal-field layer's win real (a field that silently fell back to rescans,
+or a patch path that got expensive, drags the ratio to ~1).
+
 Usage:
   scripts/bench_compare.py BASELINE.json CURRENT.json [--max-regression 0.30]
                            [--absolute]
                            [--min-scaling ALGO[:SCHED]:THREADS:FACTOR ...]
+                           [--min-speedup ALGO:SCHED:FACTOR ...]
   scripts/bench_compare.py --self-check
 """
 
@@ -104,6 +114,38 @@ def index_sweep(doc):
             "rate": as_number(sweep.get("activations_per_sec")),
         }
     return out
+
+
+def index_single_activation(doc):
+    """single_activation rows keyed by (algorithm, scheduler)."""
+    out = {}
+    for row in doc.get("single_activation", []):
+        try:
+            key = (row["algorithm"], row["scheduler"])
+        except (KeyError, TypeError):
+            continue
+        out[key] = {
+            "speedup": as_number(row.get("field_over_rescan")),
+            "field_rate": as_number(row.get("field_activations_per_sec")),
+            "rescan_rate": as_number(row.get("rescan_activations_per_sec")),
+        }
+    return out
+
+
+def parse_min_speedup(spec):
+    """ALGO:SCHED:FACTOR. Returns (algo, sched, factor) or None on a
+    malformed spec."""
+    parts = spec.split(":")
+    if len(parts) != 3:
+        return None
+    algo, sched = parts[0], parts[1]
+    try:
+        factor = float(parts[2])
+    except ValueError:
+        return None
+    if not algo or not sched:
+        return None
+    return algo, sched, factor
 
 
 def parse_min_scaling(spec):
@@ -225,6 +267,53 @@ def run_gate(baseline, current, args, out=sys.stdout, err=sys.stderr):
                 f"{got:.2f}x (floor {factor:.2f}x)"
             )
 
+    cur_single = index_single_activation(current)
+    if not args.scaling_only:
+        # Same disappeared-cell protection the speedups array gets: a
+        # single_activation row recorded in the committed baseline must
+        # still be emitted by the current run, or rows could vanish ungated
+        # (only the --min-speedup specs name cells explicitly).
+        for key in sorted(index_single_activation(baseline)):
+            if key not in cur_single:
+                failures.append(
+                    f"single_activation cell {key} missing from current run"
+                )
+    for (algo, sched), cell in sorted(cur_single.items()):
+        speedup = cell["speedup"]
+        print(
+            f"[info] single-activation: {algo:<14} {sched:<16} "
+            f"field {cell['field_rate'] if cell['field_rate'] is not None else 0:.3g} "
+            f"vs rescan {cell['rescan_rate'] if cell['rescan_rate'] is not None else 0:.3g} act/s "
+            f"({speedup if speedup is not None else 0:.2f}x)",
+            file=out,
+        )
+
+    for spec in args.min_speedup:
+        parsed = parse_min_speedup(spec)
+        if parsed is None:
+            print(f"bad --min-speedup spec '{spec}'", file=err)
+            return 2
+        algo, sched, factor = parsed
+        cell = cur_single.get((algo, sched))
+        got = cell["speedup"] if cell else None
+        if got is None:
+            failures.append(
+                f"no single_activation entry for {algo} under {sched} "
+                f"(required by --min-speedup {spec})"
+            )
+            continue
+        status = "OK " if got >= factor else "FAIL"
+        print(
+            f"[{status}] signal-field gate: {algo} under {sched}: "
+            f"{got:.2f}x over rescan (floor {factor:.2f}x)",
+            file=out,
+        )
+        if got < factor:
+            failures.append(
+                f"{algo} under {sched}: signal field reached only {got:.2f}x "
+                f"over the rescan path (floor {factor:.2f}x)"
+            )
+
     for w in warnings:
         print(f"[warn] {w}", file=out)
 
@@ -247,6 +336,7 @@ def self_check():
             max_regression=kw.get("max_regression", 0.30),
             absolute=kw.get("absolute", False),
             min_scaling=kw.get("min_scaling", []),
+            min_speedup=kw.get("min_speedup", []),
             scaling_only=kw.get("scaling_only", False),
         )
         return run_gate(baseline, current, args, out=io.StringIO(),
@@ -278,6 +368,22 @@ def self_check():
             # Legacy row without a scheduler field: defaults to synchronous.
             {"algorithm": "reset-unison", "threads": 2,
              "activations_per_sec": 1e6, "scaling_vs_serial": 1.5},
+        ],
+    }
+
+    single_act_doc = {
+        "speedups": [],
+        "single_activation": [
+            {"algorithm": "alg-au", "scheduler": "uniform-single",
+             "field_activations_per_sec": 1.2e7,
+             "rescan_activations_per_sec": 4e6,
+             "field_over_rescan": 3.0},
+            # A cell where the field legitimately loses (every activation
+            # transitions): present but never gated.
+            {"algorithm": "alg-au", "scheduler": "rotating-single",
+             "field_activations_per_sec": 5e6,
+             "rescan_activations_per_sec": 6e6,
+             "field_over_rescan": 0.83},
         ],
     }
 
@@ -329,6 +435,29 @@ def self_check():
         ("malformed spec is a usage error", 2,
          lambda: gate(sweep_doc, sweep_doc, scaling_only=True,
                       min_scaling=["alg-au:two:threads:1.0:x"])),
+        ("signal-field speedup gate passes", 0,
+         lambda: gate(single_act_doc, single_act_doc, scaling_only=True,
+                      min_speedup=["alg-au:uniform-single:2.0"])),
+        ("signal-field speedup below floor fails", 1,
+         lambda: gate(single_act_doc, single_act_doc, scaling_only=True,
+                      min_speedup=["alg-au:uniform-single:4.0"])),
+        ("ungated losing cell does not fail on its own", 0,
+         lambda: gate(single_act_doc, single_act_doc, scaling_only=True)),
+        ("missing single-activation row fails its gate", 1,
+         lambda: gate(single_act_doc, single_act_doc, scaling_only=True,
+                      min_speedup=["alg-le:uniform-single:2.0"])),
+        ("malformed min-speedup spec is a usage error", 2,
+         lambda: gate(single_act_doc, single_act_doc, scaling_only=True,
+                      min_speedup=["alg-au:uniform-single"])),
+        ("single-activation rows matching baseline pass", 0,
+         lambda: gate(single_act_doc, single_act_doc)),
+        ("single-activation cell missing vs baseline fails", 1,
+         lambda: gate(single_act_doc,
+                      {"speedups": [], "single_activation": []})),
+        ("scaling-only skips the single-activation baseline diff", 0,
+         lambda: gate(single_act_doc,
+                      {"speedups": [], "single_activation": []},
+                      scaling_only=True)),
     ]
 
     failed = 0
@@ -375,6 +504,15 @@ def main():
         help="require the current run's thread_sweep entry for ALGO under "
         "SCHED (default: synchronous) at THREADS to reach FACTOR x its "
         "serial rate (repeatable)",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        action="append",
+        default=[],
+        metavar="ALGO:SCHED:FACTOR",
+        help="require the current run's single_activation entry for ALGO "
+        "under SCHED to reach FACTOR x the rescan path's throughput "
+        "(repeatable)",
     )
     parser.add_argument(
         "--scaling-only",

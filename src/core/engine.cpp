@@ -60,11 +60,7 @@ Engine::Engine(const graph::Graph& g, const Automaton& alg,
     }
     full_activation_ = scheduler_.full_activation();
     if (full_activation_) next_config_.resize(graph_.num_nodes());
-    std::size_t max_degree = 0;
-    for (NodeId v = 0; v < graph_.num_nodes(); ++v) {
-      max_degree = std::max(max_degree, graph_.degree(v));
-    }
-    scratch_.reserve(max_degree + 1);
+    scratch_.reserve(graph_.max_degree() + 1);
 
     const unsigned threads =
         ParallelEngine::resolve_thread_count(options_.thread_count);
@@ -81,7 +77,7 @@ Engine::Engine(const graph::Graph& g, const Automaton& alg,
       shard_ws_.resize(pool_->shard_count());
       for (std::size_t i = 0; i < shard_ws_.size(); ++i) {
         ShardWorkspace& ws = shard_ws_[i];
-        ws.scratch.reserve(max_degree + 1);
+        ws.scratch.reserve(graph_.max_degree() + 1);
         if (compiled_ && !compiled_->dense() && i != 0) {
           // Lazy-memo kernels are single-threaded; workers get their own
           // instance. Shard 0 always executes on the caller thread, so it
@@ -104,6 +100,52 @@ Engine::Engine(const graph::Graph& g, const Automaton& alg,
           scheduler_.max_activation_hint(), graph_.num_nodes());
       active_.reserve(hint);
       updates_.reserve(hint);
+    }
+
+    // Signal-field routing: delta-maintained senses vs dense rescan. kAuto
+    // enables the field only in the serial-daemon regime — activation sets
+    // small enough that the sparse kernel never engages and most of the
+    // graph sits idle per step — on graphs whose neighborhoods are large
+    // enough that the per-sense rescan is worth replacing. |Q| routes the
+    // field's internal representation (flat saturating counters vs compact
+    // sorted multiset), not the on/off decision.
+    // Mask-kernel automata sense in one OR-loop and step in O(1); their
+    // rescan is so lean that delta maintenance needs an order of magnitude
+    // more density to pay for its per-transition patches — and even then
+    // only at low transition rates, which construction cannot see.
+    const bool cheap_sense =
+        mask_kernel_ &&
+        (compiled_ != nullptr || automaton_.native_mask_kernel());
+    bool want_field = false;
+    switch (options_.signal_field) {
+      case SignalFieldMode::kOff:
+        break;
+      case SignalFieldMode::kOn:
+        want_field = true;
+        break;
+      case SignalFieldMode::kAuto: {
+        const std::size_t hint = scheduler_.max_activation_hint();
+        const double degree_floor = cheap_sense
+                                        ? kSignalFieldMaskKernelMinAvgDegree
+                                        : kSignalFieldMinAvgDegree;
+        want_field = !full_activation_ && graph_.num_nodes() > 1 &&
+                     hint < options_.sparse_activation_threshold &&
+                     hint * 2 <= graph_.num_nodes() &&
+                     graph_.avg_degree() >= degree_floor;
+        break;
+      }
+    }
+    if (want_field) {
+      field_ = std::make_unique<SignalField>(graph_, automaton_.state_count(),
+                                             config_);
+      // Only the heuristic's shakiest bet monitors itself: a kAuto field on
+      // a mask-kernel automaton wins or loses purely on the (unknowable at
+      // construction) transition rate, so it bails out mid-run if patching
+      // proves more expensive than the rescans it replaces. Heavy-sense
+      // automata keep the field unconditionally — their per-sense saving
+      // dwarfs any patch rate a single transition per activation can cause.
+      field_adaptive_ =
+          options_.signal_field == SignalFieldMode::kAuto && cheap_sense;
     }
   }
 }
@@ -135,14 +177,24 @@ void Engine::step_synchronous() {
     return;
   }
   const NodeId n = graph_.num_nodes();
+  // The synchronous kernel never *senses* through the signal field, but a
+  // live forced-on field must stay consistent across the step, so
+  // transitions patch it inline (deltas against the pre-step configuration
+  // commute, and nothing reads the field until the step is over). A stale
+  // field (post-injection) stays stale: no sync path will ever read it, so
+  // the rebuild is deferred to a future field sense that may never come —
+  // signal_field_stale() tells observability readers.
+  const bool patch_field = field_live();
   if (mask_kernel_ && !listener_) {
     // Bitmask kernel: |Q| <= 64, so sensing collapses to OR-ing neighborhood
     // bits and δ to one step_mask call (a table probe or native bit-ops).
     const Automaton& kernel = *stepper_;
     for (NodeId v = 0; v < n; ++v) {
       const StateId cur = config_[v];
-      next_config_[v] = kernel.step_mask(
+      const StateId next = kernel.step_mask(
           cur, neighborhood_mask(graph_, config_, v), step_rng(v));
+      if (patch_field && next != cur) field_->apply_transition(v, cur, next);
+      next_config_[v] = next;
       ++activation_counts_[v];
     }
   } else {
@@ -150,8 +202,9 @@ void Engine::step_synchronous() {
       const SignalView sig = scratch_.sense(graph_, config_, v);
       const StateId cur = config_[v];
       const StateId next = stepper_->step_fast(cur, sig, step_rng(v));
-      if (next != cur && listener_) {
-        listener_(v, cur, next, sig.materialize(), time_);
+      if (next != cur) {
+        if (listener_) emit_listener(v, cur, next, sig);
+        if (patch_field) field_->apply_transition(v, cur, next);
       }
       next_config_[v] = next;
       ++activation_counts_[v];
@@ -209,7 +262,12 @@ void Engine::shard_phase1(const Shard& shard, ShardWorkspace& ws,
 // concatenation IS node order) — the observed stream is bit-identical to the
 // serial kernel's.
 void Engine::step_parallel_synchronous() {
-  const bool log_transitions = static_cast<bool>(listener_);
+  // A live signal field also needs the transition logs: workers cannot
+  // patch shared counter rows concurrently (a node's neighbors straddle
+  // shards), so the engine patches from the concatenated logs after the
+  // barrier — deltas commute, and nothing senses the field mid-step.
+  const bool patch_field = field_live();
+  const bool log_transitions = static_cast<bool>(listener_) || patch_field;
   pool_->run([&](const Shard& shard, unsigned shard_index) {
     shard_phase1(
         shard, shard_ws_[shard_index], log_transitions,
@@ -219,11 +277,18 @@ void Engine::step_parallel_synchronous() {
           ++activation_counts_[v];
         });
   });
-  if (log_transitions) {
+  if (listener_) {
     for (const ShardWorkspace& ws : shard_ws_) {
       for (const TransitionRec& tr : ws.transitions) {
         const SignalView sig = scratch_.sense(graph_, config_, tr.v);
-        listener_(tr.v, tr.from, tr.to, sig.materialize(), time_);
+        emit_listener(tr.v, tr.from, tr.to, sig);
+      }
+    }
+  }
+  if (patch_field) {
+    for (const ShardWorkspace& ws : shard_ws_) {
+      for (const TransitionRec& tr : ws.transitions) {
+        field_->apply_transition(tr.v, tr.from, tr.to);
       }
     }
   }
@@ -247,8 +312,48 @@ void Engine::step_async() {
   }
   updates_.clear();
 
+  // Adaptive routing: at each window boundary, drop a kAuto mask-kernel
+  // field whose observed patch volume outweighs the rescans it saved (the
+  // daemon is transitioning nearly every activation — e.g. a rotation
+  // schedule driving unison clocks). Purely a performance decision: the
+  // field-sensed and rescan paths are bit-identical, so switching mid-run
+  // is unobservable in the trajectory.
+  if (field_adaptive_ && field_senses_ >= kSignalFieldAdaptiveWindow) {
+    if (field_patches_ * kSignalFieldPatchCostFactor > field_senses_) {
+      field_.reset();
+      field_adaptive_ = false;
+      field_stale_ = false;  // no field left for the flag to describe
+    } else {
+      field_senses_ = 0;
+      field_patches_ = 0;
+    }
+  }
+
   // Phase 1: all activated nodes read C_t and compute their next state.
-  if (mask_kernel_ && !listener_) {
+  if (field_) {
+    // Field-sensed serial path — the signal-field fast path this layer
+    // exists for: an O(1) presence-mask lookup (or O(distinct) span) per
+    // activation instead of an O(deg) neighborhood rescan; the matching
+    // per-transition patches run in the apply phase below.
+    ensure_field_fresh();
+    field_senses_ += active_.size();
+    if (mask_kernel_ && !listener_ && field_->mask_exact()) {
+      const Automaton& kernel = *stepper_;
+      for (const NodeId v : active_) {
+        const StateId cur = config_[v];
+        updates_.emplace_back(
+            v, kernel.step_mask(cur, field_->mask_of(v), step_rng(v)));
+      }
+    } else {
+      for (const NodeId v : active_) {
+        const SignalView sig = field_->sense(v, field_scratch_);
+        const StateId cur = config_[v];
+        const StateId next = stepper_->step_fast(cur, sig, step_rng(v));
+        if (next != cur && listener_) emit_listener(v, cur, next, sig);
+        updates_.emplace_back(v, next);
+      }
+    }
+  } else if (mask_kernel_ && !listener_) {
     const Automaton& kernel = *stepper_;
     for (const NodeId v : active_) {
       const StateId cur = config_[v];
@@ -261,9 +366,7 @@ void Engine::step_async() {
       const SignalView sig = scratch_.sense(graph_, config_, v);
       const StateId cur = config_[v];
       const StateId next = stepper_->step_fast(cur, sig, step_rng(v));
-      if (next != cur && listener_) {
-        listener_(v, cur, next, sig.materialize(), time_);
-      }
+      if (next != cur && listener_) emit_listener(v, cur, next, sig);
       updates_.emplace_back(v, next);
     }
   }
@@ -318,10 +421,12 @@ void Engine::step_sparse_parallel() {
     for (std::size_t s = 0; s < sparse_shards_.size(); ++s) {
       for (const TransitionRec& tr : shard_ws_[s].transitions) {
         const SignalView sig = scratch_.sense(graph_, config_, tr.v);
-        listener_(tr.v, tr.from, tr.to, sig.materialize(), time_);
+        emit_listener(tr.v, tr.from, tr.to, sig);
       }
     }
   }
+  // A live signal field is patched by the serial apply phase below — the
+  // sparse kernel needs no extra bookkeeping beyond its update list.
   apply_updates_and_close_rounds();
 }
 
@@ -350,9 +455,17 @@ void Engine::step_legacy() {
   apply_updates_and_close_rounds();
 }
 
-// Phase 2: apply simultaneously; advance round bookkeeping.
+// Phase 2: apply simultaneously; advance round bookkeeping. A live signal
+// field is patched here from exactly the applied transitions — the single
+// spot all serial-apply engine paths (serial async, sparse-parallel, and
+// the legacy oracle, which never owns a field) flow through.
 void Engine::apply_updates_and_close_rounds() {
+  const bool patch_field = field_live();
   for (const auto& [v, q] : updates_) {
+    if (patch_field && config_[v] != q) {
+      field_->apply_transition(v, config_[v], q);
+      ++field_patches_;
+    }
     config_[v] = q;
     ++activation_counts_[v];
     if (pending_[v]) {
@@ -411,11 +524,19 @@ void Engine::inject_configuration(Configuration config) {
     }
   }
   config_ = std::move(config);
+  // An arbitrary overwrite invalidates the delta-maintained field; it is
+  // rebuilt lazily at the next field sense.
+  field_stale_ = field_ != nullptr;
 }
 
 void Engine::inject_state(NodeId v, StateId q) {
   if (v >= graph_.num_nodes() || q >= automaton_.state_count()) {
     throw std::invalid_argument("inject_state out of range");
+  }
+  // A targeted fault is still a (v, old -> new) delta: patch a live field
+  // instead of discarding it (a no-op fault leaves it untouched).
+  if (field_live() && config_[v] != q) {
+    field_->apply_transition(v, config_[v], q);
   }
   config_[v] = q;
 }

@@ -22,6 +22,26 @@
 //     phase-1/phase-2 split is replaced by double-buffering the whole
 //     configuration, and activation/round bookkeeping folds into the same
 //     pass (every synchronous step closes exactly one round).
+//
+// Signal field (EngineOptions::signal_field; core/signal_field.hpp):
+//   * under the serial-daemon regime — an asynchronous scheduler whose
+//     activation sets stay small — every sense on the serial per-activation
+//     path still rescans N+(v). The signal field replaces that rescan with a
+//     delta-maintained per-node presence mask / state multiset: initialized
+//     once from C_0, patched on every applied transition by updating only
+//     the transitioning node's neighbors, and read back as an O(1) mask (or
+//     O(distinct) span) per sense;
+//   * routing is explicit: kAuto enables the field from the scheduler's
+//     max_activation_hint(), the graph's degree profile, and |Q| (see
+//     EngineOptions::signal_field); kOn forces maintenance on every fast
+//     path; kOff (and the legacy oracle) never touches it;
+//   * the sharded kernels keep the field consistent without sensing through
+//     it: the sparse-activation kernel patches it during its serial phase 2,
+//     the sharded synchronous kernel patches it from the per-shard
+//     transition logs after the barrier, and configuration injections
+//     invalidate it for a lazy rebuild at the next field sense — so the
+//     field-sensed trajectory is bit-identical to the rescan-sensed one at
+//     every thread count.
 // The legacy interpreted path (fast_path = false) builds an owning Signal via
 // Signal::from_states per activation and dispatches Automaton::step; it is
 // kept as the differential-testing oracle.
@@ -68,6 +88,7 @@
 #include "core/parallel_engine.hpp"
 #include "core/shard.hpp"
 #include "core/signal.hpp"
+#include "core/signal_field.hpp"
 #include "core/signal_view.hpp"
 #include "core/types.hpp"
 #include "graph/graph.hpp"
@@ -82,6 +103,43 @@ struct RunOutcome {
   bool reached = false;
   Time time = 0;
   std::uint64_t rounds = 0;
+};
+
+/// Routing policy for the delta-maintained signal field.
+enum class SignalFieldMode : std::uint8_t {
+  /// Decide from the workload: the field is enabled iff the fast path is on,
+  /// the scheduler is asynchronous (not full-activation), its
+  /// max_activation_hint() stays below the sparse-activation threshold AND
+  /// below half the node count (daemons activating most of the graph per
+  /// step transition too often for delta maintenance to win), and the
+  /// graph's average degree reaches the floor for the automaton's sense
+  /// cost: kSignalFieldMinAvgDegree for automata whose per-sense work is
+  /// heavy (randomized δ, |Q| > 64, uncompiled step_mask — their rescan
+  /// sorts/unpacks and walks the view), but the much higher
+  /// kSignalFieldMaskKernelMinAvgDegree for mask-kernel automata (native or
+  /// table-compiled O(1) δ), whose rescan is a single OR-loop that delta
+  /// maintenance only beats on genuinely dense neighborhoods.
+  ///
+  /// Construction-time inputs cannot predict the *transition rate*, which
+  /// decides whether patching pays: under rotation-style daemons
+  /// (rotating-single, permutation) a unison-like automaton transitions on
+  /// almost every activation, and the field's O(deg) patches then cost more
+  /// than the O(deg) rescans they replaced. A kAuto-routed field on a
+  /// mask-kernel automaton therefore monitors itself and self-disables
+  /// (one-way, mid-run — harmless, both sense paths are bit-identical) once
+  /// a full observation window shows patches outweighing the rescans saved
+  /// (see kSignalFieldAdaptiveWindow). kOn never bails out.
+  kAuto = 0,
+  /// Maintain the field on every fast-path engine regardless of the
+  /// heuristic (the differential-testing and forced-benchmark mode). The
+  /// legacy oracle still never uses it. One caveat: after an
+  /// inject_configuration, a full-activation engine's field stays stale
+  /// forever (nothing there ever senses through it, so the lazy rebuild
+  /// never triggers) — Engine::signal_field_stale() exposes this to
+  /// observability readers.
+  kOn,
+  /// Never build the field; every sense rescans the neighborhood.
+  kOff,
 };
 
 /// Execution-path knobs. Defaults give the fastest exact-semantics engine.
@@ -107,13 +165,41 @@ struct EngineOptions {
   /// a performance knob: trajectories are bit-identical either way. Ignored
   /// when fast_path is false or thread_count resolves to 1.
   std::size_t sparse_activation_threshold = 1024;
+  /// Whether the serial per-activation path senses through the
+  /// delta-maintained signal field instead of rescanning N+(v) — see
+  /// SignalFieldMode. Purely a performance knob: trajectories are
+  /// bit-identical in every mode.
+  SignalFieldMode signal_field = SignalFieldMode::kAuto;
 };
+
+/// kAuto enables the signal field only when the mean neighborhood is at
+/// least this large; below it the per-sense rescan is already a handful of
+/// reads and the per-transition patch would cost more than it saves.
+inline constexpr double kSignalFieldMinAvgDegree = 4.0;
+
+/// The stricter kAuto degree floor for mask-kernel automata (native
+/// step_mask or a compiled table, |Q| <= 64): their per-sense rescan is one
+/// OR-loop feeding an O(1) δ, so the field's per-transition patch (a
+/// counter pair plus a mask blend per inclusive neighbor) only wins once
+/// neighborhoods are an order of magnitude larger.
+inline constexpr double kSignalFieldMaskKernelMinAvgDegree = 32.0;
+
+/// Field senses per adaptive-routing observation window. At each window
+/// boundary a kAuto mask-kernel field compares patches (≈ three counter/mask
+/// read-modify-writes per inclusive neighbor each) against the rescans it
+/// saved (≈ one read per inclusive neighbor each) and self-disables when
+/// kSignalFieldPatchCostFactor * patches exceeds the senses — the daemon is
+/// transitioning too often for delta maintenance to win.
+inline constexpr std::uint64_t kSignalFieldAdaptiveWindow = 8192;
+inline constexpr std::uint64_t kSignalFieldPatchCostFactor = 3;
 
 class Engine {
  public:
-  /// Observes every state transition (from != to) as it is applied.
-  /// Attaching a listener re-introduces one Signal allocation per observed
-  /// transition on the fast path (the view is materialized for the callback).
+  /// Observes every state transition (from != to) as it is applied. On the
+  /// fast path the Signal is materialized into one engine-owned scratch that
+  /// is reused across callbacks (no per-transition allocation once warm);
+  /// the reference is only valid for the duration of the call — listeners
+  /// that keep signals must copy them.
   using TransitionListener = std::function<void(
       NodeId v, StateId from, StateId to, const Signal& sig, Time t)>;
 
@@ -167,6 +253,22 @@ class Engine {
   }
   [[nodiscard]] const EngineOptions& options() const { return options_; }
 
+  /// True when the engine owns a delta-maintained signal field (routing
+  /// outcome of EngineOptions::signal_field — see SignalFieldMode::kAuto for
+  /// the heuristic the default applies).
+  [[nodiscard]] bool signal_field_active() const { return field_ != nullptr; }
+  /// The field itself, or nullptr when routing disabled it (observability
+  /// for tests and benches). Check signal_field_stale() before reading
+  /// counters out of it.
+  [[nodiscard]] const SignalField* signal_field() const { return field_.get(); }
+  /// True when an injection invalidated the field and no field sense has
+  /// rebuilt it yet. Serial asynchronous engines refresh on their next
+  /// sense; a full-activation engine never senses through the field, so a
+  /// forced-on field stays stale there indefinitely (its counters then
+  /// still describe the pre-injection configuration) — by design: rebuild
+  /// work is deferred to the paths that would actually read it.
+  [[nodiscard]] bool signal_field_stale() const { return field_stale_; }
+
   /// Shard count of the parallel kernels (synchronous or sparse-activation),
   /// or 1 when the engine runs serial (thread_count 1, a daemon whose
   /// activation sets stay below the sparse threshold, a parallel-unsafe
@@ -191,6 +293,26 @@ class Engine {
   void step_sparse_parallel();
   void step_legacy();
   void apply_updates_and_close_rounds();
+
+  /// Rebuilds the signal field from the current configuration if an
+  /// injection invalidated it — called before every field sense.
+  void ensure_field_fresh() {
+    if (field_stale_) {
+      field_->rebuild(config_);
+      field_stale_ = false;
+    }
+  }
+
+  /// True when the field exists and reflects the current configuration
+  /// (i.e. applied transitions must patch it to keep it that way).
+  [[nodiscard]] bool field_live() const { return field_ && !field_stale_; }
+
+  /// Fast-path listener dispatch: refills the reusable scratch Signal from
+  /// the view's span (no allocation once warm) and invokes the callback.
+  void emit_listener(NodeId v, StateId from, StateId to, const SignalView& sig) {
+    listener_scratch_.assign_sorted_unique(sig.states());
+    listener_(v, from, to, listener_scratch_, time_);
+  }
 
   /// Phase 1 of one shard, shared by both parallel kernels (their loop
   /// bodies must stay in lockstep or bit-identity silently breaks):
@@ -255,6 +377,24 @@ class Engine {
   // still checked every step.
   bool sparse_eligible_ = false;
   std::vector<Shard> sparse_shards_;  // per-step index partition of active_
+
+  // Delta-maintained signal field (null when routing disabled it). The
+  // field is patched wherever updates are applied serially, patched from
+  // the per-shard logs after a sharded synchronous barrier, and marked
+  // stale (for a lazy rebuild at the next field sense) by injections.
+  std::unique_ptr<SignalField> field_;
+  bool field_stale_ = false;
+  std::vector<StateId> field_scratch_;  // dense-mode sense unpack buffer
+  // Adaptive routing (kAuto on a mask-kernel automaton only): senses and
+  // patches observed this window; the field self-disables at a window
+  // boundary when patching outweighs the rescans saved.
+  bool field_adaptive_ = false;
+  std::uint64_t field_senses_ = 0;
+  std::uint64_t field_patches_ = 0;
+
+  // Reused by emit_listener: one Signal refilled per observed transition
+  // instead of one allocation per observed transition.
+  Signal listener_scratch_;
 
   // Round operator tracking.
   std::uint64_t rounds_ = 0;

@@ -20,4 +20,10 @@ Signal Signal::from_sorted_unique(std::vector<StateId> states) {
   return s;
 }
 
+void Signal::assign_sorted_unique(std::span<const StateId> states) {
+  assert(std::is_sorted(states.begin(), states.end()) &&
+         std::adjacent_find(states.begin(), states.end()) == states.end());
+  states_.assign(states.begin(), states.end());
+}
+
 }  // namespace ssau::core

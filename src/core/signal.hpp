@@ -29,6 +29,12 @@ class Signal {
   /// fast path and SignalView::materialize provide such lists for free).
   static Signal from_sorted_unique(std::vector<StateId> states);
 
+  /// Replaces the contents with an already-sorted, deduplicated state list,
+  /// reusing existing capacity. The engine's listener path refills one
+  /// scratch Signal per observed transition through this instead of
+  /// allocating a fresh Signal each time.
+  void assign_sorted_unique(std::span<const StateId> states);
+
   /// True iff state q appears somewhere in N+(v).
   [[nodiscard]] bool contains(StateId q) const {
     return std::binary_search(states_.begin(), states_.end(), q);

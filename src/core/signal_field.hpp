@@ -1,0 +1,118 @@
+// Delta-maintained neighborhood senses — the signal-field layer.
+//
+// The SA signal of node v is pure set-membership over N+(v) (paper §1.1): v
+// learns which states appear in its inclusive neighborhood, nothing more.
+// That makes the signal *incrementally maintainable*: instead of rescanning
+// N+(v) on every sense (O(deg(v)) per activation, the cost the serial
+// per-activation engine path pays under every single-node daemon), a
+// SignalField keeps, for every node, the multiset of states present in its
+// inclusive neighborhood and patches it on each applied transition
+// (v, q -> q') by updating only the counters of v and v's neighbors. A sense
+// then collapses to an O(1) presence-mask lookup (or an O(distinct) span in
+// the sparse representation) — no neighborhood scan, no scratch sort.
+//
+// Two representations, chosen once at construction:
+//
+//   * dense — |Q| <= kDenseStateLimit and max_degree + 1 below the 16-bit
+//     saturation bound: a flat q-major counter table
+//     counts[q * n + v] = multiplicity of q in N+(v), with saturating 16-bit
+//     counters, plus a per-node presence bitmap of ceil(|Q| / 64) words
+//     (exactly one word — the engine's step_mask input — when |Q| <= 64).
+//     The q-major layout keeps a transition patch (two counter rows) inside
+//     two n-sized stripes that stay cache-hot across steps.
+//   * sparse — large |Q| (synchronizer product spaces) or extreme degrees: a
+//     compact per-node sorted multiset (parallel keys/counts vectors), so
+//     memory stays O(sum_v distinct(v)) instead of O(n * |Q|). A sense wraps
+//     the keys span directly — still no per-sense sort.
+//
+// The field is engine infrastructure: core::Engine owns one when
+// EngineOptions::signal_field routes the serial per-activation path through
+// it, rebuilds it lazily after configuration injections, and patches it from
+// applied updates (serial paths) or per-shard transition logs (sharded
+// kernels). Invariant at every sense: the field equals a fresh rebuild from
+// the current configuration, so field-sensed trajectories are bit-identical
+// to rescan-sensed ones.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/signal_view.hpp"
+#include "core/types.hpp"
+#include "graph/graph.hpp"
+
+namespace ssau::core {
+
+class SignalField {
+ public:
+  /// Largest |Q| kept in the dense counter table (n * |Q| uint16 entries);
+  /// beyond it the compact sorted-multiset representation takes over.
+  static constexpr StateId kDenseStateLimit = 256;
+  /// Hard budget for the dense counter table. |Q| alone does not bound the
+  /// table — n does too — so graphs where n * |Q| counters would exceed
+  /// this fall back to the sorted multiset (O(sum distinct) memory) even
+  /// when |Q| <= kDenseStateLimit.
+  static constexpr std::size_t kDenseMaxCounterBytes = std::size_t{64} << 20;
+  /// Dense counters saturate here. A node's counter for one state is bounded
+  /// by deg(v) + 1, so construction routes graphs whose max degree could
+  /// reach the bound to the sparse representation — saturation is a
+  /// defensive backstop, never hit on a dense-eligible graph.
+  static constexpr std::uint16_t kSaturated = 0xFFFF;
+
+  /// Builds the field for `g` over a state space of size `state_count` and
+  /// initializes it from `initial` (one O(n + m) pass). The graph must
+  /// outlive the field.
+  SignalField(const graph::Graph& g, StateId state_count,
+              const Configuration& initial);
+
+  /// Re-initializes every counter and presence bit from `c` in one pass —
+  /// the recovery path after an arbitrary configuration overwrite.
+  void rebuild(const Configuration& c);
+
+  /// Patches the field for one applied transition of node v from state
+  /// `from` to state `to`: only the rows of v and v's neighbors are touched
+  /// (O(deg(v))). Deltas commute, so a batch of same-step transitions may be
+  /// applied in any order as long as each (from, to) pair is taken from the
+  /// pre-step configuration.
+  void apply_transition(NodeId v, StateId from, StateId to);
+
+  /// The 64-bit presence mask of N+(v) — the exact signal encoding the
+  /// engine's step_mask kernels consume. Only meaningful when mask_exact().
+  [[nodiscard]] std::uint64_t mask_of(NodeId v) const { return masks_[v]; }
+
+  /// True iff mask_of() is the complete signal (|Q| <= 64, dense mode).
+  [[nodiscard]] bool mask_exact() const { return dense_ && mask_words_ == 1; }
+
+  /// The signal of node v as a zero-copy sorted view. Dense mode unpacks the
+  /// presence bitmap into `scratch` (O(distinct)); sparse mode wraps the
+  /// node's keys span directly. The view is invalidated by the next sense
+  /// into the same scratch and by any apply_transition/rebuild.
+  [[nodiscard]] SignalView sense(NodeId v, std::vector<StateId>& scratch) const;
+
+  /// True when the flat counter table is in use (vs the sorted multiset).
+  [[nodiscard]] bool dense() const { return dense_; }
+
+  /// Multiplicity of state q in N+(v) — observability for tests.
+  [[nodiscard]] std::uint32_t count_of(NodeId v, StateId q) const;
+
+ private:
+  void bump(NodeId v, StateId q);  // rebuild-time increment
+
+  const graph::Graph& graph_;
+  NodeId n_;
+  StateId state_count_;
+  bool dense_;
+  StateId mask_words_;  // presence words per node: ceil(min-needed / 64)
+
+  // Dense: counts_[q * n + v]; presence bit q of node v lives in
+  // masks_[v * mask_words_ + q / 64]. For |Q| <= 64 that degenerates to one
+  // word per node, indexed masks_[v].
+  std::vector<std::uint16_t> counts_;
+  std::vector<std::uint64_t> masks_;
+
+  // Sparse: per-node sorted multiset as parallel vectors (keys ascending).
+  std::vector<std::vector<StateId>> keys_;
+  std::vector<std::vector<std::uint32_t>> key_counts_;
+};
+
+}  // namespace ssau::core

@@ -23,12 +23,15 @@
 
 namespace ssau::core {
 
-/// Appends the set bits of `mask` to `out` in ascending order — the one
-/// definition of the mask -> sorted-StateId-span decoding that SignalScratch,
-/// the default Automaton::step_mask, and CompiledAutomaton all share.
-inline void unpack_mask(std::uint64_t mask, std::vector<StateId>& out) {
+/// Appends the set bits of `mask` to `out` in ascending order, offset by
+/// `base` — the one definition of the mask -> sorted-StateId-span decoding
+/// that SignalScratch, the default Automaton::step_mask, CompiledAutomaton,
+/// and SignalField (whose multi-word bitmaps decode word w with base w * 64)
+/// all share.
+inline void unpack_mask(std::uint64_t mask, std::vector<StateId>& out,
+                        StateId base = 0) {
   for (std::uint64_t m = mask; m != 0; m &= m - 1) {
-    out.push_back(static_cast<StateId>(std::countr_zero(m)));
+    out.push_back(base + static_cast<StateId>(std::countr_zero(m)));
   }
 }
 

@@ -21,6 +21,12 @@ Graph::Graph(NodeId n, std::vector<std::pair<NodeId, NodeId>> edges) : n_(n) {
     ++deg[u];
     ++deg[v];
   }
+  for (const std::uint32_t d : deg) {
+    max_degree_ = std::max<std::size_t>(max_degree_, d);
+  }
+  avg_degree_ = n_ > 0 ? 2.0 * static_cast<double>(edges_.size()) /
+                             static_cast<double>(n_)
+                       : 0.0;
   offsets_.assign(n_ + 1, 0);
   for (NodeId v = 0; v < n_; ++v) offsets_[v + 1] = offsets_[v] + deg[v];
   adjacency_.resize(offsets_[n_]);

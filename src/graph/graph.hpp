@@ -32,6 +32,16 @@ class Graph {
     return neighbors(v).size();
   }
 
+  /// Largest degree over all nodes (0 for an edgeless graph), computed once
+  /// at construction — consumers (engine scratch sizing, signal-field
+  /// routing, shard balancing diagnostics) must not rescan for it.
+  [[nodiscard]] std::size_t max_degree() const { return max_degree_; }
+
+  /// Mean degree 2|E| / n (0.0 for the empty graph), computed once at
+  /// construction. The signal-field routing heuristic keys off this: delta
+  /// maintenance only beats a rescan when neighborhoods are non-trivial.
+  [[nodiscard]] double avg_degree() const { return avg_degree_; }
+
   /// The deduplicated edge list with u < v per edge.
   [[nodiscard]] std::span<const std::pair<NodeId, NodeId>> edges() const {
     return edges_;
@@ -44,6 +54,8 @@ class Graph {
 
  private:
   NodeId n_;
+  std::size_t max_degree_ = 0;
+  double avg_degree_ = 0.0;
   std::vector<std::pair<NodeId, NodeId>> edges_;
   std::vector<std::uint32_t> offsets_;  // size n_+1
   std::vector<NodeId> adjacency_;       // concatenated sorted neighbor lists

@@ -37,13 +37,19 @@ class Scheduler {
   [[nodiscard]] virtual bool full_activation() const { return false; }
 
   /// An upper bound on |A_t| over all steps. The engine uses it once, at
-  /// construction, to size activation workspaces and to decide whether the
-  /// sparse-activation sharded kernel can ever engage (a daemon whose sets
-  /// never reach EngineOptions::sparse_activation_threshold keeps the serial
-  /// path and spawns no workers). A loose bound is harmless — the kernel
-  /// checks the actual |A_t| every step — but an under-estimate pins large
-  /// steps to the serial path, so daemons with big activation sets should
-  /// override. Defaults to 1 (the single-node daemons).
+  /// construction, for three routing decisions: sizing activation
+  /// workspaces, deciding whether the sparse-activation sharded kernel can
+  /// ever engage (a daemon whose sets never reach
+  /// EngineOptions::sparse_activation_threshold keeps the serial path and
+  /// spawns no workers), and — at the opposite end of the spectrum —
+  /// whether the serial path should sense through the delta-maintained
+  /// signal field (SignalFieldMode::kAuto treats a small hint as the
+  /// serial-daemon regime the field accelerates). A loose bound is harmless
+  /// for the kernels — they check the actual |A_t| every step — but it
+  /// skews both routes: an under-estimate pins large steps to the serial
+  /// path, and an over-estimate (a single-node daemon reporting n) denies
+  /// the field. Daemons should report the tightest cheap bound they know.
+  /// Defaults to 1 (the single-node daemons).
   [[nodiscard]] virtual core::NodeId max_activation_hint() const { return 1; }
 
   [[nodiscard]] virtual std::string name() const = 0;

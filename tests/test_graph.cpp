@@ -20,6 +20,26 @@ TEST(Graph, BasicAdjacency) {
   EXPECT_EQ(g.neighbors(1)[1], 2u);
 }
 
+TEST(Graph, CachedDegreeStats) {
+  // Star on 5 nodes: hub degree 4, leaves degree 1, avg = 2 * 4 / 5.
+  Graph star(5, {{0, 1}, {0, 2}, {0, 3}, {0, 4}});
+  EXPECT_EQ(star.max_degree(), 4u);
+  EXPECT_DOUBLE_EQ(star.avg_degree(), 8.0 / 5.0);
+
+  Graph path(4, {{0, 1}, {1, 2}, {2, 3}});
+  EXPECT_EQ(path.max_degree(), 2u);
+  EXPECT_DOUBLE_EQ(path.avg_degree(), 6.0 / 4.0);
+
+  // Parallel edges are deduplicated before the stats are computed.
+  Graph dedup(3, {{0, 1}, {1, 0}, {0, 1}});
+  EXPECT_EQ(dedup.max_degree(), 1u);
+  EXPECT_DOUBLE_EQ(dedup.avg_degree(), 2.0 / 3.0);
+
+  Graph edgeless(3, {});
+  EXPECT_EQ(edgeless.max_degree(), 0u);
+  EXPECT_DOUBLE_EQ(edgeless.avg_degree(), 0.0);
+}
+
 TEST(Graph, DeduplicatesParallelEdges) {
   Graph g(3, {{0, 1}, {1, 0}, {0, 1}});
   EXPECT_EQ(g.num_edges(), 1u);
