@@ -36,10 +36,19 @@
 // ratio is machine-independent). The per-cell field_over_rescan ratio is
 // what CI gates via bench_compare.py --min-speedup.
 //
+// The churn table measures the dynamic-topology layer: the per-event cost of
+// a single-edge link failure/repair handled by Engine::apply_topology_delta
+// (graph patch + signal-field edge patch + lazy reshard marking, O(delta))
+// versus the pre-delta-API pattern of rebuilding everything (fresh Graph
+// from the edited edge list + fresh Engine with its O(n + m) field init —
+// measured in-run, so the patch_over_rebuild ratio is machine-independent).
+// CI gates the ratio via bench_compare.py --min-churn.
+//
 // Usage: bench_engine_perf [--nodes=10000] [--edge-p=0.0008]
 //                          [--sync-steps=100] [--single-steps=200000]
 //                          [--single-act-steps=200000]
 //                          [--single-act-edge-p=0.02]
+//                          [--churn-events=64] [--churn-rebuild-events=12]
 //                          [--threads=1,2,4,8] [--repeats=3]
 //                          [--json=BENCH_engine.json] [--seed=7]
 #include <algorithm>
@@ -223,6 +232,8 @@ int main(int argc, char** argv) {
   const auto single_act_steps =
       static_cast<std::uint64_t>(cli.get_int("single-act-steps", 200000));
   const double single_act_edge_p = cli.get_double("single-act-edge-p", 0.02);
+  const int churn_events = cli.get_int("churn-events", 64);
+  const int churn_rebuild_events = cli.get_int("churn-rebuild-events", 12);
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 7));
   const std::string json_path = cli.get("json", "BENCH_engine.json");
   const std::vector<unsigned> thread_list =
@@ -369,6 +380,114 @@ int main(int argc, char** argv) {
     }
   }
 
+  // --- churn table (topology delta vs full rebuild) --------------------------
+  // Single-edge link failure/repair events on the main 10k-node instance,
+  // field forced on so every event pays the full derived-state upkeep. The
+  // patch engine applies each event through Engine::apply_topology_delta
+  // (O(delta)); the rebuild side replays the pre-delta-API pattern — edit an
+  // edge list, construct a fresh Graph, scheduler, and Engine (O(n + m) CSR
+  // + signal-field init), carrying the configuration over. Both sides toggle
+  // the same edge sequence and run the same untimed settle steps between
+  // events; only the event cost is timed. --churn-events=0 skips the table.
+  struct ChurnPoint {
+    std::string algorithm;
+    std::string scheduler;
+    double patch_events_per_sec = 0.0;
+    double rebuild_events_per_sec = 0.0;
+    double patch_over_rebuild = 0.0;
+  };
+  std::vector<ChurnPoint> churn;
+  if (churn_events > 0) {
+    constexpr std::uint64_t kChurnSettleSteps = 32;
+    const std::vector<const Workload*> churn_workloads = {&workloads[0],
+                                                          &workloads[3]};
+    for (const Workload* w : churn_workloads) {
+      // The toggled edge sequence: random picks from the base edge set, each
+      // event removing its pick if present and re-adding it otherwise.
+      util::Rng pick_rng(seed + 23);
+      std::vector<std::pair<graph::NodeId, graph::NodeId>> picks;
+      {
+        const auto base_edges = g.edges();
+        for (int e = 0; e < std::max(churn_events, churn_rebuild_events); ++e) {
+          picks.push_back(base_edges[pick_rng.below(
+              static_cast<std::uint32_t>(base_edges.size()))]);
+        }
+      }
+      const core::EngineOptions churn_opts{
+          .signal_field = core::SignalFieldMode::kOn};
+
+      // Patch side: one engine, one trajectory, O(delta) per event.
+      double patch_seconds = 0.0;
+      {
+        graph::Graph pg = g;
+        auto sched = sched::make_scheduler("uniform-single", pg);
+        core::Engine engine(pg, *w->alg, *sched, w->initial, seed + 29,
+                            churn_opts);
+        for (int e = 0; e < churn_events; ++e) {
+          const auto& pick = picks[static_cast<std::size_t>(e) % picks.size()];
+          graph::TopologyDelta delta;
+          (pg.has_edge(pick.first, pick.second) ? delta.remove : delta.add)
+              .push_back(pick);
+          const auto t0 = std::chrono::steady_clock::now();
+          engine.apply_topology_delta(delta);
+          const auto t1 = std::chrono::steady_clock::now();
+          patch_seconds += std::chrono::duration<double>(t1 - t0).count();
+          for (std::uint64_t s = 0; s < kChurnSettleSteps; ++s) engine.step();
+        }
+      }
+
+      // Rebuild side: the old pattern — every event throws the CSR, the
+      // field, and the engine away.
+      double rebuild_seconds = 0.0;
+      {
+        std::vector<std::pair<graph::NodeId, graph::NodeId>> edge_list(
+            g.edges().begin(), g.edges().end());
+        auto graph_ptr = std::make_unique<graph::Graph>(g);
+        auto sched = sched::make_scheduler("uniform-single", *graph_ptr);
+        auto engine_ptr = std::make_unique<core::Engine>(
+            *graph_ptr, *w->alg, *sched, w->initial, seed + 29, churn_opts);
+        for (int e = 0; e < churn_rebuild_events; ++e) {
+          const auto& pick = picks[static_cast<std::size_t>(e) % picks.size()];
+          core::Configuration carried = engine_ptr->config();
+          const auto t0 = std::chrono::steady_clock::now();
+          const auto it =
+              std::find(edge_list.begin(), edge_list.end(), pick);
+          if (it != edge_list.end()) {
+            edge_list.erase(it);
+          } else {
+            edge_list.push_back(pick);
+          }
+          engine_ptr.reset();
+          graph_ptr = std::make_unique<graph::Graph>(
+              g.num_nodes(), edge_list);
+          sched = sched::make_scheduler("uniform-single", *graph_ptr);
+          engine_ptr = std::make_unique<core::Engine>(*graph_ptr, *w->alg,
+                                                      *sched,
+                                                      std::move(carried),
+                                                      seed + 29, churn_opts);
+          const auto t1 = std::chrono::steady_clock::now();
+          rebuild_seconds += std::chrono::duration<double>(t1 - t0).count();
+          for (std::uint64_t s = 0; s < kChurnSettleSteps; ++s) {
+            engine_ptr->step();
+          }
+        }
+      }
+
+      ChurnPoint p;
+      p.algorithm = w->name;
+      p.scheduler = "uniform-single";
+      p.patch_events_per_sec =
+          patch_seconds > 0 ? churn_events / patch_seconds : 0.0;
+      p.rebuild_events_per_sec =
+          rebuild_seconds > 0 ? churn_rebuild_events / rebuild_seconds : 0.0;
+      p.patch_over_rebuild = p.rebuild_events_per_sec > 0
+                                 ? p.patch_events_per_sec /
+                                       p.rebuild_events_per_sec
+                                 : 0.0;
+      churn.push_back(p);
+    }
+  }
+
   // --- table + speedups ------------------------------------------------------
   std::cout << "\n==== E12 engine throughput (n=" << n
             << ", |E|=" << g.num_edges() << ") ====\n\n";
@@ -417,6 +536,24 @@ int main(int argc, char** argv) {
                 << std::setprecision(0) << std::setw(14) << p.field_rate
                 << std::setw(15) << p.rescan_rate << std::setprecision(2)
                 << std::setw(9) << p.speedup << "x\n";
+    }
+  }
+
+  // --- churn table -----------------------------------------------------------
+  if (!churn.empty()) {
+    std::cout << "\n==== topology churn: in-place delta vs full rebuild "
+                 "(single-edge events, n=" << n << ") ====\n\n";
+    std::cout << std::left << std::setw(14) << "algorithm" << std::setw(18)
+              << "scheduler" << std::right << std::setw(15) << "patch ev/s"
+              << std::setw(15) << "rebuild ev/s" << std::setw(10) << "speedup"
+              << "\n";
+    for (const ChurnPoint& p : churn) {
+      std::cout << std::left << std::setw(14) << p.algorithm << std::setw(18)
+                << p.scheduler << std::right << std::fixed
+                << std::setprecision(0) << std::setw(15)
+                << p.patch_events_per_sec << std::setw(15)
+                << p.rebuild_events_per_sec << std::setprecision(1)
+                << std::setw(9) << p.patch_over_rebuild << "x\n";
     }
   }
 
@@ -504,6 +641,17 @@ int main(int argc, char** argv) {
     jw.key("field_activations_per_sec").value(p.field_rate);
     jw.key("rescan_activations_per_sec").value(p.rescan_rate);
     jw.key("field_over_rescan").value(p.speedup);
+    jw.end_object();
+  }
+  jw.end_array();
+  jw.key("churn").begin_array();
+  for (const ChurnPoint& p : churn) {
+    jw.begin_object();
+    jw.key("algorithm").value(p.algorithm);
+    jw.key("scheduler").value(p.scheduler);
+    jw.key("patch_events_per_sec").value(p.patch_events_per_sec);
+    jw.key("rebuild_events_per_sec").value(p.rebuild_events_per_sec);
+    jw.key("patch_over_rebuild").value(p.patch_over_rebuild);
     jw.end_object();
   }
   jw.end_array();

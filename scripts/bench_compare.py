@@ -42,11 +42,19 @@ machine-independent — must reach FACTOR. CI uses this to keep the
 signal-field layer's win real (a field that silently fell back to rescans,
 or a patch path that got expensive, drags the ratio to ~1).
 
+The churn table ("churn" rows keyed algorithm x scheduler) is gated via
+--min-churn ALGO:SCHED:FACTOR on patch_over_rebuild: single-edge topology
+events handled by Engine::apply_topology_delta versus the rebuild-everything
+pattern, both measured within the current run — another machine-independent
+ratio. A delta path that silently degraded to an O(n + m) rebuild drags it
+toward 1 and fails the gate.
+
 Usage:
   scripts/bench_compare.py BASELINE.json CURRENT.json [--max-regression 0.30]
                            [--absolute]
                            [--min-scaling ALGO[:SCHED]:THREADS:FACTOR ...]
                            [--min-speedup ALGO:SCHED:FACTOR ...]
+                           [--min-churn ALGO:SCHED:FACTOR ...]
   scripts/bench_compare.py --self-check
 """
 
@@ -128,6 +136,22 @@ def index_single_activation(doc):
             "speedup": as_number(row.get("field_over_rescan")),
             "field_rate": as_number(row.get("field_activations_per_sec")),
             "rescan_rate": as_number(row.get("rescan_activations_per_sec")),
+        }
+    return out
+
+
+def index_churn(doc):
+    """churn rows keyed by (algorithm, scheduler)."""
+    out = {}
+    for row in doc.get("churn", []):
+        try:
+            key = (row["algorithm"], row["scheduler"])
+        except (KeyError, TypeError):
+            continue
+        out[key] = {
+            "ratio": as_number(row.get("patch_over_rebuild")),
+            "patch_rate": as_number(row.get("patch_events_per_sec")),
+            "rebuild_rate": as_number(row.get("rebuild_events_per_sec")),
         }
     return out
 
@@ -314,6 +338,49 @@ def run_gate(baseline, current, args, out=sys.stdout, err=sys.stderr):
                 f"over the rescan path (floor {factor:.2f}x)"
             )
 
+    cur_churn = index_churn(current)
+    if not args.scaling_only:
+        # Disappeared-cell protection, like single_activation: churn rows in
+        # the committed baseline must still be emitted by the current run.
+        for key in sorted(index_churn(baseline)):
+            if key not in cur_churn:
+                failures.append(f"churn cell {key} missing from current run")
+    for (algo, sched), cell in sorted(cur_churn.items()):
+        ratio = cell["ratio"]
+        print(
+            f"[info] churn: {algo:<14} {sched:<16} "
+            f"patch {cell['patch_rate'] if cell['patch_rate'] is not None else 0:.3g} "
+            f"vs rebuild {cell['rebuild_rate'] if cell['rebuild_rate'] is not None else 0:.3g} ev/s "
+            f"({ratio if ratio is not None else 0:.1f}x)",
+            file=out,
+        )
+
+    for spec in args.min_churn:
+        parsed = parse_min_speedup(spec)
+        if parsed is None:
+            print(f"bad --min-churn spec '{spec}'", file=err)
+            return 2
+        algo, sched, factor = parsed
+        cell = cur_churn.get((algo, sched))
+        got = cell["ratio"] if cell else None
+        if got is None:
+            failures.append(
+                f"no churn entry for {algo} under {sched} "
+                f"(required by --min-churn {spec})"
+            )
+            continue
+        status = "OK " if got >= factor else "FAIL"
+        print(
+            f"[{status}] churn gate: {algo} under {sched}: "
+            f"{got:.1f}x patch-over-rebuild (floor {factor:.1f}x)",
+            file=out,
+        )
+        if got < factor:
+            failures.append(
+                f"{algo} under {sched}: topology patching reached only "
+                f"{got:.1f}x over the rebuild path (floor {factor:.1f}x)"
+            )
+
     for w in warnings:
         print(f"[warn] {w}", file=out)
 
@@ -337,6 +404,7 @@ def self_check():
             absolute=kw.get("absolute", False),
             min_scaling=kw.get("min_scaling", []),
             min_speedup=kw.get("min_speedup", []),
+            min_churn=kw.get("min_churn", []),
             scaling_only=kw.get("scaling_only", False),
         )
         return run_gate(baseline, current, args, out=io.StringIO(),
@@ -384,6 +452,16 @@ def self_check():
              "field_activations_per_sec": 5e6,
              "rescan_activations_per_sec": 6e6,
              "field_over_rescan": 0.83},
+        ],
+    }
+
+    churn_doc = {
+        "speedups": [],
+        "churn": [
+            {"algorithm": "alg-au", "scheduler": "uniform-single",
+             "patch_events_per_sec": 5e5,
+             "rebuild_events_per_sec": 4e2,
+             "patch_over_rebuild": 1250.0},
         ],
     }
 
@@ -458,6 +536,25 @@ def self_check():
          lambda: gate(single_act_doc,
                       {"speedups": [], "single_activation": []},
                       scaling_only=True)),
+        ("churn gate passes", 0,
+         lambda: gate(churn_doc, churn_doc, scaling_only=True,
+                      min_churn=["alg-au:uniform-single:5.0"])),
+        ("churn ratio below floor fails", 1,
+         lambda: gate(churn_doc, churn_doc, scaling_only=True,
+                      min_churn=["alg-au:uniform-single:99999"])),
+        ("missing churn row fails its gate", 1,
+         lambda: gate(churn_doc, churn_doc, scaling_only=True,
+                      min_churn=["alg-mis:uniform-single:5.0"])),
+        ("malformed min-churn spec is a usage error", 2,
+         lambda: gate(churn_doc, churn_doc, scaling_only=True,
+                      min_churn=["alg-au:5.0"])),
+        ("churn rows matching baseline pass", 0,
+         lambda: gate(churn_doc, churn_doc)),
+        ("churn cell missing vs baseline fails", 1,
+         lambda: gate(churn_doc, {"speedups": [], "churn": []})),
+        ("scaling-only skips the churn baseline diff", 0,
+         lambda: gate(churn_doc, {"speedups": [], "churn": []},
+                      scaling_only=True)),
     ]
 
     failed = 0
@@ -513,6 +610,14 @@ def main():
         help="require the current run's single_activation entry for ALGO "
         "under SCHED to reach FACTOR x the rescan path's throughput "
         "(repeatable)",
+    )
+    parser.add_argument(
+        "--min-churn",
+        action="append",
+        default=[],
+        metavar="ALGO:SCHED:FACTOR",
+        help="require the current run's churn entry for ALGO under SCHED to "
+        "reach FACTOR x the rebuild path's per-event rate (repeatable)",
     )
     parser.add_argument(
         "--scaling-only",

@@ -1,6 +1,10 @@
 #include "core/adversary.hpp"
 
+#include <algorithm>
+#include <optional>
 #include <stdexcept>
+
+#include "graph/metrics.hpp"
 
 namespace ssau::core {
 
@@ -26,6 +30,75 @@ Configuration adversarial_configuration(const std::string& kind,
 
 std::vector<std::string> adversary_kinds() {
   return {"random", "zero", "max", "split", "alternating"};
+}
+
+namespace {
+
+/// True when `g` (a candidate post-removal topology) satisfies the churn
+/// guards. The diameter form is exact but early-exiting (one BFS decides
+/// rejection and the 2-approximation accepts round topologies outright);
+/// connectivity alone is a single BFS.
+bool guards_hold(const graph::Graph& g, const ChurnOptions& options) {
+  if (options.max_diameter > 0) {
+    return graph::diameter_at_most(g, options.max_diameter);
+  }
+  if (options.keep_connected) return g.connected();
+  return true;
+}
+
+}  // namespace
+
+ChurnAdversary::ChurnAdversary(const graph::Graph& g, ChurnOptions options)
+    : graph_(g),
+      base_edges_(g.edges().begin(), g.edges().end()),
+      options_(options) {}
+
+graph::TopologyDelta ChurnAdversary::next_event(util::Rng& rng) {
+  graph::TopologyDelta delta;
+  const bool guarded = options_.keep_connected || options_.max_diameter > 0;
+  // The guards are evaluated against a scratch copy that accumulates this
+  // event's accepted edits, so a batch of failures is only emitted if the
+  // bound survives all of them together (copied lazily: an event drawing no
+  // failure pays nothing).
+  std::optional<graph::Graph> scratch;
+  for (const auto& [u, v] : base_edges_) {
+    if (graph_.has_edge(u, v)) {
+      if (!rng.bernoulli(options_.fail_p)) continue;
+      if (guarded) {
+        if (!scratch) scratch = graph_;
+        scratch->remove_edge(u, v);
+        if (!guards_hold(*scratch, options_)) {
+          scratch->add_edge(u, v);  // vetoed: the obstacle misses this link
+          continue;
+        }
+      }
+      delta.remove.emplace_back(u, v);
+    } else if (rng.bernoulli(options_.heal_p)) {
+      delta.add.emplace_back(u, v);
+      if (scratch) scratch->add_edge(u, v);
+    }
+  }
+  return delta;
+}
+
+std::size_t ChurnAdversary::failed_edges() const {
+  std::size_t failed = 0;
+  for (const auto& [u, v] : base_edges_) {
+    if (!graph_.has_edge(u, v)) ++failed;
+  }
+  return failed;
+}
+
+graph::TopologyDelta partition_delta(const graph::Graph& g,
+                                     const std::vector<bool>& side) {
+  if (side.size() != g.num_nodes()) {
+    throw std::invalid_argument("partition_delta: side size mismatch");
+  }
+  graph::TopologyDelta delta;
+  for (const auto& [u, v] : g.edges()) {
+    if (side[u] != side[v]) delta.remove.emplace_back(u, v);
+  }
+  return delta;
 }
 
 }  // namespace ssau::core

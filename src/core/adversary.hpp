@@ -1,12 +1,20 @@
-// Generic adversarial initial configurations C_0.
+// Generic adversarial initial configurations C_0 and topology adversaries.
 //
 // Self-stabilization demands recovery from *any* initial configuration. The
 // benches exercise a battery of generic C_0 shapes here, plus per-algorithm
 // crafted worst cases that live next to each algorithm (e.g. unison clock
 // tears in unison/alg_au.hpp).
+//
+// The topology side of the adversary (paper §1: "environmental obstacles may
+// disconnect (permanently or temporarily) some links") lives here too:
+// ChurnAdversary drives a stochastic link failure/repair process against an
+// engine's live graph, and partition_delta scripts partition-and-heal
+// scenarios; both emit graph::TopologyDelta batches that feed
+// Engine::apply_topology_delta.
 #pragma once
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/automaton.hpp"
@@ -27,5 +35,60 @@ namespace ssau::core {
 
 /// All strategy names accepted by adversarial_configuration.
 [[nodiscard]] std::vector<std::string> adversary_kinds();
+
+/// Knobs for the stochastic link-churn process.
+struct ChurnOptions {
+  /// Per-event failure probability of each currently-live base edge.
+  double fail_p = 0.05;
+  /// Per-event repair probability of each currently-failed base edge.
+  double heal_p = 0.25;
+  /// Skip failures that would disconnect the graph.
+  bool keep_connected = true;
+  /// If nonzero, additionally skip failures that would push the diameter
+  /// beyond this bound (the paper's "hopefully not to the extent of
+  /// exceeding a certain fixed upper bound"). Implies keep_connected for
+  /// the guarded removals — an infinite diameter exceeds any bound. The
+  /// check is exact (graph::diameter_at_most: early-exit rejection, quick
+  /// 2-approximation acceptance) but can cost an all-sources BFS per
+  /// candidate in the gray zone — size it for example/test-scale
+  /// topologies; at bench scale prefer keep_connected alone.
+  unsigned max_diameter = 0;
+};
+
+/// The environmental-obstacle adversary: a stochastic failure/repair process
+/// over the BASE edge set (the borrowed graph's edges at construction).
+/// Each next_event() draws one churn event against the graph's current
+/// state — live base edges fail with fail_p (subject to the connectivity /
+/// diameter guards), failed ones heal with heal_p — and returns the delta
+/// for the caller to apply (Engine::apply_topology_delta), after which the
+/// next event sees the churned graph. Edges outside the base set are never
+/// created: obstacles block links, they do not build new ones.
+class ChurnAdversary {
+ public:
+  /// Borrows `g` (the engine's live graph; must outlive the adversary) and
+  /// snapshots its current edge set as the base universe.
+  ChurnAdversary(const graph::Graph& g, ChurnOptions options);
+
+  /// Draws one churn event. Deterministic given the rng state and the
+  /// graph's current edge set.
+  [[nodiscard]] graph::TopologyDelta next_event(util::Rng& rng);
+
+  /// Base edges currently failed (absent from the live graph).
+  [[nodiscard]] std::size_t failed_edges() const;
+
+  [[nodiscard]] const ChurnOptions& options() const { return options_; }
+
+ private:
+  const graph::Graph& graph_;
+  std::vector<std::pair<NodeId, NodeId>> base_edges_;
+  ChurnOptions options_;
+};
+
+/// The scripted "partition" half of a partition-and-heal scenario: the delta
+/// removing every edge crossing the bipartition (side[v] names v's side).
+/// Apply it to split the network into two isolated halves; heal with the
+/// returned delta's inverse(). side.size() must equal g.num_nodes().
+[[nodiscard]] graph::TopologyDelta partition_delta(const graph::Graph& g,
+                                                   const std::vector<bool>& side);
 
 }  // namespace ssau::core

@@ -73,7 +73,8 @@ Engine::Engine(const graph::Graph& g, const Automaton& alg,
         shardable && !full_activation_ &&
         scheduler_.max_activation_hint() >= options_.sparse_activation_threshold;
     if (shardable && (full_activation_ || sparse_eligible_)) {
-      pool_ = std::make_unique<ParallelEngine>(make_shards(graph_, threads));
+      sync_shards_ = make_shards(graph_, threads);
+      pool_ = std::make_unique<ParallelEngine>(sync_shards_);
       shard_ws_.resize(pool_->shard_count());
       for (std::size_t i = 0; i < shard_ws_.size(); ++i) {
         ShardWorkspace& ws = shard_ws_[i];
@@ -148,6 +149,60 @@ Engine::Engine(const graph::Graph& g, const Automaton& alg,
           options_.signal_field == SignalFieldMode::kAuto && cheap_sense;
     }
   }
+}
+
+Engine::Engine(graph::Graph& g, const Automaton& alg, sched::Scheduler& sched,
+               Configuration initial, std::uint64_t seed, EngineOptions options)
+    : Engine(static_cast<const graph::Graph&>(g), alg, sched,
+             std::move(initial), seed, options) {
+  mutable_graph_ = &g;
+}
+
+graph::TopologyDelta Engine::apply_topology_delta(
+    const graph::TopologyDelta& delta) {
+  if (mutable_graph_ == nullptr) {
+    throw std::logic_error(
+        "apply_topology_delta: engine was constructed over a const graph "
+        "(use the churn-capable Engine(graph::Graph&, ...) overload)");
+  }
+  const graph::TopologyDelta applied = mutable_graph_->apply_delta(delta);
+
+  // Signal field: O(1) per effective edge — each endpoint gains/loses the
+  // presence of the other's CURRENT state (churn does not touch config_).
+  if (field_) {
+    if (field_->dense() && graph_.max_degree() + 1 >=
+                               static_cast<std::size_t>(SignalField::kSaturated)) {
+      // Degree growth reached the dense representation's saturation bound —
+      // a regime construction routes to the sparse multiset. Recreate the
+      // field so it re-routes; a from-scratch build here is the rare safety
+      // valve, not the churn fast path.
+      field_ = std::make_unique<SignalField>(graph_, automaton_.state_count(),
+                                             config_);
+      field_stale_ = false;
+    } else if (!field_stale_) {
+      for (const auto& [u, v] : applied.remove) {
+        field_->apply_edge_removal(u, v, config_);
+      }
+      for (const auto& [u, v] : applied.add) {
+        field_->apply_edge_insertion(u, v, config_);
+      }
+    }
+    // A stale field needs no patching: its pending lazy rebuild reads the
+    // live (already-patched) graph.
+  }
+
+  // Sense scratches must hold max_degree + 1 states; grow if churn raised it.
+  scratch_.reserve(graph_.max_degree() + 1);
+  for (ShardWorkspace& ws : shard_ws_) {
+    ws.scratch.reserve(graph_.max_degree() + 1);
+  }
+  // Degree weights shifted: the synchronous kernel re-balances its node
+  // partition lazily at the next parallel step; the sparse-activation kernel
+  // re-weighs its activation-list partition every step anyway.
+  sync_shards_dirty_ = pool_ != nullptr;
+
+  scheduler_.on_topology_change(graph_);
+  return applied;
 }
 
 Signal Engine::signal_of(NodeId v) const {
@@ -262,13 +317,21 @@ void Engine::shard_phase1(const Shard& shard, ShardWorkspace& ws,
 // concatenation IS node order) — the observed stream is bit-identical to the
 // serial kernel's.
 void Engine::step_parallel_synchronous() {
+  // Topology churn shifted the degree weights: re-balance the node partition
+  // before fanning out (same shard count — the pool's workers are fixed).
+  if (sync_shards_dirty_) {
+    make_weighted_shards_into(
+        sync_shards_, graph_.num_nodes(), pool_->shard_count(),
+        [&](NodeId v) { return static_cast<std::uint64_t>(graph_.degree(v)) + 1; });
+    sync_shards_dirty_ = false;
+  }
   // A live signal field also needs the transition logs: workers cannot
   // patch shared counter rows concurrently (a node's neighbors straddle
   // shards), so the engine patches from the concatenated logs after the
   // barrier — deltas commute, and nothing senses the field mid-step.
   const bool patch_field = field_live();
   const bool log_transitions = static_cast<bool>(listener_) || patch_field;
-  pool_->run([&](const Shard& shard, unsigned shard_index) {
+  pool_->run(sync_shards_, [&](const Shard& shard, unsigned shard_index) {
     shard_phase1(
         shard, shard_ws_[shard_index], log_transitions,
         [](NodeId i) { return i; },

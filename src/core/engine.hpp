@@ -67,6 +67,18 @@
 //   * single-node daemons (max_activation_hint() below the threshold) run
 //     the serial path regardless of thread_count and spawn no workers.
 //
+// Topology churn (Engine::apply_topology_delta):
+//   * the paper's §1 obstacle events — links failing and healing mid-run —
+//     are O(delta) in-place edits: the graph is patched through
+//     Graph::apply_delta, a live signal field is patched per effective edge,
+//     sense scratches grow only when max_degree grew, the synchronous
+//     kernel's shard plan re-balances lazily at its next parallel step, and
+//     the scheduler is notified (WaveScheduler re-layers). Construction-time
+//     routing (field on/off, sparse eligibility, thread count) is not
+//     revisited — performance choices only, every path stays bit-identical;
+//   * requires the churn-capable constructor (non-const graph::Graph&);
+//     engines over const graphs keep the immutable contract.
+//
 // RNG discipline — all paths, all thread counts, bit-identical:
 //   * scheduler draws always come from the engine's forked sched_rng_ stream,
 //     consumed only on the (serial) scheduler call, so a randomized schedule
@@ -207,6 +219,13 @@ class Engine {
   Engine(const graph::Graph& g, const Automaton& alg, sched::Scheduler& sched,
          Configuration initial, std::uint64_t seed, EngineOptions options = {});
 
+  /// Churn-capable overload: identical semantics, but the engine remembers
+  /// that it may mutate `g`, enabling apply_topology_delta(). A non-const
+  /// graph lvalue binds here automatically; engines over const graphs keep
+  /// the immutable contract.
+  Engine(graph::Graph& g, const Automaton& alg, sched::Scheduler& sched,
+         Configuration initial, std::uint64_t seed, EngineOptions options = {});
+
   /// Executes one step (one scheduler activation set).
   void step();
 
@@ -284,6 +303,33 @@ class Engine {
   /// Overwrites the state of one node (a targeted transient fault).
   void inject_state(NodeId v, StateId q);
 
+  /// Applies a batch of edge edits to the live topology in place — the
+  /// paper's §1 environmental-obstacle events (links failing and healing
+  /// mid-run) as an O(delta) operation instead of a rebuild. The graph is
+  /// patched via Graph::apply_delta; every piece of engine-derived state
+  /// follows incrementally:
+  ///   * a live signal field is patched in O(1) per effective edge (the two
+  ///     endpoints exchange presence of each other's current state) — no
+  ///     rebuild, and a stale field stays lazily-rebuilt-later;
+  ///   * sense scratches grow when max_degree grew; the compiled-automaton
+  ///     table/memo and per-node rng streams are untouched (they do not
+  ///     depend on the topology);
+  ///   * the synchronous kernel's shard plan is re-balanced lazily at its
+  ///     next parallel step (the sparse kernel re-weighs every step anyway);
+  ///   * the scheduler is notified via Scheduler::on_topology_change
+  ///     (WaveScheduler recomputes its BFS layers).
+  /// Construction-time ROUTING decisions (signal-field on/off, sparse-kernel
+  /// eligibility, thread count) are deliberately not revisited — they are
+  /// performance choices, and every path stays bit-identical regardless.
+  /// Time, rounds, pending-round bookkeeping, and activation counts carry
+  /// across the event: churn is part of the run, not a restart.
+  ///
+  /// Returns the effective delta (what actually changed). Throws
+  /// std::logic_error when the engine was constructed from a const graph,
+  /// std::invalid_argument on out-of-range endpoints or self-loops (graph
+  /// untouched). Must be called between steps, never from a listener.
+  graph::TopologyDelta apply_topology_delta(const graph::TopologyDelta& delta);
+
  private:
   struct ShardWorkspace;
 
@@ -334,6 +380,9 @@ class Engine {
   }
 
   const graph::Graph& graph_;
+  // Non-null iff the churn-capable constructor ran: the one handle through
+  // which apply_topology_delta may mutate the borrowed graph.
+  graph::Graph* mutable_graph_ = nullptr;
   const Automaton& automaton_;
   sched::Scheduler& scheduler_;
   Configuration config_;
@@ -377,6 +426,12 @@ class Engine {
   // still checked every step.
   bool sparse_eligible_ = false;
   std::vector<Shard> sparse_shards_;  // per-step index partition of active_
+  // The synchronous kernel's degree-weighted node partition. Topology churn
+  // shifts the weights, so apply_topology_delta marks it dirty and the next
+  // parallel synchronous step re-balances it (lazy: serial steps and the
+  // sparse kernel never read it).
+  std::vector<Shard> sync_shards_;
+  bool sync_shards_dirty_ = false;
 
   // Delta-maintained signal field (null when routing disabled it). The
   // field is patched wherever updates are applied serially, patched from

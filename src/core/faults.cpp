@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <numeric>
+#include <optional>
 
 namespace ssau::core {
 
@@ -36,6 +37,17 @@ FaultCampaignResult run_fault_campaign(
   std::vector<NodeId> ids(n);
   std::iota(ids.begin(), ids.end(), NodeId{0});
 
+  // Optional topology churn: one stochastic link failure/repair event per
+  // burst, applied in place through the engine (O(delta), no rebuild).
+  const bool churn_enabled = options.link_fail_p > 0 || options.link_heal_p > 0;
+  std::optional<ChurnAdversary> churn;
+  if (churn_enabled) {
+    ChurnOptions churn_opts = options.churn;
+    churn_opts.fail_p = options.link_fail_p;
+    churn_opts.heal_p = options.link_heal_p;
+    churn.emplace(engine.graph(), churn_opts);
+  }
+
   for (std::size_t b = 0; b < options.bursts; ++b) {
     // Scramble a random subset (partial Fisher-Yates).
     const std::size_t burst_size =
@@ -45,6 +57,12 @@ FaultCampaignResult run_fault_campaign(
       std::swap(ids[i], ids[j]);
       engine.inject_state(ids[i],
                           rng.below(engine.automaton().state_count()));
+    }
+    if (churn) {
+      const graph::TopologyDelta applied =
+          engine.apply_topology_delta(churn->next_event(rng));
+      result.links_failed += applied.remove.size();
+      result.links_healed += applied.add.size();
     }
     ++result.bursts_injected;
 

@@ -6,11 +6,17 @@
 // nodes (the burst), measure time-to-recovery against a legitimacy predicate
 // and the availability (fraction of rounds in a legitimate configuration).
 // Used by the fault-recovery bench and the biological examples.
+//
+// Campaigns can additionally churn the TOPOLOGY alongside the state faults
+// (link_fail_p / link_heal_p): each burst then also applies one
+// ChurnAdversary event through Engine::apply_topology_delta — the paper's
+// environmental obstacles and transient faults attacking together.
 #pragma once
 
 #include <functional>
 #include <vector>
 
+#include "core/adversary.hpp"
 #include "core/engine.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -28,11 +34,25 @@ struct FaultCampaignOptions {
   /// Per-burst recovery budget (rounds); a burst that exceeds it is recorded
   /// as unrecovered and the campaign stops.
   std::uint64_t recovery_budget = 100000;
+  /// Link churn riding along each burst: when either probability is nonzero,
+  /// every burst additionally applies one stochastic link failure/repair
+  /// event (ChurnAdversary over the engine's graph at campaign start, with
+  /// `churn` as its guard options — fail_p / heal_p there are overridden by
+  /// these two fields). Requires an engine constructed with the
+  /// churn-capable mutable-graph overload. NOTE: a predicate that reads the
+  /// topology must capture the engine's live graph (engine.graph()), not a
+  /// copy — churn edits it in place.
+  double link_fail_p = 0.0;
+  double link_heal_p = 0.0;
+  ChurnOptions churn = {};
 };
 
 struct FaultCampaignResult {
   std::size_t bursts_injected = 0;
   std::size_t bursts_recovered = 0;
+  /// Links failed / healed by the campaign's churn events (0 without churn).
+  std::size_t links_failed = 0;
+  std::size_t links_healed = 0;
   /// Rounds from each burst to the next legitimate configuration.
   std::vector<double> recovery_rounds;
   /// Fraction of all observed rounds (recovery + settle) in a legitimate

@@ -31,12 +31,60 @@ SignalField::SignalField(const graph::Graph& g, StateId state_count,
 }
 
 void SignalField::bump(NodeId v, StateId q) {
-  std::uint16_t& c = counts_[static_cast<std::size_t>(q) * n_ + v];
-  if (c == 0) {
-    masks_[static_cast<std::size_t>(v) * mask_words_ + (q >> 6)] |=
-        std::uint64_t{1} << (q & 63);
+  if (dense_) {
+    std::uint16_t& c = counts_[static_cast<std::size_t>(q) * n_ + v];
+    if (c == 0) {
+      masks_[static_cast<std::size_t>(v) * mask_words_ + (q >> 6)] |=
+          std::uint64_t{1} << (q & 63);
+    }
+    if (c < kSaturated) ++c;
+    return;
   }
-  if (c < kSaturated) ++c;
+  auto& keys = keys_[v];
+  auto& cnts = key_counts_[v];
+  const auto it = std::lower_bound(keys.begin(), keys.end(), q);
+  const auto i = static_cast<std::size_t>(it - keys.begin());
+  if (it == keys.end() || *it != q) {
+    keys.insert(it, q);
+    cnts.insert(cnts.begin() + static_cast<std::ptrdiff_t>(i), 1);
+  } else {
+    ++cnts[i];
+  }
+}
+
+void SignalField::drop(NodeId v, StateId q) {
+  if (dense_) {
+    std::uint16_t& c = counts_[static_cast<std::size_t>(q) * n_ + v];
+    assert(c != 0 && c != kSaturated);
+    if (--c == 0) {
+      masks_[static_cast<std::size_t>(v) * mask_words_ + (q >> 6)] &=
+          ~(std::uint64_t{1} << (q & 63));
+    }
+    return;
+  }
+  auto& keys = keys_[v];
+  auto& cnts = key_counts_[v];
+  const auto it = std::lower_bound(keys.begin(), keys.end(), q);
+  assert(it != keys.end() && *it == q);
+  const auto i = static_cast<std::size_t>(it - keys.begin());
+  if (--cnts[i] == 0) {
+    keys.erase(it);
+    cnts.erase(cnts.begin() + static_cast<std::ptrdiff_t>(i));
+  }
+}
+
+void SignalField::apply_edge_insertion(NodeId u, NodeId v,
+                                       const Configuration& c) {
+  assert(u < n_ && v < n_ && u != v);
+  bump(u, c[v]);
+  bump(v, c[u]);
+}
+
+void SignalField::apply_edge_removal(NodeId u, NodeId v,
+                                     const Configuration& c) {
+  assert(u < n_ && v < n_ && u != v);
+  drop(u, c[v]);
+  drop(v, c[u]);
 }
 
 void SignalField::rebuild(const Configuration& c) {
@@ -117,23 +165,8 @@ void SignalField::apply_transition(NodeId v, StateId from, StateId to) {
     return;
   }
   const auto patch = [&](NodeId w) {
-    auto& keys = keys_[w];
-    auto& cnts = key_counts_[w];
-    auto it = std::lower_bound(keys.begin(), keys.end(), from);
-    assert(it != keys.end() && *it == from);
-    auto i = static_cast<std::size_t>(it - keys.begin());
-    if (--cnts[i] == 0) {
-      keys.erase(it);
-      cnts.erase(cnts.begin() + static_cast<std::ptrdiff_t>(i));
-    }
-    it = std::lower_bound(keys.begin(), keys.end(), to);
-    i = static_cast<std::size_t>(it - keys.begin());
-    if (it == keys.end() || *it != to) {
-      keys.insert(it, to);
-      cnts.insert(cnts.begin() + static_cast<std::ptrdiff_t>(i), 1);
-    } else {
-      ++cnts[i];
-    }
+    drop(w, from);
+    bump(w, to);
   };
   patch(v);
   for (const NodeId u : graph_.neighbors(v)) patch(u);

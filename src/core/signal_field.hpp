@@ -28,10 +28,12 @@
 // The field is engine infrastructure: core::Engine owns one when
 // EngineOptions::signal_field routes the serial per-activation path through
 // it, rebuilds it lazily after configuration injections, and patches it from
-// applied updates (serial paths) or per-shard transition logs (sharded
-// kernels). Invariant at every sense: the field equals a fresh rebuild from
-// the current configuration, so field-sensed trajectories are bit-identical
-// to rescan-sensed ones.
+// applied updates (serial paths), per-shard transition logs (sharded
+// kernels), or per-edge deltas on topology churn (apply_edge_insertion /
+// apply_edge_removal — O(1) per edge, the two endpoints exchange presence of
+// each other's current state). Invariant at every sense: the field equals a
+// fresh rebuild from the current configuration ON the current graph, so
+// field-sensed trajectories are bit-identical to rescan-sensed ones.
 #pragma once
 
 #include <cstdint>
@@ -76,6 +78,16 @@ class SignalField {
   /// pre-step configuration.
   void apply_transition(NodeId v, StateId from, StateId to);
 
+  /// Patches the field for one edge insertion {u, v} already applied to the
+  /// graph: u gains c[v] in its multiset and v gains c[u] — O(1), no
+  /// neighborhood scan (the topology-churn analogue of apply_transition).
+  /// `c` is the current configuration, which edge churn leaves untouched.
+  void apply_edge_insertion(NodeId u, NodeId v, const Configuration& c);
+
+  /// Patches the field for one edge removal {u, v}: u loses c[v], v loses
+  /// c[u]. Same contract as apply_edge_insertion.
+  void apply_edge_removal(NodeId u, NodeId v, const Configuration& c);
+
   /// The 64-bit presence mask of N+(v) — the exact signal encoding the
   /// engine's step_mask kernels consume. Only meaningful when mask_exact().
   [[nodiscard]] std::uint64_t mask_of(NodeId v) const { return masks_[v]; }
@@ -96,7 +108,8 @@ class SignalField {
   [[nodiscard]] std::uint32_t count_of(NodeId v, StateId q) const;
 
  private:
-  void bump(NodeId v, StateId q);  // rebuild-time increment
+  void bump(NodeId v, StateId q);  // increment q's multiplicity at v
+  void drop(NodeId v, StateId q);  // decrement q's multiplicity at v
 
   const graph::Graph& graph_;
   NodeId n_;

@@ -192,25 +192,27 @@ Graph caterpillar(NodeId spine, NodeId legs) {
 
 Graph without_edges(const Graph& g,
                     const std::vector<std::pair<NodeId, NodeId>>& removed) {
-  EdgeList keep;
-  auto normalized = removed;
-  for (auto& [u, v] : normalized) {
-    if (u > v) std::swap(u, v);
-  }
-  std::sort(normalized.begin(), normalized.end());
-  for (const auto& e : g.edges()) {
-    if (!std::binary_search(normalized.begin(), normalized.end(), e)) {
-      keep.push_back(e);
+  Graph h = g;
+  // Preserve the historical lenient contract ("absent edges ignored"):
+  // out-of-range endpoints and self-loops can never name a present edge, so
+  // they are dropped here rather than tripping apply_delta's validation.
+  std::vector<std::pair<NodeId, NodeId>> valid;
+  valid.reserve(removed.size());
+  for (const auto& e : removed) {
+    if (e.first < g.num_nodes() && e.second < g.num_nodes() &&
+        e.first != e.second) {
+      valid.push_back(e);
     }
   }
-  return Graph(g.num_nodes(), std::move(keep));
+  h.apply_delta({.remove = std::move(valid), .add = {}});
+  return h;
 }
 
 Graph with_edges(const Graph& g,
                  const std::vector<std::pair<NodeId, NodeId>>& added) {
-  EdgeList e(g.edges().begin(), g.edges().end());
-  e.insert(e.end(), added.begin(), added.end());
-  return Graph(g.num_nodes(), std::move(e));
+  Graph h = g;
+  h.apply_delta({.remove = {}, .add = added});
+  return h;
 }
 
 Graph damaged_clique(NodeId n, double drop_p, util::Rng& rng) {

@@ -57,13 +57,16 @@ namespace ssau::graph {
 /// leaves — a tree with many degree-1 nodes.
 [[nodiscard]] Graph caterpillar(NodeId spine, NodeId legs);
 
-/// The graph with the listed edges removed (absent edges ignored). Models
-/// permanent link failures; the caller is responsible for re-checking
-/// connectivity / the diameter bound.
+/// A copy of the graph with the listed edges removed (absent edges ignored).
+/// Models permanent link failures; the caller is responsible for re-checking
+/// connectivity / the diameter bound. Thin wrapper over Graph::apply_delta —
+/// prefer mutating in place (Engine::apply_topology_delta) for mid-run churn;
+/// the copy is for building a distinct topology.
 [[nodiscard]] Graph without_edges(
     const Graph& g, const std::vector<std::pair<NodeId, NodeId>>& removed);
 
-/// The graph with the listed edges added (duplicates deduplicated).
+/// A copy of the graph with the listed edges added (duplicates deduplicated).
+/// Thin wrapper over Graph::apply_delta, like without_edges.
 [[nodiscard]] Graph with_edges(
     const Graph& g, const std::vector<std::pair<NodeId, NodeId>>& added);
 

@@ -1,6 +1,7 @@
 #include "graph/graph.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <queue>
 #include <stdexcept>
 
@@ -14,34 +15,52 @@ Graph::Graph(NodeId n, std::vector<std::pair<NodeId, NodeId>> edges) : n_(n) {
   }
   std::sort(edges.begin(), edges.end());
   edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
-  edges_ = std::move(edges);
+  num_edges_ = edges.size();
 
-  std::vector<std::uint32_t> deg(n_, 0);
-  for (const auto& [u, v] : edges_) {
-    ++deg[u];
-    ++deg[v];
+  deg_.assign(n_, 0);
+  for (const auto& [u, v] : edges) {
+    ++deg_[u];
+    ++deg_[v];
   }
-  for (const std::uint32_t d : deg) {
+  hist_.assign(n_ > 0 ? n_ : 1, 0);
+  for (const std::uint32_t d : deg_) {
+    ++hist_[d];
     max_degree_ = std::max<std::size_t>(max_degree_, d);
   }
-  avg_degree_ = n_ > 0 ? 2.0 * static_cast<double>(edges_.size()) /
+  avg_degree_ = n_ > 0 ? 2.0 * static_cast<double>(num_edges_) /
                              static_cast<double>(n_)
                        : 0.0;
-  offsets_.assign(n_ + 1, 0);
-  for (NodeId v = 0; v < n_; ++v) offsets_[v + 1] = offsets_[v] + deg[v];
-  adjacency_.resize(offsets_[n_]);
-  std::vector<std::uint32_t> cursor(offsets_.begin(), offsets_.end() - 1);
-  for (const auto& [u, v] : edges_) {
-    adjacency_[cursor[u]++] = v;
-    adjacency_[cursor[v]++] = u;
+  // Zero-slack slots to start with: churn earns slack via removals and buys
+  // it via relocation; a never-mutated graph pays nothing extra.
+  pos_.assign(n_, 0);
+  cap_.assign(deg_.begin(), deg_.end());
+  for (NodeId v = 1; v < n_; ++v) pos_[v] = pos_[v - 1] + cap_[v - 1];
+  pool_.resize(n_ > 0 ? pos_[n_ - 1] + cap_[n_ - 1] : 0);
+  {
+    std::vector<std::uint32_t> cursor(pos_.begin(), pos_.end());
+    for (const auto& [u, v] : edges) {
+      pool_[cursor[u]++] = v;
+      pool_[cursor[v]++] = u;
+    }
   }
   for (NodeId v = 0; v < n_; ++v) {
-    std::sort(adjacency_.begin() + offsets_[v], adjacency_.begin() + offsets_[v + 1]);
+    std::sort(pool_.begin() + pos_[v], pool_.begin() + pos_[v] + deg_[v]);
   }
+  edges_cache_ = std::move(edges);
 }
 
-std::span<const NodeId> Graph::neighbors(NodeId v) const {
-  return {adjacency_.data() + offsets_[v], offsets_[v + 1] - offsets_[v]};
+std::span<const std::pair<NodeId, NodeId>> Graph::edges() const {
+  if (edges_dirty_) {
+    edges_cache_.clear();
+    edges_cache_.reserve(num_edges_);
+    for (NodeId v = 0; v < n_; ++v) {
+      for (const NodeId u : neighbors(v)) {
+        if (v < u) edges_cache_.emplace_back(v, u);
+      }
+    }
+    edges_dirty_ = false;
+  }
+  return edges_cache_;
 }
 
 bool Graph::has_edge(NodeId u, NodeId v) const {
@@ -69,6 +88,124 @@ bool Graph::connected() const {
     }
   }
   return reached == n_;
+}
+
+// --- topology churn ----------------------------------------------------------
+
+void Graph::validate_edge(NodeId u, NodeId v) const {
+  if (u >= n_ || v >= n_) {
+    throw std::invalid_argument("edge endpoint out of range");
+  }
+  if (u == v) throw std::invalid_argument("self-loop not allowed");
+}
+
+void Graph::bump_degree(NodeId u, bool up) {
+  const std::uint32_t d = deg_[u];
+  --hist_[up ? d - 1 : d + 1];
+  ++hist_[d];
+  if (d > max_degree_) {
+    max_degree_ = d;
+  } else {
+    // A removal may have vacated the top bucket; walk it down. Each step
+    // undoes one earlier raise, so the walk is O(1) amortized.
+    while (max_degree_ > 0 && hist_[max_degree_] == 0) --max_degree_;
+  }
+}
+
+void Graph::insert_half_edge(NodeId u, NodeId w) {
+  if (deg_[u] == cap_[u]) {
+    // Slot full: relocate to fresh space at the pool's end with doubled
+    // capacity. The old slot is abandoned (reclaimed by recompaction).
+    const std::uint32_t new_cap = std::max<std::uint32_t>(4, 2 * cap_[u]);
+    const std::size_t new_pos = pool_.size();
+    pool_.resize(new_pos + new_cap);
+    std::copy_n(pool_.begin() + pos_[u], deg_[u], pool_.begin() + new_pos);
+    dead_ += cap_[u];
+    pos_[u] = static_cast<std::uint32_t>(new_pos);
+    cap_[u] = new_cap;
+  }
+  NodeId* base = pool_.data() + pos_[u];
+  NodeId* end = base + deg_[u];
+  NodeId* it = std::lower_bound(base, end, w);
+  std::copy_backward(it, end, end + 1);
+  *it = w;
+  ++deg_[u];
+  bump_degree(u, /*up=*/true);
+}
+
+void Graph::remove_half_edge(NodeId u, NodeId w) {
+  NodeId* base = pool_.data() + pos_[u];
+  NodeId* end = base + deg_[u];
+  NodeId* it = std::lower_bound(base, end, w);
+  assert(it != end && *it == w && "removing a half-edge that is not present");
+  std::copy(it + 1, end, it);
+  --deg_[u];
+  bump_degree(u, /*up=*/false);
+}
+
+void Graph::recompact_if_bloated() {
+  // Reclaim abandoned slots once they dominate: the pool never exceeds ~2x
+  // the live+slack footprint, and each entry is moved O(1) amortized times
+  // between recompactions.
+  if (dead_ > pool_.size() / 2 && dead_ > 1024) recompact();
+}
+
+void Graph::recompact() {
+  std::vector<NodeId> fresh;
+  fresh.reserve(2 * num_edges_);
+  std::vector<std::uint32_t> new_pos(n_, 0);
+  for (NodeId v = 0; v < n_; ++v) {
+    new_pos[v] = static_cast<std::uint32_t>(fresh.size());
+    fresh.insert(fresh.end(), pool_.begin() + pos_[v],
+                 pool_.begin() + pos_[v] + deg_[v]);
+    cap_[v] = deg_[v];
+  }
+  pool_ = std::move(fresh);
+  pos_ = std::move(new_pos);
+  dead_ = 0;
+}
+
+bool Graph::add_edge(NodeId u, NodeId v) {
+  validate_edge(u, v);
+  if (has_edge(u, v)) return false;
+  insert_half_edge(u, v);
+  insert_half_edge(v, u);
+  ++num_edges_;
+  avg_degree_ = 2.0 * static_cast<double>(num_edges_) / static_cast<double>(n_);
+  edges_dirty_ = true;
+  recompact_if_bloated();
+  return true;
+}
+
+bool Graph::remove_edge(NodeId u, NodeId v) {
+  validate_edge(u, v);
+  if (!has_edge(u, v)) return false;
+  remove_half_edge(u, v);
+  remove_half_edge(v, u);
+  --num_edges_;
+  avg_degree_ = 2.0 * static_cast<double>(num_edges_) / static_cast<double>(n_);
+  edges_dirty_ = true;
+  return true;
+}
+
+TopologyDelta Graph::apply_delta(const TopologyDelta& delta) {
+  // Validate the whole batch up front so a bad edit never leaves the graph
+  // half-patched.
+  for (const auto& [u, v] : delta.remove) validate_edge(u, v);
+  for (const auto& [u, v] : delta.add) validate_edge(u, v);
+
+  TopologyDelta applied;
+  applied.remove.reserve(delta.remove.size());
+  applied.add.reserve(delta.add.size());
+  for (auto [u, v] : delta.remove) {
+    if (u > v) std::swap(u, v);
+    if (remove_edge(u, v)) applied.remove.emplace_back(u, v);
+  }
+  for (auto [u, v] : delta.add) {
+    if (u > v) std::swap(u, v);
+    if (add_edge(u, v)) applied.add.emplace_back(u, v);
+  }
+  return applied;
 }
 
 }  // namespace ssau::graph

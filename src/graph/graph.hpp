@@ -1,8 +1,26 @@
-// Finite connected undirected graphs — the topology substrate of the SA model.
+// Finite undirected graphs — the topology substrate of the SA model.
 //
 // Nodes are anonymous in the algorithms; node ids here exist purely for the
 // simulator's bookkeeping (the algorithms never see them). Adjacency is stored
 // CSR-style for cache-friendly neighborhood scans, which dominate engine time.
+//
+// Topology is DYNAMIC (paper §1: "environmental obstacles may disconnect
+// (permanently or temporarily) some links"): the node set is fixed at
+// construction, but edges can churn mid-run through apply_delta() /
+// add_edge() / remove_edge() in amortized O(deg(endpoint)) per edge — no
+// rebuild. The representation is a CSR pool with per-node slack capacity:
+//   * neighbors(v) is ALWAYS one contiguous sorted span (the hot kernels'
+//     contract) backed by node v's slot [pos_[v], pos_[v] + deg_[v]) of a
+//     shared pool, with cap_[v] >= deg_[v] reserved slots;
+//   * a removal shifts v's slot left in place (the freed slot becomes slack);
+//   * an insertion shifts right into slack, or — when the slot is full —
+//     relocates the slot to fresh space at the pool's end with doubled
+//     capacity (amortized O(1) relocations per insertion);
+//   * abandoned slots are reclaimed by an amortized whole-pool recompaction
+//     once they dominate the pool, so memory stays O(m + n).
+// max_degree()/avg_degree()/num_edges() are maintained incrementally (a
+// degree histogram makes the max O(1) amortized under removals); edges() is
+// re-materialized lazily after a mutation.
 #pragma once
 
 #include <cstdint>
@@ -15,7 +33,23 @@ namespace ssau::graph {
 
 using NodeId = std::uint32_t;
 
-/// An undirected simple graph. Immutable after construction.
+/// A batch of edge edits — the unit of topology churn. Removals are applied
+/// before insertions; edges absent from the graph are ignored by removal and
+/// already-present edges are ignored by insertion, so a delta is always
+/// applicable (only out-of-range endpoints and self-loops throw).
+struct TopologyDelta {
+  std::vector<std::pair<NodeId, NodeId>> remove;
+  std::vector<std::pair<NodeId, NodeId>> add;
+
+  [[nodiscard]] bool empty() const { return remove.empty() && add.empty(); }
+
+  /// The healing delta: re-adds what this one removed and vice versa.
+  /// Inverts an *effective* delta exactly (applying d then d.inverse() is a
+  /// net no-op on the edge set).
+  [[nodiscard]] TopologyDelta inverse() const { return {add, remove}; }
+};
+
+/// An undirected simple graph over a fixed node set with a mutable edge set.
 class Graph {
  public:
   /// Builds from an edge list over nodes [0, n). Throws std::invalid_argument
@@ -23,42 +57,86 @@ class Graph {
   Graph(NodeId n, std::vector<std::pair<NodeId, NodeId>> edges);
 
   [[nodiscard]] NodeId num_nodes() const { return n_; }
-  [[nodiscard]] std::size_t num_edges() const { return edges_.size(); }
+  [[nodiscard]] std::size_t num_edges() const { return num_edges_; }
 
-  /// Neighbors of v (excluding v itself), sorted ascending.
-  [[nodiscard]] std::span<const NodeId> neighbors(NodeId v) const;
-
-  [[nodiscard]] std::size_t degree(NodeId v) const {
-    return neighbors(v).size();
+  /// Neighbors of v (excluding v itself), sorted ascending — always one
+  /// contiguous span. Invalidated by any mutation (apply_delta, add_edge,
+  /// remove_edge): mutations may relocate or recompact the backing pool.
+  [[nodiscard]] std::span<const NodeId> neighbors(NodeId v) const {
+    return {pool_.data() + pos_[v], deg_[v]};
   }
 
-  /// Largest degree over all nodes (0 for an edgeless graph), computed once
-  /// at construction — consumers (engine scratch sizing, signal-field
-  /// routing, shard balancing diagnostics) must not rescan for it.
+  [[nodiscard]] std::size_t degree(NodeId v) const { return deg_[v]; }
+
+  /// Largest degree over all nodes (0 for an edgeless graph), maintained
+  /// incrementally across mutations — consumers (engine scratch sizing,
+  /// signal-field routing, shard balancing diagnostics) must not rescan.
   [[nodiscard]] std::size_t max_degree() const { return max_degree_; }
 
-  /// Mean degree 2|E| / n (0.0 for the empty graph), computed once at
-  /// construction. The signal-field routing heuristic keys off this: delta
+  /// Mean degree 2|E| / n (0.0 for the empty graph), maintained across
+  /// mutations. The signal-field routing heuristic keys off this: delta
   /// maintenance only beats a rescan when neighborhoods are non-trivial.
   [[nodiscard]] double avg_degree() const { return avg_degree_; }
 
-  /// The deduplicated edge list with u < v per edge.
-  [[nodiscard]] std::span<const std::pair<NodeId, NodeId>> edges() const {
-    return edges_;
-  }
+  /// The deduplicated edge list, sorted ascending with u < v per edge.
+  /// Re-materialized lazily after a mutation (O(n + m) on the first call,
+  /// cached until the next mutation) — NOT safe to call concurrently with
+  /// itself right after a mutation; the engine hot paths never read it.
+  [[nodiscard]] std::span<const std::pair<NodeId, NodeId>> edges() const;
 
   [[nodiscard]] bool has_edge(NodeId u, NodeId v) const;
 
   /// True if the graph is connected (vacuously true for n <= 1).
   [[nodiscard]] bool connected() const;
 
+  // --- topology churn --------------------------------------------------------
+
+  /// Applies a batch of edge edits in place: every removal, then every
+  /// insertion, each in amortized O(deg(endpoint)) — never an O(n + m)
+  /// rebuild. Returns the EFFECTIVE delta: the normalized (u < v,
+  /// deduplicated) edits that actually changed the graph, in application
+  /// order — what incremental consumers (the engine's signal field) must be
+  /// patched with. Throws std::invalid_argument on out-of-range endpoints or
+  /// self-loops, before any edit is applied.
+  TopologyDelta apply_delta(const TopologyDelta& delta);
+
+  /// Inserts {u, v}; returns false (and changes nothing) when already
+  /// present. Throws like apply_delta on an invalid endpoint pair.
+  bool add_edge(NodeId u, NodeId v);
+
+  /// Removes {u, v}; returns false (and changes nothing) when absent.
+  /// Throws like apply_delta on an invalid endpoint pair.
+  bool remove_edge(NodeId u, NodeId v);
+
  private:
+  void validate_edge(NodeId u, NodeId v) const;
+  void insert_half_edge(NodeId u, NodeId w);  // add w to u's sorted slot
+  void remove_half_edge(NodeId u, NodeId w);  // drop w from u's sorted slot
+  void bump_degree(NodeId u, bool up);        // histogram + max upkeep
+  void recompact_if_bloated();
+  void recompact();
+
   NodeId n_;
+  std::size_t num_edges_ = 0;
   std::size_t max_degree_ = 0;
   double avg_degree_ = 0.0;
-  std::vector<std::pair<NodeId, NodeId>> edges_;
-  std::vector<std::uint32_t> offsets_;  // size n_+1
-  std::vector<NodeId> adjacency_;       // concatenated sorted neighbor lists
+
+  // Slack-pooled CSR: node v's neighbors live in pool_[pos_[v], pos_[v] +
+  // deg_[v]), sorted, inside a slot of cap_[v] reserved entries. dead_
+  // counts pool entries belonging to no slot (abandoned by relocation).
+  std::vector<std::uint32_t> pos_;
+  std::vector<std::uint32_t> deg_;
+  std::vector<std::uint32_t> cap_;
+  std::vector<NodeId> pool_;
+  std::size_t dead_ = 0;
+
+  // hist_[d] = number of nodes of degree d; drives O(1)-amortized
+  // max_degree_ maintenance under removals.
+  std::vector<std::uint32_t> hist_;
+
+  // Lazily re-materialized after mutations; see edges().
+  mutable std::vector<std::pair<NodeId, NodeId>> edges_cache_;
+  mutable bool edges_dirty_ = false;
 };
 
 }  // namespace ssau::graph

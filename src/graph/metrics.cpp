@@ -1,5 +1,6 @@
 #include "graph/metrics.hpp"
 
+#include <algorithm>
 #include <limits>
 #include <queue>
 #include <stdexcept>
@@ -41,6 +42,70 @@ std::uint32_t diameter(const Graph& g) {
   std::uint32_t diam = 0;
   for (NodeId v = 0; v < g.num_nodes(); ++v) {
     diam = std::max(diam, eccentricity(g, v));
+  }
+  return diam;
+}
+
+bool diameter_at_most(const Graph& g, std::uint32_t bound) {
+  constexpr auto kInf = std::numeric_limits<std::uint32_t>::max();
+  if (g.num_nodes() <= 1) return true;
+  {
+    const auto dist = bfs_distances(g, 0);
+    std::uint32_t ecc = 0;
+    for (const auto d : dist) {
+      if (d == kInf) return false;  // disconnected: beyond any finite bound
+      ecc = std::max(ecc, d);
+    }
+    if (ecc > bound) return false;
+    if (std::uint64_t{2} * ecc <= bound) return true;
+  }
+  // Gray zone: scan the remaining sources, bailing at the first over-bound
+  // distance (connectivity is already established, so every d is finite).
+  for (NodeId v = 1; v < g.num_nodes(); ++v) {
+    for (const auto d : bfs_distances(g, v)) {
+      if (d > bound) return false;
+    }
+  }
+  return true;
+}
+
+std::vector<std::uint32_t> component_labels(const Graph& g) {
+  constexpr auto kUnlabeled = std::numeric_limits<std::uint32_t>::max();
+  std::vector<std::uint32_t> label(g.num_nodes(), kUnlabeled);
+  std::uint32_t next = 0;
+  std::queue<NodeId> frontier;
+  for (NodeId root = 0; root < g.num_nodes(); ++root) {
+    if (label[root] != kUnlabeled) continue;
+    label[root] = next;
+    frontier.push(root);
+    while (!frontier.empty()) {
+      const NodeId v = frontier.front();
+      frontier.pop();
+      for (const NodeId u : g.neighbors(v)) {
+        if (label[u] == kUnlabeled) {
+          label[u] = next;
+          frontier.push(u);
+        }
+      }
+    }
+    ++next;
+  }
+  return label;
+}
+
+std::vector<std::uint32_t> component_diameters(const Graph& g) {
+  constexpr auto kInf = std::numeric_limits<std::uint32_t>::max();
+  const std::vector<std::uint32_t> label = component_labels(g);
+  const std::uint32_t count =
+      label.empty() ? 0 : *std::max_element(label.begin(), label.end()) + 1;
+  std::vector<std::uint32_t> diam(count, 0);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto dist = bfs_distances(g, v);
+    std::uint32_t ecc = 0;
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      if (dist[u] != kInf) ecc = std::max(ecc, dist[u]);
+    }
+    diam[label[v]] = std::max(diam[label[v]], ecc);
   }
   return diam;
 }

@@ -20,4 +20,24 @@ namespace ssau::graph {
 /// Exact diameter via all-sources BFS; throws if disconnected.
 [[nodiscard]] std::uint32_t diameter(const Graph& g);
 
+/// True iff g is connected AND diameter(g) <= bound — exact, but cheap in
+/// the common cases: the first BFS decides disconnection and rejects an
+/// over-bound eccentricity immediately, and accepts outright when twice that
+/// eccentricity already fits the bound (diam <= 2 * ecc(x) for any x);
+/// only the remaining gray zone pays the all-sources scan, with an early
+/// exit at the first over-bound distance. The churn guards use this per
+/// candidate removal instead of a full component_diameters pass.
+[[nodiscard]] bool diameter_at_most(const Graph& g, std::uint32_t bound);
+
+/// Connected-component labels: out[v] = component index, components numbered
+/// 0.. in order of their lowest node id. Empty for the empty graph.
+[[nodiscard]] std::vector<std::uint32_t> component_labels(const Graph& g);
+
+/// Exact diameter of every connected component (all-sources BFS restricted
+/// to each component), indexed like component_labels' numbering — the
+/// partition-tolerant companion to diameter() for churned topologies: it
+/// never throws, a fragmented graph simply yields one entry per fragment
+/// (an isolated node contributes 0).
+[[nodiscard]] std::vector<std::uint32_t> component_diameters(const Graph& g);
+
 }  // namespace ssau::graph

@@ -62,11 +62,16 @@ void LaggardScheduler::activations(core::Time t, std::vector<core::NodeId>& out,
   if (out.empty()) out.push_back(laggard);  // n == 1 degenerate case
 }
 
-WaveScheduler::WaveScheduler(const graph::Graph& g) {
+WaveScheduler::WaveScheduler(const graph::Graph& g) { rebuild(g); }
+
+void WaveScheduler::rebuild(const graph::Graph& g) {
   // One BFS per connected component, seeded at its lowest-id node; layer d
   // collects every node at distance d from its own component's seed. All
   // components wave simultaneously, so each node sits in exactly one layer
-  // and the daemon is fair on any graph, connected or not.
+  // and the daemon is fair on any graph, connected or not. Called at
+  // construction and again on every topology change.
+  layers_.clear();
+  max_layer_ = 1;
   const core::NodeId n = g.num_nodes();
   constexpr auto kUnvisited = std::numeric_limits<std::uint32_t>::max();
   std::vector<std::uint32_t> dist(n, kUnvisited);

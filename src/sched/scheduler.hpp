@@ -52,6 +52,14 @@ class Scheduler {
   /// Defaults to 1 (the single-node daemons).
   [[nodiscard]] virtual core::NodeId max_activation_hint() const { return 1; }
 
+  /// Notification that the graph's edge set changed in place (the engine
+  /// calls this from apply_topology_delta after patching its own derived
+  /// state). Schedulers that precompute topology-derived schedules rebuild
+  /// here (WaveScheduler recomputes its BFS layers); node-set-only daemons
+  /// no-op — the node set never changes. May be called at any step boundary;
+  /// the scheduler's own notion of time is not reset.
+  virtual void on_topology_change(const graph::Graph& g) { (void)g; }
+
   [[nodiscard]] virtual std::string name() const = 0;
 };
 
@@ -145,9 +153,16 @@ class WaveScheduler final : public Scheduler {
   [[nodiscard]] core::NodeId max_activation_hint() const override {
     return max_layer_;
   }
+  /// Recomputes the BFS layers on the churned topology: the wave keeps
+  /// propagating one hop per step along the NEW edges (the layer cycle
+  /// restarts from the new layering's phase of `t`). max_activation_hint()
+  /// is refreshed too, but engines consult it once at construction.
+  void on_topology_change(const graph::Graph& g) override { rebuild(g); }
   [[nodiscard]] std::string name() const override { return "wave"; }
 
  private:
+  void rebuild(const graph::Graph& g);
+
   std::vector<std::vector<core::NodeId>> layers_;
   core::NodeId max_layer_ = 1;  // size of the largest layer
 };

@@ -1,8 +1,13 @@
-// Tests for generic adversarial initial configurations.
+// Tests for generic adversarial initial configurations and the topology
+// adversaries (ChurnAdversary, partition_delta).
 #include "core/adversary.hpp"
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
+#include "graph/generators.hpp"
+#include "graph/metrics.hpp"
 #include "sync/simple_sync_algs.hpp"
 
 namespace ssau::core {
@@ -61,6 +66,78 @@ TEST(Adversary, UnknownKindThrows) {
   util::Rng rng(8);
   EXPECT_THROW(adversarial_configuration("bogus", alg, 3, rng),
                std::invalid_argument);
+}
+
+// --- topology adversaries ----------------------------------------------------
+
+TEST(ChurnAdversary, FailsAndHealsOnlyBaseEdges) {
+  util::Rng graph_rng(9);
+  graph::Graph g = graph::damaged_clique(10, 0.2, graph_rng);
+  const std::size_t base_edges = g.num_edges();
+  ChurnAdversary churn(g, {.fail_p = 0.4, .heal_p = 0.6,
+                           .keep_connected = false});
+  util::Rng rng(10);
+  bool ever_failed = false;
+  bool ever_healed = false;
+  for (int e = 0; e < 40; ++e) {
+    const graph::TopologyDelta delta = churn.next_event(rng);
+    ever_failed |= !delta.remove.empty();
+    ever_healed |= !delta.add.empty();
+    g.apply_delta(delta);
+    // The live edge set plus the failed set is exactly the base universe.
+    EXPECT_EQ(g.num_edges() + churn.failed_edges(), base_edges);
+    for (const auto& [u, v] : delta.add) {
+      EXPECT_TRUE(g.has_edge(u, v));
+    }
+  }
+  EXPECT_TRUE(ever_failed);
+  EXPECT_TRUE(ever_healed);
+}
+
+TEST(ChurnAdversary, ConnectivityGuardVetoesDisconnections) {
+  // On a tree every removal disconnects: a keep_connected adversary must
+  // emit no removals at all, however aggressive fail_p is.
+  graph::Graph g = graph::path(8);
+  ChurnAdversary churn(g, {.fail_p = 1.0, .heal_p = 0.0});
+  util::Rng rng(11);
+  for (int e = 0; e < 5; ++e) {
+    const graph::TopologyDelta delta = churn.next_event(rng);
+    EXPECT_TRUE(delta.remove.empty());
+    g.apply_delta(delta);
+  }
+  EXPECT_TRUE(g.connected());
+}
+
+TEST(ChurnAdversary, DiameterGuardHoldsTheBound) {
+  util::Rng graph_rng(12);
+  graph::Graph g = graph::complete(10);
+  constexpr unsigned kBound = 3;
+  ChurnAdversary churn(g, {.fail_p = 0.5, .heal_p = 0.1,
+                           .max_diameter = kBound});
+  util::Rng rng(13);
+  for (int e = 0; e < 25; ++e) {
+    g.apply_delta(churn.next_event(rng));
+    const auto diams = graph::component_diameters(g);
+    ASSERT_EQ(diams.size(), 1u) << "event " << e << " disconnected the graph";
+    ASSERT_LE(diams.front(), kBound) << "event " << e;
+  }
+  EXPECT_LT(g.num_edges(), 45u);  // obstacles did bite
+}
+
+TEST(ChurnAdversary, PartitionDeltaCutsExactlyTheCrossingEdges) {
+  const graph::Graph g = graph::complete(6);
+  std::vector<bool> side = {false, false, false, true, true, true};
+  const graph::TopologyDelta cut = partition_delta(g, side);
+  EXPECT_EQ(cut.remove.size(), 9u);  // 3 x 3 crossing pairs
+  EXPECT_TRUE(cut.add.empty());
+  graph::Graph h = g;
+  h.apply_delta(cut);
+  EXPECT_FALSE(h.connected());
+  EXPECT_EQ(h.num_edges(), 6u);  // two intact triangles
+  // Healing with the inverse restores the clique.
+  h.apply_delta(cut.inverse());
+  EXPECT_EQ(h.num_edges(), 15u);
+  EXPECT_THROW(partition_delta(g, {true, false}), std::invalid_argument);
 }
 
 }  // namespace

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "graph/generators.hpp"
 #include "mis/alg_mis.hpp"
 #include "sched/scheduler.hpp"
@@ -99,6 +101,53 @@ TEST(FaultCampaign, WholeNetworkScrambleStillRecovers) {
       },
       opts, rng);
   EXPECT_EQ(result.bursts_recovered, 3u);
+}
+
+TEST(FaultCampaign, LinkChurnRidesAlongTheBursts) {
+  // Transient faults AND environmental obstacles attacking together: each
+  // burst scrambles states and churns links (diameter-bounded, so AlgAU's
+  // slack D = 4 keeps covering the damaged topology). The campaign must
+  // keep recovering on whatever graph the churn leaves behind.
+  util::Rng graph_rng(35);
+  graph::Graph g = graph::damaged_clique(12, 0.1, graph_rng);
+  const unison::AlgAu alg(4);
+  auto sched = sched::make_scheduler("uniform-single", g);
+  util::Rng rng(36);
+  Engine engine(g, alg, *sched, unison::au_config_gradient(alg, g), 37);
+  FaultCampaignOptions opts;
+  opts.bursts = 4;
+  opts.nodes_per_burst = 3;
+  opts.link_fail_p = 0.2;
+  opts.link_heal_p = 0.5;
+  opts.churn.max_diameter = 4;
+  const auto result = run_fault_campaign(
+      engine,
+      [&](const Configuration& c) {
+        // Capture the live graph: churn edits it in place.
+        return unison::graph_good(alg.turns(), engine.graph(), c);
+      },
+      opts, rng);
+  EXPECT_EQ(result.bursts_recovered, 4u);
+  EXPECT_GT(result.links_failed + result.links_healed, 0u);
+  EXPECT_TRUE(g.connected());  // the guard held throughout
+}
+
+TEST(FaultCampaign, ChurnRequiresAMutableGraphEngine) {
+  const graph::Graph g = graph::cycle(6);  // const: immutable-ctor engine
+  const unison::AlgAu alg(3);
+  auto sched = sched::make_scheduler("uniform-single", g);
+  util::Rng rng(38);
+  Engine engine(g, alg, *sched, unison::au_config_gradient(alg, g), 39);
+  FaultCampaignOptions opts;
+  opts.bursts = 1;
+  opts.link_fail_p = 0.5;
+  EXPECT_THROW(run_fault_campaign(
+                   engine,
+                   [&](const Configuration& c) {
+                     return unison::graph_good(alg.turns(), g, c);
+                   },
+                   opts, rng),
+               std::logic_error);
 }
 
 }  // namespace

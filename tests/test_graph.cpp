@@ -1,9 +1,15 @@
-// Unit tests for the Graph container.
+// Unit tests for the Graph container, including the dynamic-topology API
+// (apply_delta / add_edge / remove_edge over the slack-pooled CSR).
 #include "graph/graph.hpp"
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "util/rng.hpp"
 
 namespace ssau::graph {
 namespace {
@@ -80,6 +86,156 @@ TEST(Graph, IsolatedNodeHasNoNeighbors) {
   Graph g(3, {{0, 1}});
   EXPECT_EQ(g.degree(2), 0u);
   EXPECT_TRUE(g.neighbors(2).empty());
+}
+
+// --- dynamic topology --------------------------------------------------------
+
+/// Full-equality check of a churned graph against a rebuilt-from-scratch
+/// oracle on the same edge set: every accessor must agree.
+void expect_equals_fresh(const Graph& churned) {
+  const Graph fresh(churned.num_nodes(),
+                    {churned.edges().begin(), churned.edges().end()});
+  ASSERT_EQ(churned.num_edges(), fresh.num_edges());
+  ASSERT_EQ(churned.max_degree(), fresh.max_degree());
+  ASSERT_DOUBLE_EQ(churned.avg_degree(), fresh.avg_degree());
+  ASSERT_EQ(churned.connected(), fresh.connected());
+  for (NodeId v = 0; v < churned.num_nodes(); ++v) {
+    ASSERT_EQ(churned.degree(v), fresh.degree(v)) << "v=" << v;
+    const auto a = churned.neighbors(v);
+    const auto b = fresh.neighbors(v);
+    ASSERT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end()))
+        << "neighbor span mismatch at v=" << v;
+  }
+  const auto ea = churned.edges();
+  const auto eb = fresh.edges();
+  ASSERT_TRUE(std::equal(ea.begin(), ea.end(), eb.begin(), eb.end()));
+}
+
+TEST(GraphDelta, AddAndRemoveEdgeBasics) {
+  Graph g(4, {{0, 1}, {1, 2}});
+  EXPECT_TRUE(g.add_edge(2, 3));
+  EXPECT_FALSE(g.add_edge(3, 2));  // already present (either orientation)
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_TRUE(g.has_edge(2, 3));
+  EXPECT_TRUE(g.remove_edge(1, 0));
+  EXPECT_FALSE(g.remove_edge(0, 1));  // already absent
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_FALSE(g.has_edge(0, 1));
+  expect_equals_fresh(g);
+}
+
+TEST(GraphDelta, ApplyDeltaReturnsEffectiveEditsNormalized) {
+  Graph g(5, {{0, 1}, {1, 2}, {2, 3}});
+  // Mix of real edits, no-ops, and unnormalized orientations.
+  const TopologyDelta applied = g.apply_delta(
+      {.remove = {{2, 1}, {0, 4}}, .add = {{4, 0}, {0, 1}, {3, 4}}});
+  const std::vector<std::pair<NodeId, NodeId>> want_removed = {{1, 2}};
+  const std::vector<std::pair<NodeId, NodeId>> want_added = {{0, 4}, {3, 4}};
+  EXPECT_EQ(applied.remove, want_removed);
+  EXPECT_EQ(applied.add, want_added);
+  EXPECT_EQ(g.num_edges(), 4u);
+  expect_equals_fresh(g);
+}
+
+TEST(GraphDelta, RemoveBeforeAddWithinOneDelta) {
+  // An edge listed in both halves is removed, then re-added: a net no-op on
+  // the edge set with both edits reported as effective.
+  Graph g(3, {{0, 1}});
+  const TopologyDelta applied =
+      g.apply_delta({.remove = {{0, 1}}, .add = {{0, 1}}});
+  EXPECT_EQ(applied.remove.size(), 1u);
+  EXPECT_EQ(applied.add.size(), 1u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(GraphDelta, InverseHealsExactly) {
+  Graph g(6, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}});
+  const Graph before = g;
+  const TopologyDelta applied =
+      g.apply_delta({.remove = {{1, 2}, {3, 4}}, .add = {{0, 5}}});
+  g.apply_delta(applied.inverse());
+  const auto ea = g.edges();
+  const auto eb = before.edges();
+  EXPECT_TRUE(std::equal(ea.begin(), ea.end(), eb.begin(), eb.end()));
+}
+
+TEST(GraphDelta, ValidatesBeforeMutating) {
+  Graph g(3, {{0, 1}, {1, 2}});
+  // The batch fails validation on the second entry; the first must not have
+  // been applied.
+  EXPECT_THROW(g.apply_delta({.remove = {{0, 1}, {2, 2}}, .add = {}}),
+               std::invalid_argument);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_THROW(g.apply_delta({.remove = {}, .add = {{0, 7}}}),
+               std::invalid_argument);
+  EXPECT_THROW(g.add_edge(1, 1), std::invalid_argument);
+  EXPECT_THROW(g.remove_edge(0, 9), std::invalid_argument);
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(GraphDelta, IncrementalStatsTrackRemovalsOfTheMaxDegreeNode) {
+  // Star: hub degree 4. Stripping the hub's edges must walk max_degree down
+  // incrementally (the histogram path, not a rescan).
+  Graph g(5, {{0, 1}, {0, 2}, {0, 3}, {0, 4}});
+  EXPECT_EQ(g.max_degree(), 4u);
+  g.remove_edge(0, 1);
+  EXPECT_EQ(g.max_degree(), 3u);
+  g.remove_edge(0, 2);
+  g.remove_edge(0, 3);
+  EXPECT_EQ(g.max_degree(), 1u);
+  g.remove_edge(0, 4);
+  EXPECT_EQ(g.max_degree(), 0u);
+  EXPECT_DOUBLE_EQ(g.avg_degree(), 0.0);
+  g.add_edge(2, 3);
+  EXPECT_EQ(g.max_degree(), 1u);
+  EXPECT_DOUBLE_EQ(g.avg_degree(), 2.0 / 5.0);
+}
+
+TEST(GraphDelta, ChurnFuzzEqualsRebuiltOracle) {
+  // Randomized churn storm: after every batch the mutated graph must be
+  // indistinguishable from a fresh Graph on the same edge set — including
+  // slot relocations (insert into full slots) and pool recompaction.
+  util::Rng rng(12345);
+  const NodeId n = 24;
+  Graph g(n, {{0, 1}, {1, 2}, {2, 3}});
+  for (int round = 0; round < 60; ++round) {
+    TopologyDelta delta;
+    for (int k = 0; k < 8; ++k) {
+      const auto u = static_cast<NodeId>(rng.below(n));
+      auto v = static_cast<NodeId>(rng.below(n));
+      if (u == v) v = (v + 1) % n;
+      if (rng.bernoulli(0.45)) {
+        delta.remove.emplace_back(u, v);
+      } else {
+        delta.add.emplace_back(u, v);
+      }
+    }
+    g.apply_delta(delta);
+    expect_equals_fresh(g);
+  }
+}
+
+TEST(GraphDelta, HeavyInsertionGrowthStaysConsistent) {
+  // Grow a sparse graph into a near-clique one edge at a time: every slot
+  // relocates several times; spans must stay sorted and contiguous.
+  const NodeId n = 40;
+  Graph g(n, {{0, 1}});
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      g.add_edge(u, v);
+    }
+  }
+  EXPECT_EQ(g.num_edges(), static_cast<std::size_t>(n) * (n - 1) / 2);
+  EXPECT_EQ(g.max_degree(), static_cast<std::size_t>(n - 1));
+  expect_equals_fresh(g);
+  // And strip it back down.
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      if ((u + v) % 2 == 0) g.remove_edge(u, v);
+    }
+  }
+  expect_equals_fresh(g);
 }
 
 }  // namespace

@@ -52,5 +52,60 @@ TEST(Metrics, SingletonDiameterIsZero) {
   EXPECT_EQ(diameter(path(1)), 0u);
 }
 
+TEST(Metrics, DiameterAtMostIsExact) {
+  EXPECT_TRUE(diameter_at_most(path(10), 9));
+  EXPECT_FALSE(diameter_at_most(path(10), 8));
+  EXPECT_TRUE(diameter_at_most(cycle(10), 5));
+  EXPECT_FALSE(diameter_at_most(cycle(10), 4));
+  EXPECT_TRUE(diameter_at_most(complete(6), 1));
+  EXPECT_TRUE(diameter_at_most(path(1), 0));
+  // Quick-accept path: 2 * ecc(0) already fits the bound.
+  EXPECT_TRUE(diameter_at_most(cycle(10), 10));
+  // Gray-zone rejection: ecc(0) = 1 fits bound 1, but a leaf-to-leaf
+  // distance of 2 must still be found by the all-sources scan.
+  EXPECT_FALSE(diameter_at_most(star(7), 1));
+  // Disconnected: beyond any finite bound.
+  EXPECT_FALSE(diameter_at_most(Graph(4, {{0, 1}, {2, 3}}), 100));
+  const Graph l = lollipop(5, 6);
+  EXPECT_TRUE(diameter_at_most(l, diameter(l)));
+  EXPECT_FALSE(diameter_at_most(l, diameter(l) - 1));
+}
+
+TEST(Metrics, ComponentLabelsNumberByLowestNodeId) {
+  const Graph g(6, {{0, 1}, {2, 3}, {3, 4}});
+  const auto label = component_labels(g);
+  const std::vector<std::uint32_t> want = {0, 0, 1, 1, 1, 2};
+  EXPECT_EQ(label, want);
+  EXPECT_TRUE(component_labels(Graph(0, {})).empty());
+}
+
+TEST(Metrics, ComponentDiametersMeasurePartitionedTopologies) {
+  // A path, a triangle, and an isolated node: diameters 3, 1, 0 — the
+  // churn-friendly replacement for diameter()'s disconnected throw.
+  const Graph g(8, {{0, 1}, {1, 2}, {2, 3}, {4, 5}, {5, 6}, {4, 6}});
+  const auto diams = component_diameters(g);
+  const std::vector<std::uint32_t> want = {3, 1, 0};
+  EXPECT_EQ(diams, want);
+}
+
+TEST(Metrics, ComponentDiametersAgreeWithDiameterWhenConnected) {
+  for (const Graph& g : {cycle(9), star(7), grid(3, 4)}) {
+    const auto diams = component_diameters(g);
+    ASSERT_EQ(diams.size(), 1u);
+    EXPECT_EQ(diams.front(), diameter(g));
+  }
+}
+
+TEST(Metrics, ComponentDiametersTrackChurn) {
+  // Cutting a cycle in two places leaves two arcs whose diameters
+  // component_diameters reports without a try/catch dance.
+  Graph g = cycle(10);
+  g.apply_delta({.remove = {{0, 9}, {4, 5}}, .add = {}});
+  const auto diams = component_diameters(g);
+  const std::vector<std::uint32_t> want = {4, 4};
+  EXPECT_EQ(diams, want);
+  EXPECT_THROW((void)diameter(g), std::runtime_error);
+}
+
 }  // namespace
 }  // namespace ssau::graph

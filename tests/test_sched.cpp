@@ -255,5 +255,47 @@ INSTANTIATE_TEST_SUITE_P(AllSchedulers, SchedulerFairness,
                                            "laggard", "wave", "permutation",
                                            "burst"));
 
+TEST(TopologyChange, WaveRecomputesLayersOnChurn) {
+  // A 6-path has 6 BFS layers from node 0; adding the chord {0, 5} folds it
+  // to 4, and partitioning it re-seeds one wave per component. The hook must
+  // track each edit in place; hint follows the largest layer.
+  graph::Graph g = graph::path(6);
+  WaveScheduler wave(g);
+  util::Rng rng(5);
+  std::vector<core::NodeId> a;
+  auto layer_count = [&] {
+    // Layers repeat with period = layer count; find it via layer 0 = {0,...}.
+    wave.activations(0, a, rng);
+    std::vector<core::NodeId> first = a;
+    for (core::Time t = 1; t <= 64; ++t) {
+      wave.activations(t, a, rng);
+      if (a == first) return t;
+    }
+    return core::Time{0};
+  };
+  ASSERT_EQ(layer_count(), 6u);
+
+  g.add_edge(0, 5);
+  wave.on_topology_change(g);
+  EXPECT_EQ(layer_count(), 4u);  // cycle of 6: distances {0},{1,5},{2,4},{3}
+
+  // Partition into {0,1,2} and {3,4,5}: components wave simultaneously, so
+  // three layers, each holding one node per component.
+  g.apply_delta({.remove = {{2, 3}, {0, 5}}, .add = {}});
+  wave.on_topology_change(g);
+  ASSERT_EQ(layer_count(), 3u);
+  wave.activations(0, a, rng);
+  EXPECT_EQ(a, (std::vector<core::NodeId>{0, 3}));
+  wave.activations(1, a, rng);
+  EXPECT_EQ(a, (std::vector<core::NodeId>{1, 4}));
+  EXPECT_EQ(wave.max_activation_hint(), 2u);
+
+  // Other daemons: the hook is an explicit no-op (fairness is node-set-only).
+  UniformSingleScheduler single(6);
+  single.on_topology_change(g);
+  BurstScheduler burst(6, 2);
+  burst.on_topology_change(g);
+}
+
 }  // namespace
 }  // namespace ssau::sched

@@ -2,9 +2,12 @@
 // obstacles may disconnect (permanently or temporarily) some links in an
 // otherwise fully connected network, thus increasing its diameter beyond
 // one, but hopefully not to the extent of exceeding a certain fixed upper
-// bound" (§1). These tests edit graphs mid-run (link failures / repairs) and
-// verify the algorithms re-stabilize on the new topology, carrying their
-// configurations over.
+// bound" (§1). These tests edit the topology MID-RUN through
+// Engine::apply_topology_delta — one engine, one continuous trajectory, the
+// configuration (and every compiled kernel, rng stream, and round) carried
+// across each event in place — and verify the algorithms re-stabilize on the
+// churned topology. (The bit-identity of the delta machinery itself is
+// pinned in tests/test_churn_differential.cpp.)
 #include <gtest/gtest.h>
 
 #include "core/engine.hpp"
@@ -25,8 +28,11 @@ TEST(GraphEdits, WithoutEdgesRemovesExactly) {
   EXPECT_FALSE(h.has_edge(0, 1));
   EXPECT_FALSE(h.has_edge(2, 3));
   EXPECT_TRUE(h.has_edge(0, 2));
-  // Removing an absent edge is a no-op.
+  // Removing an absent edge is a no-op — including entries that could never
+  // name an edge at all (self-loops, out-of-range endpoints): the lenient
+  // historical contract survives the delta-API rewrite.
   EXPECT_EQ(without_edges(h, {{0, 1}}).num_edges(), 4u);
+  EXPECT_EQ(without_edges(h, {{2, 2}, {0, 99}}).num_edges(), 4u);
 }
 
 TEST(GraphEdits, WithEdgesAddsAndDeduplicates) {
@@ -39,39 +45,40 @@ TEST(GraphEdits, WithEdgesAddsAndDeduplicates) {
 
 TEST(TopologyDynamics, AuSurvivesLinkFailuresWithinDiameterBound) {
   // Start on a full clique (diam 1), run AlgAU with slack D = 3; then break
-  // links until the diameter grows to 2-3, carrying the configuration into
-  // a fresh engine on the damaged topology. AlgAU must remain/become good.
+  // links mid-run until the diameter grows to 2-3 — same engine, no rebuild.
+  // AlgAU must remain/become good on the damaged topology.
   const core::NodeId n = 8;
   const int d_bound = 3;
   const unison::AlgAu alg(d_bound);
   Graph g = complete(n);
 
   util::Rng rng(5);
-  auto sched1 = sched::make_scheduler("uniform-single", g);
-  core::Engine e1(g, alg, *sched1,
-                  unison::au_adversarial_configuration("random", alg, g, rng),
-                  5);
-  ASSERT_TRUE(unison::run_to_good(e1, alg, 100000).reached);
+  auto sched = sched::make_scheduler("uniform-single", g);
+  core::Engine engine(g, alg, *sched,
+                      unison::au_adversarial_configuration("random", alg, g,
+                                                           rng),
+                      5);
+  ASSERT_TRUE(unison::run_to_good(engine, alg, 100000).reached);
 
-  // Environmental damage: drop a batch of links, keep it connected and
-  // within the bound.
+  // Environmental damage: drop a batch of links in place, keeping it
+  // connected and within the bound.
   std::vector<std::pair<NodeId, NodeId>> broken;
   for (NodeId u = 0; u < n; ++u) {
     for (NodeId v = u + 1; v < n; ++v) {
       if ((u + 2 * v) % 3 == 0) broken.emplace_back(u, v);
     }
   }
-  const Graph damaged = without_edges(g, broken);
-  ASSERT_TRUE(damaged.connected());
-  ASSERT_LE(diameter(damaged), static_cast<std::uint32_t>(d_bound));
+  const core::Time time_before = engine.time();
+  engine.apply_topology_delta({.remove = broken, .add = {}});
+  ASSERT_TRUE(g.connected());
+  ASSERT_LE(diameter(g), static_cast<std::uint32_t>(d_bound));
+  EXPECT_EQ(engine.time(), time_before);  // churn is not a restart
 
-  auto sched2 = sched::make_scheduler("uniform-single", damaged);
-  core::Engine e2(damaged, alg, *sched2, e1.config(), 6);
   // The carried-over configuration may or may not still be good on the new
-  // topology; either way the system must (re)converge.
-  const auto outcome = unison::run_to_good(e2, alg, 100000);
+  // topology; either way the system must (re)converge in the same run.
+  const auto outcome = unison::run_to_good(engine, alg, 100000);
   ASSERT_TRUE(outcome.reached);
-  const auto report = unison::verify_post_stabilization(e2, alg, 60);
+  const auto report = unison::verify_post_stabilization(engine, alg, 60);
   EXPECT_TRUE(report.safety_ok);
   EXPECT_TRUE(report.liveness_ok);
 }
@@ -79,49 +86,71 @@ TEST(TopologyDynamics, AuSurvivesLinkFailuresWithinDiameterBound) {
 TEST(TopologyDynamics, LinkRepairCannotBreakGoodness) {
   // Adding an edge between nodes whose clocks are adjacent keeps the graph
   // good; adding one between distant clocks re-triggers recovery. Both must
-  // end good.
+  // end good — with the chords spliced into the live run.
   const unison::AlgAu alg(4);
-  Graph ring = cycle(8);
+  Graph g = cycle(8);
   util::Rng rng(9);
-  auto sched1 = sched::make_scheduler("random-subset", ring);
-  core::Engine e1(ring, alg, *sched1,
-                  unison::au_adversarial_configuration("random", alg, ring,
-                                                       rng),
-                  9);
-  ASSERT_TRUE(unison::run_to_good(e1, alg, 100000).reached);
+  auto sched = sched::make_scheduler("random-subset", g);
+  core::Engine engine(g, alg, *sched,
+                      unison::au_adversarial_configuration("random", alg, g,
+                                                           rng),
+                      9);
+  ASSERT_TRUE(unison::run_to_good(engine, alg, 100000).reached);
 
-  const Graph chorded = with_edges(ring, {{0, 4}, {2, 6}});
-  ASSERT_LE(diameter(chorded), 4u);
-  auto sched2 = sched::make_scheduler("random-subset", chorded);
-  core::Engine e2(chorded, alg, *sched2, e1.config(), 10);
-  ASSERT_TRUE(unison::run_to_good(e2, alg, 100000).reached);
+  engine.apply_topology_delta({.remove = {}, .add = {{0, 4}, {2, 6}}});
+  ASSERT_LE(diameter(g), 4u);
+  ASSERT_TRUE(unison::run_to_good(engine, alg, 100000).reached);
 }
 
 TEST(TopologyDynamics, MisRecomputesAfterStructuralChange) {
   // A correct MIS on the old topology can be wrong on the new one (an added
   // edge joins two IN nodes): DetectMIS must catch it and the system must
-  // recompute.
-  const Graph g = path(5);  // MIS {0,2,4} likely
+  // recompute — across the in-place edit, not a fresh engine.
+  Graph g = path(5);  // MIS {0,2,4} likely
   const int d = static_cast<int>(diameter(g));
   const mis::AlgMis alg({.diameter_bound = d});
-  sched::SynchronousScheduler sched_old(5);
-  core::Engine e1(g, alg, sched_old,
-                  core::uniform_configuration(5, alg.initial_state()), 11);
-  auto legit_old = [&](const core::Configuration& c) {
+  sched::SynchronousScheduler sched(5);
+  core::Engine engine(g, alg, sched,
+                      core::uniform_configuration(5, alg.initial_state()), 11);
+  auto legit = [&](const core::Configuration& c) {
     return mis::mis_legitimate(alg, g, c);
   };
-  ASSERT_TRUE(e1.run_until(legit_old, 50000).reached);
+  ASSERT_TRUE(engine.run_until(legit, 50000).reached);
 
   // Join the endpoints: on the 5-cycle, {0,2,4} is no longer independent
-  // when 0 and 4 are both IN.
-  const Graph ring = with_edges(g, {{0, 4}});
-  sched::SynchronousScheduler sched_new(5);
-  core::Engine e2(ring, alg, sched_new, e1.config(), 12);
-  auto legit_new = [&](const core::Configuration& c) {
-    return mis::mis_legitimate(alg, ring, c);
-  };
-  ASSERT_TRUE(e2.run_until(legit_new, 50000).reached);
-  EXPECT_TRUE(mis::mis_outputs_correct(alg, ring, e2.config()));
+  // when 0 and 4 are both IN. The predicate reads the live graph, so the
+  // same closure keeps working after the splice.
+  engine.apply_topology_delta({.remove = {}, .add = {{0, 4}}});
+  ASSERT_TRUE(engine.run_until(legit, 50000).reached);
+  EXPECT_TRUE(mis::mis_outputs_correct(alg, g, engine.config()));
+}
+
+TEST(TopologyDynamics, TemporaryObstacleHealsBackToTheOriginalTopology) {
+  // "Permanently or temporarily": break a batch of links, re-stabilize, heal
+  // them with the inverse delta, re-stabilize again — one engine throughout,
+  // and the healed topology is exactly the original.
+  const unison::AlgAu alg(3);
+  Graph g = complete(7);
+  const std::size_t edges_before = g.num_edges();
+  util::Rng rng(13);
+  auto sched = sched::make_scheduler("uniform-single", g);
+  core::Engine engine(g, alg, *sched,
+                      unison::au_adversarial_configuration("random", alg, g,
+                                                           rng),
+                      13);
+  ASSERT_TRUE(unison::run_to_good(engine, alg, 100000).reached);
+
+  const graph::TopologyDelta applied = engine.apply_topology_delta(
+      {.remove = {{0, 1}, {0, 2}, {1, 3}, {2, 4}, {5, 6}}, .add = {}});
+  ASSERT_EQ(applied.remove.size(), 5u);
+  ASSERT_TRUE(g.connected());
+  ASSERT_LE(diameter(g), 3u);
+  ASSERT_TRUE(unison::run_to_good(engine, alg, 100000).reached);
+
+  engine.apply_topology_delta(applied.inverse());
+  EXPECT_EQ(g.num_edges(), edges_before);
+  EXPECT_EQ(diameter(g), 1u);
+  ASSERT_TRUE(unison::run_to_good(engine, alg, 100000).reached);
 }
 
 }  // namespace
