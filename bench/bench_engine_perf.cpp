@@ -53,15 +53,18 @@
 //                          [--json=BENCH_engine.json] [--seed=7]
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <fstream>
 #include <iomanip>
 #include <iostream>
+#include <limits>
 #include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "core/engine.hpp"
+#include "core/snapshot.hpp"
 #include "graph/generators.hpp"
 #include "le/alg_le.hpp"
 #include "mis/alg_mis.hpp"
@@ -234,6 +237,8 @@ int main(int argc, char** argv) {
   const double single_act_edge_p = cli.get_double("single-act-edge-p", 0.02);
   const int churn_events = cli.get_int("churn-events", 64);
   const int churn_rebuild_events = cli.get_int("churn-rebuild-events", 12);
+  const auto snapshot_steps =
+      static_cast<std::uint64_t>(cli.get_int("snapshot-steps", 1000000));
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 7));
   const std::string json_path = cli.get("json", "BENCH_engine.json");
   const std::vector<unsigned> thread_list =
@@ -488,6 +493,73 @@ int main(int argc, char** argv) {
     }
   }
 
+  // --- snapshot table (persistence throughput vs recompute) ------------------
+  // Serializes a warmed engine (core/snapshot.hpp) and times the full
+  // persistence round trip: save() to bytes, restore via restore_graph +
+  // fresh scheduler + restore(), and — as the baseline a checkpoint
+  // replaces — re-running the same number of steps from the initial
+  // configuration. restore_over_rerun > 1 means resuming from a checkpoint
+  // beats recomputing the trajectory. --snapshot-steps=0 skips the table.
+  struct SnapshotPoint {
+    std::string algorithm;
+    std::string scheduler;
+    std::uint64_t snapshot_bytes = 0;
+    double save_mb_per_sec = 0.0;
+    double restore_mb_per_sec = 0.0;
+    double restore_over_rerun = 0.0;
+  };
+  std::vector<SnapshotPoint> snapshot_points;
+  if (snapshot_steps > 0) {
+    const std::vector<const Workload*> snap_workloads = {&workloads[0],
+                                                         &workloads[3]};
+    for (const Workload* w : snap_workloads) {
+      graph::Graph sg = g;
+      auto sched = sched::make_scheduler("uniform-single", sg);
+      core::Engine engine(sg, *w->alg, *sched, w->initial, seed + 31);
+      for (std::uint64_t s = 0; s < snapshot_steps; ++s) engine.step();
+
+      std::vector<std::uint8_t> bytes;
+      double save_seconds = std::numeric_limits<double>::infinity();
+      for (int r = 0; r < repeats; ++r) {
+        const auto t0 = std::chrono::steady_clock::now();
+        bytes = core::snapshot::save(engine);
+        const auto t1 = std::chrono::steady_clock::now();
+        save_seconds = std::min(
+            save_seconds, std::chrono::duration<double>(t1 - t0).count());
+      }
+
+      double restore_seconds = std::numeric_limits<double>::infinity();
+      for (int r = 0; r < repeats; ++r) {
+        const auto t0 = std::chrono::steady_clock::now();
+        graph::Graph rg = core::snapshot::restore_graph(bytes);
+        auto rsched = sched::make_scheduler("uniform-single", rg);
+        const auto restored =
+            core::snapshot::restore(bytes, rg, *w->alg, *rsched);
+        const auto t1 = std::chrono::steady_clock::now();
+        restore_seconds = std::min(
+            restore_seconds, std::chrono::duration<double>(t1 - t0).count());
+      }
+
+      double rerun_seconds;
+      {
+        graph::Graph fg = g;
+        auto fsched = sched::make_scheduler("uniform-single", fg);
+        const auto t0 = std::chrono::steady_clock::now();
+        core::Engine fresh(fg, *w->alg, *fsched, w->initial, seed + 31);
+        for (std::uint64_t s = 0; s < snapshot_steps; ++s) fresh.step();
+        const auto t1 = std::chrono::steady_clock::now();
+        rerun_seconds = std::chrono::duration<double>(t1 - t0).count();
+      }
+
+      const double mb = static_cast<double>(bytes.size()) / 1e6;
+      snapshot_points.push_back(
+          {w->name, "uniform-single", bytes.size(),
+           save_seconds > 0 ? mb / save_seconds : 0.0,
+           restore_seconds > 0 ? mb / restore_seconds : 0.0,
+           restore_seconds > 0 ? rerun_seconds / restore_seconds : 0.0});
+    }
+  }
+
   // --- table + speedups ------------------------------------------------------
   std::cout << "\n==== E12 engine throughput (n=" << n
             << ", |E|=" << g.num_edges() << ") ====\n\n";
@@ -557,6 +629,24 @@ int main(int argc, char** argv) {
     }
   }
 
+  // --- snapshot table --------------------------------------------------------
+  if (!snapshot_points.empty()) {
+    std::cout << "\n==== snapshot persistence: save/restore vs recompute "
+                 "(after " << snapshot_steps << " steps) ====\n\n";
+    std::cout << std::left << std::setw(14) << "algorithm" << std::setw(18)
+              << "scheduler" << std::right << std::setw(12) << "bytes"
+              << std::setw(12) << "save MB/s" << std::setw(14)
+              << "restore MB/s" << std::setw(13) << "vs rerun" << "\n";
+    for (const SnapshotPoint& p : snapshot_points) {
+      std::cout << std::left << std::setw(14) << p.algorithm << std::setw(18)
+                << p.scheduler << std::right << std::setw(12)
+                << p.snapshot_bytes << std::fixed << std::setprecision(1)
+                << std::setw(12) << p.save_mb_per_sec << std::setw(14)
+                << p.restore_mb_per_sec << std::setw(12)
+                << p.restore_over_rerun << "x\n";
+    }
+  }
+
   // --- thread-sweep table ----------------------------------------------------
   if (sweep_enabled) {
     std::cout << "\n==== sharded kernel thread sweep "
@@ -600,6 +690,10 @@ int main(int argc, char** argv) {
 
   // --- BENCH_engine.json -----------------------------------------------------
   std::ofstream os(json_path);
+  if (!os) {
+    std::cerr << "error: cannot open " << json_path << " for writing\n";
+    return 1;
+  }
   util::JsonWriter jw(os);
   jw.begin_object();
   jw.key("bench").value("engine_perf");
@@ -655,6 +749,18 @@ int main(int argc, char** argv) {
     jw.end_object();
   }
   jw.end_array();
+  jw.key("snapshot").begin_array();
+  for (const SnapshotPoint& p : snapshot_points) {
+    jw.begin_object();
+    jw.key("algorithm").value(p.algorithm);
+    jw.key("scheduler").value(p.scheduler);
+    jw.key("snapshot_bytes").value(p.snapshot_bytes);
+    jw.key("save_mb_per_sec").value(p.save_mb_per_sec);
+    jw.key("restore_mb_per_sec").value(p.restore_mb_per_sec);
+    jw.key("restore_over_rerun").value(p.restore_over_rerun);
+    jw.end_object();
+  }
+  jw.end_array();
   jw.key("speedups").begin_array();
   for (const Speedup& s : speedups) {
     jw.begin_object();
@@ -666,6 +772,13 @@ int main(int argc, char** argv) {
   jw.end_array();
   jw.end_object();
   os << "\n";
+  os.flush();
+  if (!os.good()) {
+    // A silently truncated benchmark artifact would poison every future
+    // bench_compare run; fail loudly instead.
+    std::cerr << "error: write to " << json_path << " failed (disk full?)\n";
+    return 1;
+  }
   std::cout << "\nwrote " << json_path << "\n";
   return 0;
 }

@@ -133,10 +133,17 @@ int main(int argc, char** argv) {
       timeline.sample(clocks);
     }
     std::ofstream svg("firefly_clocks.svg");
-    if (svg) {
-      timeline.write_svg(svg, "AU clocks: fault at r=0, gap-closing recovery");
-      std::cout << "\nwrote firefly_clocks.svg (one polyline per cell)\n";
+    if (!svg) {
+      std::cerr << "error: cannot open firefly_clocks.svg for writing\n";
+      return 1;
     }
+    timeline.write_svg(svg, "AU clocks: fault at r=0, gap-closing recovery");
+    svg.flush();
+    if (!svg.good()) {
+      std::cerr << "error: write to firefly_clocks.svg failed\n";
+      return 1;
+    }
+    std::cout << "\nwrote firefly_clocks.svg (one polyline per cell)\n";
   }
   return 0;
 }

@@ -49,12 +49,22 @@ pattern, both measured within the current run — another machine-independent
 ratio. A delta path that silently degraded to an O(n + m) rebuild drags it
 toward 1 and fails the gate.
 
+The snapshot table ("snapshot" rows keyed algorithm x scheduler) is gated
+via --min-restore ALGO:SCHED:FACTOR on restore_over_rerun: resuming a warmed
+engine from a serialized checkpoint (core/snapshot.hpp) versus re-running
+the same trajectory from the initial configuration, both measured within the
+current run — machine-independent like the other ratios. A restore path that
+silently degraded to recompute-everything cost (say the graph digest check
+re-walking edges() or load_state allocating per node) drags it toward 1 and
+fails the gate.
+
 Usage:
   scripts/bench_compare.py BASELINE.json CURRENT.json [--max-regression 0.30]
                            [--absolute]
                            [--min-scaling ALGO[:SCHED]:THREADS:FACTOR ...]
                            [--min-speedup ALGO:SCHED:FACTOR ...]
                            [--min-churn ALGO:SCHED:FACTOR ...]
+                           [--min-restore ALGO:SCHED:FACTOR ...]
   scripts/bench_compare.py --self-check
 """
 
@@ -152,6 +162,23 @@ def index_churn(doc):
             "ratio": as_number(row.get("patch_over_rebuild")),
             "patch_rate": as_number(row.get("patch_events_per_sec")),
             "rebuild_rate": as_number(row.get("rebuild_events_per_sec")),
+        }
+    return out
+
+
+def index_snapshot(doc):
+    """snapshot rows keyed by (algorithm, scheduler)."""
+    out = {}
+    for row in doc.get("snapshot", []):
+        try:
+            key = (row["algorithm"], row["scheduler"])
+        except (KeyError, TypeError):
+            continue
+        out[key] = {
+            "ratio": as_number(row.get("restore_over_rerun")),
+            "save_rate": as_number(row.get("save_mb_per_sec")),
+            "restore_rate": as_number(row.get("restore_mb_per_sec")),
+            "bytes": as_number(row.get("snapshot_bytes")),
         }
     return out
 
@@ -381,6 +408,49 @@ def run_gate(baseline, current, args, out=sys.stdout, err=sys.stderr):
                 f"{got:.1f}x over the rebuild path (floor {factor:.1f}x)"
             )
 
+    cur_snapshot = index_snapshot(current)
+    if not args.scaling_only:
+        # Disappeared-cell protection, like churn: snapshot rows in the
+        # committed baseline must still be emitted by the current run.
+        for key in sorted(index_snapshot(baseline)):
+            if key not in cur_snapshot:
+                failures.append(f"snapshot cell {key} missing from current run")
+    for (algo, sched), cell in sorted(cur_snapshot.items()):
+        ratio = cell["ratio"]
+        print(
+            f"[info] snapshot: {algo:<14} {sched:<16} "
+            f"save {cell['save_rate'] if cell['save_rate'] is not None else 0:.3g} "
+            f"restore {cell['restore_rate'] if cell['restore_rate'] is not None else 0:.3g} MB/s "
+            f"({ratio if ratio is not None else 0:.1f}x vs rerun)",
+            file=out,
+        )
+
+    for spec in args.min_restore:
+        parsed = parse_min_speedup(spec)
+        if parsed is None:
+            print(f"bad --min-restore spec '{spec}'", file=err)
+            return 2
+        algo, sched, factor = parsed
+        cell = cur_snapshot.get((algo, sched))
+        got = cell["ratio"] if cell else None
+        if got is None:
+            failures.append(
+                f"no snapshot entry for {algo} under {sched} "
+                f"(required by --min-restore {spec})"
+            )
+            continue
+        status = "OK " if got >= factor else "FAIL"
+        print(
+            f"[{status}] restore gate: {algo} under {sched}: "
+            f"{got:.1f}x restore-over-rerun (floor {factor:.1f}x)",
+            file=out,
+        )
+        if got < factor:
+            failures.append(
+                f"{algo} under {sched}: checkpoint restore reached only "
+                f"{got:.1f}x over re-running the trajectory (floor {factor:.1f}x)"
+            )
+
     for w in warnings:
         print(f"[warn] {w}", file=out)
 
@@ -405,6 +475,7 @@ def self_check():
             min_scaling=kw.get("min_scaling", []),
             min_speedup=kw.get("min_speedup", []),
             min_churn=kw.get("min_churn", []),
+            min_restore=kw.get("min_restore", []),
             scaling_only=kw.get("scaling_only", False),
         )
         return run_gate(baseline, current, args, out=io.StringIO(),
@@ -462,6 +533,17 @@ def self_check():
              "patch_events_per_sec": 5e5,
              "rebuild_events_per_sec": 4e2,
              "patch_over_rebuild": 1250.0},
+        ],
+    }
+
+    snapshot_doc = {
+        "speedups": [],
+        "snapshot": [
+            {"algorithm": "alg-au", "scheduler": "uniform-single",
+             "snapshot_bytes": 500000,
+             "save_mb_per_sec": 900.0,
+             "restore_mb_per_sec": 300.0,
+             "restore_over_rerun": 40.0},
         ],
     }
 
@@ -555,6 +637,25 @@ def self_check():
         ("scaling-only skips the churn baseline diff", 0,
          lambda: gate(churn_doc, {"speedups": [], "churn": []},
                       scaling_only=True)),
+        ("restore gate passes", 0,
+         lambda: gate(snapshot_doc, snapshot_doc, scaling_only=True,
+                      min_restore=["alg-au:uniform-single:5.0"])),
+        ("restore ratio below floor fails", 1,
+         lambda: gate(snapshot_doc, snapshot_doc, scaling_only=True,
+                      min_restore=["alg-au:uniform-single:99999"])),
+        ("missing snapshot row fails its gate", 1,
+         lambda: gate(snapshot_doc, snapshot_doc, scaling_only=True,
+                      min_restore=["alg-mis:uniform-single:5.0"])),
+        ("malformed min-restore spec is a usage error", 2,
+         lambda: gate(snapshot_doc, snapshot_doc, scaling_only=True,
+                      min_restore=["alg-au:5.0"])),
+        ("snapshot rows matching baseline pass", 0,
+         lambda: gate(snapshot_doc, snapshot_doc)),
+        ("snapshot cell missing vs baseline fails", 1,
+         lambda: gate(snapshot_doc, {"speedups": [], "snapshot": []})),
+        ("scaling-only skips the snapshot baseline diff", 0,
+         lambda: gate(snapshot_doc, {"speedups": [], "snapshot": []},
+                      scaling_only=True)),
     ]
 
     failed = 0
@@ -618,6 +719,15 @@ def main():
         metavar="ALGO:SCHED:FACTOR",
         help="require the current run's churn entry for ALGO under SCHED to "
         "reach FACTOR x the rebuild path's per-event rate (repeatable)",
+    )
+    parser.add_argument(
+        "--min-restore",
+        action="append",
+        default=[],
+        metavar="ALGO:SCHED:FACTOR",
+        help="require the current run's snapshot entry for ALGO under SCHED "
+        "to reach FACTOR x restore-over-rerun (checkpoint resume vs "
+        "recomputing the trajectory; repeatable)",
     )
     parser.add_argument(
         "--scaling-only",

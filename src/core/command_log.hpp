@@ -1,0 +1,127 @@
+// Deterministic record/replay — the command log beside the checkpoints.
+//
+// A fault campaign (or any driver) appends every engine-facing command —
+// steps, state/configuration injections, topology deltas, and periodic
+// trajectory-hash assertions — to an append-only log. Together with a
+// snapshot, the log makes any failure reproducible in a fresh process: the
+// `replay` driver (tools/replay.cpp) restores the snapshot and re-applies
+// the commands, and because every engine path is bit-identical and every
+// random draw comes from serialized rng streams, the replayed trajectory
+// matches the recorded one exactly — kExpectHash records prove it.
+//
+// Wire format (little-endian; util/binary_io.hpp):
+//   [magic "SSAULOG1"][version u32][endian u32 0x01020304]
+//   then zero or more framed records:
+//   [body length u32][CRC-32 of body u32][body: type u8 + payload]
+// The first record must be the header (automaton/scheduler specs, seed,
+// engine options). Appends are flushed per record, so a crash can only
+// shear the LAST record: read_command_log treats a cleanly truncated tail
+// as recoverable (`truncated_tail`), but a CRC-corrupt complete record as
+// an error — torn writes and bit rot are different failures.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "graph/graph.hpp"
+
+namespace ssau::core {
+
+/// Everything the replay driver needs to rebuild the collaborators the
+/// snapshot validates against: factory specs, not code.
+struct ReplayHeader {
+  /// Automaton spec understood by the replay driver's factory
+  /// (e.g. "alg-au:3", "alg-mis", "reset-unison:1:6", "min-prop:32").
+  std::string automaton;
+  /// sched::make_scheduler name, with its two factory knobs.
+  std::string scheduler;
+  double subset_p = 0.5;
+  unsigned burst = 4;
+  std::uint64_t seed = 0;
+  EngineOptions options;
+};
+
+enum class CommandType : std::uint8_t {
+  kSteps = 1,                // run `count` engine steps
+  kInjectState = 2,          // inject_state(v, q)
+  kInjectConfiguration = 3,  // inject_configuration(config)
+  kTopologyDelta = 4,        // apply_topology_delta(delta)
+  kExpectHash = 5,           // assert engine_state_hash == hash
+};
+
+struct Command {
+  CommandType type = CommandType::kSteps;
+  std::uint64_t count = 0;           // kSteps
+  NodeId node = 0;                   // kInjectState
+  StateId state = 0;                 // kInjectState
+  Configuration config;              // kInjectConfiguration
+  graph::TopologyDelta delta;        // kTopologyDelta
+  std::uint64_t hash = 0;            // kExpectHash
+};
+
+/// Order-sensitive 64-bit FNV-1a digest over the engine's full dynamic
+/// state — the configuration plus everything Engine::save_state serializes
+/// (time, rounds, pending set, activation counts, rng streams, field
+/// status). Two engines with equal hashes walk bit-identical futures.
+[[nodiscard]] std::uint64_t engine_state_hash(const Engine& engine);
+
+/// Append-only log writer. Every record is framed, CRC'd, and flushed
+/// before the call returns, so the on-disk log is always replayable up to
+/// the last completed record. Consecutive step() calls are coalesced into
+/// one kSteps record (flushed lazily by the next non-step record, flush(),
+/// or destruction). Throws util::SnapshotError on any I/O failure except
+/// in the destructor (best-effort flush).
+class CommandLogWriter {
+ public:
+  CommandLogWriter(const std::string& path, const ReplayHeader& header);
+  ~CommandLogWriter();
+  CommandLogWriter(const CommandLogWriter&) = delete;
+  CommandLogWriter& operator=(const CommandLogWriter&) = delete;
+
+  void record_steps(std::uint64_t count);
+  void record_inject_state(NodeId v, StateId q);
+  void record_inject_configuration(const Configuration& config);
+  void record_topology_delta(const graph::TopologyDelta& delta);
+  /// Records the engine's current trajectory digest as a replay assertion.
+  void record_expect_hash(const Engine& engine);
+  void flush();
+
+ private:
+  void write_record(const std::vector<std::uint8_t>& body);
+  void flush_pending_steps();
+
+  std::ofstream os_;
+  std::string path_;
+  std::uint64_t pending_steps_ = 0;
+};
+
+struct CommandLog {
+  ReplayHeader header;
+  std::vector<Command> commands;
+  /// True when the file ends in a sheared (half-written) record — the torn
+  /// tail of a crash. The complete prefix is returned and replayable.
+  bool truncated_tail = false;
+};
+
+/// Parses a log file. Throws util::SnapshotError on a missing/unreadable
+/// file, bad magic/version/endianness, a CRC-corrupt complete record, or a
+/// structurally invalid record body.
+[[nodiscard]] CommandLog read_command_log(const std::string& path);
+
+struct ReplayResult {
+  std::uint64_t commands_applied = 0;
+  std::uint64_t steps = 0;
+  std::uint64_t hash_checks = 0;
+  std::uint64_t hash_mismatches = 0;
+  [[nodiscard]] bool ok() const { return hash_mismatches == 0; }
+};
+
+/// Re-applies `commands` to `engine` in order, checking kExpectHash records
+/// against the live trajectory digest.
+ReplayResult replay_commands(Engine& engine,
+                             const std::vector<Command>& commands);
+
+}  // namespace ssau::core

@@ -1,8 +1,11 @@
 #include "core/engine.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cassert>
 #include <stdexcept>
+
+#include "util/binary_io.hpp"
 
 namespace ssau::core {
 
@@ -31,6 +34,7 @@ Engine::Engine(const graph::Graph& g, const Automaton& alg,
       config_(std::move(initial)),
       rng_(seed),
       sched_rng_(rng_.fork()),
+      seed_(seed),
       options_(options),
       stepper_(&alg),
       pending_(g.num_nodes(), true),
@@ -386,6 +390,10 @@ void Engine::step_async() {
       field_.reset();
       field_adaptive_ = false;
       field_stale_ = false;  // no field left for the flag to describe
+      // Dead counters would otherwise survive in snapshots and make a
+      // bailed engine's serialized state differ from its own restore.
+      field_senses_ = 0;
+      field_patches_ = 0;
     } else {
       field_senses_ = 0;
       field_patches_ = 0;
@@ -602,6 +610,122 @@ void Engine::inject_state(NodeId v, StateId q) {
     field_->apply_transition(v, config_[v], q);
   }
   config_[v] = q;
+}
+
+void Engine::save_state(util::BinaryWriter& w) const {
+  const NodeId n = graph_.num_nodes();
+  w.u64(seed_);
+  w.u64(time_);
+  w.u64(rounds_);
+  w.u64(last_boundary_time_);
+
+  // Pending set, packed 64 nodes per word, plus its maintained count.
+  w.u64(pending_count_);
+  std::uint64_t word = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    if (pending_[v]) word |= std::uint64_t{1} << (v % 64);
+    if (v % 64 == 63) {
+      w.u64(word);
+      word = 0;
+    }
+  }
+  if (n % 64 != 0) w.u64(word);
+
+  for (const std::uint64_t count : activation_counts_) w.u64(count);
+
+  for (const std::uint64_t s : rng_.state()) w.u64(s);
+  for (const std::uint64_t s : sched_rng_.state()) w.u64(s);
+  w.u64(node_rngs_.size());
+  for (const auto& node_rng : node_rngs_) {
+    for (const std::uint64_t s : node_rng.state()) w.u64(s);
+  }
+
+  // Signal field: presence + staleness + adaptive-routing counters. The
+  // field's counters themselves are NOT serialized — a restored engine's
+  // constructor rebuilds them from the restored configuration, which is
+  // exactly what a live field contains.
+  w.u8(field_ ? 1 : 0);
+  w.u8(field_stale_ ? 1 : 0);
+  w.u8(field_adaptive_ ? 1 : 0);
+  w.u64(field_senses_);
+  w.u64(field_patches_);
+}
+
+void Engine::load_state(util::BinaryReader& r) {
+  const NodeId n = graph_.num_nodes();
+  seed_ = r.u64();
+  time_ = r.u64();
+  rounds_ = r.u64();
+  last_boundary_time_ = r.u64();
+  if (last_boundary_time_ > time_) {
+    throw util::SnapshotError("engine state: round boundary after now");
+  }
+
+  const std::uint64_t pending_count = r.u64();
+  if (pending_count > n) {
+    throw util::SnapshotError("engine state: pending count exceeds node count");
+  }
+  std::uint64_t checked_count = 0;
+  std::uint64_t word = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    if (v % 64 == 0) word = r.u64();
+    const bool pending = (word >> (v % 64)) & 1U;
+    pending_[v] = pending;
+    checked_count += pending ? 1 : 0;
+  }
+  if (checked_count != pending_count) {
+    throw util::SnapshotError("engine state: pending bitmap/count mismatch");
+  }
+  pending_count_ = pending_count;
+
+  for (auto& count : activation_counts_) count = r.u64();
+
+  std::array<std::uint64_t, 4> s;
+  for (auto& x : s) x = r.u64();
+  rng_ = util::Rng::from_state(s);
+  for (auto& x : s) x = r.u64();
+  sched_rng_ = util::Rng::from_state(s);
+  const std::uint64_t node_rng_count = r.u64();
+  if (node_rng_count != node_rngs_.size()) {
+    // node_rngs_ is sized n for randomized automata and empty otherwise;
+    // the automaton identity checks upstream make a mismatch unreachable
+    // except through corruption that slipped past the CRC.
+    throw util::SnapshotError("engine state: per-node rng stream count mismatch");
+  }
+  for (auto& node_rng : node_rngs_) {
+    for (auto& x : s) x = r.u64();
+    node_rng = util::Rng::from_state(s);
+  }
+
+  const bool had_field = r.u8() != 0;
+  const bool was_stale = r.u8() != 0;
+  const bool was_adaptive = r.u8() != 0;
+  const std::uint64_t senses = r.u64();
+  const std::uint64_t patches = r.u64();
+  if (!had_field) {
+    // The snapshotted engine ran without a field — either routing never
+    // built one or the adaptive monitor dropped it mid-run. Match it, even
+    // if this engine's construction routing re-created one: the sense paths
+    // are bit-identical, but the restored engine must make the SAME future
+    // adaptive decisions as the original, which requires the same counters
+    // on the same (absent) field.
+    field_.reset();
+    field_stale_ = false;
+    field_adaptive_ = false;
+    field_senses_ = 0;
+    field_patches_ = 0;
+  } else if (field_) {
+    // Construction already rebuilt the field from the restored
+    // configuration, which is what a live field holds; a stale field only
+    // needs the marker restored (the lazy rebuild runs at the next sense).
+    field_stale_ = was_stale;
+    field_adaptive_ = was_adaptive;
+    field_senses_ = senses;
+    field_patches_ = patches;
+  }
+  // had_field && !field_: the caller overrode options (e.g. restoring a
+  // kOn snapshot with kOff) — legitimate, the trajectory is identical on
+  // either sense path and no adaptive monitor exists to diverge.
 }
 
 Configuration random_configuration(const Automaton& alg, NodeId n,

@@ -107,6 +107,11 @@
 #include "sched/scheduler.hpp"
 #include "util/rng.hpp"
 
+namespace ssau::util {
+class BinaryReader;
+class BinaryWriter;
+}  // namespace ssau::util
+
 namespace ssau::core {
 
 /// Result of run_until_*: whether the predicate was reached, at what time,
@@ -265,6 +270,7 @@ class Engine {
 
   [[nodiscard]] const graph::Graph& graph() const { return graph_; }
   [[nodiscard]] const Automaton& automaton() const { return automaton_; }
+  [[nodiscard]] const sched::Scheduler& scheduler() const { return scheduler_; }
   /// The compiled table kernel, or nullptr when the automaton was not
   /// compiled (randomized, |Q| > 64, or disabled via EngineOptions).
   [[nodiscard]] const CompiledAutomaton* compiled() const {
@@ -330,6 +336,32 @@ class Engine {
   /// untouched). Must be called between steps, never from a listener.
   graph::TopologyDelta apply_topology_delta(const graph::TopologyDelta& delta);
 
+  /// The seed this engine was constructed with (snapshot provenance; the
+  /// restored engine's behavior comes from the serialized rng states, not
+  /// from re-seeding).
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+
+  // --- snapshot support (core/snapshot.hpp drives these) --------------------
+  // The serialization contract is a repo-wide invariant: any new mutable
+  // engine member must either be covered by save_state/load_state (bump
+  // kSnapshotVersion in core/snapshot.hpp) or be derived state the
+  // constructor rebuilds — otherwise the restore differential suite
+  // (tests/test_snapshot.cpp) fails.
+
+  /// Serializes the engine's dynamic state — time, round bookkeeping,
+  /// pending set, activation counts, rng/sched-rng/per-node stream states,
+  /// and the signal field's presence/staleness/adaptive counters. Static
+  /// state (graph, config, options, automaton identity, scheduler state) is
+  /// framed separately by the snapshot layer.
+  void save_state(util::BinaryWriter& w) const;
+
+  /// Restores state written by save_state into a freshly constructed engine
+  /// over the same graph/automaton/scheduler/configuration. Throws
+  /// util::SnapshotError on structural inconsistency (sizes that do not
+  /// match the graph, pending-count mismatch). After it returns, stepping
+  /// this engine is bit-identical to stepping the snapshotted one.
+  void load_state(util::BinaryReader& r);
+
  private:
   struct ShardWorkspace;
 
@@ -388,6 +420,7 @@ class Engine {
   Configuration config_;
   util::Rng rng_;
   util::Rng sched_rng_;
+  std::uint64_t seed_;
   Time time_ = 0;
   EngineOptions options_;
 

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <numeric>
 #include <optional>
+#include <stdexcept>
+
+#include "core/snapshot.hpp"
 
 namespace ssau::core {
 
@@ -31,7 +34,20 @@ FaultCampaignResult run_fault_campaign(
     return static_cast<std::int64_t>(engine.rounds_completed() - start);
   };
 
+  const bool checkpointing = options.checkpoint_every > 0;
+  if (checkpointing && options.checkpoint_path.empty()) {
+    throw std::invalid_argument(
+        "run_fault_campaign: checkpoint_every requires a checkpoint_path");
+  }
+
   if (recover() < 0) return result;  // never reached legitimacy at all
+
+  // Baseline checkpoint: a crash during the very first burst can already
+  // fall back to the post-recovery state instead of a cold start.
+  if (checkpointing) {
+    snapshot::write_checkpoint(engine, options.checkpoint_path);
+    ++result.checkpoints_written;
+  }
 
   const NodeId n = engine.graph().num_nodes();
   std::vector<NodeId> ids(n);
@@ -80,6 +96,13 @@ FaultCampaignResult run_fault_campaign(
         ++legitimate_rounds;
         ++settle_rounds_legit;
       }
+    }
+
+    // Periodic checkpoint at the burst boundary — the engine is settled and
+    // (barring regressions) legitimate, the cheapest point to resume from.
+    if (checkpointing && (b + 1) % options.checkpoint_every == 0) {
+      snapshot::write_checkpoint(engine, options.checkpoint_path);
+      ++result.checkpoints_written;
     }
   }
 

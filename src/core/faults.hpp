@@ -14,6 +14,7 @@
 #pragma once
 
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "core/adversary.hpp"
@@ -45,6 +46,15 @@ struct FaultCampaignOptions {
   double link_fail_p = 0.0;
   double link_heal_p = 0.0;
   ChurnOptions churn = {};
+  /// Crash-consistent checkpointing: when nonzero, the campaign writes a
+  /// full engine snapshot (core/snapshot.hpp) to `checkpoint_path` after
+  /// the initial recovery and then after every `checkpoint_every` completed
+  /// bursts — atomic write-to-temp + rename, previous checkpoint rotated to
+  /// `checkpoint_path + ".prev"`. A campaign killed mid-run resumes from
+  /// snapshot::read_checkpoint (see examples/checkpoint_restart.cpp).
+  /// Requires a non-empty checkpoint_path (std::invalid_argument otherwise).
+  std::size_t checkpoint_every = 0;
+  std::string checkpoint_path;
 };
 
 struct FaultCampaignResult {
@@ -53,6 +63,8 @@ struct FaultCampaignResult {
   /// Links failed / healed by the campaign's churn events (0 without churn).
   std::size_t links_failed = 0;
   std::size_t links_healed = 0;
+  /// Checkpoints written (0 when checkpointing is off).
+  std::size_t checkpoints_written = 0;
   /// Rounds from each burst to the next legitimate configuration.
   std::vector<double> recovery_rounds;
   /// Fraction of all observed rounds (recovery + settle) in a legitimate

@@ -1,0 +1,379 @@
+#include "core/snapshot.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <utility>
+
+#include "util/binary_io.hpp"
+
+namespace ssau::core::snapshot {
+
+namespace {
+
+constexpr std::uint8_t kMagic[8] = {'S', 'S', 'A', 'U', 'S', 'N', 'A', 'P'};
+constexpr std::uint32_t kEndianSentinel = 0x01020304;
+constexpr std::size_t kHeaderSize = 8 + 4 + 4 + 8;  // magic, version, endian, len
+constexpr std::size_t kFooterSize = 4;              // CRC-32
+
+/// RAII arm/disarm of the Graph::edges() lazy-rebuild tripwire around
+/// serializer CSR walks.
+class EdgesGuard {
+ public:
+  explicit EdgesGuard(const graph::Graph& g) : g_(g) {
+    g_.debug_forbid_lazy_edges(true);
+  }
+  ~EdgesGuard() { g_.debug_forbid_lazy_edges(false); }
+  EdgesGuard(const EdgesGuard&) = delete;
+  EdgesGuard& operator=(const EdgesGuard&) = delete;
+
+ private:
+  const graph::Graph& g_;
+};
+
+/// Order-sensitive FNV-1a 64 over the normalized (u < v, sorted) edge
+/// stream plus the node/edge counts — rederivable from any Graph without
+/// touching the lazy edges() cache.
+std::uint64_t hash_graph(const graph::Graph& g) {
+  constexpr std::uint64_t kOffset = 0xCBF29CE484222325ULL;
+  constexpr std::uint64_t kPrime = 0x100000001B3ULL;
+  std::uint64_t h = kOffset;
+  const auto mix = [&h](std::uint64_t x, int bytes) {
+    for (int i = 0; i < bytes; ++i) {
+      h = (h ^ ((x >> (8 * i)) & 0xFFU)) * kPrime;
+    }
+  };
+  mix(g.num_nodes(), 4);
+  mix(g.num_edges(), 8);
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (const graph::NodeId u : g.neighbors(v)) {
+      if (u > v) {
+        mix(v, 4);
+        mix(u, 4);
+      }
+    }
+  }
+  return h;
+}
+
+void write_options(util::BinaryWriter& w, const EngineOptions& o) {
+  w.u8(o.fast_path ? 1 : 0);
+  w.u8(o.compile ? 1 : 0);
+  w.u32(o.thread_count);
+  w.u64(o.sparse_activation_threshold);
+  w.u8(static_cast<std::uint8_t>(o.signal_field));
+}
+
+EngineOptions read_options(util::BinaryReader& r) {
+  EngineOptions o;
+  o.fast_path = r.u8() != 0;
+  o.compile = r.u8() != 0;
+  o.thread_count = r.u32();
+  o.sparse_activation_threshold = r.u64();
+  const std::uint8_t mode = r.u8();
+  if (mode > static_cast<std::uint8_t>(SignalFieldMode::kOff)) {
+    throw util::SnapshotError("snapshot options: bad signal-field mode");
+  }
+  o.signal_field = static_cast<SignalFieldMode>(mode);
+  return o;
+}
+
+/// Validates the envelope (magic, endianness, version, length framing,
+/// CRC) and returns a reader positioned over the payload.
+util::BinaryReader open_payload(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < kHeaderSize + kFooterSize) {
+    throw util::SnapshotError("snapshot truncated: shorter than header");
+  }
+  util::BinaryReader header(bytes);
+  const auto magic = header.bytes(8);
+  if (!std::equal(magic.begin(), magic.end(), kMagic)) {
+    throw util::SnapshotError("bad snapshot magic");
+  }
+  const std::uint32_t version = header.u32();
+  const std::uint32_t endian = header.u32();
+  // The sentinel discriminates a byte-swapped (foreign big-endian) writer
+  // from plain corruption — check it before trusting any multi-byte field.
+  if (endian != kEndianSentinel) {
+    if (endian == 0x04030201) {
+      throw util::SnapshotError("snapshot endianness mismatch");
+    }
+    throw util::SnapshotError("snapshot endianness sentinel corrupt");
+  }
+  if (version != kSnapshotVersion) {
+    throw util::SnapshotError("snapshot version skew: file has v" +
+                              std::to_string(version) + ", reader expects v" +
+                              std::to_string(kSnapshotVersion));
+  }
+  const std::uint64_t payload_len = header.u64();
+  if (payload_len != bytes.size() - kHeaderSize - kFooterSize) {
+    throw util::SnapshotError("snapshot truncated: payload length mismatch");
+  }
+  const auto body = bytes.first(bytes.size() - kFooterSize);
+  std::uint32_t stored_crc = 0;
+  for (int i = 0; i < 4; ++i) {
+    stored_crc |= static_cast<std::uint32_t>(bytes[body.size() +
+                                                   static_cast<std::size_t>(i)])
+                  << (8 * i);
+  }
+  if (util::crc32(body) != stored_crc) {
+    throw util::SnapshotError("snapshot CRC mismatch");
+  }
+  return util::BinaryReader(bytes.subspan(kHeaderSize, payload_len));
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> save(const Engine& engine) {
+  const graph::Graph& g = engine.graph();
+  const EdgesGuard guard(g);
+
+  util::BinaryWriter w;
+  w.bytes(kMagic);
+  w.u32(kSnapshotVersion);
+  w.u32(kEndianSentinel);
+  const std::size_t len_offset = w.tell();
+  w.u64(0);  // payload length, patched below
+  const std::size_t payload_start = w.tell();
+
+  // 1. engine options
+  write_options(w, engine.options());
+
+  // 2. automaton identity
+  w.u64(engine.automaton().state_count());
+  w.u8(engine.automaton().deterministic() ? 1 : 0);
+
+  // 3. graph — CSR walk (normalized, slack elided), never edges()
+  w.u32(g.num_nodes());
+  w.u64(g.num_edges());
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (const graph::NodeId u : g.neighbors(v)) {
+      if (u > v) {
+        w.u32(v);
+        w.u32(u);
+      }
+    }
+  }
+  w.u64(hash_graph(g));
+
+  // 4. scheduler
+  w.str(engine.scheduler().name());
+  const std::size_t blob_len_offset = w.tell();
+  w.u64(0);
+  const std::size_t blob_start = w.tell();
+  engine.scheduler().save_state(w);
+  w.patch_u64(blob_len_offset, w.tell() - blob_start);
+
+  // 5. configuration
+  w.u64(engine.config().size());
+  for (const StateId q : engine.config()) w.u64(q);
+
+  // 6. engine dynamic state
+  engine.save_state(w);
+
+  w.patch_u64(len_offset, w.tell() - payload_start);
+  w.u32(util::crc32(w.buffer()));
+  return w.take();
+}
+
+Info inspect(std::span<const std::uint8_t> bytes) {
+  auto r = open_payload(bytes);
+  Info info;
+  info.options = read_options(r);
+  info.state_count = r.u64();
+  info.deterministic = r.u8() != 0;
+  info.num_nodes = r.u32();
+  info.num_edges = r.u64();
+  if (info.num_edges > r.remaining() / 8) {
+    throw util::SnapshotError("snapshot truncated: graph edge list");
+  }
+  r.skip(static_cast<std::size_t>(info.num_edges) * 8);  // edge pairs
+  r.skip(8);                                             // graph digest
+  info.scheduler = r.str();
+  const std::uint64_t blob_len = r.u64();
+  r.skip(static_cast<std::size_t>(blob_len));
+  const std::uint64_t config_len = r.u64();
+  if (config_len != info.num_nodes) {
+    throw util::SnapshotError("snapshot configuration size mismatch");
+  }
+  r.skip(static_cast<std::size_t>(config_len) * 8);
+  info.seed = r.u64();
+  info.time = r.u64();
+  info.rounds = r.u64();
+  return info;
+}
+
+graph::Graph restore_graph(std::span<const std::uint8_t> bytes) {
+  auto r = open_payload(bytes);
+  read_options(r);
+  r.skip(8 + 1);  // automaton identity
+  const graph::NodeId n = r.u32();
+  const std::uint64_t m = r.u64();
+  // Division form: m * 8 could wrap on an adversarial edge count.
+  if (m > r.remaining() / 8) {
+    throw util::SnapshotError("snapshot truncated: graph edge list");
+  }
+  std::vector<std::pair<graph::NodeId, graph::NodeId>> edges;
+  edges.reserve(static_cast<std::size_t>(m));
+  for (std::uint64_t i = 0; i < m; ++i) {
+    const graph::NodeId u = r.u32();
+    const graph::NodeId v = r.u32();
+    edges.push_back({u, v});
+  }
+  const std::uint64_t stored_digest = r.u64();
+  try {
+    graph::Graph g(n, std::move(edges));
+    if (hash_graph(g) != stored_digest) {
+      // A hash mismatch past a valid CRC means the serialized pair stream
+      // was not normalized the way this reader normalizes — a format bug,
+      // surfaced as corruption rather than silently accepted.
+      throw util::SnapshotError("snapshot graph digest mismatch");
+    }
+    return g;
+  } catch (const std::invalid_argument& e) {
+    throw util::SnapshotError(std::string("snapshot graph invalid: ") +
+                              e.what());
+  }
+}
+
+std::unique_ptr<Engine> restore(std::span<const std::uint8_t> bytes,
+                                graph::Graph& g, const Automaton& alg,
+                                sched::Scheduler& sched,
+                                std::optional<EngineOptions> options_override) {
+  auto r = open_payload(bytes);
+  const EngineOptions saved_options = read_options(r);
+
+  const std::uint64_t state_count = r.u64();
+  const bool deterministic = r.u8() != 0;
+  if (state_count != alg.state_count() || deterministic != alg.deterministic()) {
+    throw util::SnapshotError(
+        "snapshot automaton mismatch: serialized |Q|=" +
+        std::to_string(state_count) + (deterministic ? " det" : " rand") +
+        ", caller automaton |Q|=" + std::to_string(alg.state_count()) +
+        (alg.deterministic() ? " det" : " rand"));
+  }
+
+  const graph::NodeId n = r.u32();
+  const std::uint64_t m = r.u64();
+  if (n != g.num_nodes() || m != g.num_edges()) {
+    throw util::SnapshotError("snapshot graph mismatch: serialized " +
+                              std::to_string(n) + " nodes / " +
+                              std::to_string(m) + " edges, caller graph " +
+                              std::to_string(g.num_nodes()) + " / " +
+                              std::to_string(g.num_edges()));
+  }
+  r.skip(static_cast<std::size_t>(m) * 8);
+  const std::uint64_t stored_digest = r.u64();
+  {
+    const EdgesGuard guard(g);
+    if (hash_graph(g) != stored_digest) {
+      throw util::SnapshotError(
+          "snapshot graph mismatch: edge digest differs (restore the graph "
+          "via restore_graph, or pass the exact topology the snapshot was "
+          "taken over)");
+    }
+  }
+
+  const std::string sched_name = r.str();
+  if (sched_name != sched.name()) {
+    throw util::SnapshotError("snapshot scheduler mismatch: serialized '" +
+                              sched_name + "', caller scheduler '" +
+                              sched.name() + "'");
+  }
+  const std::uint64_t blob_len = r.u64();
+  util::BinaryReader blob(r.bytes(static_cast<std::size_t>(blob_len)));
+  sched.load_state(blob);
+  if (!blob.done()) {
+    throw util::SnapshotError("scheduler state blob not fully consumed");
+  }
+
+  const std::uint64_t config_len = r.u64();
+  if (config_len != n) {
+    throw util::SnapshotError("snapshot configuration size mismatch");
+  }
+  Configuration config(static_cast<std::size_t>(config_len));
+  for (auto& q : config) {
+    q = r.u64();
+    if (q >= state_count) {
+      throw util::SnapshotError("snapshot configuration state out of range");
+    }
+  }
+
+  // The seed passed here is a placeholder: load_state overwrites the seed
+  // and every rng stream with the serialized states.
+  auto engine = std::make_unique<Engine>(
+      g, alg, sched, std::move(config), /*seed=*/0,
+      options_override.value_or(saved_options));
+  engine->load_state(r);
+  if (!r.done()) {
+    throw util::SnapshotError("snapshot has trailing bytes");
+  }
+  return engine;
+}
+
+void write_file(std::span<const std::uint8_t> bytes, const std::string& path) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    if (!os) {
+      throw util::SnapshotError("cannot open '" + tmp + "' for writing");
+    }
+    os.write(reinterpret_cast<const char*>(bytes.data()),
+             static_cast<std::streamsize>(bytes.size()));
+    os.flush();
+    if (!os) {
+      throw util::SnapshotError("write failed for '" + tmp + "'");
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    throw util::SnapshotError("rename '" + tmp + "' -> '" + path +
+                              "' failed: " + ec.message());
+  }
+}
+
+std::vector<std::uint8_t> read_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    throw util::SnapshotError("cannot open snapshot '" + path + "'");
+  }
+  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(is)),
+                                  std::istreambuf_iterator<char>());
+  if (is.bad()) {
+    throw util::SnapshotError("read failed for snapshot '" + path + "'");
+  }
+  open_payload(bytes);  // full envelope validation; result discarded
+  return bytes;
+}
+
+void write_checkpoint(const Engine& engine, const std::string& path) {
+  const auto bytes = save(engine);
+  std::error_code ec;
+  if (std::filesystem::exists(path, ec)) {
+    std::filesystem::rename(path, path + ".prev", ec);
+    if (ec) {
+      throw util::SnapshotError("checkpoint rotation '" + path + "' -> '" +
+                                path + ".prev' failed: " + ec.message());
+    }
+  }
+  write_file(bytes, path);
+}
+
+std::vector<std::uint8_t> read_checkpoint(const std::string& path) {
+  std::string primary_error;
+  try {
+    return read_file(path);
+  } catch (const util::SnapshotError& e) {
+    primary_error = e.what();
+  }
+  try {
+    return read_file(path + ".prev");
+  } catch (const util::SnapshotError& e) {
+    throw util::SnapshotError("no valid checkpoint: '" + path + "' (" +
+                              primary_error + "); '" + path + ".prev' (" +
+                              e.what() + ")");
+  }
+}
+
+}  // namespace ssau::core::snapshot

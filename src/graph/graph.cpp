@@ -51,6 +51,12 @@ Graph::Graph(NodeId n, std::vector<std::pair<NodeId, NodeId>> edges) : n_(n) {
 
 std::span<const std::pair<NodeId, NodeId>> Graph::edges() const {
   if (edges_dirty_) {
+    // A serializer (or any other reader that registered via
+    // debug_forbid_lazy_edges) must walk neighbors() directly — the lazy
+    // rebuild mutates the cache and is not safe under concurrent readers.
+    assert(!edges_rebuild_forbidden_ &&
+           "Graph::edges() lazy rebuild hit while forbidden "
+           "(snapshot paths must walk neighbors() instead)");
     edges_cache_.clear();
     edges_cache_.reserve(num_edges_);
     for (NodeId v = 0; v < n_; ++v) {

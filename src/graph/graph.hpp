@@ -81,8 +81,20 @@ class Graph {
   /// The deduplicated edge list, sorted ascending with u < v per edge.
   /// Re-materialized lazily after a mutation (O(n + m) on the first call,
   /// cached until the next mutation) — NOT safe to call concurrently with
-  /// itself right after a mutation; the engine hot paths never read it.
+  /// itself right after a mutation; the engine hot paths never read it, and
+  /// the snapshot serializer walks the CSR slots via neighbors() instead
+  /// (see debug_forbid_lazy_edges).
   [[nodiscard]] std::span<const std::pair<NodeId, NodeId>> edges() const;
+
+  /// Debug guard for code that must never trigger the lazy edges() rebuild
+  /// (the snapshot serializer, which may run while other threads read the
+  /// graph): while set, an edges() call that finds the cache dirty asserts
+  /// in debug builds instead of silently re-materializing. No-op under
+  /// NDEBUG. Const because it guards a const method on a logically-const
+  /// graph.
+  void debug_forbid_lazy_edges(bool forbid) const {
+    edges_rebuild_forbidden_ = forbid;
+  }
 
   [[nodiscard]] bool has_edge(NodeId u, NodeId v) const;
 
@@ -137,6 +149,9 @@ class Graph {
   // Lazily re-materialized after mutations; see edges().
   mutable std::vector<std::pair<NodeId, NodeId>> edges_cache_;
   mutable bool edges_dirty_ = false;
+  // Debug tripwire (debug_forbid_lazy_edges): asserts if edges() would
+  // rebuild a dirty cache while a serializer holds the graph.
+  mutable bool edges_rebuild_forbidden_ = false;
 };
 
 }  // namespace ssau::graph

@@ -5,6 +5,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "util/binary_io.hpp"
+
 namespace ssau::sched {
 
 void SynchronousScheduler::activations(core::Time, std::vector<core::NodeId>& out,
@@ -102,6 +104,37 @@ void WaveScheduler::rebuild(const graph::Graph& g) {
   }
 }
 
+void WaveScheduler::save_state(util::BinaryWriter& w) const {
+  w.u64(layers_.size());
+  for (const auto& layer : layers_) {
+    w.u64(layer.size());
+    for (const core::NodeId v : layer) w.u32(v);
+  }
+}
+
+void WaveScheduler::load_state(util::BinaryReader& r) {
+  const std::uint64_t num_layers = r.u64();
+  // Each layer needs at least a u64 size — rejects a corrupt count before
+  // the resize below could balloon (division form avoids overflow).
+  if (num_layers == 0 || num_layers > r.remaining() / 8) {
+    throw util::SnapshotError("wave scheduler state: bad layer count");
+  }
+  std::vector<std::vector<core::NodeId>> layers(
+      static_cast<std::size_t>(num_layers));
+  core::NodeId max_layer = 1;
+  for (auto& layer : layers) {
+    const std::uint64_t sz = r.u64();
+    if (sz > r.remaining() / 4) {
+      throw util::SnapshotError("wave scheduler state: bad layer size");
+    }
+    layer.resize(static_cast<std::size_t>(sz));
+    for (auto& v : layer) v = r.u32();
+    max_layer = std::max(max_layer, static_cast<core::NodeId>(layer.size()));
+  }
+  layers_ = std::move(layers);
+  max_layer_ = max_layer;
+}
+
 void WaveScheduler::activations(core::Time t, std::vector<core::NodeId>& out,
                                 util::Rng&) {
   const auto& layer = layers_[t % layers_.size()];
@@ -123,6 +156,28 @@ void PermutationScheduler::activations(core::Time t,
     }
   }
   out.assign(1, order_[pos]);
+}
+
+void PermutationScheduler::save_state(util::BinaryWriter& w) const {
+  w.u32(n_);
+  for (const core::NodeId v : order_) w.u32(v);
+}
+
+void PermutationScheduler::load_state(util::BinaryReader& r) {
+  const core::NodeId n = r.u32();
+  if (n != n_) {
+    throw util::SnapshotError(
+        "permutation scheduler state: node count mismatch");
+  }
+  std::vector<core::NodeId> order(n_);
+  for (auto& v : order) {
+    v = r.u32();
+    if (v >= n_) {
+      throw util::SnapshotError(
+          "permutation scheduler state: node id out of range");
+    }
+  }
+  order_ = std::move(order);
 }
 
 BurstScheduler::BurstScheduler(core::NodeId n, unsigned burst)

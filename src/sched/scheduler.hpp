@@ -19,6 +19,11 @@
 #include "graph/graph.hpp"
 #include "util/rng.hpp"
 
+namespace ssau::util {
+class BinaryReader;
+class BinaryWriter;
+}  // namespace ssau::util
+
 namespace ssau::sched {
 
 class Scheduler {
@@ -59,6 +64,21 @@ class Scheduler {
   /// no-op — the node set never changes. May be called at any step boundary;
   /// the scheduler's own notion of time is not reset.
   virtual void on_topology_change(const graph::Graph& g) { (void)g; }
+
+  /// Serializes the scheduler's mutable schedule state (nothing derivable
+  /// from (name, graph, t) alone) into a snapshot — the engine snapshot
+  /// format (core/snapshot.hpp) frames the blob and pairs it with name().
+  /// Stateless daemons (their activations are pure functions of t) write
+  /// nothing; PermutationScheduler saves its current permutation,
+  /// WaveScheduler its BFS layering. Any new mutable member added to a
+  /// scheduler MUST be covered here (and the snapshot version bumped) or
+  /// the restore differential suite fails.
+  virtual void save_state(util::BinaryWriter& w) const { (void)w; }
+
+  /// Restores state written by save_state of the same scheduler (matched by
+  /// name by the snapshot layer). Throws util::SnapshotError on a blob that
+  /// is structurally inconsistent with this scheduler's node set.
+  virtual void load_state(util::BinaryReader& r) { (void)r; }
 
   [[nodiscard]] virtual std::string name() const = 0;
 };
@@ -158,6 +178,11 @@ class WaveScheduler final : public Scheduler {
   /// restarts from the new layering's phase of `t`). max_activation_hint()
   /// is refreshed too, but engines consult it once at construction.
   void on_topology_change(const graph::Graph& g) override { rebuild(g); }
+  /// The layering is deterministically rebuildable from the graph, but it is
+  /// snapshotted anyway: a restore must reproduce the exact wave phase even
+  /// if a future rebuild() changes its tie-breaking.
+  void save_state(util::BinaryWriter& w) const override;
+  void load_state(util::BinaryReader& r) override;
   [[nodiscard]] std::string name() const override { return "wave"; }
 
  private:
@@ -175,6 +200,11 @@ class PermutationScheduler final : public Scheduler {
   explicit PermutationScheduler(core::NodeId n);
   void activations(core::Time t, std::vector<core::NodeId>& out,
                    util::Rng& rng) override;
+  /// The current permutation is genuine mutable state (reshuffled every n
+  /// steps from the engine's scheduler stream) — a restore mid-cycle must
+  /// resume the exact order.
+  void save_state(util::BinaryWriter& w) const override;
+  void load_state(util::BinaryReader& r) override;
   [[nodiscard]] std::string name() const override { return "permutation"; }
 
  private:

@@ -1,0 +1,210 @@
+// Bounds-checked little-endian binary serialization primitives.
+//
+// The snapshot subsystem (core/snapshot.hpp) and the replay command log
+// (core/command_log.hpp) read and write through these two classes so that
+// every byte that crosses a process boundary goes through one audited code
+// path. The contract is strict:
+//   * the wire format is little-endian regardless of host byte order —
+//     values are assembled byte by byte, never memcpy'd from host integers;
+//   * every read is bounds-checked and throws SnapshotError on truncation —
+//     corrupt or adversarial input can never index out of bounds, read
+//     uninitialized memory, or otherwise invoke UB;
+//   * length-prefixed fields validate the length against the remaining
+//     buffer BEFORE allocating, so a corrupt length cannot trigger an
+//     attempted multi-gigabyte allocation.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ssau::util {
+
+/// Thrown on any malformed snapshot / command-log input: truncation, bad
+/// magic, version skew, endianness mismatch, CRC mismatch, or a structural
+/// inconsistency found while decoding. Deliberately a single type — callers
+/// recover the same way (discard the artifact, fall back) regardless of
+/// which validation layer tripped; the message says which one did.
+class SnapshotError : public std::runtime_error {
+ public:
+  explicit SnapshotError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320) over `data`,
+/// resumable via `seed` (pass a previous crc32 result to extend it).
+[[nodiscard]] inline std::uint32_t crc32(std::span<const std::uint8_t> data,
+                                         std::uint32_t seed = 0) {
+  static const auto table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1U) ? 0xEDB88320U ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t crc = ~seed;
+  for (const std::uint8_t byte : data) {
+    crc = table[(crc ^ byte) & 0xFFU] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+/// Append-only little-endian encoder into a growable byte buffer.
+class BinaryWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+
+  void u16(std::uint16_t v) {
+    buf_.push_back(static_cast<std::uint8_t>(v));
+    buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+  }
+
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+  // resize + memcpy rather than vector::insert with range iterators: GCC
+  // 12's stringop-overflow analysis misfires on the inlined _M_range_insert
+  // under -O2 (it pins the fresh allocation at the first chunk's size), and
+  // the matrix builds with -Werror.
+  void bytes(std::span<const std::uint8_t> data) {
+    if (data.empty()) return;
+    const std::size_t old = buf_.size();
+    buf_.resize(old + data.size());
+    std::memcpy(buf_.data() + old, data.data(), data.size());
+  }
+
+  /// u64 length prefix + raw bytes.
+  void str(std::string_view s) {
+    u64(s.size());
+    if (s.empty()) return;
+    const std::size_t old = buf_.size();
+    buf_.resize(old + s.size());
+    std::memcpy(buf_.data() + old, s.data(), s.size());
+  }
+
+  /// Current write position — pair with patch_u64 to backfill a length
+  /// reserved earlier (e.g. a sub-blob framed before its size is known).
+  [[nodiscard]] std::size_t tell() const { return buf_.size(); }
+
+  /// Overwrites the 8 bytes at `offset` (previously written, e.g. via
+  /// u64(0)) with `v`.
+  void patch_u64(std::size_t offset, std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      buf_[offset + static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>(v >> (8 * i));
+    }
+  }
+
+  [[nodiscard]] const std::vector<std::uint8_t>& buffer() const { return buf_; }
+  [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Bounds-checked little-endian decoder over a borrowed byte span. Every
+/// accessor throws SnapshotError instead of reading past the end.
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+  [[nodiscard]] std::size_t tell() const { return pos_; }
+  [[nodiscard]] bool done() const { return pos_ == data_.size(); }
+
+  std::uint8_t u8() {
+    need(1, "u8");
+    return data_[pos_++];
+  }
+
+  std::uint16_t u16() {
+    need(2, "u16");
+    const auto v = static_cast<std::uint16_t>(
+        static_cast<std::uint16_t>(data_[pos_]) |
+        static_cast<std::uint16_t>(data_[pos_ + 1]) << 8);
+    pos_ += 2;
+    return v;
+  }
+
+  std::uint32_t u32() {
+    need(4, "u32");
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(data_[pos_ + static_cast<std::size_t>(i)])
+           << (8 * i);
+    }
+    pos_ += 4;
+    return v;
+  }
+
+  std::uint64_t u64() {
+    need(8, "u64");
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(data_[pos_ + static_cast<std::size_t>(i)])
+           << (8 * i);
+    }
+    pos_ += 8;
+    return v;
+  }
+
+  double f64() { return std::bit_cast<double>(u64()); }
+
+  /// Borrowed view of the next n bytes (valid while the backing span lives).
+  std::span<const std::uint8_t> bytes(std::size_t n) {
+    need(n, "bytes");
+    const auto out = data_.subspan(pos_, n);
+    pos_ += n;
+    return out;
+  }
+
+  /// Length-prefixed string; the length is validated against the remaining
+  /// buffer before any allocation.
+  std::string str() {
+    const std::uint64_t len = u64();
+    need(len, "str");
+    std::string out(reinterpret_cast<const char*>(data_.data() + pos_),
+                    static_cast<std::size_t>(len));
+    pos_ += static_cast<std::size_t>(len);
+    return out;
+  }
+
+  void skip(std::size_t n) {
+    need(n, "skip");
+    pos_ += n;
+  }
+
+ private:
+  void need(std::uint64_t n, const char* what) const {
+    if (n > data_.size() - pos_) {
+      throw SnapshotError(std::string("truncated input: need ") +
+                          std::to_string(n) + " bytes for " + what +
+                          ", have " + std::to_string(data_.size() - pos_));
+    }
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace ssau::util

@@ -88,6 +88,13 @@ Rng Rng::fork() noexcept {
   return child;
 }
 
+Rng Rng::from_state(const std::array<std::uint64_t, 4>& s) noexcept {
+  Rng r(0);
+  for (int i = 0; i < 4; ++i) r.s_[i] = s[static_cast<std::size_t>(i)];
+  if ((r.s_[0] | r.s_[1] | r.s_[2] | r.s_[3]) == 0) r.s_[0] = kSplitMixGamma;
+  return r;
+}
+
 Rng Rng::stream(std::uint64_t seed, std::uint64_t stream_id) noexcept {
   // The stream_id-th output of a SplitMix64 counter sequence anchored at
   // `seed` (offset by an odd constant so stream 0 differs from Rng(seed)'s

@@ -7,6 +7,7 @@
 // schedulers, and adversaries without correlation.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <limits>
 
@@ -61,6 +62,18 @@ class Rng {
   /// execution reproducible: stream i is a pure function of (seed, i).
   [[nodiscard]] static Rng stream(std::uint64_t seed,
                                   std::uint64_t stream_id) noexcept;
+
+  /// The raw xoshiro256** state words — serialization support. A generator
+  /// reconstructed via from_state(state()) continues the exact sequence.
+  [[nodiscard]] std::array<std::uint64_t, 4> state() const noexcept {
+    return {s_[0], s_[1], s_[2], s_[3]};
+  }
+
+  /// Rebuilds a generator from state() words. The all-zero state (a fixed
+  /// point of xoshiro, unreachable from any seeded generator) is remapped to
+  /// the same guard word the seeding constructor uses.
+  [[nodiscard]] static Rng from_state(
+      const std::array<std::uint64_t, 4>& s) noexcept;
 
  private:
   std::uint64_t s_[4];

@@ -9,6 +9,10 @@
 #include <utility>
 #include <vector>
 
+#include "core/engine.hpp"
+#include "core/snapshot.hpp"
+#include "sched/scheduler.hpp"
+#include "unison/alg_au.hpp"
 #include "util/rng.hpp"
 
 namespace ssau::graph {
@@ -213,6 +217,53 @@ TEST(GraphDelta, ChurnFuzzEqualsRebuiltOracle) {
     }
     g.apply_delta(delta);
     expect_equals_fresh(g);
+  }
+}
+
+TEST(GraphDelta, ChurnStormSurvivesSnapshotRoundTrip) {
+  // Same storm, but every few batches the graph is serialized (inside a
+  // minimal engine snapshot — the serializer walks the CSR, never the lazy
+  // edges() cache) and deserialized; the restored graph must match the live
+  // one on every accessor, slack elision and slot relocations included.
+  util::Rng rng(777);
+  const NodeId n = 24;
+  Graph g(n, {{0, 1}, {1, 2}, {2, 3}});
+  const unison::AlgAu alg(3);
+  for (int round = 0; round < 40; ++round) {
+    TopologyDelta delta;
+    for (int k = 0; k < 8; ++k) {
+      const auto u = static_cast<NodeId>(rng.below(n));
+      auto v = static_cast<NodeId>(rng.below(n));
+      if (u == v) v = (v + 1) % n;
+      if (rng.bernoulli(0.45)) {
+        delta.remove.emplace_back(u, v);
+      } else {
+        delta.add.emplace_back(u, v);
+      }
+    }
+    g.apply_delta(delta);
+    if (round % 5 != 0) continue;
+
+    auto sched = sched::make_scheduler("uniform-single", g);
+    util::Rng crng(1);
+    const core::Engine engine(
+        g, alg, *sched, core::random_configuration(alg, n, crng), 42);
+    const Graph restored =
+        core::snapshot::restore_graph(core::snapshot::save(engine));
+    ASSERT_EQ(restored.num_nodes(), g.num_nodes());
+    ASSERT_EQ(restored.num_edges(), g.num_edges());
+    EXPECT_EQ(restored.max_degree(), g.max_degree());
+    EXPECT_DOUBLE_EQ(restored.avg_degree(), g.avg_degree());
+    for (NodeId v = 0; v < n; ++v) {
+      ASSERT_EQ(restored.degree(v), g.degree(v)) << "node " << v;
+      const auto a = g.neighbors(v);
+      const auto b = restored.neighbors(v);
+      EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end()))
+          << "neighbors of " << v;
+    }
+    const auto ea = g.edges();
+    const auto eb = restored.edges();
+    EXPECT_TRUE(std::equal(ea.begin(), ea.end(), eb.begin(), eb.end()));
   }
 }
 
