@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <iterator>
+#include <limits>
 
 #include "util/binary_io.hpp"
 
@@ -111,6 +112,13 @@ CommandLogWriter::~CommandLogWriter() {
 }
 
 void CommandLogWriter::write_record(const std::vector<std::uint8_t>& body) {
+  // The frame length is u32; silently truncating an oversized body (e.g. an
+  // inject-configuration record for a >512M-node graph) would produce a log
+  // the reader rejects as CRC-corrupt. Fail here, at write time, instead.
+  if (body.size() > std::numeric_limits<std::uint32_t>::max()) {
+    throw util::SnapshotError("command log record too large for '" + path_ +
+                              "': " + std::to_string(body.size()) + " bytes");
+  }
   util::BinaryWriter frame;
   frame.u32(static_cast<std::uint32_t>(body.size()));
   frame.u32(util::crc32(body));

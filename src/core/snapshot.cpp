@@ -281,11 +281,7 @@ std::unique_ptr<Engine> restore(std::span<const std::uint8_t> bytes,
                               sched.name() + "'");
   }
   const std::uint64_t blob_len = r.u64();
-  util::BinaryReader blob(r.bytes(static_cast<std::size_t>(blob_len)));
-  sched.load_state(blob);
-  if (!blob.done()) {
-    throw util::SnapshotError("scheduler state blob not fully consumed");
-  }
+  const auto blob_bytes = r.bytes(static_cast<std::size_t>(blob_len));
 
   const std::uint64_t config_len = r.u64();
   if (config_len != n) {
@@ -299,16 +295,40 @@ std::unique_ptr<Engine> restore(std::span<const std::uint8_t> bytes,
     }
   }
 
-  // The seed passed here is a placeholder: load_state overwrites the seed
-  // and every rng stream with the serialized states.
-  auto engine = std::make_unique<Engine>(
-      g, alg, sched, std::move(config), /*seed=*/0,
-      options_override.value_or(saved_options));
-  engine->load_state(r);
-  if (!r.done()) {
-    throw util::SnapshotError("snapshot has trailing bytes");
+  // The caller's scheduler is the only collaborator restore mutates. Its
+  // prior state is saved so a failure in any later stage (engine state,
+  // trailing bytes) can roll it back — a failed restore leaves the caller's
+  // objects exactly as they were.
+  util::BinaryWriter prior_sched_state;
+  sched.save_state(prior_sched_state);
+  try {
+    util::BinaryReader blob(blob_bytes);
+    sched.load_state(blob);
+    if (!blob.done()) {
+      throw util::SnapshotError("scheduler state blob not fully consumed");
+    }
+
+    // The seed passed here is a placeholder: load_state overwrites the seed
+    // and every rng stream with the serialized states.
+    auto engine = std::make_unique<Engine>(
+        g, alg, sched, std::move(config), /*seed=*/0,
+        options_override.value_or(saved_options));
+    engine->load_state(r);
+    if (!r.done()) {
+      throw util::SnapshotError("snapshot has trailing bytes");
+    }
+    return engine;
+  } catch (...) {
+    try {
+      util::BinaryReader rollback(prior_sched_state.buffer());
+      sched.load_state(rollback);
+    } catch (const util::SnapshotError&) {
+      // Rolling back state the scheduler itself just saved cannot fail for
+      // the in-tree schedulers; if a custom one does, propagating the
+      // original error matters more.
+    }
+    throw;
   }
-  return engine;
 }
 
 void write_file(std::span<const std::uint8_t> bytes, const std::string& path) {
@@ -350,7 +370,15 @@ std::vector<std::uint8_t> read_file(const std::string& path) {
 void write_checkpoint(const Engine& engine, const std::string& path) {
   const auto bytes = save(engine);
   std::error_code ec;
-  if (std::filesystem::exists(path, ec)) {
+  const bool have_previous = std::filesystem::exists(path, ec);
+  // A transient stat failure must not be read as "no previous checkpoint":
+  // that would skip rotation and overwrite a valid checkpoint via rename,
+  // breaking the never-zero-valid-checkpoints guarantee.
+  if (ec) {
+    throw util::SnapshotError("checkpoint stat of '" + path +
+                              "' failed: " + ec.message());
+  }
+  if (have_previous) {
     std::filesystem::rename(path, path + ".prev", ec);
     if (ec) {
       throw util::SnapshotError("checkpoint rotation '" + path + "' -> '" +

@@ -75,6 +75,7 @@ void WaveScheduler::rebuild(const graph::Graph& g) {
   layers_.clear();
   max_layer_ = 1;
   const core::NodeId n = g.num_nodes();
+  n_ = n;
   constexpr auto kUnvisited = std::numeric_limits<std::uint32_t>::max();
   std::vector<std::uint32_t> dist(n, kUnvisited);
   std::vector<core::NodeId> queue;
@@ -121,6 +122,11 @@ void WaveScheduler::load_state(util::BinaryReader& r) {
   }
   std::vector<std::vector<core::NodeId>> layers(
       static_cast<std::size_t>(num_layers));
+  // The layering must partition this scheduler's node set [0, n_): an id
+  // out of range or repeated would flow straight into the engine's active
+  // set and index config_/pending_/neighbors() out of bounds.
+  std::vector<bool> seen(n_, false);
+  std::uint64_t covered = 0;
   core::NodeId max_layer = 1;
   for (auto& layer : layers) {
     const std::uint64_t sz = r.u64();
@@ -128,8 +134,24 @@ void WaveScheduler::load_state(util::BinaryReader& r) {
       throw util::SnapshotError("wave scheduler state: bad layer size");
     }
     layer.resize(static_cast<std::size_t>(sz));
-    for (auto& v : layer) v = r.u32();
+    for (auto& v : layer) {
+      v = r.u32();
+      if (v >= n_) {
+        throw util::SnapshotError(
+            "wave scheduler state: node id out of range");
+      }
+      if (seen[v]) {
+        throw util::SnapshotError(
+            "wave scheduler state: node id repeated across layers");
+      }
+      seen[v] = true;
+    }
+    covered += sz;
     max_layer = std::max(max_layer, static_cast<core::NodeId>(layer.size()));
+  }
+  if (covered != n_) {
+    throw util::SnapshotError(
+        "wave scheduler state: layering does not cover the node set");
   }
   layers_ = std::move(layers);
   max_layer_ = max_layer;

@@ -182,12 +182,16 @@ class WaveScheduler final : public Scheduler {
   /// snapshotted anyway: a restore must reproduce the exact wave phase even
   /// if a future rebuild() changes its tie-breaking.
   void save_state(util::BinaryWriter& w) const override;
+  /// Rejects any blob whose layers are not a partition of this scheduler's
+  /// node set — out-of-range ids would flow into the engine's activation
+  /// path unchecked.
   void load_state(util::BinaryReader& r) override;
   [[nodiscard]] std::string name() const override { return "wave"; }
 
  private:
   void rebuild(const graph::Graph& g);
 
+  core::NodeId n_ = 0;
   std::vector<std::vector<core::NodeId>> layers_;
   core::NodeId max_layer_ = 1;  // size of the largest layer
 };

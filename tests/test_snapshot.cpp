@@ -11,6 +11,7 @@
 // recorded command log replays a trajectory bit-identically.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -671,6 +672,99 @@ TEST(SchedulerState, WaveLayeringRoundTrip) {
   for (core::Time t = 0; t < 25; ++t) {
     a.activations(t, out_a, rng);
     b.activations(t, out_b, rng);
+    EXPECT_EQ(out_a, out_b) << "t=" << t;
+  }
+}
+
+TEST(SchedulerState, WaveRejectsCorruptBlobs) {
+  const graph::Graph g = graph::path(4);
+  sched::WaveScheduler s(g);
+  const auto blob_of = [](std::vector<std::vector<core::NodeId>> layers) {
+    util::BinaryWriter w;
+    w.u64(layers.size());
+    for (const auto& layer : layers) {
+      w.u64(layer.size());
+      for (const core::NodeId v : layer) w.u32(v);
+    }
+    return w.take();
+  };
+  {
+    // Node id >= n: the engine would index config_/pending_/neighbors() out
+    // of bounds with it.
+    const auto bytes = blob_of({{0}, {1}, {2}, {99}});
+    util::BinaryReader r(bytes);
+    EXPECT_THROW(s.load_state(r), SnapshotError);
+  }
+  {
+    // Duplicate across layers.
+    const auto bytes = blob_of({{0, 1}, {1, 2}});
+    util::BinaryReader r(bytes);
+    EXPECT_THROW(s.load_state(r), SnapshotError);
+  }
+  {
+    // Missing node (layering must partition the node set).
+    const auto bytes = blob_of({{0}, {1, 2}});
+    util::BinaryReader r(bytes);
+    EXPECT_THROW(s.load_state(r), SnapshotError);
+  }
+  {
+    // Zero layers.
+    const auto bytes = blob_of({});
+    util::BinaryReader r(bytes);
+    EXPECT_THROW(s.load_state(r), SnapshotError);
+  }
+  // A rejected blob must not have clobbered the layering: the schedule
+  // still partitions [0, 4) one node per BFS layer of the path.
+  util::Rng rng(1);
+  std::vector<core::NodeId> out;
+  std::vector<bool> seen(4, false);
+  for (core::Time t = 0; t < 4; ++t) {
+    s.activations(t, out, rng);
+    for (const core::NodeId v : out) {
+      ASSERT_LT(v, 4u);
+      EXPECT_FALSE(seen[v]);
+      seen[v] = true;
+    }
+  }
+  EXPECT_TRUE(std::all_of(seen.begin(), seen.end(), [](bool b) { return b; }));
+}
+
+TEST(Restore, FailedRestoreLeavesSchedulerIntact) {
+  // Corrupt the tail of a valid snapshot (engine-state section) and re-seal
+  // the envelope: restore throws AFTER reaching the scheduler blob, yet must
+  // leave the caller's scheduler producing its original schedule.
+  TinyRun run;  // 100 steps → the snapshotted permutation is mid-cycle
+  auto bytes = run.bytes;
+
+  // Drop the final payload byte and re-frame (length at offset 16, CRC
+  // trailing): the envelope validates, every section up to and including
+  // the scheduler blob parses, and Engine::load_state hits truncation.
+  bytes.resize(bytes.size() - 5);  // old CRC (4) + last payload byte
+  const std::uint64_t new_len = bytes.size() - 24;
+  for (int i = 0; i < 8; ++i) {
+    bytes[16 + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(new_len >> (8 * i));
+  }
+  const std::uint32_t crc = util::crc32(bytes);
+  for (int i = 0; i < 4; ++i) {
+    bytes.push_back(static_cast<std::uint8_t>(crc >> (8 * i)));
+  }
+
+  graph::Graph g2 = restore_graph(bytes);
+  auto sched2 = sched::make_scheduler("permutation", g2);
+  // Reference: a twin scheduler that never sees the corrupt restore.
+  auto sched_ref = sched::make_scheduler("permutation", g2);
+
+  EXPECT_THROW(restore(bytes, g2, run.alg, *sched2), SnapshotError);
+
+  // Compare mid-cycle (pos 1..n-1 never reshuffles, so the snapshot's
+  // shuffled order would show through if the failed restore left it in).
+  util::Rng rng;
+  std::vector<core::NodeId> out_a;
+  std::vector<core::NodeId> out_b;
+  for (core::Time t = 1; t < 12; ++t) {
+    sched2->activations(t, out_a, rng);
+    sched_ref->activations(t, out_b, rng);
     EXPECT_EQ(out_a, out_b) << "t=" << t;
   }
 }
