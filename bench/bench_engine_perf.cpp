@@ -44,11 +44,18 @@
 // measured in-run, so the patch_over_rebuild ratio is machine-independent).
 // CI gates the ratio via bench_compare.py --min-churn.
 //
+// The service table drives --service-sessions concurrent sessions of mixed
+// command traffic (steps, rounds, injections, topology deltas, queries)
+// through one SimulationService worker pool and reports aggregate
+// sessions/sec, commands/sec, and queue+execute command latency percentiles.
+// CI gates the concurrency level via bench_compare.py --min-sessions.
+//
 // Usage: bench_engine_perf [--nodes=10000] [--edge-p=0.0008]
 //                          [--sync-steps=100] [--single-steps=200000]
 //                          [--single-act-steps=200000]
 //                          [--single-act-edge-p=0.02]
 //                          [--churn-events=64] [--churn-rebuild-events=12]
+//                          [--service-sessions=1000] [--service-workers=0]
 //                          [--threads=1,2,4,8] [--repeats=3]
 //                          [--json=BENCH_engine.json] [--seed=7]
 #include <algorithm>
@@ -69,6 +76,7 @@
 #include "le/alg_le.hpp"
 #include "mis/alg_mis.hpp"
 #include "sched/scheduler.hpp"
+#include "service/service.hpp"
 #include "sync/simple_sync_algs.hpp"
 #include "unison/alg_au.hpp"
 #include "unison/baselines.hpp"
@@ -239,6 +247,10 @@ int main(int argc, char** argv) {
   const int churn_rebuild_events = cli.get_int("churn-rebuild-events", 12);
   const auto snapshot_steps =
       static_cast<std::uint64_t>(cli.get_int("snapshot-steps", 1000000));
+  const auto service_sessions =
+      static_cast<std::uint64_t>(cli.get_int("service-sessions", 1000));
+  const auto service_workers =
+      static_cast<unsigned>(cli.get_int("service-workers", 0));
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 7));
   const std::string json_path = cli.get("json", "BENCH_engine.json");
   const std::vector<unsigned> thread_list =
@@ -560,6 +572,106 @@ int main(int argc, char** argv) {
     }
   }
 
+  // --- service table (multi-session mixed traffic) ---------------------------
+  // Opens --service-sessions sessions over one SimulationService pool and
+  // pushes a mixed 8-command script through each (steps, rounds, an
+  // injection, topology churn on the dense half, queries with a trajectory
+  // digest), interleaved round-robin so sessions genuinely contend for the
+  // pool. Wall clock covers open + submit + drain; per-command latency is
+  // queue wait + execution (submit to completion). --service-sessions=0
+  // skips the table (the CI scaling run).
+  struct ServicePoint {
+    std::uint64_t sessions = 0;
+    unsigned workers = 0;
+    std::uint64_t commands = 0;
+    double seconds = 0.0;
+    double sessions_per_sec = 0.0;
+    double commands_per_sec = 0.0;
+    double p50_latency_us = 0.0;
+    double p99_latency_us = 0.0;
+  };
+  std::vector<ServicePoint> service_points;
+  if (service_sessions > 0) {
+    service::ServiceOptions service_options;
+    service_options.workers = service_workers;
+    service::SimulationService svc(service_options);
+
+    std::vector<std::vector<service::Command>> scripts;
+    scripts.reserve(service_sessions);
+    for (std::uint64_t i = 0; i < service_sessions; ++i) {
+      const bool dense = (i % 2) == 0;
+      std::vector<service::Command> script;
+      script.push_back(service::cmd::step(30));
+      script.push_back(service::cmd::inject_state(
+          static_cast<core::NodeId>(i % 16), 0));
+      if (dense) {
+        // Always legal on a complete graph: drop one edge, heal it back.
+        graph::TopologyDelta drop, heal;
+        drop.remove = {{0, 1}};
+        heal.add = {{0, 1}};
+        script.push_back(service::cmd::topology_delta(std::move(drop)));
+        script.push_back(service::cmd::step(10));
+        script.push_back(service::cmd::topology_delta(std::move(heal)));
+      } else {
+        script.push_back(service::cmd::run_rounds(2));
+        script.push_back(service::cmd::step(10));
+        script.push_back(service::cmd::query_config());
+      }
+      script.push_back(service::cmd::query_stats());
+      script.push_back(service::cmd::query_hash());
+      scripts.push_back(std::move(script));
+    }
+
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<service::SimulationService::SessionId> ids;
+    ids.reserve(service_sessions);
+    for (std::uint64_t i = 0; i < service_sessions; ++i) {
+      service::SessionSpec spec;
+      spec.seed = seed + i;
+      if ((i % 2) == 0) {
+        spec.automaton = "alg-au:3";
+        spec.scheduler = "uniform-single";
+        spec.graph = "complete:24";
+      } else {
+        spec.automaton = "alg-mis:4";
+        spec.scheduler = "random-subset";
+        spec.subset_p = 0.3;
+        spec.graph = "random:64:0.08";
+      }
+      ids.push_back(svc.open_session(spec));
+    }
+    std::size_t longest = 0;
+    for (const auto& s : scripts) longest = std::max(longest, s.size());
+    for (std::size_t k = 0; k < longest; ++k) {
+      for (std::uint64_t i = 0; i < service_sessions; ++i) {
+        if (k < scripts[i].size()) {
+          // Results are measured via completion latencies; the futures
+          // themselves are not awaited individually.
+          static_cast<void>(svc.submit(ids[i], scripts[i][k]));
+        }
+      }
+    }
+    svc.drain();
+    const auto t1 = std::chrono::steady_clock::now();
+
+    std::vector<double> latencies = svc.latency_samples();
+    std::sort(latencies.begin(), latencies.end());
+    const auto percentile = [&](double p) {
+      if (latencies.empty()) return 0.0;
+      const auto idx = static_cast<std::size_t>(
+          p * static_cast<double>(latencies.size() - 1));
+      return latencies[idx] * 1e6;
+    };
+    const double seconds = std::chrono::duration<double>(t1 - t0).count();
+    service_points.push_back(
+        {service_sessions, svc.workers(), svc.commands_completed(), seconds,
+         seconds > 0 ? static_cast<double>(service_sessions) / seconds : 0.0,
+         seconds > 0 ? static_cast<double>(svc.commands_completed()) / seconds
+                     : 0.0,
+         percentile(0.50), percentile(0.99)});
+    svc.shutdown();
+  }
+
   // --- table + speedups ------------------------------------------------------
   std::cout << "\n==== E12 engine throughput (n=" << n
             << ", |E|=" << g.num_edges() << ") ====\n\n";
@@ -644,6 +756,25 @@ int main(int argc, char** argv) {
                 << std::setw(12) << p.save_mb_per_sec << std::setw(14)
                 << p.restore_mb_per_sec << std::setw(12)
                 << p.restore_over_rerun << "x\n";
+    }
+  }
+
+  // --- service table ---------------------------------------------------------
+  if (!service_points.empty()) {
+    std::cout << "\n==== simulation service: concurrent sessions, mixed "
+                 "command traffic ====\n\n";
+    std::cout << std::left << std::setw(10) << "sessions" << std::setw(9)
+              << "workers" << std::right << std::setw(10) << "commands"
+              << std::setw(14) << "sessions/s" << std::setw(14) << "commands/s"
+              << std::setw(12) << "p50 us" << std::setw(12) << "p99 us"
+              << "\n";
+    for (const ServicePoint& p : service_points) {
+      std::cout << std::left << std::setw(10) << p.sessions << std::setw(9)
+                << p.workers << std::right << std::setw(10) << p.commands
+                << std::fixed << std::setprecision(0) << std::setw(14)
+                << p.sessions_per_sec << std::setw(14) << p.commands_per_sec
+                << std::setprecision(1) << std::setw(12) << p.p50_latency_us
+                << std::setw(12) << p.p99_latency_us << "\n";
     }
   }
 
@@ -758,6 +889,20 @@ int main(int argc, char** argv) {
     jw.key("save_mb_per_sec").value(p.save_mb_per_sec);
     jw.key("restore_mb_per_sec").value(p.restore_mb_per_sec);
     jw.key("restore_over_rerun").value(p.restore_over_rerun);
+    jw.end_object();
+  }
+  jw.end_array();
+  jw.key("service").begin_array();
+  for (const ServicePoint& p : service_points) {
+    jw.begin_object();
+    jw.key("sessions").value(p.sessions);
+    jw.key("workers").value(static_cast<std::uint64_t>(p.workers));
+    jw.key("commands").value(p.commands);
+    jw.key("seconds").value(p.seconds);
+    jw.key("sessions_per_sec").value(p.sessions_per_sec);
+    jw.key("commands_per_sec").value(p.commands_per_sec);
+    jw.key("p50_latency_us").value(p.p50_latency_us);
+    jw.key("p99_latency_us").value(p.p99_latency_us);
     jw.end_object();
   }
   jw.end_array();

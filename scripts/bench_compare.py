@@ -58,6 +58,14 @@ silently degraded to recompute-everything cost (say the graph digest check
 re-walking edges() or load_state allocating per node) drags it toward 1 and
 fails the gate.
 
+The service table ("service" rows: concurrent sessions of mixed command
+traffic multiplexed through SimulationService) is gated via --min-sessions N:
+the current run must contain a service row that drove at least N sessions to
+completion with positive sessions/sec throughput and a positive p99 command
+latency (a row whose latency percentiles are zero means no commands actually
+completed). The gate is an in-run capability floor like --min-scaling, not a
+baseline ratio — absolute sessions/sec depends on the runner.
+
 Usage:
   scripts/bench_compare.py BASELINE.json CURRENT.json [--max-regression 0.30]
                            [--absolute]
@@ -65,6 +73,7 @@ Usage:
                            [--min-speedup ALGO:SCHED:FACTOR ...]
                            [--min-churn ALGO:SCHED:FACTOR ...]
                            [--min-restore ALGO:SCHED:FACTOR ...]
+                           [--min-sessions N]
   scripts/bench_compare.py --self-check
 """
 
@@ -180,6 +189,24 @@ def index_snapshot(doc):
             "restore_rate": as_number(row.get("restore_mb_per_sec")),
             "bytes": as_number(row.get("snapshot_bytes")),
         }
+    return out
+
+
+def index_service(doc):
+    """service rows (one per measured pool run), in file order."""
+    out = []
+    for row in doc.get("service", []):
+        if not isinstance(row, dict):
+            continue
+        out.append({
+            "sessions": as_number(row.get("sessions")),
+            "workers": as_number(row.get("workers")),
+            "commands": as_number(row.get("commands")),
+            "sessions_per_sec": as_number(row.get("sessions_per_sec")),
+            "commands_per_sec": as_number(row.get("commands_per_sec")),
+            "p50": as_number(row.get("p50_latency_us")),
+            "p99": as_number(row.get("p99_latency_us")),
+        })
     return out
 
 
@@ -451,6 +478,55 @@ def run_gate(baseline, current, args, out=sys.stdout, err=sys.stderr):
                 f"{got:.1f}x over re-running the trajectory (floor {factor:.1f}x)"
             )
 
+    cur_service = index_service(current)
+    if not args.scaling_only and index_service(baseline) and not cur_service:
+        # Disappeared-table protection: a service table in the committed
+        # baseline must still be emitted by the current run.
+        failures.append("service table present in baseline but missing "
+                        "from current run")
+    for row in cur_service:
+        print(
+            f"[info] service: {row['sessions'] if row['sessions'] is not None else 0:.0f} sessions "
+            f"x {row['workers'] if row['workers'] is not None else 0:.0f} workers, "
+            f"{row['commands'] if row['commands'] is not None else 0:.0f} commands, "
+            f"{row['sessions_per_sec'] if row['sessions_per_sec'] is not None else 0:.3g} sessions/s, "
+            f"{row['commands_per_sec'] if row['commands_per_sec'] is not None else 0:.3g} commands/s, "
+            f"p50 {row['p50'] if row['p50'] is not None else 0:.1f} us, "
+            f"p99 {row['p99'] if row['p99'] is not None else 0:.1f} us",
+            file=out,
+        )
+
+    if args.min_sessions is not None:
+        if args.min_sessions <= 0:
+            print(f"bad --min-sessions value '{args.min_sessions}'", file=err)
+            return 2
+        # A qualifying row must have actually completed its traffic: a
+        # sessions count alone is claimable by a pool that deadlocked before
+        # any command finished (zero throughput, zero latency percentiles).
+        qualifying = [
+            row for row in cur_service
+            if (row["sessions"] is not None
+                and row["sessions"] >= args.min_sessions
+                and row["sessions_per_sec"] is not None
+                and row["sessions_per_sec"] > 0
+                and row["p99"] is not None and row["p99"] > 0)
+        ]
+        if qualifying:
+            best = max(qualifying, key=lambda r: r["sessions"])
+            print(
+                f"[OK ] service gate: {best['sessions']:.0f} sessions "
+                f"(floor {args.min_sessions}) at "
+                f"{best['sessions_per_sec']:.3g} sessions/s, "
+                f"p99 {best['p99']:.1f} us",
+                file=out,
+            )
+        else:
+            failures.append(
+                f"no service row drove >= {args.min_sessions} completed "
+                f"sessions with positive throughput and p99 latency "
+                f"(required by --min-sessions)"
+            )
+
     for w in warnings:
         print(f"[warn] {w}", file=out)
 
@@ -476,6 +552,7 @@ def self_check():
             min_speedup=kw.get("min_speedup", []),
             min_churn=kw.get("min_churn", []),
             min_restore=kw.get("min_restore", []),
+            min_sessions=kw.get("min_sessions", None),
             scaling_only=kw.get("scaling_only", False),
         )
         return run_gate(baseline, current, args, out=io.StringIO(),
@@ -544,6 +621,28 @@ def self_check():
              "save_mb_per_sec": 900.0,
              "restore_mb_per_sec": 300.0,
              "restore_over_rerun": 40.0},
+        ],
+    }
+
+    service_doc = {
+        "speedups": [],
+        "service": [
+            {"sessions": 1000, "workers": 8, "commands": 7000,
+             "seconds": 0.5, "sessions_per_sec": 2000.0,
+             "commands_per_sec": 14000.0,
+             "p50_latency_us": 120.0, "p99_latency_us": 900.0},
+        ],
+    }
+
+    stalled_service_doc = {
+        "speedups": [],
+        "service": [
+            # Claims the session count but completed nothing: zero
+            # throughput and zero latency percentiles must not qualify.
+            {"sessions": 1000, "workers": 8, "commands": 0,
+             "seconds": 0.0, "sessions_per_sec": 0.0,
+             "commands_per_sec": 0.0,
+             "p50_latency_us": 0.0, "p99_latency_us": 0.0},
         ],
     }
 
@@ -656,6 +755,27 @@ def self_check():
         ("scaling-only skips the snapshot baseline diff", 0,
          lambda: gate(snapshot_doc, {"speedups": [], "snapshot": []},
                       scaling_only=True)),
+        ("service gate passes at the floor", 0,
+         lambda: gate(service_doc, service_doc, scaling_only=True,
+                      min_sessions=1000)),
+        ("service gate below the floor fails", 1,
+         lambda: gate(service_doc, service_doc, scaling_only=True,
+                      min_sessions=2000)),
+        ("service gate with no service table fails", 1,
+         lambda: gate(service_doc, {"speedups": []}, scaling_only=True,
+                      min_sessions=1000)),
+        ("stalled service row (zero throughput/latency) fails", 1,
+         lambda: gate(stalled_service_doc, stalled_service_doc,
+                      scaling_only=True, min_sessions=1000)),
+        ("non-positive --min-sessions is a usage error", 2,
+         lambda: gate(service_doc, service_doc, scaling_only=True,
+                      min_sessions=0)),
+        ("service table matching baseline passes ungated", 0,
+         lambda: gate(service_doc, service_doc)),
+        ("service table missing vs baseline fails", 1,
+         lambda: gate(service_doc, {"speedups": []})),
+        ("scaling-only skips the service baseline diff", 0,
+         lambda: gate(service_doc, {"speedups": []}, scaling_only=True)),
     ]
 
     failed = 0
@@ -728,6 +848,15 @@ def main():
         help="require the current run's snapshot entry for ALGO under SCHED "
         "to reach FACTOR x restore-over-rerun (checkpoint resume vs "
         "recomputing the trajectory; repeatable)",
+    )
+    parser.add_argument(
+        "--min-sessions",
+        type=int,
+        default=None,
+        metavar="N",
+        help="require the current run's service table to contain a row that "
+        "drove at least N concurrent sessions to completion (positive "
+        "sessions/sec and p99 command latency)",
     )
     parser.add_argument(
         "--scaling-only",

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <iterator>
 #include <limits>
+#include <stdexcept>
 
 #include "util/binary_io.hpp"
 
@@ -325,6 +326,11 @@ ReplayResult replay_commands(Engine& engine,
         ++result.hash_checks;
         if (engine_state_hash(engine) != cmd.hash) ++result.hash_mismatches;
         break;
+      default:
+        throw std::invalid_argument(
+            "replay_commands: session-only command type " +
+            std::to_string(static_cast<int>(cmd.type)) +
+            " (use service::Session::apply)");
     }
     ++result.commands_applied;
   }

@@ -45,21 +45,41 @@ struct ReplayHeader {
 };
 
 enum class CommandType : std::uint8_t {
+  // --- wire types: the on-disk record set (never renumber) ------------------
   kSteps = 1,                // run `count` engine steps
   kInjectState = 2,          // inject_state(v, q)
   kInjectConfiguration = 3,  // inject_configuration(config)
   kTopologyDelta = 4,        // apply_topology_delta(delta)
   kExpectHash = 5,           // assert engine_state_hash == hash
+  // --- session-only types (service/session.hpp) -----------------------------
+  // These complete the one command surface every driver goes through
+  // (service::Session::apply) but are never serialized into a log:
+  // kRunRounds is logged as the kSteps count it actually executed, kSnapshot
+  // produces a checkpoint file rather than a log record, and the queries
+  // read without mutating (kQueryHash is logged as a kExpectHash assertion
+  // of the observed digest). read_command_log rejects them on disk as
+  // unknown record types.
+  kRunRounds = 6,            // run_rounds(count)
+  kSnapshot = 7,             // snapshot::write_checkpoint to `path`
+  kQueryConfig = 8,          // read the configuration
+  kQueryStats = 9,           // read time / rounds / topology counters
+  kQueryHash = 10,           // read engine_state_hash
 };
 
+/// One engine-facing command — the argument of service::Session::apply and
+/// the decoded form of every command-log record (read_command_log yields
+/// these directly, so the replay tool and the service share one decode
+/// path). Which fields are meaningful depends on `type`; the rest stay at
+/// their defaults.
 struct Command {
   CommandType type = CommandType::kSteps;
-  std::uint64_t count = 0;           // kSteps
+  std::uint64_t count = 0;           // kSteps / kRunRounds
   NodeId node = 0;                   // kInjectState
   StateId state = 0;                 // kInjectState
   Configuration config;              // kInjectConfiguration
   graph::TopologyDelta delta;        // kTopologyDelta
-  std::uint64_t hash = 0;            // kExpectHash
+  std::uint64_t hash = 0;            // kExpectHash (expected digest)
+  std::string path;                  // kSnapshot (checkpoint target)
 };
 
 /// Order-sensitive 64-bit FNV-1a digest over the engine's full dynamic
@@ -120,7 +140,10 @@ struct ReplayResult {
 };
 
 /// Re-applies `commands` to `engine` in order, checking kExpectHash records
-/// against the live trajectory digest.
+/// against the live trajectory digest. Wire record types only — throws
+/// std::invalid_argument on a session-only command (those never appear in a
+/// log; drive them through service::Session::apply, which subsumes this
+/// loop and adds typed error handling).
 ReplayResult replay_commands(Engine& engine,
                              const std::vector<Command>& commands);
 

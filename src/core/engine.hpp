@@ -341,6 +341,12 @@ class Engine {
   /// from re-seeding).
   [[nodiscard]] std::uint64_t seed() const { return seed_; }
 
+  /// True when the churn-capable constructor ran (non-const graph), i.e.
+  /// apply_topology_delta is available. service::Session surfaces this as a
+  /// typed capability: a TopologyDelta command against a const-graph engine
+  /// yields a Status::kUnsupported Result instead of the raw logic_error.
+  [[nodiscard]] bool churn_capable() const { return mutable_graph_ != nullptr; }
+
   // --- snapshot support (core/snapshot.hpp drives these) --------------------
   // The serialization contract is a repo-wide invariant: any new mutable
   // engine member must either be covered by save_state/load_state (bump

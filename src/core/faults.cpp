@@ -6,6 +6,8 @@
 #include <stdexcept>
 
 #include "core/snapshot.hpp"
+#include "service/session.hpp"
+#include "util/binary_io.hpp"
 
 namespace ssau::core {
 
@@ -40,14 +42,22 @@ FaultCampaignResult run_fault_campaign(
         "run_fault_campaign: checkpoint_every requires a checkpoint_path");
   }
 
+  // Campaign checkpoints go through the Session command surface — the same
+  // code path (and `.prev` rotation guarantee) the service uses — instead of
+  // calling into the snapshot layer directly.
+  service::Session checkpoint_session(engine);
+  auto write_checkpoint = [&] {
+    const service::Result r =
+        checkpoint_session.apply(service::cmd::snapshot(options.checkpoint_path));
+    if (!r.ok()) throw util::SnapshotError(r.error);
+    ++result.checkpoints_written;
+  };
+
   if (recover() < 0) return result;  // never reached legitimacy at all
 
   // Baseline checkpoint: a crash during the very first burst can already
   // fall back to the post-recovery state instead of a cold start.
-  if (checkpointing) {
-    snapshot::write_checkpoint(engine, options.checkpoint_path);
-    ++result.checkpoints_written;
-  }
+  if (checkpointing) write_checkpoint();
 
   const NodeId n = engine.graph().num_nodes();
   std::vector<NodeId> ids(n);
@@ -101,8 +111,7 @@ FaultCampaignResult run_fault_campaign(
     // Periodic checkpoint at the burst boundary — the engine is settled and
     // (barring regressions) legitimate, the cheapest point to resume from.
     if (checkpointing && (b + 1) % options.checkpoint_every == 0) {
-      snapshot::write_checkpoint(engine, options.checkpoint_path);
-      ++result.checkpoints_written;
+      write_checkpoint();
     }
   }
 

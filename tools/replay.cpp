@@ -2,81 +2,29 @@
 //
 //   replay --snapshot=campaign.snap --log=campaign.cmdlog [--verbose]
 //
-// Reads the command log's header to rebuild the collaborators (automaton by
-// spec string, scheduler by name), restores the engine from the snapshot
-// (falling back to <snapshot>.prev when the primary checkpoint is torn),
-// re-applies every logged command, and checks every recorded trajectory
-// hash. Exit status: 0 when every hash check passes, 1 on a divergence,
-// 2 on unusable inputs — so a replayed differential failure is scriptable.
+// Reads the command log's header, restores a service::Session from the
+// snapshot (falling back to <snapshot>.prev when the primary checkpoint is
+// torn), re-applies every logged command through Session::apply — the same
+// decode path and command surface the simulation service uses — and checks
+// every recorded trajectory hash. Exit status: 0 when every hash check
+// passes, 1 on a divergence, 2 on unusable inputs — so a replayed
+// differential failure is scriptable.
 //
-// Automaton specs (the factory below; parameters are colon-separated):
-//   alg-au:<D>            unison::AlgAu with diameter bound D
-//   reset-unison:<D>:<M>  unison::ResetUnison(D, M)
-//   min-prop:<m>          sync::MinPropagation over m states
-//   alg-mis:<D>           mis::AlgMis with diameter bound D
-//   alg-le:<D>            le::AlgLe with diameter bound D
+// Automaton and scheduler specs come from the log header and are resolved
+// by service::make_automaton / sched::make_scheduler (one factory, one
+// grammar — see service/session.hpp for the spec strings).
 #include <cstdio>
 #include <exception>
 #include <memory>
 #include <string>
-#include <vector>
 
 #include "core/command_log.hpp"
-#include "core/engine.hpp"
 #include "core/snapshot.hpp"
-#include "le/alg_le.hpp"
-#include "mis/alg_mis.hpp"
-#include "sched/scheduler.hpp"
-#include "sync/simple_sync_algs.hpp"
-#include "unison/alg_au.hpp"
-#include "unison/baselines.hpp"
-#include "util/binary_io.hpp"
+#include "service/session.hpp"
 #include "util/cli.hpp"
 
-namespace {
-
-using namespace ssau;
-
-std::vector<std::string> split_spec(const std::string& spec) {
-  std::vector<std::string> parts;
-  std::size_t start = 0;
-  while (true) {
-    const std::size_t colon = spec.find(':', start);
-    if (colon == std::string::npos) {
-      parts.push_back(spec.substr(start));
-      return parts;
-    }
-    parts.push_back(spec.substr(start, colon - start));
-    start = colon + 1;
-  }
-}
-
-std::unique_ptr<core::Automaton> make_automaton(const std::string& spec) {
-  const auto parts = split_spec(spec);
-  const auto arg = [&](std::size_t i) { return std::stoi(parts.at(i)); };
-  if (parts[0] == "alg-au" && parts.size() == 2) {
-    return std::make_unique<unison::AlgAu>(arg(1));
-  }
-  if (parts[0] == "reset-unison" && parts.size() == 3) {
-    return std::make_unique<unison::ResetUnison>(arg(1), arg(2));
-  }
-  if (parts[0] == "min-prop" && parts.size() == 2) {
-    return std::make_unique<sync::MinPropagation>(
-        static_cast<core::StateId>(arg(1)));
-  }
-  if (parts[0] == "alg-mis" && parts.size() == 2) {
-    return std::make_unique<mis::AlgMis>(
-        mis::AlgMisParams{.diameter_bound = arg(1)});
-  }
-  if (parts[0] == "alg-le" && parts.size() == 2) {
-    return std::make_unique<le::AlgLe>(le::AlgLeParams{.diameter_bound = arg(1)});
-  }
-  throw std::invalid_argument("unknown automaton spec: " + spec);
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
+  using namespace ssau;
   util::Cli cli(argc, argv);
   const std::string snapshot_path = cli.get("snapshot", "");
   const std::string log_path = cli.get("log", "");
@@ -109,29 +57,42 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(info.state_count));
     }
 
-    const auto automaton = make_automaton(log.header.automaton);
-    graph::Graph g = core::snapshot::restore_graph(bytes);
-    const auto scheduler = sched::make_scheduler(
-        log.header.scheduler, g, log.header.subset_p, log.header.burst);
-    const auto engine =
-        core::snapshot::restore(bytes, g, *automaton, *scheduler);
+    const auto session =
+        service::Session::restore(bytes, service::spec_from_header(log.header));
 
-    const core::ReplayResult result =
-        core::replay_commands(*engine, log.commands);
+    std::uint64_t commands_applied = 0;
+    std::uint64_t steps = 0;
+    std::uint64_t hash_checks = 0;
+    std::uint64_t hash_mismatches = 0;
+    for (const core::Command& cmd : log.commands) {
+      const service::Result r = session->apply(cmd);
+      if (cmd.type == core::CommandType::kExpectHash) {
+        ++hash_checks;
+        if (r.status == service::Status::kHashMismatch) ++hash_mismatches;
+      } else if (!r.ok()) {
+        // The old dispatch loop surfaced engine exceptions as "replay
+        // failed"; typed results preserve that contract.
+        std::fprintf(stderr, "replay failed: %s\n", r.error.c_str());
+        return 2;
+      }
+      ++commands_applied;
+      steps += r.steps;
+    }
+
+    const core::Engine& engine = session->engine();
     std::printf("replayed %llu commands (%llu steps): %llu/%llu hash checks "
                 "passed; final t=%llu rounds=%llu hash=%016llx\n",
-                static_cast<unsigned long long>(result.commands_applied),
-                static_cast<unsigned long long>(result.steps),
-                static_cast<unsigned long long>(result.hash_checks -
-                                                result.hash_mismatches),
-                static_cast<unsigned long long>(result.hash_checks),
-                static_cast<unsigned long long>(engine->time()),
-                static_cast<unsigned long long>(engine->rounds_completed()),
+                static_cast<unsigned long long>(commands_applied),
+                static_cast<unsigned long long>(steps),
+                static_cast<unsigned long long>(hash_checks - hash_mismatches),
+                static_cast<unsigned long long>(hash_checks),
+                static_cast<unsigned long long>(engine.time()),
+                static_cast<unsigned long long>(engine.rounds_completed()),
                 static_cast<unsigned long long>(
-                    core::engine_state_hash(*engine)));
-    if (!result.ok()) {
+                    core::engine_state_hash(engine)));
+    if (hash_mismatches != 0) {
       std::fprintf(stderr, "replay DIVERGED: %llu hash mismatches\n",
-                   static_cast<unsigned long long>(result.hash_mismatches));
+                   static_cast<unsigned long long>(hash_mismatches));
       return 1;
     }
     return 0;
