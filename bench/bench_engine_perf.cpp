@@ -102,6 +102,11 @@ struct Measurement {
   std::uint64_t steps = 0;
   std::uint64_t activations = 0;
   double seconds = 0.0;
+  // Runtime-residency counters: time the stepping thread spent blocked on
+  // the task runtime with nothing runnable, and time spent in phase-2
+  // apply/merge work. Both are cumulative over the timed run.
+  std::uint64_t barrier_wait_ns = 0;
+  std::uint64_t apply_phase_ns = 0;
 
   [[nodiscard]] double steps_per_sec() const {
     return seconds > 0 ? static_cast<double>(steps) / seconds : 0.0;
@@ -123,7 +128,12 @@ Measurement run_one(const Workload& w, const graph::Graph& g,
                                           .signal_field = field});
   const auto t0 = std::chrono::steady_clock::now();
   for (std::uint64_t s = 0; s < steps; ++s) engine.step();
+  // Settle the overlapped pipeline INSIDE the timed region: enqueued steps
+  // are not done steps, and the throughput must not credit work still in
+  // flight. (time() flushes; any observable accessor would do.)
+  const std::uint64_t flushed_time = engine.time();
   const auto t1 = std::chrono::steady_clock::now();
+  (void)flushed_time;
 
   Measurement m;
   m.algorithm = w.name;
@@ -143,6 +153,8 @@ Measurement run_one(const Workload& w, const graph::Graph& g,
     m.activations += engine.activation_count(v);
   }
   m.seconds = std::chrono::duration<double>(t1 - t0).count();
+  m.barrier_wait_ns = engine.barrier_wait_ns();
+  m.apply_phase_ns = engine.apply_phase_ns();
   return m;
 }
 
@@ -581,8 +593,10 @@ int main(int argc, char** argv) {
   // queue wait + execution (submit to completion). --service-sessions=0
   // skips the table (the CI scaling run).
   struct ServicePoint {
+    std::string traffic;  // "mixed" | "oversubscribed"
     std::uint64_t sessions = 0;
     unsigned workers = 0;
+    unsigned engine_threads = 1;  // per-session engine shard count
     std::uint64_t commands = 0;
     double seconds = 0.0;
     double sessions_per_sec = 0.0;
@@ -664,8 +678,63 @@ int main(int argc, char** argv) {
     };
     const double seconds = std::chrono::duration<double>(t1 - t0).count();
     service_points.push_back(
-        {service_sessions, svc.workers(), svc.commands_completed(), seconds,
+        {"mixed", service_sessions, svc.workers(), 1, svc.commands_completed(),
+         seconds,
          seconds > 0 ? static_cast<double>(service_sessions) / seconds : 0.0,
+         seconds > 0 ? static_cast<double>(svc.commands_completed()) / seconds
+                     : 0.0,
+         percentile(0.50), percentile(0.99)});
+    svc.shutdown();
+  }
+
+  // Deliberate-oversubscription row: every session EXPLICITLY requests a
+  // parallel engine, so workers x engine-threads exceeds the core count (the
+  // configuration recommended_threads exists to avoid by default). The row
+  // keeps the regime measured — throughput must degrade gracefully, never
+  // deadlock — and documents what opting out of the auto budget costs.
+  if (service_sessions > 0) {
+    const std::uint64_t sessions = std::min<std::uint64_t>(
+        service_sessions, 32);
+    const unsigned engine_threads = 4;
+    service::ServiceOptions service_options;
+    service_options.workers =
+        core::ParallelEngine::resolve_thread_count(service_workers);
+    service::SimulationService svc(service_options);
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<service::SimulationService::SessionId> ids;
+    ids.reserve(sessions);
+    for (std::uint64_t i = 0; i < sessions; ++i) {
+      service::SessionSpec spec;
+      spec.seed = seed + i;
+      spec.automaton = "alg-au:3";
+      spec.scheduler = "synchronous";  // sharded synchronous kernel engages
+      spec.graph = "complete:24";
+      spec.options.thread_count = engine_threads;  // explicit: honored
+      ids.push_back(svc.open_session(spec));
+    }
+    for (int k = 0; k < 4; ++k) {
+      for (std::uint64_t i = 0; i < sessions; ++i) {
+        static_cast<void>(svc.submit(ids[i], service::cmd::step(25)));
+      }
+    }
+    for (std::uint64_t i = 0; i < sessions; ++i) {
+      static_cast<void>(svc.submit(ids[i], service::cmd::query_hash()));
+    }
+    svc.drain();
+    const auto t1 = std::chrono::steady_clock::now();
+    std::vector<double> latencies = svc.latency_samples();
+    std::sort(latencies.begin(), latencies.end());
+    const auto percentile = [&](double p) {
+      if (latencies.empty()) return 0.0;
+      const auto idx = static_cast<std::size_t>(
+          p * static_cast<double>(latencies.size() - 1));
+      return latencies[idx] * 1e6;
+    };
+    const double seconds = std::chrono::duration<double>(t1 - t0).count();
+    service_points.push_back(
+        {"oversubscribed", sessions, svc.workers(), engine_threads,
+         svc.commands_completed(), seconds,
+         seconds > 0 ? static_cast<double>(sessions) / seconds : 0.0,
          seconds > 0 ? static_cast<double>(svc.commands_completed()) / seconds
                      : 0.0,
          percentile(0.50), percentile(0.99)});
@@ -763,18 +832,21 @@ int main(int argc, char** argv) {
   if (!service_points.empty()) {
     std::cout << "\n==== simulation service: concurrent sessions, mixed "
                  "command traffic ====\n\n";
-    std::cout << std::left << std::setw(10) << "sessions" << std::setw(9)
-              << "workers" << std::right << std::setw(10) << "commands"
+    std::cout << std::left << std::setw(16) << "traffic" << std::setw(10)
+              << "sessions" << std::setw(9) << "workers" << std::setw(11)
+              << "e-threads" << std::right << std::setw(10) << "commands"
               << std::setw(14) << "sessions/s" << std::setw(14) << "commands/s"
               << std::setw(12) << "p50 us" << std::setw(12) << "p99 us"
               << "\n";
     for (const ServicePoint& p : service_points) {
-      std::cout << std::left << std::setw(10) << p.sessions << std::setw(9)
-                << p.workers << std::right << std::setw(10) << p.commands
-                << std::fixed << std::setprecision(0) << std::setw(14)
-                << p.sessions_per_sec << std::setw(14) << p.commands_per_sec
-                << std::setprecision(1) << std::setw(12) << p.p50_latency_us
-                << std::setw(12) << p.p99_latency_us << "\n";
+      std::cout << std::left << std::setw(16) << p.traffic << std::setw(10)
+                << p.sessions << std::setw(9) << p.workers << std::setw(11)
+                << p.engine_threads << std::right << std::setw(10)
+                << p.commands << std::fixed << std::setprecision(0)
+                << std::setw(14) << p.sessions_per_sec << std::setw(14)
+                << p.commands_per_sec << std::setprecision(1) << std::setw(12)
+                << p.p50_latency_us << std::setw(12) << p.p99_latency_us
+                << "\n";
     }
   }
 
@@ -785,6 +857,7 @@ int main(int argc, char** argv) {
     std::cout << std::left << std::setw(14) << "algorithm" << std::setw(16)
               << "scheduler" << std::right << std::setw(9) << "threads"
               << std::setw(16) << "activations/s" << std::setw(10) << "scaling"
+              << std::setw(14) << "barrier ms" << std::setw(12) << "apply ms"
               << "\n";
   }
   struct SweepPoint {
@@ -793,6 +866,9 @@ int main(int argc, char** argv) {
     unsigned threads;
     double activations_per_sec;
     double scaling;  // vs the 1-thread sweep entry of the same cell
+    double seconds;  // wall time of the kept repeat (barrier-frac denominator)
+    std::uint64_t barrier_wait_ns;
+    std::uint64_t apply_phase_ns;
   };
   std::vector<SweepPoint> sweep_points;
   {
@@ -810,12 +886,17 @@ int main(int argc, char** argv) {
       const double scaling =
           serial > 0 ? m.activations_per_sec() / serial : 0.0;
       sweep_points.push_back({m.algorithm, m.scheduler, m.threads,
-                              m.activations_per_sec(), scaling});
+                              m.activations_per_sec(), scaling, m.seconds,
+                              m.barrier_wait_ns, m.apply_phase_ns});
       std::cout << std::left << std::setw(14) << m.algorithm << std::setw(16)
                 << m.scheduler << std::right << std::setw(9) << m.threads
                 << std::fixed << std::setprecision(0) << std::setw(16)
                 << m.activations_per_sec() << std::setprecision(2)
-                << std::setw(9) << scaling << "x\n";
+                << std::setw(9) << scaling << "x" << std::setprecision(1)
+                << std::setw(14)
+                << static_cast<double>(m.barrier_wait_ns) / 1e6
+                << std::setw(12)
+                << static_cast<double>(m.apply_phase_ns) / 1e6 << "\n";
     }
   }
 
@@ -855,6 +936,9 @@ int main(int argc, char** argv) {
     jw.key("threads").value(static_cast<std::uint64_t>(p.threads));
     jw.key("activations_per_sec").value(p.activations_per_sec);
     jw.key("scaling_vs_serial").value(p.scaling);
+    jw.key("seconds").value(p.seconds);
+    jw.key("barrier_wait_ns").value(p.barrier_wait_ns);
+    jw.key("apply_phase_ns").value(p.apply_phase_ns);
     jw.end_object();
   }
   jw.end_array();
@@ -895,8 +979,10 @@ int main(int argc, char** argv) {
   jw.key("service").begin_array();
   for (const ServicePoint& p : service_points) {
     jw.begin_object();
+    jw.key("traffic").value(p.traffic);
     jw.key("sessions").value(p.sessions);
     jw.key("workers").value(static_cast<std::uint64_t>(p.workers));
+    jw.key("engine_threads").value(static_cast<std::uint64_t>(p.engine_threads));
     jw.key("commands").value(p.commands);
     jw.key("seconds").value(p.seconds);
     jw.key("sessions_per_sec").value(p.sessions_per_sec);

@@ -33,6 +33,20 @@ backward compatibility. CI uses these on a multi-core runner to keep both
 sharded kernels' speedups real; without such a gate a parallel regression to
 below-serial throughput would pass every job.
 
+Sweep rows measured by a task-graph engine also carry `barrier_wait_ns`
+(nanoseconds the calling thread spent parked in wait_all with no runnable
+task — the residue of the old full-stop epoch barrier) and `seconds` (the
+row's wall clock). --max-barrier-frac ALGO[:SCHED]:THREADS:FRAC (same
+spec grammar as --min-scaling, scheduler defaulting to "synchronous")
+requires barrier_wait_ns / (seconds * 1e9) <= FRAC for that row: an
+in-run ceiling on how much of the wall clock the caller may spend idle at
+the join point. A scheduling regression that serializes the task graph
+(dependency edges too coarse, ready tasks landing on one deque) shows up
+as the caller waiting instead of working and trips this gate even when
+raw scaling still limps past its floor. Rows without the two fields fail
+the gate — an engine that stopped reporting barrier time must not pass by
+omission.
+
 The single-activation table (signal field vs rescan under the single-node
 daemons, "single_activation" rows keyed algorithm x scheduler) is gated the
 same way via --min-speedup ALGO:SCHED:FACTOR: the row's field_over_rescan —
@@ -70,6 +84,7 @@ Usage:
   scripts/bench_compare.py BASELINE.json CURRENT.json [--max-regression 0.30]
                            [--absolute]
                            [--min-scaling ALGO[:SCHED]:THREADS:FACTOR ...]
+                           [--max-barrier-frac ALGO[:SCHED]:THREADS:FRAC ...]
                            [--min-speedup ALGO:SCHED:FACTOR ...]
                            [--min-churn ALGO:SCHED:FACTOR ...]
                            [--min-restore ALGO:SCHED:FACTOR ...]
@@ -139,8 +154,23 @@ def index_sweep(doc):
         out[key] = {
             "scaling": as_number(sweep.get("scaling_vs_serial")),
             "rate": as_number(sweep.get("activations_per_sec")),
+            "seconds": as_number(sweep.get("seconds")),
+            "barrier_wait_ns": as_number(sweep.get("barrier_wait_ns")),
+            "apply_phase_ns": as_number(sweep.get("apply_phase_ns")),
         }
     return out
+
+
+def barrier_fraction(cell):
+    """barrier_wait_ns / wall-clock-ns for a sweep cell, or None when the
+    row lacks either field (older bench binary) or ran for zero time."""
+    if cell is None:
+        return None
+    seconds = cell.get("seconds")
+    barrier = cell.get("barrier_wait_ns")
+    if seconds is None or barrier is None or seconds <= 0 or barrier < 0:
+        return None
+    return barrier / (seconds * 1e9)
 
 
 def index_single_activation(doc):
@@ -343,6 +373,41 @@ def run_gate(baseline, current, args, out=sys.stdout, err=sys.stderr):
             failures.append(
                 f"{algo} under {sched} @ {threads} threads scaled only "
                 f"{got:.2f}x (floor {factor:.2f}x)"
+            )
+
+    for spec in args.max_barrier_frac:
+        parsed = parse_min_scaling(spec)
+        if parsed is None:
+            print(f"bad --max-barrier-frac spec '{spec}'", file=err)
+            return 2
+        algo, sched, threads, ceiling = parsed
+        cell = cur_sweep.get((algo, sched, threads))
+        if cell is None:
+            failures.append(
+                f"no thread_sweep entry for {algo} under {sched} at {threads} "
+                f"threads (required by --max-barrier-frac {spec})"
+            )
+            continue
+        frac = barrier_fraction(cell)
+        if frac is None:
+            failures.append(
+                f"thread_sweep entry for {algo} under {sched} at {threads} "
+                f"threads lacks barrier_wait_ns/seconds timing "
+                f"(required by --max-barrier-frac {spec})"
+            )
+            continue
+        status = "OK " if frac <= ceiling else "FAIL"
+        print(
+            f"[{status}] barrier gate: {algo} under {sched} @ {threads} "
+            f"threads: caller idle {frac * 100:.1f}% of wall clock "
+            f"(ceiling {ceiling * 100:.1f}%)",
+            file=out,
+        )
+        if frac > ceiling:
+            failures.append(
+                f"{algo} under {sched} @ {threads} threads spent "
+                f"{frac * 100:.1f}% of wall clock parked at the join point "
+                f"(ceiling {ceiling * 100:.1f}%)"
             )
 
     cur_single = index_single_activation(current)
@@ -549,6 +614,7 @@ def self_check():
             max_regression=kw.get("max_regression", 0.30),
             absolute=kw.get("absolute", False),
             min_scaling=kw.get("min_scaling", []),
+            max_barrier_frac=kw.get("max_barrier_frac", []),
             min_speedup=kw.get("min_speedup", []),
             min_churn=kw.get("min_churn", []),
             min_restore=kw.get("min_restore", []),
@@ -572,16 +638,25 @@ def self_check():
     sweep_doc = {
         "speedups": [],
         "thread_sweep": [
-            # Synchronous rows (sharded double-buffered kernel).
+            # Synchronous rows (sharded double-buffered kernel). The
+            # task-graph engine reports wall clock + caller barrier wait:
+            # 20 ms of a 1 s row = a 2% idle fraction.
             {"algorithm": "alg-au", "scheduler": "synchronous", "threads": 1,
-             "activations_per_sec": 1e6, "scaling_vs_serial": 1.0},
+             "activations_per_sec": 1e6, "scaling_vs_serial": 1.0,
+             "seconds": 1.0, "barrier_wait_ns": 0, "apply_phase_ns": 0},
             {"algorithm": "alg-au", "scheduler": "synchronous", "threads": 2,
-             "activations_per_sec": 1.8e6, "scaling_vs_serial": 1.8},
+             "activations_per_sec": 1.8e6, "scaling_vs_serial": 1.8,
+             "seconds": 1.0, "barrier_wait_ns": 2.0e7,
+             "apply_phase_ns": 1.0e8},
             # Async rows (sparse-activation kernel) — same algorithm, other
             # scheduler: keys must not collide with the synchronous rows.
             {"algorithm": "alg-au", "scheduler": "laggard", "threads": 2,
-             "activations_per_sec": 1.2e6, "scaling_vs_serial": 1.2},
+             "activations_per_sec": 1.2e6, "scaling_vs_serial": 1.2,
+             "seconds": 1.0, "barrier_wait_ns": 6.0e8,
+             "apply_phase_ns": 2.0e8},
             # Legacy row without a scheduler field: defaults to synchronous.
+            # Predates the barrier columns — must FAIL a barrier gate rather
+            # than pass by omission.
             {"algorithm": "reset-unison", "threads": 2,
              "activations_per_sec": 1e6, "scaling_vs_serial": 1.5},
         ],
@@ -694,6 +769,21 @@ def self_check():
         ("malformed spec is a usage error", 2,
          lambda: gate(sweep_doc, sweep_doc, scaling_only=True,
                       min_scaling=["alg-au:two:threads:1.0:x"])),
+        ("barrier fraction under the ceiling passes", 0,
+         lambda: gate(sweep_doc, sweep_doc, scaling_only=True,
+                      max_barrier_frac=["alg-au:2:0.05"])),
+        ("barrier fraction over the ceiling fails", 1,
+         lambda: gate(sweep_doc, sweep_doc, scaling_only=True,
+                      max_barrier_frac=["alg-au:laggard:2:0.35"])),
+        ("barrier gate on a missing sweep row fails", 1,
+         lambda: gate(sweep_doc, sweep_doc, scaling_only=True,
+                      max_barrier_frac=["alg-mis:2:0.5"])),
+        ("barrier gate on a row without timing fields fails", 1,
+         lambda: gate(sweep_doc, sweep_doc, scaling_only=True,
+                      max_barrier_frac=["reset-unison:2:0.5"])),
+        ("malformed max-barrier-frac spec is a usage error", 2,
+         lambda: gate(sweep_doc, sweep_doc, scaling_only=True,
+                      max_barrier_frac=["alg-au:lots:0.5"])),
         ("signal-field speedup gate passes", 0,
          lambda: gate(single_act_doc, single_act_doc, scaling_only=True,
                       min_speedup=["alg-au:uniform-single:2.0"])),
@@ -822,6 +912,17 @@ def main():
         help="require the current run's thread_sweep entry for ALGO under "
         "SCHED (default: synchronous) at THREADS to reach FACTOR x its "
         "serial rate (repeatable)",
+    )
+    parser.add_argument(
+        "--max-barrier-frac",
+        action="append",
+        default=[],
+        metavar="ALGO[:SCHED]:THREADS:FRAC",
+        help="require the current run's thread_sweep entry for ALGO under "
+        "SCHED (default: synchronous) at THREADS to have spent at most "
+        "FRAC of its wall clock with the calling thread parked in "
+        "wait_all (barrier_wait_ns / (seconds * 1e9); repeatable). Rows "
+        "missing the timing fields fail the gate.",
     )
     parser.add_argument(
         "--min-speedup",

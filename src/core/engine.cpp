@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <cassert>
+#include <chrono>
 #include <stdexcept>
 
 #include "util/binary_io.hpp"
@@ -23,6 +24,13 @@ inline std::uint64_t neighborhood_mask(const graph::Graph& g,
   return mask;
 }
 
+inline std::uint64_t elapsed_ns(std::chrono::steady_clock::time_point from) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - from)
+          .count());
+}
+
 }  // namespace
 
 Engine::Engine(const graph::Graph& g, const Automaton& alg,
@@ -37,7 +45,7 @@ Engine::Engine(const graph::Graph& g, const Automaton& alg,
       seed_(seed),
       options_(options),
       stepper_(&alg),
-      pending_(g.num_nodes(), true),
+      pending_(g.num_nodes(), 1),
       pending_count_(g.num_nodes()),
       activation_counts_(g.num_nodes(), 0) {
   if (config_.size() != graph_.num_nodes()) {
@@ -162,8 +170,19 @@ Engine::Engine(graph::Graph& g, const Automaton& alg, sched::Scheduler& sched,
   mutable_graph_ = &g;
 }
 
+Engine::~Engine() {
+  // In-flight tasks reference engine members (shard_ws_ is declared after
+  // pool_, so it dies first); drain them before any member is destroyed. A
+  // task exception at this point has no caller to surface to.
+  try {
+    flush_overlap();
+  } catch (...) {  // NOLINT(bugprone-empty-catch)
+  }
+}
+
 graph::TopologyDelta Engine::apply_topology_delta(
     const graph::TopologyDelta& delta) {
+  flush_overlap();
   if (mutable_graph_ == nullptr) {
     throw std::logic_error(
         "apply_topology_delta: engine was constructed over a const graph "
@@ -210,6 +229,7 @@ graph::TopologyDelta Engine::apply_topology_delta(
 }
 
 Signal Engine::signal_of(NodeId v) const {
+  ensure_flushed();
   std::vector<StateId> sensed;
   sensed.reserve(graph_.degree(v) + 1);
   sensed.push_back(config_[v]);
@@ -232,7 +252,11 @@ void Engine::step() {
 // churn) and every step closes exactly one round.
 void Engine::step_synchronous() {
   if (pool_) {
-    step_parallel_synchronous();
+    if (overlap_eligible()) {
+      enqueue_overlapped_step();
+    } else {
+      step_parallel_synchronous();
+    }
     return;
   }
   const NodeId n = graph_.num_nodes();
@@ -282,31 +306,33 @@ void Engine::step_synchronous() {
 // of lockstep (bit-identity depends on them staying identical).
 template <typename NodeOf, typename Emit>
 void Engine::shard_phase1(const Shard& shard, ShardWorkspace& ws,
+                          const Configuration& cfg,
+                          std::vector<TransitionRec>& log,
                           const bool log_transitions, const NodeOf& node_of,
                           const Emit& emit) {
-  ws.transitions.clear();
+  log.clear();
   const Automaton& kernel = *ws.stepper;
   if (mask_kernel_) {
     for (NodeId i = shard.begin; i < shard.end; ++i) {
       const NodeId v = node_of(i);
-      const StateId cur = config_[v];
+      const StateId cur = cfg[v];
       const StateId next =
-          kernel.step_mask(cur, neighborhood_mask(graph_, config_, v),
+          kernel.step_mask(cur, neighborhood_mask(graph_, cfg, v),
                            randomized_ ? node_rngs_[v] : ws.dummy_rng);
       if (log_transitions && next != cur) {
-        ws.transitions.push_back({v, cur, next});
+        log.push_back({v, cur, next});
       }
       emit(i, v, next);
     }
   } else {
     for (NodeId i = shard.begin; i < shard.end; ++i) {
       const NodeId v = node_of(i);
-      const SignalView sig = ws.scratch.sense(graph_, config_, v);
-      const StateId cur = config_[v];
+      const SignalView sig = ws.scratch.sense(graph_, cfg, v);
+      const StateId cur = cfg[v];
       const StateId next =
           kernel.step_fast(cur, sig, randomized_ ? node_rngs_[v] : ws.dummy_rng);
       if (log_transitions && next != cur) {
-        ws.transitions.push_back({v, cur, next});
+        log.push_back({v, cur, next});
       }
       emit(i, v, next);
     }
@@ -320,15 +346,24 @@ void Engine::shard_phase1(const Shard& shard, ShardWorkspace& ws,
 // node order afterwards (shards are contiguous and ascending, so shard-order
 // concatenation IS node order) — the observed stream is bit-identical to the
 // serial kernel's.
-void Engine::step_parallel_synchronous() {
-  // Topology churn shifted the degree weights: re-balance the node partition
-  // before fanning out (same shard count — the pool's workers are fixed).
+void Engine::refresh_sync_shards() {
   if (sync_shards_dirty_) {
+    // Topology churn shifted the degree weights: re-balance the node
+    // partition before fanning out (same shard count — the runtime's
+    // workers are fixed).
     make_weighted_shards_into(
         sync_shards_, graph_.num_nodes(), pool_->shard_count(),
         [&](NodeId v) { return static_cast<std::uint64_t>(graph_.degree(v)) + 1; });
     sync_shards_dirty_ = false;
+    sync_frontiers_.clear();
   }
+  if (sync_frontiers_.empty()) {
+    compute_shard_frontiers_into(sync_frontiers_, graph_, sync_shards_);
+  }
+}
+
+void Engine::step_parallel_synchronous() {
+  refresh_sync_shards();
   // A live signal field also needs the transition logs: workers cannot
   // patch shared counter rows concurrently (a node's neighbors straddle
   // shards), so the engine patches from the concatenated logs after the
@@ -337,7 +372,8 @@ void Engine::step_parallel_synchronous() {
   const bool log_transitions = static_cast<bool>(listener_) || patch_field;
   pool_->run(sync_shards_, [&](const Shard& shard, unsigned shard_index) {
     shard_phase1(
-        shard, shard_ws_[shard_index], log_transitions,
+        shard, shard_ws_[shard_index], config_,
+        shard_ws_[shard_index].transitions[0], log_transitions,
         [](NodeId i) { return i; },
         [&](NodeId, NodeId v, StateId next) {
           next_config_[v] = next;
@@ -346,23 +382,120 @@ void Engine::step_parallel_synchronous() {
   });
   if (listener_) {
     for (const ShardWorkspace& ws : shard_ws_) {
-      for (const TransitionRec& tr : ws.transitions) {
+      for (const TransitionRec& tr : ws.transitions[0]) {
         const SignalView sig = scratch_.sense(graph_, config_, tr.v);
         emit_listener(tr.v, tr.from, tr.to, sig);
       }
     }
   }
+  const auto apply_from = std::chrono::steady_clock::now();
   if (patch_field) {
     for (const ShardWorkspace& ws : shard_ws_) {
-      for (const TransitionRec& tr : ws.transitions) {
-        field_->apply_transition(tr.v, tr.from, tr.to);
-      }
+      field_->apply_transitions(ws.transitions[0].data(),
+                                ws.transitions[0].size());
     }
   }
   config_.swap(next_config_);
   ++time_;
   ++rounds_;
   last_boundary_time_ = time_;
+  apply_phase_ns_ += elapsed_ns(apply_from);
+}
+
+// --- overlapped synchronous pipeline ----------------------------------------
+// One enqueued step = one phase-1 task per shard (deps: the previous step's
+// phase 1 over the shard's read frontier — see ShardFrontier for why that
+// interval covers both double-buffer hazards at any pipeline depth) plus,
+// when the field is live, one merge task (deps: all of this step's phase-1
+// tasks and the previous merge) draining the per-shard logs in shard-index
+// order. seq carries the pipeline position; its parity addresses the double
+// buffer (read config_ on even, next_config_ on odd) and the transition-log
+// pair. time_/rounds_ move only at flush: each synchronous step closes
+// exactly one round, so the flush adds the drained depth to both.
+
+void Engine::overlap_phase1_task(void* ctx, const Shard& shard,
+                                 unsigned shard_index, std::uint64_t seq) {
+  Engine& e = *static_cast<Engine*>(ctx);
+  const bool odd = (seq & 1) != 0;
+  const Configuration& read = odd ? e.next_config_ : e.config_;
+  Configuration& write = odd ? e.config_ : e.next_config_;
+  ShardWorkspace& ws = e.shard_ws_[shard_index];
+  e.shard_phase1(
+      shard, ws, read, ws.transitions[seq & 1], e.overlap_logging_,
+      [](NodeId i) { return i; },
+      [&](NodeId, NodeId v, StateId next) {
+        write[v] = next;
+        ++e.activation_counts_[v];
+      });
+}
+
+void Engine::overlap_merge_task(void* ctx, const Shard&, unsigned,
+                                std::uint64_t seq) {
+  Engine& e = *static_cast<Engine*>(ctx);
+  const auto apply_from = std::chrono::steady_clock::now();
+  for (const ShardWorkspace& ws : e.shard_ws_) {
+    e.field_->apply_transitions(ws.transitions[seq & 1].data(),
+                                ws.transitions[seq & 1].size());
+  }
+  e.apply_phase_ns_ += elapsed_ns(apply_from);
+}
+
+void Engine::enqueue_overlapped_step() {
+  const unsigned shards = pool_->shard_count();
+  if (overlap_depth_ == 0) {
+    refresh_sync_shards();
+    // The field's liveness cannot change while the window is open (only
+    // step() runs between flushes), so one flag serves every task of it.
+    overlap_logging_ = field_live();
+    prev_phase1_.assign(shards, ParallelEngine::kNoTask);
+    prev_merge_ = ParallelEngine::kNoTask;
+    prev2_merge_ = ParallelEngine::kNoTask;
+  }
+  const std::uint64_t seq = overlap_depth_;
+  cur_phase1_.clear();
+  merge_deps_.clear();
+  for (unsigned s = 0; s < shards; ++s) {
+    // Frontier deps on the previous step, plus merge(t-2) when logging:
+    // this step reuses the parity log that merge(t-2) reads.
+    merge_deps_.clear();
+    const ShardFrontier& fr = sync_frontiers_[s];
+    for (unsigned d = fr.lo; d <= fr.hi; ++d) {
+      merge_deps_.push_back(prev_phase1_[d]);
+    }
+    if (overlap_logging_) merge_deps_.push_back(prev2_merge_);
+    cur_phase1_.push_back(pool_->add_task(
+        {&Engine::overlap_phase1_task, this}, sync_shards_[s], s, seq,
+        merge_deps_.data(), merge_deps_.size()));
+  }
+  if (overlap_logging_) {
+    merge_deps_ = cur_phase1_;
+    merge_deps_.push_back(prev_merge_);
+    prev2_merge_ = prev_merge_;
+    prev_merge_ =
+        pool_->add_task({&Engine::overlap_merge_task, this}, Shard{}, 0, seq,
+                        merge_deps_.data(), merge_deps_.size());
+  }
+  prev_phase1_.swap(cur_phase1_);
+  ++overlap_depth_;
+  // Bound the runtime's task arena (and the drift between enqueued and
+  // settled bookkeeping): settle periodically. The pipeline bubble
+  // amortizes to nothing over the window.
+  constexpr unsigned kOverlapWindow = 64;
+  if (overlap_depth_ >= kOverlapWindow) flush_overlap();
+}
+
+void Engine::flush_overlap() {
+  if (overlap_depth_ == 0) return;
+  const unsigned depth = overlap_depth_;
+  overlap_depth_ = 0;  // cleared first: a task exception must not wedge the
+                       // engine into re-flushing a drained runtime forever
+  pool_->wait_all();
+  time_ += depth;
+  rounds_ += depth;  // every synchronous step closes exactly one round
+  last_boundary_time_ = time_;
+  if ((depth & 1) != 0) config_.swap(next_config_);
+  // pending_ stays all-true / pending_count_ stays n, as in every
+  // synchronous step: each drained step opened and closed one round.
 }
 
 void Engine::step_async() {
@@ -445,29 +578,59 @@ void Engine::step_async() {
   apply_updates_and_close_rounds();
 }
 
-// Sparse-activation sharded kernel: phase 1 of one asynchronous step with a
-// large A_t, fanned out over the worker pool. The activation list is
-// re-partitioned every step into contiguous degree-weighted index spans
-// (activation sets differ step to step); worker i computes the next state of
-// every node in its span and writes it into that span's slots of the update
-// list — disjoint indices, so shards never contend — drawing randomized
-// transitions from the per-node rng streams (node v's draw depends only on
-// (seed, v) and v's activation history, never on the shard that ran it).
-// Phase 2 — applying updates, activation counts, and round bookkeeping —
-// runs serially after the barrier, exactly the code path the serial kernel
-// uses, so trajectories are bit-identical at every thread count. With a
-// listener attached, workers log transitions per shard and the engine
-// replays the concatenated logs after the barrier; spans are contiguous and
-// ascending, so shard-order concatenation IS activation-list order, and each
-// signal is materialized from the still-unmodified pre-step configuration —
-// the observed stream matches the serial kernel's exactly.
+// Sparse-activation sharded kernel: BOTH phases of one asynchronous step
+// with a large A_t, fanned out over the task-graph runtime. The activation
+// list is re-partitioned every step into contiguous degree-weighted index
+// spans (activation sets differ step to step). Phase-1 tasks compute each
+// span's next states into that span's slots of the update list — disjoint
+// indices, so shards never contend — drawing randomized transitions from the
+// per-node rng streams (node v's draw depends only on (seed, v) and v's
+// activation history, never on the shard that ran it). Per-shard apply tasks
+// — each dependent on EVERY phase-1 task, because phase 1 reads arbitrary
+// configuration slots — then drain their own span into config_,
+// activation_counts_, and pending_ (disjoint elements: the scheduler's
+// distinct-ids contract, asserted below). The cross-shard effects — signal-
+// field patches from the per-shard logs, pending-count accounting, and
+// round-close detection — run in a serial merge in shard-index order after
+// the graph drains; spans are contiguous and ascending, so shard-order
+// concatenation IS activation-list order and the merge matches the serial
+// apply loop record for record (field_patches_ included, which snapshots
+// serialize). With a listener attached the replay needs signals from the
+// PRE-apply configuration, so that path keeps the barriered phase-1 fan-out
+// and the serial apply loop.
+void Engine::sparse_phase1_task(void* ctx, const Shard& shard,
+                                unsigned shard_index, std::uint64_t) {
+  Engine& e = *static_cast<Engine*>(ctx);
+  ShardWorkspace& ws = e.shard_ws_[shard_index];
+  e.shard_phase1(
+      shard, ws, e.config_, ws.transitions[0], e.sparse_log_,
+      [&](NodeId i) { return e.active_[i]; },
+      [&](NodeId i, NodeId v, StateId next) { e.updates_[i] = {v, next}; });
+}
+
+void Engine::sparse_apply_task(void* ctx, const Shard& shard,
+                               unsigned shard_index, std::uint64_t) {
+  Engine& e = *static_cast<Engine*>(ctx);
+  std::uint64_t newly_done = 0;
+  for (NodeId i = shard.begin; i < shard.end; ++i) {
+    const auto& [v, q] = e.updates_[i];
+    e.config_[v] = q;
+    ++e.activation_counts_[v];
+    if (e.pending_[v] != 0) {
+      e.pending_[v] = 0;
+      ++newly_done;
+    }
+  }
+  e.shard_ws_[shard_index].newly_done = newly_done;
+}
+
 void Engine::step_sparse_parallel() {
 #ifndef NDEBUG
   {
     // The distinct-node-ids contract of Scheduler::activations is what makes
-    // the concurrent per-node rng draws below race-free; a scheduler that
-    // violates it must fail loudly here, not corrupt rng state under TSan's
-    // radar in release builds.
+    // the concurrent per-node rng draws (and the apply tasks' config/pending
+    // element writes) race-free; a scheduler that violates it must fail
+    // loudly here, not corrupt state under TSan's radar in release builds.
     std::vector<bool> seen(graph_.num_nodes(), false);
     for (const NodeId v : active_) {
       assert(!seen[v] && "Scheduler emitted duplicate node ids in one A_t");
@@ -475,30 +638,69 @@ void Engine::step_sparse_parallel() {
     }
   }
 #endif
-  const bool log_transitions = static_cast<bool>(listener_);
   const auto count = static_cast<NodeId>(active_.size());
   updates_.resize(count);
   make_weighted_shards_into(
       sparse_shards_, count, pool_->shard_count(), [&](NodeId i) {
         return static_cast<std::uint64_t>(graph_.degree(active_[i])) + 1;
       });
-  pool_->run(sparse_shards_, [&](const Shard& shard, unsigned shard_index) {
-    shard_phase1(
-        shard, shard_ws_[shard_index], log_transitions,
-        [&](NodeId i) { return active_[i]; },
-        [&](NodeId i, NodeId v, StateId next) { updates_[i] = {v, next}; });
-  });
-  if (log_transitions) {
+
+  if (listener_) {
+    // Listener fallback: barriered phase 1, replay, serial apply.
+    pool_->run(sparse_shards_, [&](const Shard& shard, unsigned shard_index) {
+      shard_phase1(
+          shard, shard_ws_[shard_index], config_,
+          shard_ws_[shard_index].transitions[0], true,
+          [&](NodeId i) { return active_[i]; },
+          [&](NodeId i, NodeId v, StateId next) { updates_[i] = {v, next}; });
+    });
     for (std::size_t s = 0; s < sparse_shards_.size(); ++s) {
-      for (const TransitionRec& tr : shard_ws_[s].transitions) {
+      for (const TransitionRec& tr : shard_ws_[s].transitions[0]) {
         const SignalView sig = scratch_.sense(graph_, config_, tr.v);
         emit_listener(tr.v, tr.from, tr.to, sig);
       }
     }
+    apply_updates_and_close_rounds();
+    return;
   }
-  // A live signal field is patched by the serial apply phase below — the
-  // sparse kernel needs no extra bookkeeping beyond its update list.
-  apply_updates_and_close_rounds();
+
+  // Task-graph path: phase-1 tasks (no deps), then per-shard apply tasks
+  // dependent on all of them.
+  sparse_log_ = field_live();
+  const auto shards = static_cast<unsigned>(sparse_shards_.size());
+  cur_phase1_.clear();
+  for (unsigned s = 0; s < shards; ++s) {
+    cur_phase1_.push_back(pool_->add_task({&Engine::sparse_phase1_task, this},
+                                          sparse_shards_[s], s, 0));
+  }
+  for (unsigned s = 0; s < shards; ++s) {
+    pool_->add_task({&Engine::sparse_apply_task, this}, sparse_shards_[s], s,
+                    0, cur_phase1_.data(), cur_phase1_.size());
+  }
+  pool_->wait_all();
+
+  // Serial merge, shard-index order — the deterministic ordering of every
+  // cross-shard effect.
+  const auto apply_from = std::chrono::steady_clock::now();
+  std::uint64_t newly_done = 0;
+  for (unsigned s = 0; s < shards; ++s) {
+    const ShardWorkspace& ws = shard_ws_[s];
+    if (sparse_log_) {
+      field_->apply_transitions(ws.transitions[0].data(),
+                                ws.transitions[0].size());
+      field_patches_ += ws.transitions[0].size();
+    }
+    newly_done += ws.newly_done;
+  }
+  pending_count_ -= newly_done;
+  ++time_;
+  if (pending_count_ == 0) {
+    ++rounds_;
+    last_boundary_time_ = time_;
+    pending_.assign(graph_.num_nodes(), 1);
+    pending_count_ = graph_.num_nodes();
+  }
+  apply_phase_ns_ += elapsed_ns(apply_from);
 }
 
 // The pre-fast-path engine: one owning Signal per activation via sort +
@@ -528,8 +730,11 @@ void Engine::step_legacy() {
 
 // Phase 2: apply simultaneously; advance round bookkeeping. A live signal
 // field is patched here from exactly the applied transitions — the single
-// spot all serial-apply engine paths (serial async, sparse-parallel, and
-// the legacy oracle, which never owns a field) flow through.
+// spot all serial-apply engine paths (serial async, listener fallbacks, and
+// the legacy oracle, which never owns a field) flow through. Deliberately
+// NOT timed into apply_phase_ns_: single-activation steps are ~100ns, so a
+// clock read per step here would tax the serial hot loop measurably —
+// apply_phase_ns_ instruments the parallel kernels only.
 void Engine::apply_updates_and_close_rounds() {
   const bool patch_field = field_live();
   for (const auto& [v, q] : updates_) {
@@ -539,8 +744,8 @@ void Engine::apply_updates_and_close_rounds() {
     }
     config_[v] = q;
     ++activation_counts_[v];
-    if (pending_[v]) {
-      pending_[v] = false;
+    if (pending_[v] != 0) {
+      pending_[v] = 0;
       --pending_count_;
     }
   }
@@ -548,7 +753,7 @@ void Engine::apply_updates_and_close_rounds() {
   if (pending_count_ == 0) {
     ++rounds_;
     last_boundary_time_ = time_;
-    pending_.assign(graph_.num_nodes(), true);
+    pending_.assign(graph_.num_nodes(), 1);
     pending_count_ = graph_.num_nodes();
   }
 }
@@ -557,6 +762,7 @@ RunOutcome Engine::run_until(
     const std::function<bool(const Configuration&)>& pred,
     std::uint64_t max_rounds) {
   RunOutcome out;
+  ensure_flushed();
   if (pred(config_)) {
     out.reached = true;
     out.time = time_;
@@ -565,6 +771,9 @@ RunOutcome Engine::run_until(
   }
   while (rounds_ < max_rounds) {
     step();
+    // The predicate reads config_ and the loop reads rounds_, so the
+    // overlapped kernel cannot keep a pipeline open across run_until steps.
+    ensure_flushed();
     if (pred(config_)) {
       out.reached = true;
       out.time = time_;
@@ -578,11 +787,20 @@ RunOutcome Engine::run_until(
 }
 
 void Engine::run_rounds(std::uint64_t rounds) {
+  if (full_activation_) {
+    // Every synchronous step closes exactly one round, so a fixed step count
+    // reaches the target without reading rounds_ between steps — which keeps
+    // the overlapped kernel's pipeline open across the whole run instead of
+    // flushing it at every rounds_ read.
+    for (std::uint64_t i = 0; i < rounds; ++i) step();
+    return;
+  }
   const std::uint64_t target = rounds_ + rounds;
   while (rounds_ < target) step();
 }
 
 void Engine::inject_configuration(Configuration config) {
+  flush_overlap();
   if (config.size() != graph_.num_nodes()) {
     throw std::invalid_argument("injected configuration size mismatch");
   }
@@ -601,6 +819,7 @@ void Engine::inject_configuration(Configuration config) {
 }
 
 void Engine::inject_state(NodeId v, StateId q) {
+  flush_overlap();
   if (v >= graph_.num_nodes() || q >= automaton_.state_count()) {
     throw std::invalid_argument("inject_state out of range");
   }
@@ -613,6 +832,7 @@ void Engine::inject_state(NodeId v, StateId q) {
 }
 
 void Engine::save_state(util::BinaryWriter& w) const {
+  ensure_flushed();
   const NodeId n = graph_.num_nodes();
   w.u64(seed_);
   w.u64(time_);
@@ -652,6 +872,7 @@ void Engine::save_state(util::BinaryWriter& w) const {
 }
 
 void Engine::load_state(util::BinaryReader& r) {
+  flush_overlap();
   const NodeId n = graph_.num_nodes();
   seed_ = r.u64();
   time_ = r.u64();
@@ -670,7 +891,7 @@ void Engine::load_state(util::BinaryReader& r) {
   for (NodeId v = 0; v < n; ++v) {
     if (v % 64 == 0) word = r.u64();
     const bool pending = (word >> (v % 64)) & 1U;
-    pending_[v] = pending;
+    pending_[v] = pending ? 1 : 0;
     checked_count += pending ? 1 : 0;
   }
   if (checked_count != pending_count) {

@@ -47,20 +47,44 @@
 // kept as the differential-testing oracle.
 //
 // Parallel kernels (EngineOptions::thread_count != 1):
+//   * all sharded execution runs on the task-graph runtime
+//     (core/parallel_engine.hpp): per-shard tasks with explicit dependency
+//     edges on per-participant work-stealing deques, the caller executing
+//     tasks alongside the workers;
 //   * under a full-activation scheduler the double-buffered synchronous step
-//     is sharded over contiguous degree-weighted node ranges (core/shard.hpp)
-//     and executed by a persistent worker pool with an epoch barrier
-//     (core/parallel_engine.hpp); every node reads the previous buffer and
-//     writes only its own slot, so shards never contend;
+//     is sharded over contiguous degree-weighted node ranges (core/shard.hpp);
+//     every node reads the previous buffer and writes only its own slot, so
+//     shards never contend. With EngineOptions::overlap_steps (the default),
+//     consecutive synchronous steps PIPELINE: phase 1 of step t+1 on shard s
+//     starts as soon as step t has completed every shard in s's read
+//     frontier (core/shard.hpp, ShardFrontier — the interval hull of s's
+//     neighbor shards, which by adjacency symmetry covers both the
+//     read-after-write and write-after-read hazards of the parity-addressed
+//     double buffer), instead of after a global barrier. Steps are enqueued
+//     without bumping time_/rounds_; every observable accessor flushes the
+//     pipeline first, so the externally visible state is always exact. A
+//     live signal field adds one merge task per step (dependent on all of
+//     that step's shards and the previous merge) that drains the per-shard
+//     transition logs in shard-index order — the deterministic merge that
+//     keeps the field bit-identical to serial maintenance. Engines with a
+//     transition listener run the barriered kernel instead (the listener
+//     contract materializes signals from the pre-step configuration, which
+//     pipelining overwrites);
 //   * under an asynchronous daemon whose activation sets can get large
 //     (Scheduler::max_activation_hint() at or above
-//     EngineOptions::sparse_activation_threshold), phase 1 of any step with
-//     |A_t| >= that threshold is sharded over contiguous degree-weighted
-//     index ranges of the activation list: workers write disjoint slots of
-//     the update list (and per-shard transition logs), then the engine
-//     applies updates and round bookkeeping serially after the barrier —
-//     the scheduler draw itself stays serial, so the schedule is untouched;
-//     steps below the threshold run the serial per-activation path;
+//     EngineOptions::sparse_activation_threshold), any step with
+//     |A_t| >= that threshold runs BOTH phases sharded over contiguous
+//     degree-weighted index ranges of the activation list: phase-1 tasks
+//     write disjoint slots of the update list (and per-shard transition
+//     logs), then per-shard apply tasks — each dependent on every phase-1
+//     task, since phase 1 reads arbitrary configuration slots — drain their
+//     own span into disjoint config/activation-count/pending elements, and
+//     the engine finishes with a serial merge in shard-index order (field
+//     patches from the logs, pending-count/round-close detection: exactly
+//     the cross-shard effects that need a deterministic order). The
+//     scheduler draw itself stays serial, so the schedule is untouched;
+//     steps below the threshold (or with a listener attached, whose replay
+//     needs the pre-apply configuration) run the serial apply path;
 //   * transition listeners stay exact: workers log (v, from, to) per shard
 //     and the engine replays the concatenated logs in iteration order after
 //     the barrier, materializing each signal from the pre-step configuration;
@@ -167,13 +191,20 @@ struct EngineOptions {
   /// Compile deterministic |Q| <= 64 automata into a transition table
   /// (ignored when fast_path is false or the automaton is not compilable).
   bool compile = true;
-  /// Shard count for the parallel kernels. 1 (default) = serial; 0 = auto
-  /// (hardware concurrency); N > 1 = N degree-weighted shards on a persistent
-  /// worker pool. Full-activation schedulers shard the synchronous kernel;
-  /// asynchronous daemons with large activation sets shard phase 1 of the
-  /// sparse-activation kernel. Every setting produces bit-identical
-  /// trajectories. Ignored when fast_path is false — the legacy oracle is
-  /// always serial.
+  /// Shard count for the parallel kernels. 1 (default) = serial; 0 = auto —
+  /// resolved through ParallelEngine::resolve_thread_count to
+  /// std::thread::hardware_concurrency(), clamped to at least 1 (the
+  /// standard allows hardware_concurrency() to report 0 on runners that
+  /// cannot determine it; 0 never reaches any engine arithmetic). Services
+  /// pooling many engines should resolve 0 through
+  /// ParallelEngine::recommended_threads(sessions) instead, which divides
+  /// the hardware budget across the sessions rather than handing every one
+  /// of them the full core count. N > 1 = N degree-weighted shards on the
+  /// task-graph runtime. Full-activation schedulers shard the synchronous
+  /// kernel; asynchronous daemons with large activation sets shard both
+  /// phases of the sparse-activation kernel. Every setting produces
+  /// bit-identical trajectories. Ignored when fast_path is false — the
+  /// legacy oracle is always serial.
   unsigned thread_count = 1;
   /// Minimum |A_t| for the sparse-activation sharded kernel. Steps with
   /// smaller activation sets (and daemons whose max_activation_hint() never
@@ -187,6 +218,15 @@ struct EngineOptions {
   /// SignalFieldMode. Purely a performance knob: trajectories are
   /// bit-identical in every mode.
   SignalFieldMode signal_field = SignalFieldMode::kAuto;
+  /// Pipeline consecutive synchronous steps on the sharded kernel: phase 1
+  /// of step t+1 overlaps phase 2 of step t wherever a shard's read
+  /// frontier is already applied (see the header comment's legality
+  /// argument). Only the sharded synchronous kernel reads this; engines
+  /// with a transition listener, serial engines, and asynchronous daemons
+  /// ignore it. Purely a performance knob: every observable accessor
+  /// flushes the pipeline, so trajectories and visible state are
+  /// bit-identical either way.
+  bool overlap_steps = true;
 };
 
 /// kAuto enables the signal field only when the mean neighborhood is at
@@ -231,7 +271,16 @@ class Engine {
   Engine(graph::Graph& g, const Automaton& alg, sched::Scheduler& sched,
          Configuration initial, std::uint64_t seed, EngineOptions options = {});
 
-  /// Executes one step (one scheduler activation set).
+  /// Flushes any open step pipeline before the members (including the pool
+  /// the in-flight tasks run on) are destroyed.
+  ~Engine();
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Executes one step (one scheduler activation set). On the overlapped
+  /// synchronous kernel this may only ENQUEUE the step; reading any
+  /// observable accessor (config(), time(), ...) flushes the pipeline and
+  /// always sees the exact post-step state.
   void step();
 
   /// Runs until pred(config) holds (checked after every step and on the
@@ -242,16 +291,29 @@ class Engine {
   /// Runs until `rounds` rounds have completed.
   void run_rounds(std::uint64_t rounds);
 
-  [[nodiscard]] const Configuration& config() const { return config_; }
-  [[nodiscard]] StateId state_of(NodeId v) const { return config_[v]; }
-  [[nodiscard]] Time time() const { return time_; }
-  [[nodiscard]] std::uint64_t rounds_completed() const { return rounds_; }
+  [[nodiscard]] const Configuration& config() const {
+    ensure_flushed();
+    return config_;
+  }
+  [[nodiscard]] StateId state_of(NodeId v) const {
+    ensure_flushed();
+    return config_[v];
+  }
+  [[nodiscard]] Time time() const {
+    ensure_flushed();
+    return time_;
+  }
+  [[nodiscard]] std::uint64_t rounds_completed() const {
+    ensure_flushed();
+    return rounds_;
+  }
 
   /// Smallest i such that R(i) >= current time (the paper-style round stamp
   /// of "now"). At a round boundary — time_ == R(rounds_), which includes
   /// t = 0 = R(0) — this is exactly rounds_; strictly inside a round it is
   /// rounds_ + 1, the index of the round that will close next.
   [[nodiscard]] std::uint64_t round_index_now() const {
+    ensure_flushed();
     return time_ == last_boundary_time_ ? rounds_ : rounds_ + 1;
   }
 
@@ -261,10 +323,15 @@ class Engine {
 
   /// Number of activations applied to node v so far (fairness auditing).
   [[nodiscard]] std::uint64_t activation_count(NodeId v) const {
+    ensure_flushed();
     return activation_counts_[v];
   }
 
+  /// Listener replay needs the pre-step configuration, so attaching (or
+  /// detaching) one flushes the pipeline and routes subsequent synchronous
+  /// steps through the barriered kernel.
   void set_transition_listener(TransitionListener listener) {
+    flush_overlap();
     listener_ = std::move(listener);
   }
 
@@ -284,8 +351,12 @@ class Engine {
   [[nodiscard]] bool signal_field_active() const { return field_ != nullptr; }
   /// The field itself, or nullptr when routing disabled it (observability
   /// for tests and benches). Check signal_field_stale() before reading
-  /// counters out of it.
-  [[nodiscard]] const SignalField* signal_field() const { return field_.get(); }
+  /// counters out of it. Flushes the pipeline — overlapped merge tasks
+  /// patch the field in flight.
+  [[nodiscard]] const SignalField* signal_field() const {
+    ensure_flushed();
+    return field_.get();
+  }
   /// True when an injection invalidated the field and no field sense has
   /// rebuilt it yet. Serial asynchronous engines refresh on their next
   /// sense; a full-activation engine never senses through the field, so a
@@ -300,6 +371,22 @@ class Engine {
   /// automaton, or the legacy path).
   [[nodiscard]] unsigned shard_count() const {
     return pool_ ? pool_->shard_count() : 1;
+  }
+
+  /// Nanoseconds the stepping thread has spent blocked on the runtime with
+  /// nothing runnable (ParallelEngine::barrier_wait_ns) — 0 for serial
+  /// engines. The bench's thread-sweep rows report this per cell; the PR 2
+  /// epoch pool spent every serial phase-2 tail here.
+  [[nodiscard]] std::uint64_t barrier_wait_ns() const {
+    ensure_flushed();
+    return pool_ ? pool_->barrier_wait_ns() : 0;
+  }
+  /// Nanoseconds spent in phase-2 apply/merge work — the serial
+  /// apply-and-close-rounds path, the sparse kernel's post-barrier merge,
+  /// and the overlapped kernel's field-merge tasks. Flushes the pipeline.
+  [[nodiscard]] std::uint64_t apply_phase_ns() const {
+    ensure_flushed();
+    return apply_phase_ns_;
   }
 
   /// Overwrites the configuration (models a burst of transient faults /
@@ -370,6 +457,7 @@ class Engine {
 
  private:
   struct ShardWorkspace;
+  using TransitionRec = Transition;  // core/signal_field.hpp
 
   void step_synchronous();
   void step_parallel_synchronous();
@@ -377,6 +465,37 @@ class Engine {
   void step_sparse_parallel();
   void step_legacy();
   void apply_updates_and_close_rounds();
+
+  // --- overlapped synchronous pipeline (see the header comment) -------------
+  /// True when step() may enqueue pipelined synchronous steps right now.
+  [[nodiscard]] bool overlap_eligible() const {
+    return pool_ != nullptr && full_activation_ && options_.overlap_steps &&
+           !listener_;
+  }
+  /// Enqueues one synchronous step as frontier-dependent phase-1 tasks (plus
+  /// a field-merge task when the field is live) without waiting for it.
+  void enqueue_overlapped_step();
+  /// Drains the pipeline and settles time/round bookkeeping and buffer
+  /// parity. No-op when nothing is enqueued.
+  void flush_overlap();
+  /// Observable accessors call this first: the externally visible state is
+  /// always the fully applied one. The const_cast is sound — the Engine is
+  /// externally synchronized (single-owner), and flushing mutates no
+  /// observable value, it only completes steps that were already taken.
+  void ensure_flushed() const {
+    if (overlap_depth_ != 0) const_cast<Engine*>(this)->flush_overlap();
+  }
+  static void overlap_phase1_task(void* ctx, const Shard& shard,
+                                  unsigned shard_index, std::uint64_t seq);
+  static void overlap_merge_task(void* ctx, const Shard& shard,
+                                 unsigned shard_index, std::uint64_t seq);
+  static void sparse_phase1_task(void* ctx, const Shard& shard,
+                                 unsigned shard_index, std::uint64_t seq);
+  static void sparse_apply_task(void* ctx, const Shard& shard,
+                                unsigned shard_index, std::uint64_t seq);
+  /// Re-balances the synchronous node partition and its frontiers after
+  /// topology churn (and computes the frontiers on first use).
+  void refresh_sync_shards();
 
   /// Rebuilds the signal field from the current configuration if an
   /// injection invalidated it — called before every field sense.
@@ -400,15 +519,18 @@ class Engine {
 
   /// Phase 1 of one shard, shared by both parallel kernels (their loop
   /// bodies must stay in lockstep or bit-identity silently breaks):
-  /// computes the next state of every index in [shard.begin, shard.end),
-  /// mapping indices to nodes via `node_of` (identity for the synchronous
-  /// kernel, the activation list for the sparse kernel) and handing results
-  /// to `emit(i, v, next)` (double-buffer slot vs update-list slot). Logs
-  /// transitions into `ws` when `log_transitions`.
+  /// computes the next state of every index in [shard.begin, shard.end)
+  /// against the read buffer `cfg` (config_, or the parity-selected buffer
+  /// in the overlapped kernel), mapping indices to nodes via `node_of`
+  /// (identity for the synchronous kernel, the activation list for the
+  /// sparse kernel) and handing results to `emit(i, v, next)` (double-buffer
+  /// slot vs update-list slot). Logs transitions into `log` when
+  /// `log_transitions`.
   template <typename NodeOf, typename Emit>
   void shard_phase1(const Shard& shard, ShardWorkspace& ws,
-                    bool log_transitions, const NodeOf& node_of,
-                    const Emit& emit);
+                    const Configuration& cfg,
+                    std::vector<TransitionRec>& log, bool log_transitions,
+                    const NodeOf& node_of, const Emit& emit);
 
   /// The rng stream for an activation of node v (per-node counter-based
   /// stream for randomized automata; the never-consulted engine stream for
@@ -444,19 +566,24 @@ class Engine {
   std::vector<util::Rng> node_rngs_;
 
   // Sharded kernel state (null / empty when running serial).
-  struct TransitionRec {
-    NodeId v;
-    StateId from;
-    StateId to;
-  };
   struct ShardWorkspace {
     SignalScratch scratch;
-    std::vector<TransitionRec> transitions;
+    // Two logs, addressed by step parity: the overlapped kernel lets
+    // phase 1 of step t+1 start (and clear its log) while the merge task of
+    // step t still drains step t's — one log per parity keeps them apart
+    // (phase 1 of step t+2 depends on merge(t), so depth never exceeds the
+    // two buffers). Non-overlapped paths use index 0 only.
+    std::vector<TransitionRec> transitions[2];
     // Lazy-memo compiled kernels are single-threaded; each shard gets its own
     // instance (dense tables are immutable after construction and shared).
+    // Safe under work stealing too: tasks touching one shard's workspace are
+    // dependency-ordered, so at most one thread uses it at a time.
     std::unique_ptr<CompiledAutomaton> compiled;
     const Automaton* stepper = nullptr;
     util::Rng dummy_rng{0};  // deterministic automata: never consulted
+    // Sparse-kernel apply tasks: nodes of this shard's span that left the
+    // pending set this step (summed serially in shard order afterwards).
+    std::uint64_t newly_done = 0;
   };
   std::unique_ptr<ParallelEngine> pool_;
   std::vector<ShardWorkspace> shard_ws_;
@@ -471,6 +598,29 @@ class Engine {
   // sparse kernel never read it).
   std::vector<Shard> sync_shards_;
   bool sync_shards_dirty_ = false;
+  // Read frontiers of sync_shards_ (computed lazily with the partition):
+  // the dependency edges of the overlapped kernel.
+  std::vector<ShardFrontier> sync_frontiers_;
+
+  // Overlapped-pipeline state. `overlap_depth_` counts enqueued-but-
+  // unflushed synchronous steps; while nonzero, time_/rounds_/config_ lag
+  // the enqueued trajectory and every observable accessor flushes first.
+  // Buffer parity: the step at pipeline position d reads config_ when d is
+  // even and next_config_ when odd (no per-step swap — the flush swaps once
+  // if the depth was odd).
+  unsigned overlap_depth_ = 0;
+  bool overlap_logging_ = false;      // field live this window: merge tasks run
+  std::vector<ParallelEngine::TaskId> prev_phase1_;  // last step, per shard
+  std::vector<ParallelEngine::TaskId> cur_phase1_;   // scratch for this step
+  std::vector<ParallelEngine::TaskId> merge_deps_;   // scratch: dep lists
+  ParallelEngine::TaskId prev_merge_ = ParallelEngine::kNoTask;
+  ParallelEngine::TaskId prev2_merge_ = ParallelEngine::kNoTask;
+  // Sparse-kernel task context (set per sharded async step; read by tasks).
+  bool sparse_log_ = false;
+  // Phase-2 apply/merge time, accumulated on whichever thread runs the
+  // merge (overlap merge tasks are chained, and every reader flushes, so
+  // the counter is race-free).
+  std::uint64_t apply_phase_ns_ = 0;
 
   // Delta-maintained signal field (null when routing disabled it). The
   // field is patched wherever updates are applied serially, patched from
@@ -490,9 +640,12 @@ class Engine {
   // instead of one allocation per observed transition.
   Signal listener_scratch_;
 
-  // Round operator tracking.
+  // Round operator tracking. pending_ is byte-per-node (not vector<bool>):
+  // the sparse kernel's parallel apply tasks clear disjoint ELEMENTS from
+  // different threads, which packed bits would turn into a word-level race.
+  // The snapshot wire format still packs 64 nodes per word.
   std::uint64_t rounds_ = 0;
-  std::vector<bool> pending_;      // not yet activated in the current round
+  std::vector<std::uint8_t> pending_;  // not yet activated in current round
   std::uint64_t pending_count_;
   Time last_boundary_time_ = 0;    // R(rounds_): 0 initially (R(0) = 0)
 

@@ -1,5 +1,7 @@
 #include "core/parallel_engine.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <stdexcept>
 #include <utility>
 
@@ -10,6 +12,7 @@ ParallelEngine::ParallelEngine(std::vector<Shard> shards)
   if (shards_.empty()) {
     throw std::invalid_argument("ParallelEngine: shard list must be non-empty");
   }
+  deques_.resize(shards_.size());
   workers_.reserve(shards_.size() - 1);
   for (unsigned i = 1; i < shards_.size(); ++i) {
     workers_.emplace_back(&ParallelEngine::worker_loop, this, i);
@@ -18,56 +21,139 @@ ParallelEngine::ParallelEngine(std::vector<Shard> shards)
 
 ParallelEngine::~ParallelEngine() {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const std::lock_guard<std::mutex> lock(mu_);
     stopping_ = true;
   }
   work_ready_.notify_all();
   for (std::thread& w : workers_) w.join();
 }
 
-void ParallelEngine::run(const ShardFn& fn) {
-  run_impl(shards_.data(), static_cast<unsigned>(shards_.size()), fn);
-}
-
-void ParallelEngine::run(const std::vector<Shard>& shards, const ShardFn& fn) {
-  if (shards.empty() || shards.size() > shards_.size()) {
-    throw std::invalid_argument(
-        "ParallelEngine: per-epoch shard list must have 1..shard_count() "
-        "entries");
-  }
-  run_impl(shards.data(), static_cast<unsigned>(shards.size()), fn);
-}
-
-void ParallelEngine::run_impl(const Shard* shards, unsigned count,
-                              const ShardFn& fn) {
-  if (count == 1 || workers_.empty()) {  // single shard: no barrier needed
-    fn(shards[0], 0);
-    return;
-  }
+ParallelEngine::TaskId ParallelEngine::add_task(ShardFnRef fn,
+                                                const Shard& shard,
+                                                unsigned shard_index,
+                                                std::uint64_t seq,
+                                                const TaskId* deps,
+                                                std::size_t dep_count) {
+  bool ready = false;
+  TaskId id;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    job_ = &fn;
-    epoch_shards_ = shards;
-    epoch_shard_count_ = count;
-    outstanding_ = count - 1;  // workers 1..count-1; shard 0 runs here
-    error_ = nullptr;
-    ++epoch_;
+    const std::lock_guard<std::mutex> lock(mu_);
+    id = static_cast<TaskId>(tasks_.size());
+    TaskNode node;
+    node.fn = fn;
+    node.shard = shard;
+    node.shard_index = shard_index;
+    node.seq = seq;
+    for (std::size_t i = 0; i < dep_count; ++i) {
+      const TaskId dep = deps[i];
+      if (dep == kNoTask || tasks_[dep].done) continue;
+      ++node.unmet;
+      edges_.push_back({id, tasks_[dep].dependents});
+      tasks_[dep].dependents = static_cast<std::uint32_t>(edges_.size() - 1);
+    }
+    ready = node.unmet == 0;
+    tasks_.push_back(std::move(node));
+    ++unfinished_;
+    if (ready) {
+      // Dependency-free tasks spread round-robin across the deques so a
+      // burst of independent work starts on every participant without any
+      // of them having to steal first.
+      deques_[next_spawn_deque_].push_back(id);
+      next_spawn_deque_ = (next_spawn_deque_ + 1) % deques_.size();
+    }
   }
-  work_ready_.notify_all();
-  // Shard 0 runs on the caller; a throw here must NOT unwind past the
-  // barrier below — workers would still be executing against the ShardFn
-  // temporary and the caller's per-shard state. Capture, wait, rethrow.
+  if (ready) work_ready_.notify_one();
+  return id;
+}
+
+bool ParallelEngine::has_runnable_locked() const {
+  for (const std::deque<TaskId>& d : deques_) {
+    if (!d.empty()) return true;
+  }
+  return false;
+}
+
+ParallelEngine::TaskId ParallelEngine::pop_runnable_locked(
+    unsigned participant) {
+  std::deque<TaskId>& own = deques_[participant];
+  if (!own.empty()) {  // own back: the dependents this thread just released
+    const TaskId id = own.back();
+    own.pop_back();
+    return id;
+  }
+  const unsigned k = static_cast<unsigned>(deques_.size());
+  for (unsigned i = 1; i < k; ++i) {  // steal the oldest work of a neighbor
+    std::deque<TaskId>& victim = deques_[(participant + i) % k];
+    if (!victim.empty()) {
+      const TaskId id = victim.front();
+      victim.pop_front();
+      return id;
+    }
+  }
+  return kNoTask;
+}
+
+void ParallelEngine::complete_locked(unsigned participant, TaskId id) {
+  TaskNode& task = tasks_[id];
+  task.done = true;
+  --unfinished_;
+  unsigned released = 0;
+  for (std::uint32_t e = task.dependents; e != kNoEdge; e = edges_[e].next) {
+    TaskNode& dependent = tasks_[edges_[e].to];
+    if (--dependent.unmet == 0) {
+      deques_[participant].push_back(edges_[e].to);
+      ++released;
+    }
+  }
+  // The completing participant takes one released task itself on its next
+  // loop; extra releases (or the generation finishing) wake the others —
+  // including a caller blocked in wait_all.
+  if (released > 1 || unfinished_ == 0) work_ready_.notify_all();
+}
+
+void ParallelEngine::execute(std::unique_lock<std::mutex>& lock,
+                             unsigned participant, TaskId id) {
+  // Snapshot what the body needs: tasks_ may reallocate under add_task while
+  // this task runs unlocked (caller-thread producer, worker consumers).
+  const ShardFnRef fn = tasks_[id].fn;
+  const Shard shard = tasks_[id].shard;
+  const unsigned shard_index = tasks_[id].shard_index;
+  const std::uint64_t seq = tasks_[id].seq;
+  lock.unlock();
+  std::exception_ptr error;
   try {
-    fn(shards[0], 0);
+    fn(shard, shard_index, seq);
   } catch (...) {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    if (!error_) error_ = std::current_exception();
+    // Never terminate a worker / unwind the caller mid-generation: finish
+    // the graph, hand the first exception to wait_all.
+    error = std::current_exception();
   }
-  std::unique_lock<std::mutex> lock(mutex_);
-  work_done_.wait(lock, [this] { return outstanding_ == 0; });
-  job_ = nullptr;
-  epoch_shards_ = nullptr;
-  epoch_shard_count_ = 0;
+  lock.lock();
+  if (error && !error_) error_ = error;
+  complete_locked(participant, id);
+}
+
+void ParallelEngine::wait_all() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (unfinished_ == 0) break;
+    const TaskId id = pop_runnable_locked(0);
+    if (id != kNoTask) {
+      execute(lock, 0, id);
+      continue;
+    }
+    const auto blocked_from = std::chrono::steady_clock::now();
+    work_ready_.wait(lock, [this] {
+      return unfinished_ == 0 || has_runnable_locked();
+    });
+    barrier_wait_ns_ += static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - blocked_from)
+            .count());
+  }
+  tasks_.clear();  // capacity retained: the arena is reused every generation
+  edges_.clear();
+  next_spawn_deque_ = 0;
   if (error_) {
     const std::exception_ptr error = std::exchange(error_, nullptr);
     lock.unlock();
@@ -75,44 +161,53 @@ void ParallelEngine::run_impl(const Shard* shards, unsigned count,
   }
 }
 
-void ParallelEngine::worker_loop(unsigned shard_index) {
-  std::uint64_t seen_epoch = 0;
+void ParallelEngine::run(ShardFnRef fn) {
+  run(shards_, fn);
+}
+
+void ParallelEngine::run(const std::vector<Shard>& shards, ShardFnRef fn) {
+  if (shards.empty() || shards.size() > shards_.size()) {
+    throw std::invalid_argument(
+        "ParallelEngine: per-epoch shard list must have 1..shard_count() "
+        "entries");
+  }
+  const std::uint64_t seq = epoch_++;
+  if (shards.size() == 1 || workers_.empty()) {
+    // Single shard: plain serial execution, zero synchronization (and the
+    // single-shard pool never locks at all).
+    for (unsigned i = 0; i < shards.size(); ++i) fn(shards[i], i, seq);
+    return;
+  }
+  for (unsigned i = 0; i < shards.size(); ++i) {
+    add_task(fn, shards[i], i, seq);
+  }
+  wait_all();
+}
+
+void ParallelEngine::worker_loop(unsigned participant) {
+  std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
-    const ShardFn* job = nullptr;
-    const Shard* shards = nullptr;
-    unsigned count = 0;
-    {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_ready_.wait(
-          lock, [&] { return stopping_ || epoch_ != seen_epoch; });
-      if (stopping_) return;
-      seen_epoch = epoch_;
-      job = job_;
-      shards = epoch_shards_;
-      count = epoch_shard_count_;
-    }
-    if (shard_index >= count) continue;  // no shard this epoch; not counted
-    std::exception_ptr error;
-    try {
-      (*job)(shards[shard_index], shard_index);
-    } catch (...) {
-      // Don't let the exception terminate the worker (std::terminate) —
-      // complete the barrier and hand it to the caller instead.
-      error = std::current_exception();
-    }
-    {
-      const std::lock_guard<std::mutex> lock(mutex_);
-      if (error && !error_) error_ = error;
-      --outstanding_;
-      if (outstanding_ == 0) work_done_.notify_one();
-    }
+    work_ready_.wait(lock,
+                     [this] { return stopping_ || has_runnable_locked(); });
+    if (stopping_) return;
+    const TaskId id = pop_runnable_locked(participant);
+    if (id == kNoTask) continue;  // another participant got there first
+    execute(lock, participant, id);
   }
 }
 
 unsigned ParallelEngine::resolve_thread_count(unsigned requested) {
   if (requested != 0) return requested;
+  // hardware_concurrency() is allowed to return 0 ("not computable"); read
+  // it once and clamp immediately so no caller arithmetic ever sees 0.
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : hw;
+}
+
+unsigned ParallelEngine::recommended_threads(unsigned sessions) {
+  const unsigned hw = resolve_thread_count(0);
+  const unsigned s = sessions == 0 ? 1 : sessions;
+  return std::max(1u, hw / s);
 }
 
 }  // namespace ssau::core

@@ -45,6 +45,16 @@
 
 namespace ssau::core {
 
+/// One applied state transition of node v — the record the sharded kernels
+/// log per shard and the batch patch entry consumes. `from`/`to` are taken
+/// against the pre-step configuration (simultaneous updates: every
+/// transition of one step reads the same C_t).
+struct Transition {
+  NodeId v;
+  StateId from;
+  StateId to;
+};
+
 class SignalField {
  public:
   /// Largest |Q| kept in the dense counter table (n * |Q| uint16 entries);
@@ -77,6 +87,14 @@ class SignalField {
   /// applied in any order as long as each (from, to) pair is taken from the
   /// pre-step configuration.
   void apply_transition(NodeId v, StateId from, StateId to);
+
+  /// Patches the field for one shard's transition log in log order — the
+  /// batch entry the parallel kernels' merge phase drains per-shard logs
+  /// through (shard-index order outside, log order inside = serial
+  /// iteration order, the deterministic merge the engine's bit-identity
+  /// rests on). Equivalent to apply_transition per record; one call site
+  /// instead of an interleaved loop at every kernel.
+  void apply_transitions(const Transition* transitions, std::size_t count);
 
   /// Patches the field for one edge insertion {u, v} already applied to the
   /// graph: u gains c[v] in its multiset and v gains c[u] — O(1), no

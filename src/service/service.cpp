@@ -20,9 +20,15 @@ SimulationService::SimulationService(ServiceOptions options)
 SimulationService::~SimulationService() { shutdown(); }
 
 SimulationService::SessionId SimulationService::open_session(SessionSpec spec) {
-  // The pool is the parallelism axis; a parallel engine inside a pooled
-  // session would oversubscribe the host and serve no latency purpose.
-  spec.options.thread_count = 1;
+  // The pool is the primary parallelism axis: a session asking for "auto"
+  // (thread_count == 0) gets the hardware budget DIVIDED by the worker
+  // count, so worker_count_ concurrently executing sessions never multiply
+  // into workers x cores threads. An explicit thread_count survives verbatim
+  // — deliberate oversubscription is a legitimate bench/experiment setup.
+  if (spec.options.thread_count == 0) {
+    spec.options.thread_count =
+        core::ParallelEngine::recommended_threads(worker_count_);
+  }
   auto session = std::make_unique<Session>(spec);
   return adopt_session(std::move(session));
 }

@@ -11,9 +11,15 @@
 // (a session is either in the ready queue or active on one worker, never
 // both). Sessions therefore run serially with respect to themselves —
 // trajectories are bit-identical to a standalone engine regardless of the
-// worker count — while distinct sessions execute concurrently. Sessions are
-// forced to thread_count=1: the pool IS the parallelism axis; nesting a
-// parallel engine inside a pooled session would oversubscribe the host.
+// worker count — while distinct sessions execute concurrently. The pool is
+// the primary parallelism axis, so a session spec asking for "auto" threads
+// (thread_count == 0) is resolved through
+// ParallelEngine::recommended_threads(workers): the hardware budget divided
+// by the worker count (at least 1), which keeps `workers` concurrently
+// executing sessions from multiplying into workers x cores engine threads.
+// An EXPLICIT thread_count is honored verbatim — deliberate
+// oversubscription (bench experiments, latency probes) stays expressible;
+// trajectories are bit-identical at every setting either way.
 //
 // Isolation: a command that makes apply() report Status::kError (an
 // exception escaped the engine mid-command) quarantines that session —
@@ -59,10 +65,11 @@ class SimulationService {
   SimulationService(const SimulationService&) = delete;
   SimulationService& operator=(const SimulationService&) = delete;
 
-  /// Creates a session from the spec and returns its id. The spec's
-  /// thread_count is forced to 1 (see header comment). Throws
-  /// std::invalid_argument on a malformed spec, std::runtime_error after
-  /// shutdown.
+  /// Creates a session from the spec and returns its id. A thread_count of
+  /// 0 ("auto") resolves to ParallelEngine::recommended_threads(workers())
+  /// — the no-oversubscription default; explicit values pass through
+  /// verbatim (see header comment). Throws std::invalid_argument on a
+  /// malformed spec, std::runtime_error after shutdown.
   SessionId open_session(SessionSpec spec);
 
   /// Adopts a pre-built session (e.g. Session::restore_checkpoint).

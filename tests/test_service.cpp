@@ -11,6 +11,7 @@
 // checkpoint path now sharing the service's `.prev` rotation guarantee.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <filesystem>
@@ -318,7 +319,9 @@ TEST(SimulationService, PooledSessionsBitIdenticalToStandaloneAtEveryWorkerCount
   std::vector<Reference> expected;
   for (const Script& s : scripts) {
     SessionSpec spec = s.spec;
-    spec.options.thread_count = 1;  // what the service forces
+    spec.options.thread_count = 1;  // trajectories are thread-count-invariant,
+                                    // so any resolution the service picks
+                                    // matches this serial reference
     Session session(spec);
     Reference ref;
     for (const Command& c : s.commands) {
@@ -433,6 +436,69 @@ TEST(SimulationService, UnknownSessionIdThrows) {
   EXPECT_THROW(svc.submit(123, cmd::step()), std::out_of_range);
   EXPECT_THROW(static_cast<void>(svc.session(123)), std::out_of_range);
   EXPECT_FALSE(svc.quarantined(123));
+}
+
+// --- SimulationService: pooled engine thread budgets -------------------------
+
+TEST(SimulationService, AutoThreadCountDividesHardwareAcrossWorkers) {
+  // thread_count == 0 must resolve through recommended_threads(workers):
+  // `workers` concurrently executing sessions never multiply into
+  // workers x cores engine threads.
+  for (const unsigned workers : {1u, 2u, 8u, 1024u}) {
+    SCOPED_TRACE("workers=" + std::to_string(workers));
+    SimulationService svc({.workers = workers});
+    SessionSpec spec;
+    spec.automaton = "alg-au:4";
+    spec.scheduler = "synchronous";
+    spec.graph = "cycle:64";
+    spec.seed = 7;
+    spec.options.thread_count = 0;  // "auto"
+    const auto id = svc.open_session(spec);
+    const unsigned resolved = svc.session(id).engine().options().thread_count;
+    EXPECT_EQ(resolved,
+              core::ParallelEngine::recommended_threads(svc.workers()));
+    EXPECT_GE(resolved, 1u);
+    EXPECT_LE(resolved * svc.workers(),
+              std::max(core::ParallelEngine::resolve_thread_count(0),
+                       svc.workers()));
+  }
+  // With at least as many workers as cores, auto sessions must be serial.
+  {
+    const unsigned hw = core::ParallelEngine::resolve_thread_count(0);
+    SimulationService svc({.workers = hw});
+    SessionSpec spec;
+    spec.automaton = "alg-au:4";
+    spec.scheduler = "synchronous";
+    spec.graph = "cycle:64";
+    spec.seed = 7;
+    spec.options.thread_count = 0;
+    const auto id = svc.open_session(spec);
+    EXPECT_EQ(svc.session(id).engine().options().thread_count, 1u);
+  }
+}
+
+TEST(SimulationService, ExplicitThreadCountSurvivesPooling) {
+  // Deliberate oversubscription (bench experiments) stays expressible: an
+  // explicit value passes through verbatim and the session still walks the
+  // bit-identical trajectory.
+  SimulationService svc({.workers = 2});
+  SessionSpec spec;
+  spec.automaton = "alg-au:4";
+  spec.scheduler = "synchronous";
+  spec.graph = "random:96:0.08";
+  spec.seed = 11;
+  spec.options.thread_count = 4;
+  const auto id = svc.open_session(spec);
+  EXPECT_EQ(svc.session(id).engine().options().thread_count, 4u);
+
+  auto fut = svc.submit(id, cmd::run_rounds(20));
+  ASSERT_TRUE(fut.get().ok());
+  svc.drain();
+
+  spec.options.thread_count = 1;
+  Session serial(spec);
+  ASSERT_TRUE(serial.apply(cmd::run_rounds(20)).ok());
+  EXPECT_EQ(svc.session(id).engine().config(), serial.engine().config());
 }
 
 // --- SimulationService: quarantine isolation ---------------------------------

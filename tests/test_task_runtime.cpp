@@ -1,0 +1,486 @@
+// Task-graph runtime and overlapped-step pipeline.
+//
+// Three layers of pinning:
+//   * the ParallelEngine task graph itself — dependency ordering under a
+//     steal storm (many tiny tasks, dependency chains, every participant
+//     hungry), arena reuse across generations, and the thread-count
+//     resolution contracts (0 = auto never reaches engine arithmetic as 0;
+//     recommended_threads divides the hardware budget across sessions);
+//   * the overlapped synchronous kernel — AU + MIS + LE under every
+//     scheduler at threads {1, 2, 4, 8} with overlap_steps forced ON must
+//     stay bit-identical to the serial engine (the overlap differential);
+//   * the overlap window under torture — inject_state, inject_configuration,
+//     topology churn, and save/load fired BETWEEN overlapped steps must each
+//     flush the pipeline and observe/mutate exactly the settled state the
+//     serial reference holds.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/parallel_engine.hpp"
+#include "core/shard.hpp"
+#include "graph/generators.hpp"
+#include "le/alg_le.hpp"
+#include "mis/alg_mis.hpp"
+#include "sched/scheduler.hpp"
+#include "unison/alg_au.hpp"
+#include "util/binary_io.hpp"
+#include "util/rng.hpp"
+
+namespace ssau {
+namespace {
+
+using core::ParallelEngine;
+using core::Shard;
+
+std::vector<std::string> all_scheduler_names() {
+  std::vector<std::string> names = sched::async_scheduler_names();
+  names.insert(names.begin(), "synchronous");
+  return names;
+}
+
+std::vector<Shard> unit_shards(unsigned n) {
+  std::vector<Shard> shards;
+  for (unsigned i = 0; i < n; ++i) shards.push_back({i, i + 1});
+  return shards;
+}
+
+// --- ParallelEngine: task graph ----------------------------------------------
+
+TEST(TaskRuntime, DependencyChainsExecuteInOrderUnderStealStorm) {
+  // C independent chains of L tiny tasks each on a P-participant runtime:
+  // with tasks this small, participants drain their own deques instantly and
+  // spend the generation stealing from each other. Each chain appends its
+  // link index to a per-chain log; dependency ordering must survive no
+  // matter which participant ran which link.
+  constexpr unsigned kParticipants = 8;
+  constexpr unsigned kChains = 24;
+  constexpr unsigned kLinks = 50;
+  ParallelEngine pool(unit_shards(kParticipants));
+
+  struct ChainLog {
+    std::vector<unsigned> order;
+  };
+  std::vector<ChainLog> logs(kChains);
+  struct Ctx {
+    std::vector<ChainLog>* logs;
+  } ctx{&logs};
+  const ParallelEngine::ShardFnRef link{
+      +[](void* c, const Shard&, unsigned chain, std::uint64_t seq) {
+        // Links of one chain are dependency-ordered, so this append is
+        // race-free by the runtime's happens-before guarantee.
+        (*static_cast<Ctx*>(c)->logs)[chain].order.push_back(
+            static_cast<unsigned>(seq));
+      },
+      &ctx};
+
+  for (int generation = 0; generation < 20; ++generation) {
+    for (ChainLog& log : logs) log.order.clear();
+    std::vector<ParallelEngine::TaskId> tails(kChains, ParallelEngine::kNoTask);
+    // Interleave the chains' links so consecutive add_task calls belong to
+    // different chains (maximally scrambled spawn order).
+    for (unsigned l = 0; l < kLinks; ++l) {
+      for (unsigned c = 0; c < kChains; ++c) {
+        tails[c] = pool.add_task(link, Shard{0, 1}, c, l, &tails[c], 1);
+      }
+    }
+    pool.wait_all();
+    for (unsigned c = 0; c < kChains; ++c) {
+      ASSERT_EQ(logs[c].order.size(), kLinks) << "chain " << c;
+      for (unsigned l = 0; l < kLinks; ++l) {
+        ASSERT_EQ(logs[c].order[l], l)
+            << "chain " << c << " ran links out of dependency order";
+      }
+    }
+  }
+}
+
+TEST(TaskRuntime, FanInTaskSeesEveryDependencyCompleted) {
+  constexpr unsigned kParticipants = 6;
+  constexpr unsigned kWide = 64;
+  ParallelEngine pool(unit_shards(kParticipants));
+  struct Ctx {
+    std::atomic<unsigned> done{0};
+    unsigned seen_at_join = 0;
+  } ctx;
+  const ParallelEngine::ShardFnRef leaf{
+      +[](void* c, const Shard&, unsigned, std::uint64_t) {
+        static_cast<Ctx*>(c)->done.fetch_add(1, std::memory_order_relaxed);
+      },
+      &ctx};
+  const ParallelEngine::ShardFnRef join{
+      +[](void* c, const Shard&, unsigned, std::uint64_t) {
+        Ctx& x = *static_cast<Ctx*>(c);
+        x.seen_at_join = x.done.load(std::memory_order_relaxed);
+      },
+      &ctx};
+  std::vector<ParallelEngine::TaskId> leaves;
+  for (unsigned i = 0; i < kWide; ++i) {
+    leaves.push_back(pool.add_task(leaf, Shard{0, 1}, i, 0));
+  }
+  pool.add_task(join, Shard{0, 1}, 0, 1, leaves.data(), leaves.size());
+  pool.wait_all();
+  EXPECT_EQ(ctx.seen_at_join, kWide);
+}
+
+TEST(TaskRuntime, ThrowingTaskStillReleasesDependentsAndRethrows) {
+  ParallelEngine pool(unit_shards(4));
+  struct Ctx {
+    std::atomic<int> ran{0};
+  } ctx;
+  const ParallelEngine::ShardFnRef boom{
+      +[](void* c, const Shard&, unsigned, std::uint64_t) {
+        static_cast<Ctx*>(c)->ran.fetch_add(1);
+        throw std::runtime_error("task failed");
+      },
+      &ctx};
+  const ParallelEngine::ShardFnRef after{
+      +[](void* c, const Shard&, unsigned, std::uint64_t) {
+        static_cast<Ctx*>(c)->ran.fetch_add(1);
+      },
+      &ctx};
+  const ParallelEngine::TaskId first = pool.add_task(boom, Shard{0, 1}, 0, 0);
+  pool.add_task(after, Shard{0, 1}, 0, 1, &first, 1);
+  EXPECT_THROW(pool.wait_all(), std::runtime_error);
+  EXPECT_EQ(ctx.ran.load(), 2) << "dependent of the failed task must still run";
+
+  // The runtime stays usable for the next generation.
+  ctx.ran = 0;
+  pool.add_task(after, Shard{0, 1}, 0, 0);
+  pool.wait_all();
+  EXPECT_EQ(ctx.ran.load(), 1);
+}
+
+TEST(TaskRuntime, CompletedAndNoTaskDependenciesAreSkipped) {
+  ParallelEngine pool(unit_shards(2));
+  struct Ctx {
+    int ran = 0;
+  } ctx;
+  const ParallelEngine::ShardFnRef fn{
+      +[](void* c, const Shard&, unsigned, std::uint64_t) {
+        ++static_cast<Ctx*>(c)->ran;  // single-threaded here: 2 shards, deps
+      },
+      &ctx};
+  // kNoTask entries (the overlapped kernel's "no previous step" markers)
+  // must be ignored, not counted as unmet dependencies.
+  const ParallelEngine::TaskId none = ParallelEngine::kNoTask;
+  pool.add_task(fn, Shard{0, 1}, 0, 0, &none, 1);
+  pool.wait_all();
+  EXPECT_EQ(ctx.ran, 1);
+}
+
+// --- thread-count resolution contracts ---------------------------------------
+
+TEST(TaskRuntime, ResolveThreadCountContract) {
+  EXPECT_EQ(ParallelEngine::resolve_thread_count(1), 1u);
+  EXPECT_EQ(ParallelEngine::resolve_thread_count(6), 6u);
+  // 0 = auto: hardware concurrency, clamped to at least 1 even where the
+  // standard lets hardware_concurrency() report 0.
+  EXPECT_GE(ParallelEngine::resolve_thread_count(0), 1u);
+}
+
+TEST(TaskRuntime, RecommendedThreadsDividesHardwareAcrossSessions) {
+  const unsigned hw = ParallelEngine::resolve_thread_count(0);
+  EXPECT_EQ(ParallelEngine::recommended_threads(1), hw);
+  EXPECT_EQ(ParallelEngine::recommended_threads(0),
+            ParallelEngine::recommended_threads(1))
+      << "0 sessions must clamp to 1, not divide by zero";
+  // At or beyond the core count every session gets exactly 1 thread — the
+  // pooled-service no-oversubscription guarantee.
+  EXPECT_EQ(ParallelEngine::recommended_threads(hw), 1u);
+  EXPECT_EQ(ParallelEngine::recommended_threads(hw + 7), 1u);
+  EXPECT_EQ(ParallelEngine::recommended_threads(1u << 20), 1u);
+  for (const unsigned sessions : {1u, 2u, 3u, 5u, 8u}) {
+    EXPECT_LE(ParallelEngine::recommended_threads(sessions) * sessions,
+              std::max(hw, sessions));
+    EXPECT_GE(ParallelEngine::recommended_threads(sessions), 1u);
+  }
+}
+
+// --- overlapped synchronous kernel: differential -----------------------------
+
+core::EngineOptions overlapped_options(unsigned threads) {
+  core::EngineOptions options;
+  options.thread_count = threads;
+  options.overlap_steps = true;
+  return options;
+}
+
+/// Serial reference vs overlapped engine, lockstep per-step comparison (each
+/// observable read flushes the pipeline, so this exercises a depth-1 window
+/// every step) PLUS a free-running segment (the pipeline reaches its full
+/// window depth before the single flush at the end).
+void expect_overlap_matches_serial(const graph::Graph& g,
+                                   const core::Automaton& alg,
+                                   const core::Configuration& c0,
+                                   const std::string& sched_name,
+                                   std::uint64_t seed, unsigned threads,
+                                   int lockstep_steps, int free_steps) {
+  auto sched_a = sched::make_scheduler(sched_name, g);
+  auto sched_b = sched::make_scheduler(sched_name, g);
+  core::Engine serial(g, alg, *sched_a, c0, seed, overlapped_options(1));
+  core::Engine overlapped(g, alg, *sched_b, c0, seed,
+                          overlapped_options(threads));
+  for (int s = 0; s < lockstep_steps; ++s) {
+    serial.step();
+    overlapped.step();
+    ASSERT_EQ(overlapped.config(), serial.config())
+        << sched_name << " x" << threads << " diverged at step " << s;
+    ASSERT_EQ(overlapped.time(), serial.time());
+    ASSERT_EQ(overlapped.rounds_completed(), serial.rounds_completed());
+    ASSERT_EQ(overlapped.round_index_now(), serial.round_index_now());
+  }
+  for (int s = 0; s < free_steps; ++s) {
+    serial.step();
+    overlapped.step();  // no observable read: the pipeline stays open
+  }
+  ASSERT_EQ(overlapped.config(), serial.config())
+      << sched_name << " x" << threads << " diverged in the free-running window";
+  ASSERT_EQ(overlapped.time(), serial.time());
+  ASSERT_EQ(overlapped.rounds_completed(), serial.rounds_completed());
+  for (core::NodeId v = 0; v < g.num_nodes(); ++v) {
+    ASSERT_EQ(overlapped.activation_count(v), serial.activation_count(v));
+  }
+}
+
+TEST(OverlapDifferential, AlgAuEverySchedulerEveryThreadCount) {
+  const unison::AlgAu alg(2);
+  util::Rng rng(23);
+  const graph::Graph g = graph::random_bounded_diameter(40, 2, rng);
+  const core::Configuration c0 =
+      unison::au_adversarial_configuration("random", alg, g, rng);
+  for (const std::string& sched_name : all_scheduler_names()) {
+    for (const unsigned threads : {1u, 2u, 4u, 8u}) {
+      expect_overlap_matches_serial(g, alg, c0, sched_name, 211, threads, 60,
+                                    150);
+    }
+  }
+}
+
+TEST(OverlapDifferential, AlgMisEverySchedulerEveryThreadCount) {
+  // Randomized: additionally pins the per-node rng draw sequences across the
+  // pipelined frontier (any draw reordering diverges within a few steps).
+  const mis::AlgMis alg({.diameter_bound = 2});
+  util::Rng rng(29);
+  const graph::Graph g = graph::random_bounded_diameter(36, 2, rng);
+  const core::Configuration c0 =
+      mis::mis_adversarial_configuration("random", alg, g, rng);
+  for (const std::string& sched_name : all_scheduler_names()) {
+    for (const unsigned threads : {1u, 2u, 4u, 8u}) {
+      expect_overlap_matches_serial(g, alg, c0, sched_name, 223, threads, 60,
+                                    150);
+    }
+  }
+}
+
+TEST(OverlapDifferential, AlgLeEverySchedulerEveryThreadCount) {
+  const le::AlgLe alg({.diameter_bound = 2});
+  util::Rng rng(31);
+  const graph::Graph g = graph::random_bounded_diameter(32, 2, rng);
+  const core::Configuration c0 =
+      le::le_adversarial_configuration("random", alg, g, rng);
+  for (const std::string& sched_name : all_scheduler_names()) {
+    for (const unsigned threads : {1u, 2u, 4u, 8u}) {
+      expect_overlap_matches_serial(g, alg, c0, sched_name, 227, threads, 60,
+                                    150);
+    }
+  }
+}
+
+TEST(OverlapDifferential, SignalFieldMergeStaysBitIdentical) {
+  // Forced-on field under the synchronous kernel: the overlapped pipeline
+  // runs its chained per-step merge tasks; the field's counters must end
+  // exactly where serial inline patching puts them.
+  const unison::AlgAu alg(2);
+  util::Rng rng(37);
+  const graph::Graph g = graph::random_bounded_diameter(40, 2, rng);
+  const core::Configuration c0 =
+      unison::au_adversarial_configuration("random", alg, g, rng);
+  auto sched_a = sched::make_scheduler("synchronous", g);
+  auto sched_b = sched::make_scheduler("synchronous", g);
+  core::EngineOptions serial_opts = overlapped_options(1);
+  serial_opts.signal_field = core::SignalFieldMode::kOn;
+  core::EngineOptions par_opts = overlapped_options(4);
+  par_opts.signal_field = core::SignalFieldMode::kOn;
+  core::Engine serial(g, alg, *sched_a, c0, 241, serial_opts);
+  core::Engine overlapped(g, alg, *sched_b, c0, 241, par_opts);
+  for (int s = 0; s < 200; ++s) {
+    serial.step();
+    overlapped.step();
+  }
+  ASSERT_EQ(overlapped.config(), serial.config());
+  ASSERT_TRUE(overlapped.signal_field_active());
+  const core::SignalField* fa = overlapped.signal_field();
+  const core::SignalField* fb = serial.signal_field();
+  ASSERT_NE(fa, nullptr);
+  ASSERT_NE(fb, nullptr);
+  for (core::NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (core::StateId q = 0; q < alg.state_count(); ++q) {
+      ASSERT_EQ(fa->count_of(v, q), fb->count_of(v, q))
+          << "field diverged at node " << v << " state " << int(q);
+    }
+  }
+}
+
+// --- overlap window torture: flush on every observable seam ------------------
+
+TEST(OverlapTorture, InjectionsAndChurnBetweenOverlappedStepsFlush) {
+  // Drive an overlapped engine and a serial reference through the same
+  // interleaving of steps, targeted faults, configuration overwrites, and
+  // topology churn — each mutation lands mid-window on the overlapped side
+  // and must see (and produce) exactly the serial state.
+  const unison::AlgAu alg(2);
+  util::Rng rng(41);
+  util::Rng mutation_rng(43);
+  graph::Graph g_par = graph::random_bounded_diameter(48, 2, rng);
+  graph::Graph g_ser = g_par;
+  const core::Configuration c0 =
+      unison::au_adversarial_configuration("random", alg, g_par, rng);
+  auto sched_a = sched::make_scheduler("synchronous", g_ser);
+  auto sched_b = sched::make_scheduler("synchronous", g_par);
+  core::Engine serial(g_ser, alg, *sched_a, c0, 251, overlapped_options(1));
+  core::Engine overlapped(g_par, alg, *sched_b, c0, 251,
+                          overlapped_options(4));
+
+  const auto random_delta = [&](const graph::Graph& g) {
+    graph::TopologyDelta delta;
+    const auto n = g.num_nodes();
+    for (int i = 0; i < 3; ++i) {
+      const core::NodeId u = mutation_rng.below(n);
+      const core::NodeId v = mutation_rng.below(n);
+      if (u == v) continue;
+      if (g.has_edge(u, v)) {
+        delta.remove.push_back({u, v});
+      } else {
+        delta.add.push_back({u, v});
+      }
+    }
+    return delta;
+  };
+
+  for (int cycle = 0; cycle < 30; ++cycle) {
+    // A burst of steps: the overlapped side holds a multi-step pipeline.
+    const int burst = 1 + static_cast<int>(mutation_rng.below(9));
+    for (int s = 0; s < burst; ++s) {
+      serial.step();
+      overlapped.step();
+    }
+    switch (cycle % 4) {
+      case 0: {  // targeted fault mid-window
+        const core::NodeId v = mutation_rng.below(g_par.num_nodes());
+        const core::StateId q =
+            static_cast<core::StateId>(mutation_rng.below(alg.state_count()));
+        serial.inject_state(v, q);
+        overlapped.inject_state(v, q);
+        break;
+      }
+      case 1: {  // configuration overwrite mid-window
+        core::Configuration fresh(g_par.num_nodes());
+        for (auto& q : fresh) {
+          q = static_cast<core::StateId>(mutation_rng.below(alg.state_count()));
+        }
+        serial.inject_configuration(fresh);
+        overlapped.inject_configuration(fresh);
+        break;
+      }
+      case 2: {  // topology churn mid-window (shards re-balance + frontiers)
+        const graph::TopologyDelta delta = random_delta(g_par);
+        const graph::TopologyDelta applied_s = serial.apply_topology_delta(delta);
+        const graph::TopologyDelta applied_p =
+            overlapped.apply_topology_delta(delta);
+        ASSERT_EQ(applied_s.add, applied_p.add);
+        ASSERT_EQ(applied_s.remove, applied_p.remove);
+        break;
+      }
+      case 3: {  // snapshot round trip mid-window
+        util::BinaryWriter ws;
+        overlapped.save_state(ws);
+        util::BinaryWriter ws_ref;
+        serial.save_state(ws_ref);
+        ASSERT_EQ(ws.buffer().size(), ws_ref.buffer().size());
+        util::BinaryReader rd(ws.buffer());
+        overlapped.load_state(rd);  // restore into the same engine
+        break;
+      }
+    }
+    ASSERT_EQ(overlapped.config(), serial.config())
+        << "diverged after mutation cycle " << cycle;
+    ASSERT_EQ(overlapped.time(), serial.time());
+    ASSERT_EQ(overlapped.rounds_completed(), serial.rounds_completed());
+  }
+}
+
+TEST(OverlapTorture, LongFreeRunCrossesWindowBoundaries) {
+  // 500 steps with no observable read: the pipeline must flush itself at
+  // every internal window boundary (bounding the task arena) and still land
+  // bit-identical.
+  const unison::AlgAu alg(2);
+  util::Rng rng(47);
+  const graph::Graph g = graph::random_bounded_diameter(40, 2, rng);
+  const core::Configuration c0 =
+      unison::au_adversarial_configuration("random", alg, g, rng);
+  auto sched_a = sched::make_scheduler("synchronous", g);
+  auto sched_b = sched::make_scheduler("synchronous", g);
+  core::Engine serial(g, alg, *sched_a, c0, 263, overlapped_options(1));
+  core::Engine overlapped(g, alg, *sched_b, c0, 263, overlapped_options(4));
+  for (int s = 0; s < 500; ++s) serial.step();
+  for (int s = 0; s < 500; ++s) overlapped.step();
+  ASSERT_EQ(overlapped.config(), serial.config());
+  ASSERT_EQ(overlapped.time(), serial.time());
+  ASSERT_EQ(overlapped.rounds_completed(), serial.rounds_completed());
+}
+
+TEST(OverlapTorture, ListenerDisablesOverlapButStaysExact) {
+  // Attaching a listener mid-run flushes the pipeline and re-routes through
+  // the barriered kernel; the observed transition stream must match the
+  // serial engine's exactly from that point on.
+  const unison::AlgAu alg(2);
+  util::Rng rng(53);
+  const graph::Graph g = graph::random_bounded_diameter(32, 2, rng);
+  const core::Configuration c0 =
+      unison::au_adversarial_configuration("random", alg, g, rng);
+  auto sched_a = sched::make_scheduler("synchronous", g);
+  auto sched_b = sched::make_scheduler("synchronous", g);
+  core::Engine serial(g, alg, *sched_a, c0, 269, overlapped_options(1));
+  core::Engine overlapped(g, alg, *sched_b, c0, 269, overlapped_options(4));
+  for (int s = 0; s < 37; ++s) {  // open a pipeline first
+    serial.step();
+    overlapped.step();
+  }
+  struct Obs {
+    core::NodeId v;
+    core::StateId from, to;
+    core::Time t;
+    bool operator==(const Obs&) const = default;
+  };
+  std::vector<Obs> seen_serial, seen_overlapped;
+  std::mutex obs_mu;  // listener runs on the stepping thread; mutex is belt
+  serial.set_transition_listener([&](core::NodeId v, core::StateId from,
+                                     core::StateId to, const core::Signal&,
+                                     core::Time t) {
+    const std::lock_guard<std::mutex> lock(obs_mu);
+    seen_serial.push_back({v, from, to, t});
+  });
+  overlapped.set_transition_listener([&](core::NodeId v, core::StateId from,
+                                         core::StateId to, const core::Signal&,
+                                         core::Time t) {
+    const std::lock_guard<std::mutex> lock(obs_mu);
+    seen_overlapped.push_back({v, from, to, t});
+  });
+  for (int s = 0; s < 80; ++s) {
+    serial.step();
+    overlapped.step();
+  }
+  EXPECT_EQ(seen_overlapped, seen_serial);
+  ASSERT_EQ(overlapped.config(), serial.config());
+}
+
+}  // namespace
+}  // namespace ssau
