@@ -50,12 +50,27 @@
 // sessions/sec, commands/sec, and queue+execute command latency percentiles.
 // CI gates the concurrency level via bench_compare.py --min-sessions.
 //
+// The memory table measures the scale pass: a --mem-nodes instance (default
+// 1M, average degree ~8) is streamed through the two-pass GraphBuilder and
+// loaded into a compact-configuration engine, and the recursive
+// dynamic_memory_usage() accounting (util/memusage.hpp) is reported as
+// bytes-per-node / bytes-per-edge — the columns bench_compare.py
+// --max-bytes-per-node gates. The build_speedup column re-measures, at
+// --mem-ref-nodes (default 100k), the streaming builder against the
+// pre-streaming pattern (O(n^2) per-pair Bernoulli sweep into an
+// intermediate edge vector, kept bench-local below) — both sides in-run, so
+// the ratio is machine-independent like the churn and restore ratios.
+// --mem-nodes=0 skips the table; --mem-ref-nodes=0 skips just the speedup
+// reference (the CI smoke run, where the O(n^2) side would dominate the
+// budget).
+//
 // Usage: bench_engine_perf [--nodes=10000] [--edge-p=0.0008]
 //                          [--sync-steps=100] [--single-steps=200000]
 //                          [--single-act-steps=200000]
 //                          [--single-act-edge-p=0.02]
 //                          [--churn-events=64] [--churn-rebuild-events=12]
 //                          [--service-sessions=1000] [--service-workers=0]
+//                          [--mem-nodes=1000000] [--mem-ref-nodes=100000]
 //                          [--threads=1,2,4,8] [--repeats=3]
 //                          [--json=BENCH_engine.json] [--seed=7]
 #include <algorithm>
@@ -67,6 +82,8 @@
 #include <limits>
 #include <map>
 #include <memory>
+#include <numeric>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -242,6 +259,33 @@ std::vector<unsigned> parse_thread_list(const std::string& csv) {
   return threads;
 }
 
+/// The pre-streaming random_connected construction pattern, kept bench-local
+/// as the baseline for the memory table's build_speedup column: a random
+/// spanning tree plus an O(n^2) per-pair Bernoulli sweep, all collected into
+/// an intermediate edge vector that the edge-list Graph constructor then
+/// sorts and dedups into the CSR. Semantically it draws the same family as
+/// graph::random_connected — only the construction cost differs (O(n^2)
+/// coin flips and a materialized EdgeList versus the streaming two-pass
+/// skip-sampling build).
+graph::Graph random_connected_edgelist(graph::NodeId n, double p,
+                                       util::Rng& rng) {
+  std::vector<graph::NodeId> perm(n);
+  std::iota(perm.begin(), perm.end(), graph::NodeId{0});
+  for (graph::NodeId i = n; i > 1; --i) {
+    std::swap(perm[i - 1], perm[rng.below(i)]);
+  }
+  std::vector<std::pair<graph::NodeId, graph::NodeId>> edges;
+  for (graph::NodeId i = 1; i < n; ++i) {
+    edges.emplace_back(perm[rng.below(i)], perm[i]);
+  }
+  for (graph::NodeId u = 0; u + 1 < n; ++u) {
+    for (graph::NodeId v = u + 1; v < n; ++v) {
+      if (rng.bernoulli(p)) edges.emplace_back(u, v);
+    }
+  }
+  return graph::Graph(n, edges);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -263,6 +307,10 @@ int main(int argc, char** argv) {
       static_cast<std::uint64_t>(cli.get_int("service-sessions", 1000));
   const auto service_workers =
       static_cast<unsigned>(cli.get_int("service-workers", 0));
+  const auto mem_nodes =
+      static_cast<graph::NodeId>(cli.get_int("mem-nodes", 1000000));
+  const auto mem_ref_nodes =
+      static_cast<graph::NodeId>(cli.get_int("mem-ref-nodes", 100000));
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 7));
   const std::string json_path = cli.get("json", "BENCH_engine.json");
   const std::vector<unsigned> thread_list =
@@ -584,6 +632,97 @@ int main(int argc, char** argv) {
     }
   }
 
+  // --- memory table (million-node footprint + streaming build speedup) -------
+  // One large instance (--mem-nodes, average degree ~8) built through the
+  // streaming two-pass path and loaded into a compact-configuration engine
+  // under the synchronous scheduler. The recursive accounting numbers are
+  // taken after a short warm-up so steady-state scratch (update slots,
+  // pending bitmap) is materialized. The speedup reference runs at
+  // --mem-ref-nodes, where the O(n^2) edge-list side is still feasible.
+  struct MemoryPoint {
+    std::uint64_t nodes = 0;
+    std::uint64_t edges = 0;
+    double build_seconds = 0.0;
+    std::uint64_t ref_nodes = 0;
+    double ref_stream_seconds = 0.0;
+    double ref_edgelist_seconds = 0.0;
+    double build_speedup = 0.0;  // edge-list reference over streaming
+    std::uint64_t graph_bytes = 0;
+    std::uint64_t engine_bytes = 0;
+    std::uint64_t total_bytes = 0;
+    double bytes_per_node = 0.0;
+    double bytes_per_edge = 0.0;
+  };
+  std::vector<MemoryPoint> memory_points;
+  if (mem_nodes > 0) {
+    MemoryPoint mp;
+    mp.nodes = mem_nodes;
+    const double mem_p = 8.0 / static_cast<double>(mem_nodes);
+
+    std::optional<graph::Graph> mg;
+    double build_seconds = std::numeric_limits<double>::infinity();
+    for (int r = 0; r < repeats; ++r) {
+      util::Rng mem_rng(seed + 41);  // fresh stream: identical graph each rep
+      const auto t0 = std::chrono::steady_clock::now();
+      graph::Graph built = graph::random_connected(mem_nodes, mem_p, mem_rng);
+      const auto t1 = std::chrono::steady_clock::now();
+      build_seconds = std::min(
+          build_seconds, std::chrono::duration<double>(t1 - t0).count());
+      if (!mg) mg = std::move(built);
+    }
+    mp.build_seconds = build_seconds;
+    mp.edges = mg->num_edges();
+
+    auto msched = sched::make_scheduler("synchronous", *mg);
+    util::Rng cfg_rng(seed + 43);
+    core::Engine mengine(*mg, au, *msched,
+                         core::random_configuration(au, mem_nodes, cfg_rng),
+                         seed + 47);
+    for (int s = 0; s < 10; ++s) mengine.step();
+    (void)mengine.time();  // settle the overlapped pipeline before measuring
+    mp.graph_bytes = mg->dynamic_memory_usage();
+    mp.engine_bytes = mengine.dynamic_memory_usage();
+    mp.total_bytes = mp.graph_bytes + mp.engine_bytes;
+    mp.bytes_per_node =
+        static_cast<double>(mp.total_bytes) / static_cast<double>(mp.nodes);
+    mp.bytes_per_edge = mp.edges > 0 ? static_cast<double>(mp.graph_bytes) /
+                                           static_cast<double>(mp.edges)
+                                     : 0.0;
+
+    if (mem_ref_nodes > 0) {
+      mp.ref_nodes = mem_ref_nodes;
+      const double ref_p = 8.0 / static_cast<double>(mem_ref_nodes);
+      double stream_seconds = std::numeric_limits<double>::infinity();
+      for (int r = 0; r < repeats; ++r) {
+        util::Rng ref_rng(seed + 53);
+        const auto t0 = std::chrono::steady_clock::now();
+        const graph::Graph rg =
+            graph::random_connected(mem_ref_nodes, ref_p, ref_rng);
+        const auto t1 = std::chrono::steady_clock::now();
+        stream_seconds = std::min(
+            stream_seconds, std::chrono::duration<double>(t1 - t0).count());
+        if (rg.num_nodes() != mem_ref_nodes) std::exit(1);  // keep rg live
+      }
+      // The O(n^2) side is timed once: it is minutes-scale headroom above
+      // the gate, and repeating it would dominate the whole bench run.
+      double edgelist_seconds;
+      {
+        util::Rng ref_rng(seed + 53);
+        const auto t0 = std::chrono::steady_clock::now();
+        const graph::Graph rg =
+            random_connected_edgelist(mem_ref_nodes, ref_p, ref_rng);
+        const auto t1 = std::chrono::steady_clock::now();
+        edgelist_seconds = std::chrono::duration<double>(t1 - t0).count();
+        if (rg.num_nodes() != mem_ref_nodes) std::exit(1);
+      }
+      mp.ref_stream_seconds = stream_seconds;
+      mp.ref_edgelist_seconds = edgelist_seconds;
+      mp.build_speedup =
+          stream_seconds > 0 ? edgelist_seconds / stream_seconds : 0.0;
+    }
+    memory_points.push_back(mp);
+  }
+
   // --- service table (multi-session mixed traffic) ---------------------------
   // Opens --service-sessions sessions over one SimulationService pool and
   // pushes a mixed 8-command script through each (steps, rounds, an
@@ -828,6 +967,33 @@ int main(int argc, char** argv) {
     }
   }
 
+  // --- memory table ----------------------------------------------------------
+  if (!memory_points.empty()) {
+    std::cout << "\n==== memory footprint: streaming build + compact engine "
+                 "(avg degree ~8) ====\n\n";
+    std::cout << std::left << std::setw(10) << "nodes" << std::right
+              << std::setw(11) << "edges" << std::setw(10) << "build s"
+              << std::setw(13) << "graph MB" << std::setw(11) << "engine MB"
+              << std::setw(9) << "B/node" << std::setw(9) << "B/edge"
+              << std::setw(13) << "build spdup" << "\n";
+    for (const MemoryPoint& p : memory_points) {
+      std::cout << std::left << std::setw(10) << p.nodes << std::right
+                << std::setw(11) << p.edges << std::fixed
+                << std::setprecision(3) << std::setw(10) << p.build_seconds
+                << std::setprecision(1) << std::setw(13)
+                << static_cast<double>(p.graph_bytes) / 1e6 << std::setw(11)
+                << static_cast<double>(p.engine_bytes) / 1e6 << std::setw(9)
+                << p.bytes_per_node << std::setw(9) << p.bytes_per_edge;
+      if (p.ref_nodes > 0) {
+        std::cout << std::setw(12) << p.build_speedup << "x  (at n="
+                  << p.ref_nodes << ": " << std::setprecision(3)
+                  << p.ref_edgelist_seconds << "s -> "
+                  << p.ref_stream_seconds << "s)";
+      }
+      std::cout << "\n";
+    }
+  }
+
   // --- service table ---------------------------------------------------------
   if (!service_points.empty()) {
     std::cout << "\n==== simulation service: concurrent sessions, mixed "
@@ -973,6 +1139,24 @@ int main(int argc, char** argv) {
     jw.key("save_mb_per_sec").value(p.save_mb_per_sec);
     jw.key("restore_mb_per_sec").value(p.restore_mb_per_sec);
     jw.key("restore_over_rerun").value(p.restore_over_rerun);
+    jw.end_object();
+  }
+  jw.end_array();
+  jw.key("memory").begin_array();
+  for (const MemoryPoint& p : memory_points) {
+    jw.begin_object();
+    jw.key("nodes").value(p.nodes);
+    jw.key("edges").value(p.edges);
+    jw.key("build_seconds").value(p.build_seconds);
+    jw.key("ref_nodes").value(p.ref_nodes);
+    jw.key("ref_stream_seconds").value(p.ref_stream_seconds);
+    jw.key("ref_edgelist_seconds").value(p.ref_edgelist_seconds);
+    jw.key("build_speedup").value(p.build_speedup);
+    jw.key("graph_bytes").value(p.graph_bytes);
+    jw.key("engine_bytes").value(p.engine_bytes);
+    jw.key("total_bytes").value(p.total_bytes);
+    jw.key("bytes_per_node").value(p.bytes_per_node);
+    jw.key("bytes_per_edge").value(p.bytes_per_edge);
     jw.end_object();
   }
   jw.end_array();

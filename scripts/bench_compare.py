@@ -80,6 +80,19 @@ latency (a row whose latency percentiles are zero means no commands actually
 completed). The gate is an in-run capability floor like --min-scaling, not a
 baseline ratio — absolute sessions/sec depends on the runner.
 
+The memory table ("memory" rows: one large instance streamed through the
+two-pass GraphBuilder into a compact-configuration engine, with recursive
+dynamic_memory_usage() accounting) is gated two ways. --max-bytes-per-node B
+requires every memory row's bytes_per_node — total graph + engine heap over
+node count — to stay at or under B: a footprint regression (wide stores
+sneaking back, a per-node 64-bit member, stored per-node rng streams) fails
+CI exactly like a throughput regression. --min-build-speedup FACTOR gates
+the row's build_speedup — the streaming builder versus the old
+materialize-an-EdgeList O(n^2) path, both re-measured within the current run
+at the row's ref_nodes, so the ratio is machine-independent. Both gates fail
+when no memory row carries the required fields: a bench that stopped
+emitting the table must not pass by omission.
+
 Usage:
   scripts/bench_compare.py BASELINE.json CURRENT.json [--max-regression 0.30]
                            [--absolute]
@@ -89,6 +102,7 @@ Usage:
                            [--min-churn ALGO:SCHED:FACTOR ...]
                            [--min-restore ALGO:SCHED:FACTOR ...]
                            [--min-sessions N]
+                           [--max-bytes-per-node B] [--min-build-speedup F]
   scripts/bench_compare.py --self-check
 """
 
@@ -218,6 +232,24 @@ def index_snapshot(doc):
             "save_rate": as_number(row.get("save_mb_per_sec")),
             "restore_rate": as_number(row.get("restore_mb_per_sec")),
             "bytes": as_number(row.get("snapshot_bytes")),
+        }
+    return out
+
+
+def index_memory(doc):
+    """memory rows keyed by node count (one row per measured instance)."""
+    out = {}
+    for row in doc.get("memory", []):
+        try:
+            key = row["nodes"]
+        except (KeyError, TypeError):
+            continue
+        out[key] = {
+            "bytes_per_node": as_number(row.get("bytes_per_node")),
+            "bytes_per_edge": as_number(row.get("bytes_per_edge")),
+            "build_seconds": as_number(row.get("build_seconds")),
+            "ref_nodes": as_number(row.get("ref_nodes")),
+            "build_speedup": as_number(row.get("build_speedup")),
         }
     return out
 
@@ -543,6 +575,92 @@ def run_gate(baseline, current, args, out=sys.stdout, err=sys.stderr):
                 f"{got:.1f}x over re-running the trajectory (floor {factor:.1f}x)"
             )
 
+    cur_memory = index_memory(current)
+    if not args.scaling_only:
+        # Disappeared-row protection, like churn/snapshot: a memory row in
+        # the committed baseline must still be emitted by the current run.
+        for key in sorted(index_memory(baseline)):
+            if key not in cur_memory:
+                failures.append(
+                    f"memory row for {key} nodes missing from current run"
+                )
+    for nodes, cell in sorted(cur_memory.items()):
+        print(
+            f"[info] memory: {nodes:.0f} nodes, "
+            f"{cell['bytes_per_node'] if cell['bytes_per_node'] is not None else 0:.1f} B/node, "
+            f"{cell['bytes_per_edge'] if cell['bytes_per_edge'] is not None else 0:.1f} B/edge, "
+            f"build {cell['build_seconds'] if cell['build_seconds'] is not None else 0:.3g} s, "
+            f"stream-over-edgelist "
+            f"{cell['build_speedup'] if cell['build_speedup'] is not None else 0:.1f}x",
+            file=out,
+        )
+
+    if args.max_bytes_per_node is not None:
+        if args.max_bytes_per_node <= 0:
+            print(
+                f"bad --max-bytes-per-node value '{args.max_bytes_per_node}'",
+                file=err,
+            )
+            return 2
+        if not cur_memory:
+            failures.append(
+                "no memory table in current run "
+                "(required by --max-bytes-per-node)"
+            )
+        for nodes, cell in sorted(cur_memory.items()):
+            got = cell["bytes_per_node"]
+            if got is None or got <= 0:
+                failures.append(
+                    f"memory row for {nodes:.0f} nodes lacks a positive "
+                    f"bytes_per_node (required by --max-bytes-per-node)"
+                )
+                continue
+            status = "OK " if got <= args.max_bytes_per_node else "FAIL"
+            print(
+                f"[{status}] footprint gate: {nodes:.0f} nodes at "
+                f"{got:.1f} B/node (ceiling {args.max_bytes_per_node:.1f})",
+                file=out,
+            )
+            if got > args.max_bytes_per_node:
+                failures.append(
+                    f"memory footprint at {nodes:.0f} nodes reached "
+                    f"{got:.1f} B/node "
+                    f"(ceiling {args.max_bytes_per_node:.1f})"
+                )
+
+    if args.min_build_speedup is not None:
+        if args.min_build_speedup <= 0:
+            print(
+                f"bad --min-build-speedup value '{args.min_build_speedup}'",
+                file=err,
+            )
+            return 2
+        measured = [
+            (nodes, cell["build_speedup"])
+            for nodes, cell in sorted(cur_memory.items())
+            if cell["ref_nodes"] and cell["ref_nodes"] > 0
+            and cell["build_speedup"] is not None
+        ]
+        if not measured:
+            failures.append(
+                "no memory row carries a build_speedup reference measurement "
+                "(required by --min-build-speedup)"
+            )
+        for nodes, got in measured:
+            status = "OK " if got >= args.min_build_speedup else "FAIL"
+            print(
+                f"[{status}] build-speedup gate: {nodes:.0f}-node row: "
+                f"streaming {got:.1f}x over the edge-list path "
+                f"(floor {args.min_build_speedup:.1f}x)",
+                file=out,
+            )
+            if got < args.min_build_speedup:
+                failures.append(
+                    f"streaming graph build reached only {got:.1f}x over "
+                    f"the edge-list path "
+                    f"(floor {args.min_build_speedup:.1f}x)"
+                )
+
     cur_service = index_service(current)
     if not args.scaling_only and index_service(baseline) and not cur_service:
         # Disappeared-table protection: a service table in the committed
@@ -619,6 +737,8 @@ def self_check():
             min_churn=kw.get("min_churn", []),
             min_restore=kw.get("min_restore", []),
             min_sessions=kw.get("min_sessions", None),
+            max_bytes_per_node=kw.get("max_bytes_per_node", None),
+            min_build_speedup=kw.get("min_build_speedup", None),
             scaling_only=kw.get("scaling_only", False),
         )
         return run_gate(baseline, current, args, out=io.StringIO(),
@@ -706,6 +826,35 @@ def self_check():
              "seconds": 0.5, "sessions_per_sec": 2000.0,
              "commands_per_sec": 14000.0,
              "p50_latency_us": 120.0, "p99_latency_us": 900.0},
+        ],
+    }
+
+    memory_doc = {
+        "speedups": [],
+        "memory": [
+            {"nodes": 1000000, "edges": 5000000,
+             "build_seconds": 0.6,
+             "ref_nodes": 100000,
+             "ref_stream_seconds": 0.05,
+             "ref_edgelist_seconds": 14.0,
+             "build_speedup": 280.0,
+             "graph_bytes": 56000000, "engine_bytes": 15000000,
+             "total_bytes": 71000000,
+             "bytes_per_node": 71.0, "bytes_per_edge": 11.2},
+        ],
+    }
+
+    unreferenced_memory_doc = {
+        "speedups": [],
+        "memory": [
+            # Footprint measured but the speedup reference skipped
+            # (--mem-ref-nodes=0): gateable on bytes, not on build_speedup.
+            {"nodes": 1000000, "edges": 5000000,
+             "build_seconds": 0.6,
+             "ref_nodes": 0, "build_speedup": 0.0,
+             "graph_bytes": 56000000, "engine_bytes": 15000000,
+             "total_bytes": 71000000,
+             "bytes_per_node": 71.0, "bytes_per_edge": 11.2},
         ],
     }
 
@@ -860,6 +1009,40 @@ def self_check():
         ("non-positive --min-sessions is a usage error", 2,
          lambda: gate(service_doc, service_doc, scaling_only=True,
                       min_sessions=0)),
+        ("footprint gate passes at the ceiling", 0,
+         lambda: gate(memory_doc, memory_doc, scaling_only=True,
+                      max_bytes_per_node=71.0)),
+        ("footprint over the ceiling fails", 1,
+         lambda: gate(memory_doc, memory_doc, scaling_only=True,
+                      max_bytes_per_node=64.0)),
+        ("footprint gate with no memory table fails", 1,
+         lambda: gate(memory_doc, {"speedups": []}, scaling_only=True,
+                      max_bytes_per_node=96.0)),
+        ("non-positive --max-bytes-per-node is a usage error", 2,
+         lambda: gate(memory_doc, memory_doc, scaling_only=True,
+                      max_bytes_per_node=0.0)),
+        ("build-speedup gate passes", 0,
+         lambda: gate(memory_doc, memory_doc, scaling_only=True,
+                      min_build_speedup=10.0)),
+        ("build-speedup below floor fails", 1,
+         lambda: gate(memory_doc, memory_doc, scaling_only=True,
+                      min_build_speedup=99999.0)),
+        ("build-speedup gate without a reference row fails", 1,
+         lambda: gate(unreferenced_memory_doc, unreferenced_memory_doc,
+                      scaling_only=True, min_build_speedup=10.0)),
+        ("unreferenced memory row still gates on bytes", 0,
+         lambda: gate(unreferenced_memory_doc, unreferenced_memory_doc,
+                      scaling_only=True, max_bytes_per_node=96.0)),
+        ("non-positive --min-build-speedup is a usage error", 2,
+         lambda: gate(memory_doc, memory_doc, scaling_only=True,
+                      min_build_speedup=-1.0)),
+        ("memory rows matching baseline pass", 0,
+         lambda: gate(memory_doc, memory_doc)),
+        ("memory row missing vs baseline fails", 1,
+         lambda: gate(memory_doc, {"speedups": [], "memory": []})),
+        ("scaling-only skips the memory baseline diff", 0,
+         lambda: gate(memory_doc, {"speedups": [], "memory": []},
+                      scaling_only=True)),
         ("service table matching baseline passes ungated", 0,
          lambda: gate(service_doc, service_doc)),
         ("service table missing vs baseline fails", 1,
@@ -958,6 +1141,24 @@ def main():
         help="require the current run's service table to contain a row that "
         "drove at least N concurrent sessions to completion (positive "
         "sessions/sec and p99 command latency)",
+    )
+    parser.add_argument(
+        "--max-bytes-per-node",
+        type=float,
+        default=None,
+        metavar="B",
+        help="require every memory-table row in the current run to report at "
+        "most B bytes of graph + engine heap per node (recursive "
+        "dynamic_memory_usage accounting); fails when the table is absent",
+    )
+    parser.add_argument(
+        "--min-build-speedup",
+        type=float,
+        default=None,
+        metavar="F",
+        help="require a memory-table row whose in-run streaming-vs-edge-list "
+        "graph construction ratio (build_speedup, measured at ref_nodes) "
+        "reaches F",
     )
     parser.add_argument(
         "--scaling-only",

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "core/automaton.hpp"
+#include "util/memusage.hpp"
 
 namespace ssau::core {
 
@@ -53,6 +54,13 @@ class CompiledAutomaton final : public Automaton {
   /// Number of distinct (state, mask) pairs resolved so far (dense: the full
   /// table; lazy: memo occupancy). Observability for tests and benches.
   [[nodiscard]] std::uint64_t transitions_cached() const;
+
+  /// Heap bytes owned by the kernel (dense table or memo, plus the unpack
+  /// scratch) — see util/memusage.hpp for the contract.
+  [[nodiscard]] std::size_t dynamic_memory_usage() const {
+    return util::DynamicUsage(dense_table_) + util::DynamicUsage(memo_) +
+           util::DynamicUsage(unpack_scratch_);
+  }
 
   // --- Automaton -----------------------------------------------------------
   [[nodiscard]] StateId state_count() const override {

@@ -4,6 +4,7 @@
 #include <array>
 #include <cassert>
 #include <chrono>
+#include <limits>
 #include <stdexcept>
 
 #include "util/binary_io.hpp"
@@ -12,11 +13,14 @@ namespace ssau::core {
 
 namespace {
 
-/// The 64-bit presence bitmask of node v's inclusive neighborhood under `c` —
-/// the one definition of mask sensing shared by the serial, sharded, and
-/// async kernels (all three must stay bit-identical).
-inline std::uint64_t neighborhood_mask(const graph::Graph& g,
-                                       const Configuration& c, NodeId v) {
+/// The 64-bit presence bitmask of node v's inclusive neighborhood under the
+/// raw configuration buffer `c` — the one definition of mask sensing shared
+/// by the serial, sharded, and async kernels (all must stay bit-identical).
+/// Templated on the element type so the byte-compact and wide storage modes
+/// share it.
+template <typename T>
+inline std::uint64_t neighborhood_mask(const graph::Graph& g, const T* c,
+                                       NodeId v) {
   std::uint64_t mask = std::uint64_t{1} << c[v];
   for (const NodeId u : g.neighbors(v)) {
     mask |= std::uint64_t{1} << c[u];
@@ -39,30 +43,29 @@ Engine::Engine(const graph::Graph& g, const Automaton& alg,
     : graph_(g),
       automaton_(alg),
       scheduler_(sched),
-      config_(std::move(initial)),
       rng_(seed),
       sched_rng_(rng_.fork()),
       seed_(seed),
       options_(options),
       stepper_(&alg),
       pending_(g.num_nodes(), 1),
-      pending_count_(g.num_nodes()),
-      activation_counts_(g.num_nodes(), 0) {
-  if (config_.size() != graph_.num_nodes()) {
+      pending_count_(g.num_nodes()) {
+  if (initial.size() != graph_.num_nodes()) {
     throw std::invalid_argument("initial configuration size mismatch");
   }
-  for (const StateId q : config_) {
+  for (const StateId q : initial) {
     if (q >= automaton_.state_count()) {
       throw std::invalid_argument("initial state out of range");
     }
   }
+  // Byte-per-node double buffers whenever the state space fits a byte —
+  // every shipped algorithm except the synchronizer's product spaces.
+  const bool narrow = automaton_.state_count() <= 256;
+  store_.reset(initial, narrow);
+  act32_.assign(graph_.num_nodes(), 0);
+  updates_.configure(automaton_.state_count() <=
+                     std::numeric_limits<std::uint32_t>::max());
   randomized_ = !automaton_.deterministic();
-  if (randomized_) {
-    node_rngs_.reserve(graph_.num_nodes());
-    for (NodeId v = 0; v < graph_.num_nodes(); ++v) {
-      node_rngs_.push_back(util::Rng::stream(seed, v));
-    }
-  }
   if (options_.fast_path) {
     mask_kernel_ = automaton_.state_count() <= SignalView::kMaskBits;
     if (options_.compile && CompiledAutomaton::compilable(automaton_) &&
@@ -71,7 +74,7 @@ Engine::Engine(const graph::Graph& g, const Automaton& alg,
       stepper_ = compiled_.get();
     }
     full_activation_ = scheduler_.full_activation();
-    if (full_activation_) next_config_.resize(graph_.num_nodes());
+    if (full_activation_) next_store_.reset_zero(graph_.num_nodes(), narrow);
     scratch_.reserve(graph_.max_degree() + 1);
 
     const unsigned threads =
@@ -150,7 +153,7 @@ Engine::Engine(const graph::Graph& g, const Automaton& alg,
     }
     if (want_field) {
       field_ = std::make_unique<SignalField>(graph_, automaton_.state_count(),
-                                             config_);
+                                             initial);
       // Only the heuristic's shakiest bet monitors itself: a kAuto field on
       // a mask-kernel automaton wins or loses purely on the (unknowable at
       // construction) transition rate, so it bails out mid-run if patching
@@ -191,7 +194,8 @@ graph::TopologyDelta Engine::apply_topology_delta(
   const graph::TopologyDelta applied = mutable_graph_->apply_delta(delta);
 
   // Signal field: O(1) per effective edge — each endpoint gains/loses the
-  // presence of the other's CURRENT state (churn does not touch config_).
+  // presence of the other's CURRENT state (churn does not touch the
+  // configuration, and the per-node reads never materialize a wide view).
   if (field_) {
     if (field_->dense() && graph_.max_degree() + 1 >=
                                static_cast<std::size_t>(SignalField::kSaturated)) {
@@ -200,14 +204,14 @@ graph::TopologyDelta Engine::apply_topology_delta(
       // field so it re-routes; a from-scratch build here is the rare safety
       // valve, not the churn fast path.
       field_ = std::make_unique<SignalField>(graph_, automaton_.state_count(),
-                                             config_);
+                                             store_.view());
       field_stale_ = false;
     } else if (!field_stale_) {
       for (const auto& [u, v] : applied.remove) {
-        field_->apply_edge_removal(u, v, config_);
+        field_->apply_edge_removal(u, v, store_.get(u), store_.get(v));
       }
       for (const auto& [u, v] : applied.add) {
-        field_->apply_edge_insertion(u, v, config_);
+        field_->apply_edge_insertion(u, v, store_.get(u), store_.get(v));
       }
     }
     // A stale field needs no patching: its pending lazy rebuild reads the
@@ -232,9 +236,35 @@ Signal Engine::signal_of(NodeId v) const {
   ensure_flushed();
   std::vector<StateId> sensed;
   sensed.reserve(graph_.degree(v) + 1);
-  sensed.push_back(config_[v]);
-  for (const NodeId u : graph_.neighbors(v)) sensed.push_back(config_[u]);
+  sensed.push_back(store_.get(v));
+  for (const NodeId u : graph_.neighbors(v)) sensed.push_back(store_.get(u));
   return Signal::from_states(std::move(sensed));
+}
+
+std::uint64_t Engine::mask_current(NodeId v) const {
+  return store_.narrow() ? neighborhood_mask(graph_, store_.bytes_data(), v)
+                         : neighborhood_mask(graph_, store_.wide_data(), v);
+}
+
+SignalView Engine::sense_current(SignalScratch& s, NodeId v) {
+  return store_.narrow() ? s.sense(graph_, store_.bytes_data(), v)
+                         : s.sense(graph_, store_.wide_data(), v);
+}
+
+void Engine::maybe_promote_acts() {
+  bool any = act_saturated_;
+  act_saturated_ = false;
+  for (ShardWorkspace& ws : shard_ws_) {
+    any = any || ws.act_saturated;
+    ws.act_saturated = false;
+  }
+  if (!any || act_wide_) return;
+  // One-way widening at a serial point: exact counts carry over, so the
+  // derived rng streams (keyed by activation count) are unaffected.
+  act64_.assign(act32_.begin(), act32_.end());
+  act32_.clear();
+  act32_.shrink_to_fit();
+  act_wide_ = true;
 }
 
 void Engine::step() {
@@ -259,6 +289,26 @@ void Engine::step_synchronous() {
     }
     return;
   }
+  if (store_.narrow()) {
+    step_synchronous_serial(store_.bytes_data(), next_store_.bytes_data());
+  } else {
+    step_synchronous_serial(store_.wide_data(), next_store_.wide_data());
+  }
+  store_.swap(next_store_);
+  // Both buffers were written through raw pointers (and the swap moves any
+  // cached view with its buffer): re-materialize lazily on the next read.
+  store_.invalidate_view();
+  next_store_.invalidate_view();
+  ++time_;
+  ++rounds_;
+  last_boundary_time_ = time_;
+  maybe_promote_acts();
+  // pending_ stays all-true / pending_count_ stays n: the round that opened
+  // at this step's start closed at its end.
+}
+
+template <typename T>
+void Engine::step_synchronous_serial(const T* cur, T* next) {
   const NodeId n = graph_.num_nodes();
   // The synchronous kernel never *senses* through the signal field, but a
   // live forced-on field must stay consistent across the step, so
@@ -273,40 +323,35 @@ void Engine::step_synchronous() {
     // bits and δ to one step_mask call (a table probe or native bit-ops).
     const Automaton& kernel = *stepper_;
     for (NodeId v = 0; v < n; ++v) {
-      const StateId cur = config_[v];
-      const StateId next = kernel.step_mask(
-          cur, neighborhood_mask(graph_, config_, v), step_rng(v));
-      if (patch_field && next != cur) field_->apply_transition(v, cur, next);
-      next_config_[v] = next;
-      ++activation_counts_[v];
+      const StateId curq = cur[v];
+      const StateId nextq = kernel.step_mask(
+          curq, neighborhood_mask(graph_, cur, v), step_rng(v));
+      if (patch_field && nextq != curq) {
+        field_->apply_transition(v, curq, nextq);
+      }
+      next[v] = static_cast<T>(nextq);
+      bump_act(v, act_saturated_);
     }
   } else {
     for (NodeId v = 0; v < n; ++v) {
-      const SignalView sig = scratch_.sense(graph_, config_, v);
-      const StateId cur = config_[v];
-      const StateId next = stepper_->step_fast(cur, sig, step_rng(v));
-      if (next != cur) {
-        if (listener_) emit_listener(v, cur, next, sig);
-        if (patch_field) field_->apply_transition(v, cur, next);
+      const SignalView sig = scratch_.sense(graph_, cur, v);
+      const StateId curq = cur[v];
+      const StateId nextq = stepper_->step_fast(curq, sig, step_rng(v));
+      if (nextq != curq) {
+        if (listener_) emit_listener(v, curq, nextq, sig);
+        if (patch_field) field_->apply_transition(v, curq, nextq);
       }
-      next_config_[v] = next;
-      ++activation_counts_[v];
+      next[v] = static_cast<T>(nextq);
+      bump_act(v, act_saturated_);
     }
   }
-  config_.swap(next_config_);
-  ++time_;
-  ++rounds_;
-  last_boundary_time_ = time_;
-  // pending_ stays all-true / pending_count_ stays n: the round that opened
-  // at this step's start closed at its end.
 }
 
 // Phase 1 of one shard, shared by the synchronous and sparse-activation
 // parallel kernels — one definition so the two loop bodies cannot drift out
 // of lockstep (bit-identity depends on them staying identical).
-template <typename NodeOf, typename Emit>
-void Engine::shard_phase1(const Shard& shard, ShardWorkspace& ws,
-                          const Configuration& cfg,
+template <typename T, typename NodeOf, typename Emit>
+void Engine::shard_phase1(const Shard& shard, ShardWorkspace& ws, const T* cfg,
                           std::vector<TransitionRec>& log,
                           const bool log_transitions, const NodeOf& node_of,
                           const Emit& emit) {
@@ -316,9 +361,8 @@ void Engine::shard_phase1(const Shard& shard, ShardWorkspace& ws,
     for (NodeId i = shard.begin; i < shard.end; ++i) {
       const NodeId v = node_of(i);
       const StateId cur = cfg[v];
-      const StateId next =
-          kernel.step_mask(cur, neighborhood_mask(graph_, cfg, v),
-                           randomized_ ? node_rngs_[v] : ws.dummy_rng);
+      const StateId next = kernel.step_mask(
+          cur, neighborhood_mask(graph_, cfg, v), shard_rng(ws, v));
       if (log_transitions && next != cur) {
         log.push_back({v, cur, next});
       }
@@ -329,8 +373,7 @@ void Engine::shard_phase1(const Shard& shard, ShardWorkspace& ws,
       const NodeId v = node_of(i);
       const SignalView sig = ws.scratch.sense(graph_, cfg, v);
       const StateId cur = cfg[v];
-      const StateId next =
-          kernel.step_fast(cur, sig, randomized_ ? node_rngs_[v] : ws.dummy_rng);
+      const StateId next = kernel.step_fast(cur, sig, shard_rng(ws, v));
       if (log_transitions && next != cur) {
         log.push_back({v, cur, next});
       }
@@ -362,6 +405,21 @@ void Engine::refresh_sync_shards() {
   }
 }
 
+template <typename T>
+void Engine::run_parallel_sync(const T* cur, T* next,
+                               const bool log_transitions) {
+  pool_->run(sync_shards_, [&](const Shard& shard, unsigned shard_index) {
+    ShardWorkspace& ws = shard_ws_[shard_index];
+    shard_phase1(
+        shard, ws, cur, ws.transitions[0], log_transitions,
+        [](NodeId i) { return i; },
+        [&](NodeId, NodeId v, StateId nextq) {
+          next[v] = static_cast<T>(nextq);
+          bump_act(v, ws.act_saturated);
+        });
+  });
+}
+
 void Engine::step_parallel_synchronous() {
   refresh_sync_shards();
   // A live signal field also needs the transition logs: workers cannot
@@ -370,20 +428,17 @@ void Engine::step_parallel_synchronous() {
   // barrier — deltas commute, and nothing senses the field mid-step.
   const bool patch_field = field_live();
   const bool log_transitions = static_cast<bool>(listener_) || patch_field;
-  pool_->run(sync_shards_, [&](const Shard& shard, unsigned shard_index) {
-    shard_phase1(
-        shard, shard_ws_[shard_index], config_,
-        shard_ws_[shard_index].transitions[0], log_transitions,
-        [](NodeId i) { return i; },
-        [&](NodeId, NodeId v, StateId next) {
-          next_config_[v] = next;
-          ++activation_counts_[v];
-        });
-  });
+  if (store_.narrow()) {
+    run_parallel_sync(store_.bytes_data(), next_store_.bytes_data(),
+                      log_transitions);
+  } else {
+    run_parallel_sync(store_.wide_data(), next_store_.wide_data(),
+                      log_transitions);
+  }
   if (listener_) {
     for (const ShardWorkspace& ws : shard_ws_) {
       for (const TransitionRec& tr : ws.transitions[0]) {
-        const SignalView sig = scratch_.sense(graph_, config_, tr.v);
+        const SignalView sig = sense_current(scratch_, tr.v);
         emit_listener(tr.v, tr.from, tr.to, sig);
       }
     }
@@ -395,11 +450,14 @@ void Engine::step_parallel_synchronous() {
                                 ws.transitions[0].size());
     }
   }
-  config_.swap(next_config_);
+  store_.swap(next_store_);
+  store_.invalidate_view();
+  next_store_.invalidate_view();
   ++time_;
   ++rounds_;
   last_boundary_time_ = time_;
   apply_phase_ns_ += elapsed_ns(apply_from);
+  maybe_promote_acts();
 }
 
 // --- overlapped synchronous pipeline ----------------------------------------
@@ -409,24 +467,36 @@ void Engine::step_parallel_synchronous() {
 // when the field is live, one merge task (deps: all of this step's phase-1
 // tasks and the previous merge) draining the per-shard logs in shard-index
 // order. seq carries the pipeline position; its parity addresses the double
-// buffer (read config_ on even, next_config_ on odd) and the transition-log
+// buffer (read store_ on even, next_store_ on odd) and the transition-log
 // pair. time_/rounds_ move only at flush: each synchronous step closes
 // exactly one round, so the flush adds the drained depth to both.
+
+template <typename T>
+void Engine::overlap_phase1_impl(const Shard& shard, unsigned shard_index,
+                                 std::uint64_t seq, const T* read, T* write) {
+  ShardWorkspace& ws = shard_ws_[shard_index];
+  shard_phase1(
+      shard, ws, read, ws.transitions[seq & 1], overlap_logging_,
+      [](NodeId i) { return i; },
+      [&](NodeId, NodeId v, StateId next) {
+        write[v] = static_cast<T>(next);
+        bump_act(v, ws.act_saturated);
+      });
+}
 
 void Engine::overlap_phase1_task(void* ctx, const Shard& shard,
                                  unsigned shard_index, std::uint64_t seq) {
   Engine& e = *static_cast<Engine*>(ctx);
   const bool odd = (seq & 1) != 0;
-  const Configuration& read = odd ? e.next_config_ : e.config_;
-  Configuration& write = odd ? e.config_ : e.next_config_;
-  ShardWorkspace& ws = e.shard_ws_[shard_index];
-  e.shard_phase1(
-      shard, ws, read, ws.transitions[seq & 1], e.overlap_logging_,
-      [](NodeId i) { return i; },
-      [&](NodeId, NodeId v, StateId next) {
-        write[v] = next;
-        ++e.activation_counts_[v];
-      });
+  ConfigStore& read = odd ? e.next_store_ : e.store_;
+  ConfigStore& write = odd ? e.store_ : e.next_store_;
+  if (read.narrow()) {
+    e.overlap_phase1_impl(shard, shard_index, seq, read.bytes_data(),
+                          write.bytes_data());
+  } else {
+    e.overlap_phase1_impl(shard, shard_index, seq, read.wide_data(),
+                          write.wide_data());
+  }
 }
 
 void Engine::overlap_merge_task(void* ctx, const Shard&, unsigned,
@@ -493,7 +563,10 @@ void Engine::flush_overlap() {
   time_ += depth;
   rounds_ += depth;  // every synchronous step closes exactly one round
   last_boundary_time_ = time_;
-  if ((depth & 1) != 0) config_.swap(next_config_);
+  if ((depth & 1) != 0) store_.swap(next_store_);
+  store_.invalidate_view();
+  next_store_.invalidate_view();
+  maybe_promote_acts();
   // pending_ stays all-true / pending_count_ stays n, as in every
   // synchronous step: each drained step opened and closed one round.
 }
@@ -544,34 +617,32 @@ void Engine::step_async() {
     if (mask_kernel_ && !listener_ && field_->mask_exact()) {
       const Automaton& kernel = *stepper_;
       for (const NodeId v : active_) {
-        const StateId cur = config_[v];
-        updates_.emplace_back(
-            v, kernel.step_mask(cur, field_->mask_of(v), step_rng(v)));
+        const StateId cur = store_.get(v);
+        updates_.push(v,
+                      kernel.step_mask(cur, field_->mask_of(v), step_rng(v)));
       }
     } else {
       for (const NodeId v : active_) {
         const SignalView sig = field_->sense(v, field_scratch_);
-        const StateId cur = config_[v];
+        const StateId cur = store_.get(v);
         const StateId next = stepper_->step_fast(cur, sig, step_rng(v));
         if (next != cur && listener_) emit_listener(v, cur, next, sig);
-        updates_.emplace_back(v, next);
+        updates_.push(v, next);
       }
     }
   } else if (mask_kernel_ && !listener_) {
     const Automaton& kernel = *stepper_;
     for (const NodeId v : active_) {
-      const StateId cur = config_[v];
-      updates_.emplace_back(
-          v, kernel.step_mask(cur, neighborhood_mask(graph_, config_, v),
-                              step_rng(v)));
+      const StateId cur = store_.get(v);
+      updates_.push(v, kernel.step_mask(cur, mask_current(v), step_rng(v)));
     }
   } else {
     for (const NodeId v : active_) {
-      const SignalView sig = scratch_.sense(graph_, config_, v);
-      const StateId cur = config_[v];
+      const SignalView sig = sense_current(scratch_, v);
+      const StateId cur = store_.get(v);
       const StateId next = stepper_->step_fast(cur, sig, step_rng(v));
       if (next != cur && listener_) emit_listener(v, cur, next, sig);
-      updates_.emplace_back(v, next);
+      updates_.push(v, next);
     }
   }
 
@@ -583,52 +654,74 @@ void Engine::step_async() {
 // list is re-partitioned every step into contiguous degree-weighted index
 // spans (activation sets differ step to step). Phase-1 tasks compute each
 // span's next states into that span's slots of the update list — disjoint
-// indices, so shards never contend — drawing randomized transitions from the
-// per-node rng streams (node v's draw depends only on (seed, v) and v's
-// activation history, never on the shard that ran it). Per-shard apply tasks
-// — each dependent on EVERY phase-1 task, because phase 1 reads arbitrary
-// configuration slots — then drain their own span into config_,
-// activation_counts_, and pending_ (disjoint elements: the scheduler's
-// distinct-ids contract, asserted below). The cross-shard effects — signal-
-// field patches from the per-shard logs, pending-count accounting, and
-// round-close detection — run in a serial merge in shard-index order after
-// the graph drains; spans are contiguous and ascending, so shard-order
-// concatenation IS activation-list order and the merge matches the serial
-// apply loop record for record (field_patches_ included, which snapshots
-// serialize). With a listener attached the replay needs signals from the
-// PRE-apply configuration, so that path keeps the barriered phase-1 fan-out
-// and the serial apply loop.
+// indices, so shards never contend — deriving randomized transitions from
+// the (seed, node, activation-count) streams (node v's draw depends only on
+// its own activation history, never on the shard that ran it). Per-shard
+// apply tasks — each dependent on EVERY phase-1 task, because phase 1 reads
+// arbitrary configuration slots — then drain their own span into the config
+// store, activation counters, and pending_ (disjoint elements: the
+// scheduler's distinct-ids contract, asserted below). The cross-shard
+// effects — signal-field patches from the per-shard logs, pending-count
+// accounting, and round-close detection — run in a serial merge in
+// shard-index order after the graph drains; spans are contiguous and
+// ascending, so shard-order concatenation IS activation-list order and the
+// merge matches the serial apply loop record for record (field_patches_
+// included, which snapshots serialize). With a listener attached the replay
+// needs signals from the PRE-apply configuration, so that path keeps the
+// barriered phase-1 fan-out and the serial apply loop.
+template <typename T>
+void Engine::sparse_phase1_impl(const Shard& shard, unsigned shard_index,
+                                const T* cfg) {
+  ShardWorkspace& ws = shard_ws_[shard_index];
+  shard_phase1(
+      shard, ws, cfg, ws.transitions[0], sparse_log_,
+      [&](NodeId i) { return active_[i]; },
+      [&](NodeId i, NodeId v, StateId next) { updates_.set(i, v, next); });
+}
+
 void Engine::sparse_phase1_task(void* ctx, const Shard& shard,
                                 unsigned shard_index, std::uint64_t) {
   Engine& e = *static_cast<Engine*>(ctx);
-  ShardWorkspace& ws = e.shard_ws_[shard_index];
-  e.shard_phase1(
-      shard, ws, e.config_, ws.transitions[0], e.sparse_log_,
-      [&](NodeId i) { return e.active_[i]; },
-      [&](NodeId i, NodeId v, StateId next) { e.updates_[i] = {v, next}; });
+  if (e.store_.narrow()) {
+    e.sparse_phase1_impl(shard, shard_index, e.store_.bytes_data());
+  } else {
+    e.sparse_phase1_impl(shard, shard_index, e.store_.wide_data());
+  }
 }
 
 void Engine::sparse_apply_task(void* ctx, const Shard& shard,
                                unsigned shard_index, std::uint64_t) {
   Engine& e = *static_cast<Engine*>(ctx);
+  ShardWorkspace& ws = e.shard_ws_[shard_index];
   std::uint64_t newly_done = 0;
   for (NodeId i = shard.begin; i < shard.end; ++i) {
-    const auto& [v, q] = e.updates_[i];
-    e.config_[v] = q;
-    ++e.activation_counts_[v];
+    const auto [v, q] = e.updates_.get(i);
+    e.store_.set_raw(v, q);
+    e.bump_act(v, ws.act_saturated);
     if (e.pending_[v] != 0) {
       e.pending_[v] = 0;
       ++newly_done;
     }
   }
-  e.shard_ws_[shard_index].newly_done = newly_done;
+  ws.newly_done = newly_done;
+}
+
+template <typename T>
+void Engine::sparse_listener_phase1(const T* cfg) {
+  pool_->run(sparse_shards_, [&](const Shard& shard, unsigned shard_index) {
+    ShardWorkspace& ws = shard_ws_[shard_index];
+    shard_phase1(
+        shard, ws, cfg, ws.transitions[0], true,
+        [&](NodeId i) { return active_[i]; },
+        [&](NodeId i, NodeId v, StateId next) { updates_.set(i, v, next); });
+  });
 }
 
 void Engine::step_sparse_parallel() {
 #ifndef NDEBUG
   {
     // The distinct-node-ids contract of Scheduler::activations is what makes
-    // the concurrent per-node rng draws (and the apply tasks' config/pending
+    // the concurrent per-node draws (and the apply tasks' config/pending
     // element writes) race-free; a scheduler that violates it must fail
     // loudly here, not corrupt state under TSan's radar in release builds.
     std::vector<bool> seen(graph_.num_nodes(), false);
@@ -647,16 +740,14 @@ void Engine::step_sparse_parallel() {
 
   if (listener_) {
     // Listener fallback: barriered phase 1, replay, serial apply.
-    pool_->run(sparse_shards_, [&](const Shard& shard, unsigned shard_index) {
-      shard_phase1(
-          shard, shard_ws_[shard_index], config_,
-          shard_ws_[shard_index].transitions[0], true,
-          [&](NodeId i) { return active_[i]; },
-          [&](NodeId i, NodeId v, StateId next) { updates_[i] = {v, next}; });
-    });
+    if (store_.narrow()) {
+      sparse_listener_phase1(store_.bytes_data());
+    } else {
+      sparse_listener_phase1(store_.wide_data());
+    }
     for (std::size_t s = 0; s < sparse_shards_.size(); ++s) {
       for (const TransitionRec& tr : shard_ws_[s].transitions[0]) {
-        const SignalView sig = scratch_.sense(graph_, config_, tr.v);
+        const SignalView sig = sense_current(scratch_, tr.v);
         emit_listener(tr.v, tr.from, tr.to, sig);
       }
     }
@@ -682,6 +773,7 @@ void Engine::step_sparse_parallel() {
   // Serial merge, shard-index order — the deterministic ordering of every
   // cross-shard effect.
   const auto apply_from = std::chrono::steady_clock::now();
+  store_.invalidate_view();
   std::uint64_t newly_done = 0;
   for (unsigned s = 0; s < shards; ++s) {
     const ShardWorkspace& ws = shard_ws_[s];
@@ -701,28 +793,31 @@ void Engine::step_sparse_parallel() {
     pending_count_ = graph_.num_nodes();
   }
   apply_phase_ns_ += elapsed_ns(apply_from);
+  maybe_promote_acts();
 }
 
 // The pre-fast-path engine: one owning Signal per activation via sort +
 // dedup, dispatched through Automaton::step. Kept as the differential oracle;
-// it draws from the same per-node rng streams as the fast and sharded
-// kernels, so all paths produce bit-identical trajectories.
+// it derives randomized draws from the same (seed, node, activation) streams
+// as the fast and sharded kernels, so all paths produce bit-identical
+// trajectories.
 void Engine::step_legacy() {
   scheduler_.activations(time_, active_, sched_rng_);
   updates_.clear();
 
   for (const NodeId v : active_) {
     sense_buffer_.clear();
-    sense_buffer_.push_back(config_[v]);
+    const StateId cur = store_.get(v);
+    sense_buffer_.push_back(cur);
     for (const NodeId u : graph_.neighbors(v)) {
-      sense_buffer_.push_back(config_[u]);
+      sense_buffer_.push_back(store_.get(u));
     }
     const Signal sig = Signal::from_states(sense_buffer_);
-    const StateId next = automaton_.step(config_[v], sig, step_rng(v));
-    if (next != config_[v] && listener_) {
-      listener_(v, config_[v], next, sig, time_);
+    const StateId next = automaton_.step(cur, sig, step_rng(v));
+    if (next != cur && listener_) {
+      listener_(v, cur, next, sig, time_);
     }
-    updates_.emplace_back(v, next);
+    updates_.push(v, next);
   }
 
   apply_updates_and_close_rounds();
@@ -737,13 +832,16 @@ void Engine::step_legacy() {
 // apply_phase_ns_ instruments the parallel kernels only.
 void Engine::apply_updates_and_close_rounds() {
   const bool patch_field = field_live();
-  for (const auto& [v, q] : updates_) {
-    if (patch_field && config_[v] != q) {
-      field_->apply_transition(v, config_[v], q);
+  const std::size_t count = updates_.size();
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto [v, q] = updates_.get(i);
+    const StateId cur = store_.get(v);
+    if (patch_field && cur != q) {
+      field_->apply_transition(v, cur, q);
       ++field_patches_;
     }
-    config_[v] = q;
-    ++activation_counts_[v];
+    store_.set(v, q);
+    bump_act(v, act_saturated_);
     if (pending_[v] != 0) {
       pending_[v] = 0;
       --pending_count_;
@@ -756,6 +854,7 @@ void Engine::apply_updates_and_close_rounds() {
     pending_.assign(graph_.num_nodes(), 1);
     pending_count_ = graph_.num_nodes();
   }
+  if (act_saturated_) maybe_promote_acts();
 }
 
 RunOutcome Engine::run_until(
@@ -763,7 +862,7 @@ RunOutcome Engine::run_until(
     std::uint64_t max_rounds) {
   RunOutcome out;
   ensure_flushed();
-  if (pred(config_)) {
+  if (pred(store_.view())) {
     out.reached = true;
     out.time = time_;
     out.rounds = round_index_now();
@@ -771,10 +870,11 @@ RunOutcome Engine::run_until(
   }
   while (rounds_ < max_rounds) {
     step();
-    // The predicate reads config_ and the loop reads rounds_, so the
-    // overlapped kernel cannot keep a pipeline open across run_until steps.
+    // The predicate reads the configuration and the loop reads rounds_, so
+    // the overlapped kernel cannot keep a pipeline open across run_until
+    // steps.
     ensure_flushed();
-    if (pred(config_)) {
+    if (pred(store_.view())) {
       out.reached = true;
       out.time = time_;
       out.rounds = round_index_now();
@@ -812,7 +912,7 @@ void Engine::inject_configuration(Configuration config) {
       throw std::invalid_argument("injected state out of range");
     }
   }
-  config_ = std::move(config);
+  store_.reset(config, store_.narrow());
   // An arbitrary overwrite invalidates the delta-maintained field; it is
   // rebuilt lazily at the next field sense.
   field_stale_ = field_ != nullptr;
@@ -825,10 +925,39 @@ void Engine::inject_state(NodeId v, StateId q) {
   }
   // A targeted fault is still a (v, old -> new) delta: patch a live field
   // instead of discarding it (a no-op fault leaves it untouched).
-  if (field_live() && config_[v] != q) {
-    field_->apply_transition(v, config_[v], q);
+  const StateId cur = store_.get(v);
+  if (field_live() && cur != q) {
+    field_->apply_transition(v, cur, q);
   }
-  config_[v] = q;
+  store_.set(v, q);
+}
+
+std::size_t Engine::dynamic_memory_usage() const {
+  ensure_flushed();
+  std::size_t total =
+      store_.dynamic_memory_usage() + next_store_.dynamic_memory_usage() +
+      updates_.dynamic_memory_usage() + scratch_.dynamic_memory_usage() +
+      util::DynamicUsage(pending_) + util::DynamicUsage(act32_) +
+      util::DynamicUsage(act64_) + util::DynamicUsage(active_) +
+      util::DynamicUsage(sense_buffer_) + util::DynamicUsage(field_scratch_) +
+      util::DynamicUsage(sync_shards_) + util::DynamicUsage(sparse_shards_) +
+      util::DynamicUsage(sync_frontiers_) + util::DynamicUsage(prev_phase1_) +
+      util::DynamicUsage(cur_phase1_) + util::DynamicUsage(merge_deps_);
+  if (compiled_) {
+    total += sizeof(CompiledAutomaton) + compiled_->dynamic_memory_usage();
+  }
+  if (field_) total += sizeof(SignalField) + field_->dynamic_memory_usage();
+  if (pool_) total += sizeof(ParallelEngine) + pool_->dynamic_memory_usage();
+  total += shard_ws_.capacity() * sizeof(ShardWorkspace);
+  for (const ShardWorkspace& ws : shard_ws_) {
+    total += util::DynamicUsage(ws.transitions[0]) +
+             util::DynamicUsage(ws.transitions[1]) +
+             ws.scratch.dynamic_memory_usage();
+    if (ws.compiled) {
+      total += sizeof(CompiledAutomaton) + ws.compiled->dynamic_memory_usage();
+    }
+  }
+  return total;
 }
 
 void Engine::save_state(util::BinaryWriter& w) const {
@@ -851,14 +980,14 @@ void Engine::save_state(util::BinaryWriter& w) const {
   }
   if (n % 64 != 0) w.u64(word);
 
-  for (const std::uint64_t count : activation_counts_) w.u64(count);
+  // Activation counts: always u64 on the wire, whatever the in-memory width
+  // (load re-derives the width from the restored values).
+  for (NodeId v = 0; v < n; ++v) w.u64(act_now(v));
 
   for (const std::uint64_t s : rng_.state()) w.u64(s);
   for (const std::uint64_t s : sched_rng_.state()) w.u64(s);
-  w.u64(node_rngs_.size());
-  for (const auto& node_rng : node_rngs_) {
-    for (const std::uint64_t s : node_rng.state()) w.u64(s);
-  }
+  // v2 drops v1's per-node rng block: randomized draws are derived from
+  // (seed, node, activation count), all of which are already serialized.
 
   // Signal field: presence + staleness + adaptive-routing counters. The
   // field's counters themselves are NOT serialized — a restored engine's
@@ -871,7 +1000,7 @@ void Engine::save_state(util::BinaryWriter& w) const {
   w.u64(field_patches_);
 }
 
-void Engine::load_state(util::BinaryReader& r) {
+void Engine::load_state(util::BinaryReader& r, std::uint32_t version) {
   flush_overlap();
   const NodeId n = graph_.num_nodes();
   seed_ = r.u64();
@@ -899,23 +1028,49 @@ void Engine::load_state(util::BinaryReader& r) {
   }
   pending_count_ = pending_count;
 
-  for (auto& count : activation_counts_) count = r.u64();
+  // Activation counts travel as u64; pick the in-memory width from the
+  // restored maximum (the same promotion rule the live engine applies).
+  act64_.resize(n);
+  std::uint64_t max_act = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    act64_[v] = r.u64();
+    max_act = std::max(max_act, act64_[v]);
+  }
+  if (max_act < kActPromote) {
+    act32_.resize(n);
+    for (NodeId v = 0; v < n; ++v) {
+      act32_[v] = static_cast<std::uint32_t>(act64_[v]);
+    }
+    act64_.clear();
+    act64_.shrink_to_fit();
+    act_wide_ = false;
+  } else {
+    act32_.clear();
+    act32_.shrink_to_fit();
+    act_wide_ = true;
+  }
+  act_saturated_ = false;
 
   std::array<std::uint64_t, 4> s;
   for (auto& x : s) x = r.u64();
   rng_ = util::Rng::from_state(s);
   for (auto& x : s) x = r.u64();
   sched_rng_ = util::Rng::from_state(s);
-  const std::uint64_t node_rng_count = r.u64();
-  if (node_rng_count != node_rngs_.size()) {
-    // node_rngs_ is sized n for randomized automata and empty otherwise;
-    // the automaton identity checks upstream make a mismatch unreachable
-    // except through corruption that slipped past the CRC.
-    throw util::SnapshotError("engine state: per-node rng stream count mismatch");
-  }
-  for (auto& node_rng : node_rngs_) {
-    for (auto& x : s) x = r.u64();
-    node_rng = util::Rng::from_state(s);
+  if (version == 1) {
+    // v1 stored one generator per node for randomized automata. The streams
+    // are derived now, so the block is validated for shape and skipped: a
+    // restored v1 randomized run continues deterministically on the
+    // activation-derived streams (not the byte stream the pre-upgrade
+    // binary would have produced); v1 deterministic runs are unaffected.
+    const std::uint64_t node_rng_count = r.u64();
+    const std::uint64_t expected = randomized_ ? n : 0;
+    if (node_rng_count != expected) {
+      throw util::SnapshotError(
+          "engine state: per-node rng stream count mismatch");
+    }
+    for (std::uint64_t i = 0; i < node_rng_count * 4; ++i) {
+      static_cast<void>(r.u64());
+    }
   }
 
   const bool had_field = r.u8() != 0;

@@ -107,10 +107,16 @@
 //   * scheduler draws always come from the engine's forked sched_rng_ stream,
 //     consumed only on the (serial) scheduler call, so a randomized schedule
 //     is a pure function of the seed, untouched by thread_count;
-//   * automaton coin flips come from per-node counter-based streams
-//     (util::Rng::stream(seed, v)), pre-split so that node v's draw sequence
-//     depends only on (seed, v) and v's own activation history — never on
-//     which shard, thread, or engine path executed the activation.
+//   * automaton coin flips come from lazily derived two-axis counter streams
+//     (util::Rng::activation_stream(seed, v, activation_count(v))): the
+//     generator for each activation is a pure function of the seed, the node,
+//     and how many times that node has been activated before — state the
+//     engine already maintains — so NO per-node rng object is ever stored
+//     (the pre-PR-9 engine kept n four-word generators alive; at a million
+//     nodes that was 32 MB of state that also had to ride every snapshot).
+//     Every kernel draws before bumping the node's activation count, so the
+//     derived stream never depends on which shard, thread, or engine path
+//     executed the activation.
 // Consequently the legacy oracle, the serial fast path, and the sharded
 // kernel at every thread count all walk the same trajectory for equal seeds.
 #pragma once
@@ -129,6 +135,7 @@
 #include "core/types.hpp"
 #include "graph/graph.hpp"
 #include "sched/scheduler.hpp"
+#include "util/memusage.hpp"
 #include "util/rng.hpp"
 
 namespace ssau::util {
@@ -250,6 +257,173 @@ inline constexpr double kSignalFieldMaskKernelMinAvgDegree = 32.0;
 inline constexpr std::uint64_t kSignalFieldAdaptiveWindow = 8192;
 inline constexpr std::uint64_t kSignalFieldPatchCostFactor = 3;
 
+/// One engine configuration buffer, stored byte-per-node when the automaton's
+/// state space fits a byte (|Q| <= 256 — every shipped algorithm except the
+/// synchronizer's product spaces) and as wide StateIds otherwise. The narrow
+/// mode is the double buffers' share of the million-node footprint story: 2
+/// bytes per node across both buffers instead of 16. Hot kernels read/write
+/// the raw arrays (templated on the element type); the wide `view()` is
+/// materialized lazily for accessors, serialization, and field rebuilds.
+class ConfigStore {
+ public:
+  void reset(const Configuration& c, bool narrow) {
+    narrow_ = narrow;
+    if (narrow_) {
+      bytes_.resize(c.size());
+      for (std::size_t i = 0; i < c.size(); ++i) {
+        bytes_[i] = static_cast<std::uint8_t>(c[i]);
+      }
+      wide_.clear();
+      wide_.shrink_to_fit();
+    } else {
+      wide_ = c;
+      bytes_.clear();
+      bytes_.shrink_to_fit();
+    }
+    view_dirty_ = true;
+  }
+
+  void reset_zero(std::size_t n, bool narrow) {
+    narrow_ = narrow;
+    if (narrow_) {
+      bytes_.assign(n, 0);
+    } else {
+      wide_.assign(n, 0);
+    }
+    view_dirty_ = true;
+  }
+
+  [[nodiscard]] bool narrow() const { return narrow_; }
+  [[nodiscard]] std::size_t size() const {
+    return narrow_ ? bytes_.size() : wide_.size();
+  }
+
+  [[nodiscard]] StateId get(NodeId v) const {
+    return narrow_ ? bytes_[v] : wide_[v];
+  }
+
+  /// Serial element write (marks the lazy view dirty).
+  void set(NodeId v, StateId q) {
+    set_raw(v, q);
+    view_dirty_ = true;
+  }
+
+  /// Raw element write for parallel apply tasks: touches no shared flag
+  /// (concurrent view_dirty_ writes would be a data race); the kernel calls
+  /// invalidate_view() once, serially, after the graph drains.
+  void set_raw(NodeId v, StateId q) {
+    if (narrow_) {
+      bytes_[v] = static_cast<std::uint8_t>(q);
+    } else {
+      wide_[v] = q;
+    }
+  }
+
+  [[nodiscard]] std::uint8_t* bytes_data() { return bytes_.data(); }
+  [[nodiscard]] const std::uint8_t* bytes_data() const { return bytes_.data(); }
+  [[nodiscard]] StateId* wide_data() { return wide_.data(); }
+  [[nodiscard]] const StateId* wide_data() const { return wide_.data(); }
+
+  /// Kernels that wrote through raw pointers must call this at their serial
+  /// tail so the next view() re-materializes.
+  void invalidate_view() { view_dirty_ = true; }
+
+  /// The configuration as wide StateIds. Wide mode returns the buffer
+  /// itself; narrow mode materializes (and caches) an owned wide copy.
+  [[nodiscard]] const Configuration& view() const {
+    if (!narrow_) return wide_;
+    if (view_dirty_) {
+      view_.resize(bytes_.size());
+      for (std::size_t i = 0; i < bytes_.size(); ++i) view_[i] = bytes_[i];
+      view_dirty_ = false;
+    }
+    return view_;
+  }
+
+  void swap(ConfigStore& o) {
+    std::swap(narrow_, o.narrow_);
+    bytes_.swap(o.bytes_);
+    wide_.swap(o.wide_);
+    view_.swap(o.view_);
+    std::swap(view_dirty_, o.view_dirty_);
+  }
+
+  [[nodiscard]] std::size_t dynamic_memory_usage() const {
+    return util::DynamicUsage(bytes_) + util::DynamicUsage(wide_) +
+           util::DynamicUsage(view_);
+  }
+
+ private:
+  bool narrow_ = false;
+  std::vector<std::uint8_t> bytes_;
+  Configuration wide_;
+  mutable Configuration view_;
+  mutable bool view_dirty_ = true;
+};
+
+/// The asynchronous kernels' pending-update slots, packed to 8 bytes per
+/// update ((NodeId, uint32 state)) whenever the state space fits 32 bits —
+/// which is every shipped automaton; the pair<NodeId, StateId> fallback (16
+/// bytes after padding) exists for pathological state spaces only.
+class UpdateList {
+ public:
+  void configure(bool packed) { packed_ = packed; }
+  [[nodiscard]] bool packed() const { return packed_; }
+  [[nodiscard]] std::size_t size() const {
+    return packed_ ? packed_slots_.size() : wide_slots_.size();
+  }
+  void clear() {
+    packed_slots_.clear();
+    wide_slots_.clear();
+  }
+  void resize(std::size_t n) {
+    if (packed_) {
+      packed_slots_.resize(n);
+    } else {
+      wide_slots_.resize(n);
+    }
+  }
+  void reserve(std::size_t n) {
+    if (packed_) {
+      packed_slots_.reserve(n);
+    } else {
+      wide_slots_.reserve(n);
+    }
+  }
+  void push(NodeId v, StateId q) {
+    if (packed_) {
+      packed_slots_.push_back({v, static_cast<std::uint32_t>(q)});
+    } else {
+      wide_slots_.emplace_back(v, q);
+    }
+  }
+  /// Indexed write into a pre-resized slot — disjoint indices may be written
+  /// from concurrent shards (no shared state is touched).
+  void set(std::size_t i, NodeId v, StateId q) {
+    if (packed_) {
+      packed_slots_[i] = {v, static_cast<std::uint32_t>(q)};
+    } else {
+      wide_slots_[i] = {v, q};
+    }
+  }
+  [[nodiscard]] std::pair<NodeId, StateId> get(std::size_t i) const {
+    if (packed_) return {packed_slots_[i].v, packed_slots_[i].q};
+    return wide_slots_[i];
+  }
+  [[nodiscard]] std::size_t dynamic_memory_usage() const {
+    return util::DynamicUsage(packed_slots_) + util::DynamicUsage(wide_slots_);
+  }
+
+ private:
+  struct PackedUpdate {
+    NodeId v;
+    std::uint32_t q;
+  };
+  bool packed_ = true;
+  std::vector<PackedUpdate> packed_slots_;
+  std::vector<std::pair<NodeId, StateId>> wide_slots_;
+};
+
 class Engine {
  public:
   /// Observes every state transition (from != to) as it is applied. On the
@@ -293,11 +467,11 @@ class Engine {
 
   [[nodiscard]] const Configuration& config() const {
     ensure_flushed();
-    return config_;
+    return store_.view();
   }
   [[nodiscard]] StateId state_of(NodeId v) const {
     ensure_flushed();
-    return config_[v];
+    return store_.get(v);
   }
   [[nodiscard]] Time time() const {
     ensure_flushed();
@@ -324,8 +498,19 @@ class Engine {
   /// Number of activations applied to node v so far (fairness auditing).
   [[nodiscard]] std::uint64_t activation_count(NodeId v) const {
     ensure_flushed();
-    return activation_counts_[v];
+    return act_wide_ ? act64_[v] : act32_[v];
   }
+
+  /// True when the configuration buffers run byte-per-node (|Q| <= 256) —
+  /// observability for the scale bench and tests.
+  [[nodiscard]] bool compact_config() const { return store_.narrow(); }
+
+  /// Heap bytes owned by the engine's dynamic state — configuration buffers,
+  /// round/pending bookkeeping, activation counters, kernels, workspaces,
+  /// the signal field, and the task runtime (see util/memusage.hpp). The
+  /// borrowed graph/automaton/scheduler are NOT included; Graph has its own
+  /// dynamic_memory_usage(). Flushes the pipeline.
+  [[nodiscard]] std::size_t dynamic_memory_usage() const;
 
   /// Listener replay needs the pre-step configuration, so attaching (or
   /// detaching) one flushes the pipeline and routes subsequent synchronous
@@ -442,18 +627,26 @@ class Engine {
   // (tests/test_snapshot.cpp) fails.
 
   /// Serializes the engine's dynamic state — time, round bookkeeping,
-  /// pending set, activation counts, rng/sched-rng/per-node stream states,
-  /// and the signal field's presence/staleness/adaptive counters. Static
-  /// state (graph, config, options, automaton identity, scheduler state) is
-  /// framed separately by the snapshot layer.
+  /// pending set, activation counts (always written as u64 regardless of the
+  /// in-memory width), rng/sched-rng states, and the signal field's
+  /// presence/staleness/adaptive counters. Static state (graph, config,
+  /// options, automaton identity, scheduler state) is framed separately by
+  /// the snapshot layer. Writes the v2 layout: per-node rng streams are
+  /// derived (see the RNG-discipline note), so no per-node block exists.
   void save_state(util::BinaryWriter& w) const;
 
   /// Restores state written by save_state into a freshly constructed engine
-  /// over the same graph/automaton/scheduler/configuration. Throws
-  /// util::SnapshotError on structural inconsistency (sizes that do not
-  /// match the graph, pending-count mismatch). After it returns, stepping
-  /// this engine is bit-identical to stepping the snapshotted one.
-  void load_state(util::BinaryReader& r);
+  /// over the same graph/automaton/scheduler/configuration. `version` is the
+  /// enclosing snapshot's wire version: v1 payloads carry a per-node rng
+  /// block (the pre-PR-9 stored streams), which is validated for shape and
+  /// skipped — a restored v1 randomized run continues on the activation-
+  /// derived streams, deterministic but not the byte stream the pre-upgrade
+  /// binary would have produced (v1 deterministic runs, including the golden
+  /// fixture, are unaffected). Throws util::SnapshotError on structural
+  /// inconsistency (sizes that do not match the graph, pending-count
+  /// mismatch). After it returns, stepping this engine is bit-identical to
+  /// stepping the snapshotted one.
+  void load_state(util::BinaryReader& r, std::uint32_t version = 2);
 
  private:
   struct ShardWorkspace;
@@ -501,7 +694,7 @@ class Engine {
   /// injection invalidated it — called before every field sense.
   void ensure_field_fresh() {
     if (field_stale_) {
-      field_->rebuild(config_);
+      field_->rebuild(store_.view());
       field_stale_ = false;
     }
   }
@@ -520,24 +713,86 @@ class Engine {
   /// Phase 1 of one shard, shared by both parallel kernels (their loop
   /// bodies must stay in lockstep or bit-identity silently breaks):
   /// computes the next state of every index in [shard.begin, shard.end)
-  /// against the read buffer `cfg` (config_, or the parity-selected buffer
-  /// in the overlapped kernel), mapping indices to nodes via `node_of`
-  /// (identity for the synchronous kernel, the activation list for the
-  /// sparse kernel) and handing results to `emit(i, v, next)` (double-buffer
-  /// slot vs update-list slot). Logs transitions into `log` when
-  /// `log_transitions`.
-  template <typename NodeOf, typename Emit>
-  void shard_phase1(const Shard& shard, ShardWorkspace& ws,
-                    const Configuration& cfg,
+  /// against the raw read buffer `cfg` (the current store, or the parity-
+  /// selected buffer in the overlapped kernel; templated on the element type
+  /// so the byte-compact and wide storage modes share one body), mapping
+  /// indices to nodes via `node_of` (identity for the synchronous kernel,
+  /// the activation list for the sparse kernel) and handing results to
+  /// `emit(i, v, next)` (double-buffer slot vs update-list slot). Logs
+  /// transitions into `log` when `log_transitions`.
+  template <typename T, typename NodeOf, typename Emit>
+  void shard_phase1(const Shard& shard, ShardWorkspace& ws, const T* cfg,
                     std::vector<TransitionRec>& log, bool log_transitions,
                     const NodeOf& node_of, const Emit& emit);
 
-  /// The rng stream for an activation of node v (per-node counter-based
-  /// stream for randomized automata; the never-consulted engine stream for
-  /// deterministic ones).
-  [[nodiscard]] util::Rng& step_rng(NodeId v) {
-    return randomized_ ? node_rngs_[v] : rng_;
+  template <typename T>
+  void step_synchronous_serial(const T* cur, T* next);
+  template <typename T>
+  void run_parallel_sync(const T* cur, T* next, bool log_transitions);
+  template <typename T>
+  void overlap_phase1_impl(const Shard& shard, unsigned shard_index,
+                           std::uint64_t seq, const T* read, T* write);
+  template <typename T>
+  void sparse_phase1_impl(const Shard& shard, unsigned shard_index,
+                          const T* cfg);
+  template <typename T>
+  void sparse_listener_phase1(const T* cfg);
+
+  /// Node v's activation count right now — the activation axis of the lazy
+  /// rng stream derivation. Safe from shard tasks: only tasks handling v
+  /// write act*[v], and they are dependency-ordered.
+  [[nodiscard]] std::uint64_t act_now(NodeId v) const {
+    return act_wide_ ? act64_[v] : act32_[v];
   }
+
+  /// 32-bit counters promote to 64-bit once any node crosses this (256 below
+  /// the ceiling: the overlap window can add up to kOverlapWindow increments
+  /// between the serial points where promotion runs).
+  static constexpr std::uint32_t kActPromote = 0xFFFFFF00U;
+
+  /// Bumps node v's activation count, requesting promotion via `saturated`
+  /// (the engine-level flag on serial paths, a per-shard workspace flag in
+  /// parallel tasks — promotion itself only ever runs at a serial point).
+  void bump_act(NodeId v, bool& saturated) {
+    if (act_wide_) {
+      ++act64_[v];
+      return;
+    }
+    if (++act32_[v] >= kActPromote) saturated = true;
+  }
+
+  /// Serial point: widens the counters to 64-bit when any path saw a counter
+  /// near the 32-bit ceiling since the last check.
+  void maybe_promote_acts();
+
+  /// The rng stream for an activation of node v: derived on the spot from
+  /// (seed, v, activation count) for randomized automata (see the RNG-
+  /// discipline note — no per-node generator is stored), the never-consulted
+  /// engine stream for deterministic ones. Must be called BEFORE the
+  /// activation's bump_act.
+  [[nodiscard]] util::Rng& step_rng(NodeId v) {
+    if (!randomized_) return rng_;
+    draw_rng_ = util::Rng::activation_stream(seed_, v, act_now(v));
+    return draw_rng_;
+  }
+
+  /// shard_phase1's rng source: same derivation, but into the calling
+  /// shard's workspace scratch generator (tasks touching one workspace are
+  /// dependency-ordered, so this never races).
+  [[nodiscard]] util::Rng& shard_rng(ShardWorkspace& ws, NodeId v) {
+    if (randomized_) {
+      ws.scratch_rng = util::Rng::activation_stream(seed_, v, act_now(v));
+    }
+    return ws.scratch_rng;
+  }
+
+  /// The 64-bit neighborhood presence mask of v under the current store —
+  /// serial-path convenience over the templated free function.
+  [[nodiscard]] std::uint64_t mask_current(NodeId v) const;
+
+  /// Senses v under the current store into `s` — serial-path convenience
+  /// dispatching the store's element width.
+  SignalView sense_current(SignalScratch& s, NodeId v);
 
   const graph::Graph& graph_;
   // Non-null iff the churn-capable constructor ran: the one handle through
@@ -545,7 +800,10 @@ class Engine {
   graph::Graph* mutable_graph_ = nullptr;
   const Automaton& automaton_;
   sched::Scheduler& scheduler_;
-  Configuration config_;
+  // Double-buffered configuration storage, byte-per-node when |Q| <= 256
+  // (next_store_ is only populated for synchronous engines).
+  ConfigStore store_;
+  ConfigStore next_store_;
   util::Rng rng_;
   util::Rng sched_rng_;
   std::uint64_t seed_;
@@ -558,12 +816,13 @@ class Engine {
   bool full_activation_ = false;   // scheduler guarantees A_t = V
   bool mask_kernel_ = false;       // |Q| <= 64: step_mask drives the hot loop
   SignalScratch scratch_;
-  Configuration next_config_;      // double buffer for the synchronous kernel
 
-  // Randomized automata draw from per-node counter-based streams (see the
-  // RNG-discipline note above); deterministic ones never draw at all.
+  // Randomized automata draw from lazily derived (seed, node, activation)
+  // counter streams (see the RNG-discipline note above); deterministic ones
+  // never draw at all. draw_rng_ is the serial paths' scratch generator the
+  // derived stream is materialized into.
   bool randomized_ = false;
-  std::vector<util::Rng> node_rngs_;
+  util::Rng draw_rng_{0};
 
   // Sharded kernel state (null / empty when running serial).
   struct ShardWorkspace {
@@ -580,7 +839,12 @@ class Engine {
     // dependency-ordered, so at most one thread uses it at a time.
     std::unique_ptr<CompiledAutomaton> compiled;
     const Automaton* stepper = nullptr;
-    util::Rng dummy_rng{0};  // deterministic automata: never consulted
+    // Randomized automata: the derived per-activation stream is materialized
+    // here (see shard_rng); deterministic automata never consult it.
+    util::Rng scratch_rng{0};
+    // Set when this shard's tasks pushed a 32-bit activation counter near the
+    // ceiling; the next serial point promotes (see maybe_promote_acts).
+    bool act_saturated = false;
     // Sparse-kernel apply tasks: nodes of this shard's span that left the
     // pending set this step (summed serially in shard order afterwards).
     std::uint64_t newly_done = 0;
@@ -603,10 +867,10 @@ class Engine {
   std::vector<ShardFrontier> sync_frontiers_;
 
   // Overlapped-pipeline state. `overlap_depth_` counts enqueued-but-
-  // unflushed synchronous steps; while nonzero, time_/rounds_/config_ lag
+  // unflushed synchronous steps; while nonzero, time_/rounds_/store_ lag
   // the enqueued trajectory and every observable accessor flushes first.
-  // Buffer parity: the step at pipeline position d reads config_ when d is
-  // even and next_config_ when odd (no per-step swap — the flush swaps once
+  // Buffer parity: the step at pipeline position d reads store_ when d is
+  // even and next_store_ when odd (no per-step swap — the flush swaps once
   // if the depth was odd).
   unsigned overlap_depth_ = 0;
   bool overlap_logging_ = false;      // field live this window: merge tasks run
@@ -649,12 +913,19 @@ class Engine {
   std::uint64_t pending_count_;
   Time last_boundary_time_ = 0;    // R(rounds_): 0 initially (R(0) = 0)
 
-  std::vector<std::uint64_t> activation_counts_;
+  // Per-node activation counters: 32-bit until any node approaches the
+  // ceiling, then promoted once (one-way) to 64-bit at the next serial point
+  // — 4 bytes/node instead of 8 for every realistic run length, with exact
+  // counts preserved across the promotion.
+  std::vector<std::uint32_t> act32_;
+  std::vector<std::uint64_t> act64_;
+  bool act_wide_ = false;
+  bool act_saturated_ = false;  // serial paths' promotion request flag
   TransitionListener listener_;
 
   // Reused scratch buffers.
   std::vector<NodeId> active_;
-  std::vector<std::pair<NodeId, StateId>> updates_;
+  UpdateList updates_;
   std::vector<StateId> sense_buffer_;
 };
 

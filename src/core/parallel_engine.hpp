@@ -55,6 +55,7 @@
 #include <vector>
 
 #include "core/shard.hpp"
+#include "util/memusage.hpp"
 
 namespace ssau::core {
 
@@ -184,6 +185,15 @@ class ParallelEngine {
   /// With sessions >= cores this is 1 — pooled sessions that each resolve
   /// thread_count=0 must not multiply into sessions x cores threads.
   [[nodiscard]] static unsigned recommended_threads(unsigned sessions);
+
+  /// Heap bytes owned by the runtime (shard plan, worker handles, deques,
+  /// task arena, edge pool) — see util/memusage.hpp for the contract. Caller
+  /// thread only, between generations (the arena mutates during execution).
+  [[nodiscard]] std::size_t dynamic_memory_usage() const {
+    return util::DynamicUsage(shards_) + util::DynamicUsage(workers_) +
+           util::DynamicUsage(deques_) + util::DynamicUsage(tasks_) +
+           util::DynamicUsage(edges_);
+  }
 
  private:
   struct TaskNode {

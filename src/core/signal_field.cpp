@@ -4,6 +4,8 @@
 #include <bit>
 #include <cassert>
 
+#include "util/memusage.hpp"
+
 namespace ssau::core {
 
 SignalField::SignalField(const graph::Graph& g, StateId state_count,
@@ -73,18 +75,18 @@ void SignalField::drop(NodeId v, StateId q) {
   }
 }
 
-void SignalField::apply_edge_insertion(NodeId u, NodeId v,
-                                       const Configuration& c) {
+void SignalField::apply_edge_insertion(NodeId u, NodeId v, StateId qu,
+                                       StateId qv) {
   assert(u < n_ && v < n_ && u != v);
-  bump(u, c[v]);
-  bump(v, c[u]);
+  bump(u, qv);
+  bump(v, qu);
 }
 
-void SignalField::apply_edge_removal(NodeId u, NodeId v,
-                                     const Configuration& c) {
+void SignalField::apply_edge_removal(NodeId u, NodeId v, StateId qu,
+                                     StateId qv) {
   assert(u < n_ && v < n_ && u != v);
-  drop(u, c[v]);
-  drop(v, c[u]);
+  drop(u, qv);
+  drop(v, qu);
 }
 
 void SignalField::rebuild(const Configuration& c) {
@@ -212,6 +214,11 @@ std::uint32_t SignalField::count_of(NodeId v, StateId q) const {
   const auto it = std::lower_bound(keys.begin(), keys.end(), q);
   if (it == keys.end() || *it != q) return 0;
   return key_counts_[v][static_cast<std::size_t>(it - keys.begin())];
+}
+
+std::size_t SignalField::dynamic_memory_usage() const {
+  return util::DynamicUsage(counts_) + util::DynamicUsage(masks_) +
+         util::DynamicUsage(keys_) + util::DynamicUsage(key_counts_);
 }
 
 }  // namespace ssau::core

@@ -97,14 +97,16 @@ class SignalField {
   void apply_transitions(const Transition* transitions, std::size_t count);
 
   /// Patches the field for one edge insertion {u, v} already applied to the
-  /// graph: u gains c[v] in its multiset and v gains c[u] — O(1), no
-  /// neighborhood scan (the topology-churn analogue of apply_transition).
-  /// `c` is the current configuration, which edge churn leaves untouched.
-  void apply_edge_insertion(NodeId u, NodeId v, const Configuration& c);
+  /// graph: u gains qv (= v's current state) in its multiset and v gains qu —
+  /// O(1), no neighborhood scan (the topology-churn analogue of
+  /// apply_transition). The caller passes the two current states directly so
+  /// the engine's compact configuration storage never has to materialize a
+  /// wide buffer for a churn event.
+  void apply_edge_insertion(NodeId u, NodeId v, StateId qu, StateId qv);
 
-  /// Patches the field for one edge removal {u, v}: u loses c[v], v loses
-  /// c[u]. Same contract as apply_edge_insertion.
-  void apply_edge_removal(NodeId u, NodeId v, const Configuration& c);
+  /// Patches the field for one edge removal {u, v}: u loses qv, v loses qu.
+  /// Same contract as apply_edge_insertion.
+  void apply_edge_removal(NodeId u, NodeId v, StateId qu, StateId qv);
 
   /// The 64-bit presence mask of N+(v) — the exact signal encoding the
   /// engine's step_mask kernels consume. Only meaningful when mask_exact().
@@ -124,6 +126,10 @@ class SignalField {
 
   /// Multiplicity of state q in N+(v) — observability for tests.
   [[nodiscard]] std::uint32_t count_of(NodeId v, StateId q) const;
+
+  /// Heap bytes owned by the field (counter table + presence bitmaps, or the
+  /// per-node multisets) — see util/memusage.hpp for the contract.
+  [[nodiscard]] std::size_t dynamic_memory_usage() const;
 
  private:
   void bump(NodeId v, StateId q);  // increment q's multiplicity at v

@@ -113,9 +113,11 @@ class SignalScratch {
 
   /// Builds the signal of node v under configuration c on graph g. The
   /// returned view aliases this scratch: it is invalidated by the next sense()
-  /// call.
-  SignalView sense(const graph::Graph& g, const Configuration& c,
-                   NodeId v) {
+  /// call. Templated on the configuration element type so the engine's
+  /// byte-compact storage mode (uint8_t per node for |Q| <= 256) senses
+  /// through the same one definition as the wide StateId buffers.
+  template <typename T>
+  SignalView sense(const graph::Graph& g, const T* c, NodeId v) {
     buffer_.clear();
     const StateId own = c[v];
     const std::span<const NodeId> nbrs = g.neighbors(v);
@@ -143,6 +145,15 @@ class SignalScratch {
     std::sort(buffer_.begin(), buffer_.end());
     buffer_.erase(std::unique(buffer_.begin(), buffer_.end()), buffer_.end());
     return {buffer_, 0, false};
+  }
+
+  SignalView sense(const graph::Graph& g, const Configuration& c, NodeId v) {
+    return sense(g, c.data(), v);
+  }
+
+  /// Heap bytes owned by the scratch — see util/memusage.hpp.
+  [[nodiscard]] std::size_t dynamic_memory_usage() const {
+    return buffer_.capacity() * sizeof(StateId);
   }
 
  private:

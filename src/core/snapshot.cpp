@@ -80,8 +80,12 @@ EngineOptions read_options(util::BinaryReader& r) {
 }
 
 /// Validates the envelope (magic, endianness, version, length framing,
-/// CRC) and returns a reader positioned over the payload.
-util::BinaryReader open_payload(std::span<const std::uint8_t> bytes) {
+/// CRC) and returns a reader positioned over the payload. When
+/// `version_out` is non-null it receives the file's wire version (within
+/// [kMinSnapshotVersion, kSnapshotVersion]) so section-6 readers can handle
+/// the v1 layout.
+util::BinaryReader open_payload(std::span<const std::uint8_t> bytes,
+                                std::uint32_t* version_out = nullptr) {
   if (bytes.size() < kHeaderSize + kFooterSize) {
     throw util::SnapshotError("snapshot truncated: shorter than header");
   }
@@ -100,11 +104,13 @@ util::BinaryReader open_payload(std::span<const std::uint8_t> bytes) {
     }
     throw util::SnapshotError("snapshot endianness sentinel corrupt");
   }
-  if (version != kSnapshotVersion) {
+  if (version < kMinSnapshotVersion || version > kSnapshotVersion) {
     throw util::SnapshotError("snapshot version skew: file has v" +
-                              std::to_string(version) + ", reader expects v" +
+                              std::to_string(version) + ", reader accepts v" +
+                              std::to_string(kMinSnapshotVersion) + "..v" +
                               std::to_string(kSnapshotVersion));
   }
+  if (version_out != nullptr) *version_out = version;
   const std::uint64_t payload_len = header.u64();
   if (payload_len != bytes.size() - kHeaderSize - kFooterSize) {
     throw util::SnapshotError("snapshot truncated: payload length mismatch");
@@ -240,7 +246,8 @@ std::unique_ptr<Engine> restore(std::span<const std::uint8_t> bytes,
                                 graph::Graph& g, const Automaton& alg,
                                 sched::Scheduler& sched,
                                 std::optional<EngineOptions> options_override) {
-  auto r = open_payload(bytes);
+  std::uint32_t version = kSnapshotVersion;
+  auto r = open_payload(bytes, &version);
   const EngineOptions saved_options = read_options(r);
 
   const std::uint64_t state_count = r.u64();
@@ -313,7 +320,7 @@ std::unique_ptr<Engine> restore(std::span<const std::uint8_t> bytes,
     auto engine = std::make_unique<Engine>(
         g, alg, sched, std::move(config), /*seed=*/0,
         options_override.value_or(saved_options));
-    engine->load_state(r);
+    engine->load_state(r, version);
     if (!r.done()) {
       throw util::SnapshotError("snapshot has trailing bytes");
     }

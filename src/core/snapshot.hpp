@@ -12,7 +12,7 @@
 //
 //   offset  size  field
 //   0       8     magic "SSAUSNAP"
-//   8       4     format version (kSnapshotVersion)
+//   8       4     format version (kSnapshotVersion; v1 is still readable)
 //   12      4     endianness sentinel 0x01020304
 //   16      8     payload length in bytes
 //   24      len   payload (sections below)
@@ -35,8 +35,18 @@
 //   5. configuration      n u64 state ids
 //   6. engine state       Engine::save_state: seed, time, rounds, round
 //                         boundary, pending bitmap + count, activation
-//                         counts, rng + sched-rng + per-node rng states,
+//                         counts (u64 each), rng + sched-rng states,
 //                         signal-field presence/staleness/adaptive counters
+//
+// Version history:
+//   v1  stored a per-node rng block (count u64, then 4 u64 words per stream)
+//       between the sched-rng state and the signal-field flags. Readers
+//       still accept v1: the block is validated for shape and skipped —
+//       per-node streams are now DERIVED from (seed, node, activation
+//       count), so a restored v1 randomized run continues deterministically
+//       on the derived streams (v1 deterministic runs restore bit-exactly).
+//   v2  drops the per-node rng block (engines no longer store one generator
+//       per node). Everything else is unchanged; writers always emit v2.
 //
 // Every reader is bounds-checked; truncation, bad magic, version skew,
 // endianness mismatch, CRC mismatch, and structural inconsistencies all
@@ -61,7 +71,9 @@
 
 namespace ssau::core::snapshot {
 
-inline constexpr std::uint32_t kSnapshotVersion = 1;
+inline constexpr std::uint32_t kSnapshotVersion = 2;
+/// Oldest wire version readers still accept (see the version history above).
+inline constexpr std::uint32_t kMinSnapshotVersion = 1;
 
 /// Cheap header/metadata decode (validates magic, version, endianness, CRC,
 /// and section framing; skips bulk arrays) — what `replay` and tooling print

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <queue>
 #include <stdexcept>
+
+#include "util/memusage.hpp"
 
 namespace ssau::graph {
 
@@ -57,6 +60,7 @@ std::span<const std::pair<NodeId, NodeId>> Graph::edges() const {
     assert(!edges_rebuild_forbidden_ &&
            "Graph::edges() lazy rebuild hit while forbidden "
            "(snapshot paths must walk neighbors() instead)");
+    ++edges_rebuilds_;
     edges_cache_.clear();
     edges_cache_.reserve(num_edges_);
     for (NodeId v = 0; v < n_; ++v) {
@@ -194,6 +198,26 @@ bool Graph::remove_edge(NodeId u, NodeId v) {
   return true;
 }
 
+void Graph::shrink_to_fit() {
+  recompact();  // zero per-slot slack, dead_ = 0
+  pos_.shrink_to_fit();
+  deg_.shrink_to_fit();
+  cap_.shrink_to_fit();
+  pool_.shrink_to_fit();
+  hist_.shrink_to_fit();
+  // Drop the materialized edge list entirely; the rare reader that still
+  // wants it pays one lazy rebuild.
+  edges_cache_.clear();
+  edges_cache_.shrink_to_fit();
+  edges_dirty_ = true;
+}
+
+std::size_t Graph::dynamic_memory_usage() const {
+  return util::DynamicUsage(pos_) + util::DynamicUsage(deg_) +
+         util::DynamicUsage(cap_) + util::DynamicUsage(pool_) +
+         util::DynamicUsage(hist_) + util::DynamicUsage(edges_cache_);
+}
+
 TopologyDelta Graph::apply_delta(const TopologyDelta& delta) {
   // Validate the whole batch up front so a bad edit never leaves the graph
   // half-patched.
@@ -212,6 +236,101 @@ TopologyDelta Graph::apply_delta(const TopologyDelta& delta) {
     if (add_edge(u, v)) applied.add.emplace_back(u, v);
   }
   return applied;
+}
+
+// --- streaming construction --------------------------------------------------
+
+GraphBuilder::GraphBuilder(NodeId n, GraphOptions options)
+    : n_(n), options_(options) {
+  if (options_.slack < 0.0) {
+    throw std::invalid_argument("GraphBuilder: negative slack");
+  }
+  deg_.assign(n_, 0);
+}
+
+void GraphBuilder::count_edge(NodeId u, NodeId v) {
+  if (phase_ != Phase::kCounting) {
+    throw std::logic_error("GraphBuilder::count_edge after finish_counting");
+  }
+  if (u >= n_ || v >= n_) {
+    throw std::invalid_argument("edge endpoint out of range");
+  }
+  if (u == v) throw std::invalid_argument("self-loop not allowed");
+  ++deg_[u];
+  ++deg_[v];
+}
+
+void GraphBuilder::finish_counting() {
+  if (phase_ != Phase::kCounting) {
+    throw std::logic_error("GraphBuilder::finish_counting called twice");
+  }
+  phase_ = Phase::kFilling;
+  cap_.resize(n_);
+  pos_.resize(n_);
+  std::size_t total = 0;
+  for (NodeId v = 0; v < n_; ++v) {
+    const auto d = deg_[v];
+    const auto extra =
+        options_.slack > 0.0
+            ? static_cast<std::uint32_t>(
+                  std::ceil(options_.slack * static_cast<double>(d)))
+            : 0U;
+    cap_[v] = d + extra;
+    pos_[v] = static_cast<std::uint32_t>(total);
+    total += cap_[v];
+  }
+  pool_.resize(total);
+  // deg_ becomes the fill cursor for pass 2 (reset to the slot base).
+  deg_.assign(n_, 0);
+}
+
+void GraphBuilder::fill_edge(NodeId u, NodeId v) {
+  if (phase_ != Phase::kFilling) {
+    throw std::logic_error("GraphBuilder::fill_edge outside the fill pass");
+  }
+  if (u >= n_ || v >= n_) {
+    throw std::invalid_argument("edge endpoint out of range");
+  }
+  if (u == v) throw std::invalid_argument("self-loop not allowed");
+  // A fill stream that outgrows its counted slot means the two passes
+  // diverged — a caller bug that must not scribble into a neighbor's slot.
+  if (deg_[u] >= cap_[u] || deg_[v] >= cap_[v]) {
+    throw std::logic_error("GraphBuilder::fill_edge exceeds counted degree");
+  }
+  pool_[pos_[u] + deg_[u]++] = v;
+  pool_[pos_[v] + deg_[v]++] = u;
+}
+
+Graph GraphBuilder::finish() && {
+  if (phase_ != Phase::kFilling) {
+    throw std::logic_error("GraphBuilder::finish before finish_counting");
+  }
+  phase_ = Phase::kDone;
+  Graph g(n_);
+  std::size_t half_edges = 0;
+  g.hist_.assign(n_ > 0 ? n_ : 1, 0);
+  for (NodeId v = 0; v < n_; ++v) {
+    NodeId* base = pool_.data() + pos_[v];
+    std::sort(base, base + deg_[v]);
+    // Parallel emissions collapse; the freed entries stay as in-slot slack.
+    const auto unique_end = std::unique(base, base + deg_[v]);
+    deg_[v] = static_cast<std::uint32_t>(unique_end - base);
+    half_edges += deg_[v];
+    ++g.hist_[deg_[v]];
+    g.max_degree_ = std::max<std::size_t>(g.max_degree_, deg_[v]);
+  }
+  g.num_edges_ = half_edges / 2;
+  g.avg_degree_ = n_ > 0 ? 2.0 * static_cast<double>(g.num_edges_) /
+                               static_cast<double>(n_)
+                         : 0.0;
+  g.pos_ = std::move(pos_);
+  g.deg_ = std::move(deg_);
+  g.cap_ = std::move(cap_);
+  g.pool_ = std::move(pool_);
+  // No materialized edge list: the cache starts dirty and empty, rebuilt
+  // lazily by the first edges() caller (never on the scale path).
+  g.edges_dirty_ = true;
+  return g;
 }
 
 }  // namespace ssau::graph

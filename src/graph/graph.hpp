@@ -49,6 +49,17 @@ struct TopologyDelta {
   [[nodiscard]] TopologyDelta inverse() const { return {add, remove}; }
 };
 
+/// Construction-time layout policy for the slack-pooled CSR.
+struct GraphOptions {
+  /// Per-node slot headroom as a fraction of the node's degree: cap(v) =
+  /// deg(v) + ceil(slack * deg(v)). 0 (the default) lays slots out
+  /// back-to-back — the right choice for static topologies, where every
+  /// reserved-but-unused entry is pure waste. Churn-heavy runs can pre-buy
+  /// headroom here so early insertions extend slots in place instead of
+  /// relocating them to the pool's end.
+  double slack = 0.0;
+};
+
 /// An undirected simple graph over a fixed node set with a mutable edge set.
 class Graph {
  public:
@@ -120,7 +131,31 @@ class Graph {
   /// Throws like apply_delta on an invalid endpoint pair.
   bool remove_edge(NodeId u, NodeId v);
 
+  // --- footprint --------------------------------------------------------------
+
+  /// Recompacts the CSR to zero per-slot slack, releases every vector's
+  /// reserved tail, and drops the lazy edges() cache (rebuilt on the next
+  /// edges() call). The post-churn / post-build "this topology is now
+  /// static" squeeze — afterwards the graph holds exactly its live CSR.
+  void shrink_to_fit();
+
+  /// Times the lazy edges() cache has been re-materialized over this graph's
+  /// lifetime — the release-build observable behind debug_forbid_lazy_edges
+  /// (whose assert compiles out under NDEBUG). Scale smoke tests pin this to
+  /// 0 across the bench/engine/snapshot path.
+  [[nodiscard]] std::uint64_t edges_rebuild_count() const {
+    return edges_rebuilds_;
+  }
+
+  /// Heap bytes owned by the graph (CSR arrays, degree histogram, lazy edge
+  /// cache) — see util/memusage.hpp for the accounting contract.
+  [[nodiscard]] std::size_t dynamic_memory_usage() const;
+
  private:
+  friend class GraphBuilder;
+  /// Builder back door: an empty shell GraphBuilder::finish() moves the
+  /// already-laid-out CSR members into.
+  explicit Graph(NodeId n) : n_(n) {}
   void validate_edge(NodeId u, NodeId v) const;
   void insert_half_edge(NodeId u, NodeId w);  // add w to u's sorted slot
   void remove_half_edge(NodeId u, NodeId w);  // drop w from u's sorted slot
@@ -149,9 +184,65 @@ class Graph {
   // Lazily re-materialized after mutations; see edges().
   mutable std::vector<std::pair<NodeId, NodeId>> edges_cache_;
   mutable bool edges_dirty_ = false;
+  // Release-safe audit counter: lazy rebuilds performed (edges_rebuild_count).
+  mutable std::uint64_t edges_rebuilds_ = 0;
   // Debug tripwire (debug_forbid_lazy_edges): asserts if edges() would
   // rebuild a dirty cache while a serializer holds the graph.
   mutable bool edges_rebuild_forbidden_ = false;
+};
+
+/// Two-pass streaming construction straight into the slack-pooled CSR —
+/// the million-node path. The EdgeList constructor materializes an
+/// intermediate vector<pair> (16 bytes per edge, sorted and deduplicated
+/// globally) before laying out the pool; the builder never does. Instead the
+/// caller emits every edge twice:
+///
+///   GraphBuilder b(n, opts);
+///   for (edge : ...) b.count_edge(u, v);   // pass 1: degree counting
+///   b.finish_counting();                   // slot layout (slack policy)
+///   for (edge : ...) b.fill_edge(u, v);    // pass 2: fill, same edges
+///   Graph g = std::move(b).finish();       // per-slot sort + dedup
+///
+/// The two passes must emit the same multiset of edges (generators replay a
+/// copied rng). Duplicate emissions are deduplicated per slot in finish();
+/// the shrunk entries become in-slot slack, never a layout error. Peak
+/// memory is the final CSR plus the builder's own O(n) cursor array — the
+/// edge stream itself is never stored. The built graph starts with a dirty
+/// (empty) edges() cache: paths that are forbidden from materializing it
+/// (see debug_forbid_lazy_edges) never pay for one.
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(NodeId n, GraphOptions options = {});
+
+  /// Pass 1: counts {u, v} toward both endpoint degrees. Validates like the
+  /// Graph constructor (throws std::invalid_argument on out-of-range
+  /// endpoints or self-loops, before any state changes).
+  void count_edge(NodeId u, NodeId v);
+
+  /// Lays out the CSR slots from the counted degrees under the slack policy.
+  /// Must be called exactly once, between the two passes.
+  void finish_counting();
+
+  /// Pass 2: writes both half-edges into their slots. The emitted multiset
+  /// must match pass 1's (checked: overflowing a counted slot throws
+  /// std::logic_error).
+  void fill_edge(NodeId u, NodeId v);
+
+  /// Sorts each slot, deduplicates parallel edges, computes the degree
+  /// histogram / max / avg, and returns the finished graph. The builder is
+  /// consumed.
+  [[nodiscard]] Graph finish() &&;
+
+ private:
+  enum class Phase : std::uint8_t { kCounting, kFilling, kDone };
+
+  NodeId n_;
+  GraphOptions options_;
+  Phase phase_ = Phase::kCounting;
+  std::vector<std::uint32_t> pos_;
+  std::vector<std::uint32_t> deg_;  // counting: degree counts; filling: cursor
+  std::vector<std::uint32_t> cap_;
+  std::vector<NodeId> pool_;
 };
 
 }  // namespace ssau::graph

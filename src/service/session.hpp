@@ -234,6 +234,16 @@ class Session {
   [[nodiscard]] const core::Engine& engine() const { return *engine_; }
   [[nodiscard]] core::Engine& engine() { return *engine_; }
 
+  /// Heap bytes owned by this session's dynamic state: the engine's (see
+  /// Engine::dynamic_memory_usage) plus, for owning sessions, the graph's
+  /// CSR storage. Borrowed collaborators are not charged — see
+  /// util/memusage.hpp for the ownership contract.
+  [[nodiscard]] std::size_t dynamic_memory_usage() const {
+    std::size_t total = engine_->dynamic_memory_usage();
+    if (graph_) total += graph_->dynamic_memory_usage();
+    return total;
+  }
+
  private:
   Session() = default;
 

@@ -104,4 +104,16 @@ Rng Rng::stream(std::uint64_t seed, std::uint64_t stream_id) noexcept {
   return Rng(splitmix64(x));
 }
 
+Rng Rng::activation_stream(std::uint64_t seed, std::uint64_t node,
+                           std::uint64_t activation) noexcept {
+  // Two chained SplitMix64 rounds fold (node, activation) into the root
+  // seed: the first avalanches the node axis (matching stream()'s counter
+  // discipline), the second folds the activation counter into that stream's
+  // gamma-spaced sequence. Distinct (node, activation) pairs land on
+  // decorrelated child seeds without any per-node state being stored.
+  std::uint64_t x = (seed ^ 0x6A09E667F3BCC909ULL) + node * kSplitMixGamma;
+  std::uint64_t y = splitmix64(x) + activation * kSplitMixGamma;
+  return Rng(splitmix64(y));
+}
+
 }  // namespace ssau::util

@@ -63,6 +63,18 @@ class Rng {
   [[nodiscard]] static Rng stream(std::uint64_t seed,
                                   std::uint64_t stream_id) noexcept;
 
+  /// Two-axis counter-based derivation: the generator for activation number
+  /// `activation` of node `node` under root `seed`. A pure function of its
+  /// three arguments — no per-node generator object needs to exist between
+  /// activations, which is what lets the engine drop its O(n) stored rng
+  /// streams and re-derive each draw from the activation-count discipline it
+  /// already maintains. Shares stream()'s counter construction on the node
+  /// axis, then folds the activation counter in with a second SplitMix64
+  /// round.
+  [[nodiscard]] static Rng activation_stream(std::uint64_t seed,
+                                             std::uint64_t node,
+                                             std::uint64_t activation) noexcept;
+
   /// The raw xoshiro256** state words — serialization support. A generator
   /// reconstructed via from_state(state()) continues the exact sequence.
   [[nodiscard]] std::array<std::uint64_t, 4> state() const noexcept {

@@ -1,6 +1,8 @@
 // Tests for graph generators: sizes, degrees, connectivity, diameters.
 #include "graph/generators.hpp"
 
+#include <algorithm>
+
 #include <gtest/gtest.h>
 
 #include "graph/metrics.hpp"
@@ -139,6 +141,101 @@ TEST(Generators, Caterpillar) {
   EXPECT_TRUE(g.connected());
   EXPECT_EQ(g.num_edges(), 3u + 8u);
   EXPECT_EQ(diameter(g), 5u);  // leg - spine(3 hops) - leg
+}
+
+// --- streaming builder differentials -----------------------------------------
+
+/// Full accessor-level equality: same nodes, edges, degrees, neighbor slots.
+void expect_graphs_identical(const Graph& a, const Graph& b) {
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  EXPECT_EQ(a.num_edges(), b.num_edges());
+  EXPECT_EQ(a.max_degree(), b.max_degree());
+  for (NodeId v = 0; v < a.num_nodes(); ++v) {
+    ASSERT_EQ(a.degree(v), b.degree(v)) << "node " << v;
+    const auto na = a.neighbors(v);
+    const auto nb = b.neighbors(v);
+    ASSERT_TRUE(std::equal(na.begin(), na.end(), nb.begin(), nb.end()))
+        << "neighbor slot of node " << v;
+  }
+  const auto ea = a.edges();
+  const auto eb = b.edges();
+  EXPECT_TRUE(std::equal(ea.begin(), ea.end(), eb.begin(), eb.end()));
+}
+
+TEST(GraphBuilderDifferential, MatchesEdgeListConstructor) {
+  // The streaming two-pass builder must produce accessor-identical graphs to
+  // the edge-list constructor — including with deliberately duplicated and
+  // unsorted input (both paths dedup + sort per slot).
+  const std::vector<std::pair<NodeId, NodeId>> edges = {
+      {3, 1}, {0, 1}, {1, 0}, {2, 4}, {4, 2}, {0, 4}, {1, 2}, {3, 1}};
+  const Graph reference(5, edges);
+
+  GraphBuilder b(5);
+  for (const auto& [u, v] : edges) b.count_edge(u, v);
+  b.finish_counting();
+  for (const auto& [u, v] : edges) b.fill_edge(u, v);
+  const Graph built = std::move(b).finish();
+
+  expect_graphs_identical(reference, built);
+}
+
+TEST(GraphBuilderDifferential, SlackChangesLayoutNotSemantics) {
+  const std::vector<std::pair<NodeId, NodeId>> edges = {
+      {0, 1}, {1, 2}, {2, 3}, {3, 0}, {0, 2}};
+  const Graph reference(4, edges);
+  GraphBuilder b(4, {.slack = 0.75});
+  for (const auto& [u, v] : edges) b.count_edge(u, v);
+  b.finish_counting();
+  for (const auto& [u, v] : edges) b.fill_edge(u, v);
+  Graph slacked = std::move(b).finish();
+
+  expect_graphs_identical(reference, slacked);
+  EXPECT_GT(slacked.dynamic_memory_usage(), reference.dynamic_memory_usage());
+  slacked.shrink_to_fit();
+  expect_graphs_identical(reference, slacked);
+}
+
+TEST(GraphBuilderDifferential, FillingAnUncountedEdgeThrows) {
+  GraphBuilder b(3);
+  b.count_edge(0, 1);
+  b.finish_counting();
+  b.fill_edge(0, 1);
+  EXPECT_THROW(b.fill_edge(1, 2), std::logic_error);
+}
+
+TEST(GraphBuilderDifferential, RandomFamiliesAreSeedDeterministic) {
+  // The streaming generators replay their rng stream across the two passes;
+  // the same seed must therefore yield accessor-identical graphs.
+  {
+    util::Rng a(123);
+    util::Rng b(123);
+    expect_graphs_identical(random_connected(200, 0.03, a),
+                            random_connected(200, 0.03, b));
+  }
+  {
+    util::Rng a(9);
+    util::Rng b(9);
+    expect_graphs_identical(damaged_clique(40, 0.3, a),
+                            damaged_clique(40, 0.3, b));
+  }
+  {
+    util::Rng a(77);
+    util::Rng b(77);
+    expect_graphs_identical(random_bounded_diameter(50, 3, a),
+                            random_bounded_diameter(50, 3, b));
+  }
+}
+
+TEST(GraphBuilderDifferential, StreamingBuildLeavesEdgesCacheLazy) {
+  // finish() must not materialize the lazy edges() cache; the first edges()
+  // call is the one (audited) rebuild.
+  util::Rng rng(31);
+  const Graph g = random_connected(100, 0.05, rng);
+  EXPECT_EQ(g.edges_rebuild_count(), 0u);
+  (void)g.edges();
+  EXPECT_EQ(g.edges_rebuild_count(), 1u);
+  (void)g.edges();  // cached: no second rebuild
+  EXPECT_EQ(g.edges_rebuild_count(), 1u);
 }
 
 TEST(Generators, InvalidParametersThrow) {

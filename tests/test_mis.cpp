@@ -190,13 +190,16 @@ TEST(Mis, InNodesNeverHaveInNeighborsPostStabilization) {
 
 TEST(Mis, DecidedSetGrowsMonotonicallyInCleanRuns) {
   // Without faults there are no restarts, and decided nodes never revert:
-  // the decided set only grows until it covers V.
+  // the decided set only grows until it covers V. The property is whp, not
+  // certain — adjacent candidates that toss identical coin sequences both
+  // join IN and trigger a restart wave — so the seed pins a conflict-free
+  // trajectory (re-pin if the engine's rng stream derivation changes).
   const graph::Graph g = graph::grid(3, 3);
   const int diam = static_cast<int>(graph::diameter(g));
   const AlgMis alg({.diameter_bound = diam});
   sched::SynchronousScheduler sched(9);
   core::Engine engine(
-      g, alg, sched, core::uniform_configuration(9, alg.initial_state()), 61);
+      g, alg, sched, core::uniform_configuration(9, alg.initial_state()), 62);
   std::vector<bool> decided(9, false);
   for (int t = 0; t < 2000; ++t) {
     engine.step();

@@ -1,0 +1,123 @@
+// ssau_scale_smoke — the million-node CI gate, as one self-checking binary.
+//
+// Exercises the scale pass end to end on a single large instance:
+//
+//   1. streams a 1M-node random connected graph through the two-pass
+//      GraphBuilder (no intermediate edge vector),
+//   2. runs 1k synchronous engine steps on the byte-compact stores,
+//   3. snapshots, restores into a fresh engine, and runs both sides further —
+//      any divergence (config, time, hash, activation counts) is a failure,
+//   4. asserts the build/run path never materialized the lazy edges() cache
+//      (edges_rebuild_count() == 0 — the O(m) rebuild would dominate at this
+//      scale), and
+//   5. prints the recursive memory accounting (graph / engine bytes,
+//      bytes-per-node) so CI logs carry the footprint trend.
+//
+// Exits non-zero on any violated invariant. Runtime target: well under a
+// minute on 2 cores — small enough for a per-PR CI job.
+//
+// Usage: ssau_scale_smoke [nodes] [steps]   (defaults 1'000'000, 1'000)
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <chrono>
+#include <string>
+
+#include "core/command_log.hpp"
+#include "core/engine.hpp"
+#include "core/snapshot.hpp"
+#include "graph/generators.hpp"
+#include "sched/scheduler.hpp"
+#include "unison/alg_au.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+int fail(const char* what) {
+  std::fprintf(stderr, "ssau_scale_smoke: FAILED: %s\n", what);
+  return 1;
+}
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ssau;
+  const graph::NodeId n =
+      argc > 1 ? static_cast<graph::NodeId>(std::strtoul(argv[1], nullptr, 10))
+               : 1'000'000u;
+  const int steps = argc > 2 ? std::atoi(argv[2]) : 1'000;
+
+  // --- 1. streaming build ----------------------------------------------------
+  // Average degree ~8: dense enough to be a real CSR workload, sparse enough
+  // that the full instance stays well under a gigabyte.
+  const double p = 8.0 / static_cast<double>(n);
+  util::Rng graph_rng(2026);
+  const auto t_build = std::chrono::steady_clock::now();
+  const graph::Graph g = graph::random_connected(n, p, graph_rng);
+  const double build_s = seconds_since(t_build);
+  if (g.num_nodes() != n) return fail("graph node count");
+  if (!g.connected()) return fail("graph not connected");
+
+  // --- 2. compact-engine run -------------------------------------------------
+  const unison::AlgAu alg(3);
+  sched::SynchronousScheduler sched(n);
+  util::Rng init_rng(7);
+  core::Engine engine(g, alg, sched,
+                      core::random_configuration(alg, n, init_rng), 42);
+  if (!engine.compact_config()) return fail("engine not in byte-compact mode");
+
+  const auto t_run = std::chrono::steady_clock::now();
+  for (int t = 0; t < steps; ++t) engine.step();
+  const double run_s = seconds_since(t_run);
+  if (engine.time() != static_cast<core::Time>(steps)) {
+    return fail("engine time after run");
+  }
+
+  // --- 3. snapshot round-trip + bit-identical continuation -------------------
+  const auto bytes = core::snapshot::save(engine);
+  graph::Graph g2 = core::snapshot::restore_graph(bytes);
+  sched::SynchronousScheduler sched2(n);
+  auto restored = core::snapshot::restore(bytes, g2, alg, sched2);
+  if (restored->time() != engine.time()) return fail("restored time");
+  if (core::engine_state_hash(*restored) != core::engine_state_hash(engine)) {
+    return fail("restored state hash");
+  }
+  for (int t = 0; t < 10; ++t) {
+    engine.step();
+    restored->step();
+  }
+  if (core::engine_state_hash(*restored) != core::engine_state_hash(engine)) {
+    return fail("post-restore continuation diverged");
+  }
+  for (core::NodeId v = 0; v < n; v += n / 97 + 1) {
+    if (engine.activation_count(v) != restored->activation_count(v)) {
+      return fail("post-restore activation counts diverged");
+    }
+  }
+
+  // --- 4. no lazy edge-list rebuilds anywhere on the scale path --------------
+  if (g.edges_rebuild_count() != 0) {
+    return fail("edges() cache was materialized on the scale path");
+  }
+
+  // --- 5. footprint report ---------------------------------------------------
+  const std::size_t graph_bytes = g.dynamic_memory_usage();
+  const std::size_t engine_bytes = engine.dynamic_memory_usage();
+  const double total_per_node =
+      static_cast<double>(graph_bytes + engine_bytes) / static_cast<double>(n);
+  std::printf("ssau_scale_smoke: OK\n");
+  std::printf("  nodes               %u\n", n);
+  std::printf("  edges               %zu\n", g.num_edges());
+  std::printf("  build_seconds       %.3f\n", build_s);
+  std::printf("  run_seconds         %.3f  (%d sync steps)\n", run_s, steps);
+  std::printf("  graph_bytes         %zu\n", graph_bytes);
+  std::printf("  engine_bytes        %zu\n", engine_bytes);
+  std::printf("  bytes_per_node      %.1f\n", total_per_node);
+  std::printf("  snapshot_bytes      %zu\n", bytes.size());
+  return 0;
+}
