@@ -606,25 +606,41 @@ void Engine::step_async() {
     }
   }
 
-  // Phase 1: all activated nodes read C_t and compute their next state.
+  // Phase 1: all activated nodes read C_t and compute their next state. The
+  // store's element width is resolved here, once per step — the per-node
+  // loops read the raw buffer directly instead of re-branching through
+  // store_.get / mask_current / sense_current on every activation.
+  if (store_.narrow()) {
+    async_phase1(store_.bytes_data());
+  } else {
+    async_phase1(store_.wide_data());
+  }
+
+  apply_updates_and_close_rounds();
+}
+
+template <typename T>
+void Engine::async_phase1(const T* cfg) {
   if (field_) {
     // Field-sensed serial path — the signal-field fast path this layer
     // exists for: an O(1) presence-mask lookup (or O(distinct) span) per
     // activation instead of an O(deg) neighborhood rescan; the matching
-    // per-transition patches run in the apply phase below.
+    // per-transition patches run in the apply phase below. (The lazy field
+    // rebuild reads the wide view, which never relocates the raw buffer
+    // `cfg` points into.)
     ensure_field_fresh();
     field_senses_ += active_.size();
     if (mask_kernel_ && !listener_ && field_->mask_exact()) {
       const Automaton& kernel = *stepper_;
       for (const NodeId v : active_) {
-        const StateId cur = store_.get(v);
+        const StateId cur = cfg[v];
         updates_.push(v,
                       kernel.step_mask(cur, field_->mask_of(v), step_rng(v)));
       }
     } else {
       for (const NodeId v : active_) {
         const SignalView sig = field_->sense(v, field_scratch_);
-        const StateId cur = store_.get(v);
+        const StateId cur = cfg[v];
         const StateId next = stepper_->step_fast(cur, sig, step_rng(v));
         if (next != cur && listener_) emit_listener(v, cur, next, sig);
         updates_.push(v, next);
@@ -633,20 +649,19 @@ void Engine::step_async() {
   } else if (mask_kernel_ && !listener_) {
     const Automaton& kernel = *stepper_;
     for (const NodeId v : active_) {
-      const StateId cur = store_.get(v);
-      updates_.push(v, kernel.step_mask(cur, mask_current(v), step_rng(v)));
+      const StateId cur = cfg[v];
+      updates_.push(v, kernel.step_mask(cur, neighborhood_mask(graph_, cfg, v),
+                                        step_rng(v)));
     }
   } else {
     for (const NodeId v : active_) {
-      const SignalView sig = sense_current(scratch_, v);
-      const StateId cur = store_.get(v);
+      const SignalView sig = scratch_.sense(graph_, cfg, v);
+      const StateId cur = cfg[v];
       const StateId next = stepper_->step_fast(cur, sig, step_rng(v));
       if (next != cur && listener_) emit_listener(v, cur, next, sig);
       updates_.push(v, next);
     }
   }
-
-  apply_updates_and_close_rounds();
 }
 
 // Sparse-activation sharded kernel: BOTH phases of one asynchronous step

@@ -737,6 +737,11 @@ class Engine {
                           const T* cfg);
   template <typename T>
   void sparse_listener_phase1(const T* cfg);
+  /// Serial asynchronous phase 1 over `cfg` (the raw current-store buffer):
+  /// the per-activation gather loops, templated on the element width so the
+  /// narrow/wide branch is taken once per step, not once per activation.
+  template <typename T>
+  void async_phase1(const T* cfg);
 
   /// Node v's activation count right now — the activation axis of the lazy
   /// rng stream derivation. Safe from shard tasks: only tasks handling v
