@@ -64,6 +64,20 @@
 // reference (the CI smoke run, where the O(n^2) side would dominate the
 // budget).
 //
+// The locality table measures the memory-locality pass (graph/reorder.hpp):
+// a --locality-nodes ring of 4-cliques (a sparse graph whose topology HAS
+// locality — low degree so cache misses cannot hide behind memory-level
+// parallelism) is scrambled by a random relabelling — the adversarial layout
+// where every neighborhood gather strides the whole configuration buffer —
+// and AlgAU under the
+// synchronous scheduler is timed over that layout versus over its BFS
+// reorder_graph() relabelling. Both runs walk relabellings of the same
+// trajectory (same user-id initial configuration, same seeds), so the
+// reorder_on_over_off ratio isolates exactly what the locality pass buys the
+// gather kernels; the per-cell gather cost is also reported as
+// ns-per-half-edge-scanned. CI gates the ratio via bench_compare.py
+// --min-locality. --locality-nodes=0 skips the table.
+//
 // Usage: bench_engine_perf [--nodes=10000] [--edge-p=0.0008]
 //                          [--sync-steps=100] [--single-steps=200000]
 //                          [--single-act-steps=200000]
@@ -71,10 +85,12 @@
 //                          [--churn-events=64] [--churn-rebuild-events=12]
 //                          [--service-sessions=1000] [--service-workers=0]
 //                          [--mem-nodes=1000000] [--mem-ref-nodes=100000]
+//                          [--locality-nodes=1000000] [--locality-steps=60]
 //                          [--threads=1,2,4,8] [--repeats=3]
 //                          [--json=BENCH_engine.json] [--seed=7]
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <fstream>
 #include <iomanip>
@@ -90,6 +106,7 @@
 #include "core/engine.hpp"
 #include "core/snapshot.hpp"
 #include "graph/generators.hpp"
+#include "graph/reorder.hpp"
 #include "le/alg_le.hpp"
 #include "mis/alg_mis.hpp"
 #include "sched/scheduler.hpp"
@@ -311,6 +328,10 @@ int main(int argc, char** argv) {
       static_cast<graph::NodeId>(cli.get_int("mem-nodes", 1000000));
   const auto mem_ref_nodes =
       static_cast<graph::NodeId>(cli.get_int("mem-ref-nodes", 100000));
+  const auto locality_nodes =
+      static_cast<graph::NodeId>(cli.get_int("locality-nodes", 1000000));
+  const auto locality_steps =
+      static_cast<std::uint64_t>(cli.get_int("locality-steps", 60));
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 7));
   const std::string json_path = cli.get("json", "BENCH_engine.json");
   const std::vector<unsigned> thread_list =
@@ -723,6 +744,112 @@ int main(int argc, char** argv) {
     memory_points.push_back(mp);
   }
 
+  // --- locality table (BFS reorder on vs off) --------------------------------
+  // A ring of 4-cliques the size of --locality-nodes, scrambled by a
+  // uniform random relabelling: a community-structured topology (every
+  // neighborhood is one tight cluster) under the adversarial layout where
+  // each gather strides the whole configuration buffer — the regime
+  // graph::reorder_graph exists for. Low degree on purpose: with only ~3
+  // gathers per node the core has no memory-level parallelism to hide the
+  // scrambled layout's cache misses behind, so the layout penalty lands in
+  // full (at clique 16+ the out-of-order window overlaps the misses and the
+  // measured gap shrinks — the sparse regime is where reordering pays most).
+  // The reorder-off engine runs over the scrambled layout, the reorder-on
+  // engine over its BFS relabelling; both receive the same user-id initial
+  // configuration, so the internal trajectories are relabellings of each
+  // other and the ratio is pure memory-system effect. Timed with the AlgAU
+  // native mask kernel under the synchronous scheduler — the gather-dominated
+  // cell the reorder targets. The off/on cells are interleaved inside one
+  // best-of-N loop (rather than best-of-N each, back to back) so both sample
+  // the same interference windows and the *ratio* stays stable on noisy
+  // shared machines. gather ns/half-edge normalizes each cell's wall time by
+  // the bytes its phase 1 touches (2m neighbor reads + n own-state reads per
+  // step), making the cost comparable across graph sizes.
+  struct LocalityPoint {
+    std::string algorithm;
+    std::string scheduler;
+    std::uint64_t nodes = 0;
+    std::uint64_t edges = 0;
+    double neighbor_distance_off = 0.0;  // avg |u - v| of the scrambled layout
+    double neighbor_distance_on = 0.0;   // ... of the BFS relabelling
+    double reorder_seconds = 0.0;        // one-time reorder_graph cost
+    double off_rate = 0.0;               // activations/sec, scrambled layout
+    double on_rate = 0.0;                // activations/sec, BFS layout
+    double reorder_on_over_off = 0.0;
+    double gather_ns_off = 0.0;          // ns per half-edge scanned
+    double gather_ns_on = 0.0;
+  };
+  std::vector<LocalityPoint> locality_points;
+  if (locality_nodes > 0 && locality_steps > 0) {
+    constexpr graph::NodeId kCliqueSize = 4;
+    const auto cliques =
+        std::max<graph::NodeId>(3, locality_nodes / kCliqueSize);
+    const graph::Graph base = graph::ring_of_cliques(cliques, kCliqueSize);
+    const graph::NodeId ln = base.num_nodes();
+
+    util::Rng scramble_rng(seed + 61);
+    std::vector<graph::NodeId> scramble(ln);
+    std::iota(scramble.begin(), scramble.end(), graph::NodeId{0});
+    for (graph::NodeId i = ln; i > 1; --i) {
+      std::swap(scramble[i - 1], scramble[scramble_rng.below(i)]);
+    }
+    const graph::Graph scrambled = graph::reorder_graph(base, scramble);
+
+    std::optional<graph::Graph> bfs;
+    double reorder_seconds = std::numeric_limits<double>::infinity();
+    for (int r = 0; r < repeats; ++r) {
+      const auto t0 = std::chrono::steady_clock::now();
+      graph::Graph rg =
+          graph::reorder_graph(scrambled, graph::ReorderPolicy::kBfs);
+      const auto t1 = std::chrono::steady_clock::now();
+      reorder_seconds = std::min(
+          reorder_seconds, std::chrono::duration<double>(t1 - t0).count());
+      if (!bfs) bfs = std::move(rg);
+    }
+
+    util::Rng lcfg_rng(seed + 67);
+    const Workload lw{"alg-au", &au,
+                      core::random_configuration(au, ln, lcfg_rng)};
+    Measurement off, on;
+    for (int r = 0; r < repeats; ++r) {
+      const Measurement o = run_one(lw, scrambled, "synchronous",
+                                    locality_steps, true, seed + 71);
+      const Measurement b =
+          run_one(lw, *bfs, "synchronous", locality_steps, true, seed + 71);
+      if (r == 0 || o.activations_per_sec() > off.activations_per_sec()) {
+        off = o;
+      }
+      if (r == 0 || b.activations_per_sec() > on.activations_per_sec()) {
+        on = b;
+      }
+    }
+
+    // Half-edges scanned per step: every node reads its own state plus one
+    // byte per directed neighbor (2m gathers across the node range).
+    const double scans_per_step =
+        static_cast<double>(ln) +
+        2.0 * static_cast<double>(scrambled.num_edges());
+    const auto gather_ns = [&](const Measurement& m) {
+      const double scans = scans_per_step * static_cast<double>(m.steps);
+      return scans > 0 ? m.seconds * 1e9 / scans : 0.0;
+    };
+
+    LocalityPoint lp;
+    lp.algorithm = lw.name;
+    lp.scheduler = "synchronous";
+    lp.nodes = ln;
+    lp.edges = scrambled.num_edges();
+    lp.neighbor_distance_off = graph::average_neighbor_distance(scrambled);
+    lp.neighbor_distance_on = graph::average_neighbor_distance(*bfs);
+    lp.reorder_seconds = reorder_seconds;
+    lp.off_rate = off.activations_per_sec();
+    lp.on_rate = on.activations_per_sec();
+    lp.reorder_on_over_off = lp.off_rate > 0 ? lp.on_rate / lp.off_rate : 0.0;
+    lp.gather_ns_off = gather_ns(off);
+    lp.gather_ns_on = gather_ns(on);
+    locality_points.push_back(lp);
+  }
+
   // --- service table (multi-session mixed traffic) ---------------------------
   // Opens --service-sessions sessions over one SimulationService pool and
   // pushes a mixed 8-command script through each (steps, rounds, an
@@ -994,6 +1121,30 @@ int main(int argc, char** argv) {
     }
   }
 
+  // --- locality table --------------------------------------------------------
+  if (!locality_points.empty()) {
+    std::cout << "\n==== locality: BFS reorder on vs off "
+                 "(scrambled clique ring, synchronous AlgAU) ====\n\n";
+    std::cout << std::left << std::setw(10) << "nodes" << std::right
+              << std::setw(11) << "edges" << std::setw(13) << "avg|u-v| off"
+              << std::setw(12) << "avg|u-v| on" << std::setw(12)
+              << "reorder s" << std::setw(13) << "off act/s" << std::setw(13)
+              << "on act/s" << std::setw(12) << "ns/scan" << std::setw(10)
+              << "speedup" << "\n";
+    for (const LocalityPoint& p : locality_points) {
+      std::cout << std::left << std::setw(10) << p.nodes << std::right
+                << std::setw(11) << p.edges << std::fixed
+                << std::setprecision(0) << std::setw(13)
+                << p.neighbor_distance_off << std::setw(12)
+                << p.neighbor_distance_on << std::setprecision(3)
+                << std::setw(12) << p.reorder_seconds << std::setprecision(0)
+                << std::setw(13) << p.off_rate << std::setw(13) << p.on_rate
+                << std::setprecision(2) << std::setw(6) << p.gather_ns_off
+                << "->" << std::setw(4) << p.gather_ns_on << std::setw(9)
+                << p.reorder_on_over_off << "x\n";
+    }
+  }
+
   // --- service table ---------------------------------------------------------
   if (!service_points.empty()) {
     std::cout << "\n==== simulation service: concurrent sessions, mixed "
@@ -1157,6 +1308,24 @@ int main(int argc, char** argv) {
     jw.key("total_bytes").value(p.total_bytes);
     jw.key("bytes_per_node").value(p.bytes_per_node);
     jw.key("bytes_per_edge").value(p.bytes_per_edge);
+    jw.end_object();
+  }
+  jw.end_array();
+  jw.key("locality").begin_array();
+  for (const LocalityPoint& p : locality_points) {
+    jw.begin_object();
+    jw.key("algorithm").value(p.algorithm);
+    jw.key("scheduler").value(p.scheduler);
+    jw.key("nodes").value(p.nodes);
+    jw.key("edges").value(p.edges);
+    jw.key("neighbor_distance_off").value(p.neighbor_distance_off);
+    jw.key("neighbor_distance_on").value(p.neighbor_distance_on);
+    jw.key("reorder_seconds").value(p.reorder_seconds);
+    jw.key("off_activations_per_sec").value(p.off_rate);
+    jw.key("on_activations_per_sec").value(p.on_rate);
+    jw.key("reorder_on_over_off").value(p.reorder_on_over_off);
+    jw.key("gather_ns_per_scan_off").value(p.gather_ns_off);
+    jw.key("gather_ns_per_scan_on").value(p.gather_ns_on);
     jw.end_object();
   }
   jw.end_array();

@@ -80,6 +80,17 @@ latency (a row whose latency percentiles are zero means no commands actually
 completed). The gate is an in-run capability floor like --min-scaling, not a
 baseline ratio — absolute sessions/sec depends on the runner.
 
+The locality table ("locality" rows keyed algorithm x scheduler: the same
+workload stepped on a scrambled-layout graph versus its BFS-reordered twin)
+is gated via --min-locality ALGO:SCHED:FACTOR on reorder_on_over_off:
+reorder-on throughput over reorder-off, both measured within the current
+run on the same build — machine-independent like the other in-run ratios,
+though its magnitude scales with how badly the runner's cache hierarchy
+punishes the scrambled layout, so CI floors sit below the committed
+developer-machine number. A reorder that stopped improving layout (the
+permutation silently becoming identity, a builder path dropping the
+locality order) drags the ratio to ~1 and fails the gate.
+
 The memory table ("memory" rows: one large instance streamed through the
 two-pass GraphBuilder into a compact-configuration engine, with recursive
 dynamic_memory_usage() accounting) is gated two ways. --max-bytes-per-node B
@@ -101,6 +112,7 @@ Usage:
                            [--min-speedup ALGO:SCHED:FACTOR ...]
                            [--min-churn ALGO:SCHED:FACTOR ...]
                            [--min-restore ALGO:SCHED:FACTOR ...]
+                           [--min-locality ALGO:SCHED:FACTOR ...]
                            [--min-sessions N]
                            [--max-bytes-per-node B] [--min-build-speedup F]
   scripts/bench_compare.py --self-check
@@ -232,6 +244,24 @@ def index_snapshot(doc):
             "save_rate": as_number(row.get("save_mb_per_sec")),
             "restore_rate": as_number(row.get("restore_mb_per_sec")),
             "bytes": as_number(row.get("snapshot_bytes")),
+        }
+    return out
+
+
+def index_locality(doc):
+    """locality rows keyed by (algorithm, scheduler)."""
+    out = {}
+    for row in doc.get("locality", []):
+        try:
+            key = (row["algorithm"], row["scheduler"])
+        except (KeyError, TypeError):
+            continue
+        out[key] = {
+            "ratio": as_number(row.get("reorder_on_over_off")),
+            "off_rate": as_number(row.get("off_activations_per_sec")),
+            "on_rate": as_number(row.get("on_activations_per_sec")),
+            "ns_off": as_number(row.get("gather_ns_per_scan_off")),
+            "ns_on": as_number(row.get("gather_ns_per_scan_on")),
         }
     return out
 
@@ -575,6 +605,51 @@ def run_gate(baseline, current, args, out=sys.stdout, err=sys.stderr):
                 f"{got:.1f}x over re-running the trajectory (floor {factor:.1f}x)"
             )
 
+    cur_locality = index_locality(current)
+    if not args.scaling_only:
+        # Disappeared-cell protection, like churn/snapshot: locality rows in
+        # the committed baseline must still be emitted by the current run.
+        for key in sorted(index_locality(baseline)):
+            if key not in cur_locality:
+                failures.append(f"locality cell {key} missing from current run")
+    for (algo, sched), cell in sorted(cur_locality.items()):
+        ratio = cell["ratio"]
+        print(
+            f"[info] locality: {algo:<14} {sched:<16} "
+            f"reorder-off {cell['off_rate'] if cell['off_rate'] is not None else 0:.3g} "
+            f"vs on {cell['on_rate'] if cell['on_rate'] is not None else 0:.3g} act/s "
+            f"({ratio if ratio is not None else 0:.2f}x, gather "
+            f"{cell['ns_off'] if cell['ns_off'] is not None else 0:.2f} -> "
+            f"{cell['ns_on'] if cell['ns_on'] is not None else 0:.2f} ns/scan)",
+            file=out,
+        )
+
+    for spec in args.min_locality:
+        parsed = parse_min_speedup(spec)
+        if parsed is None:
+            print(f"bad --min-locality spec '{spec}'", file=err)
+            return 2
+        algo, sched, factor = parsed
+        cell = cur_locality.get((algo, sched))
+        got = cell["ratio"] if cell else None
+        if got is None:
+            failures.append(
+                f"no locality entry for {algo} under {sched} "
+                f"(required by --min-locality {spec})"
+            )
+            continue
+        status = "OK " if got >= factor else "FAIL"
+        print(
+            f"[{status}] locality gate: {algo} under {sched}: "
+            f"{got:.2f}x reorder-on-over-off (floor {factor:.2f}x)",
+            file=out,
+        )
+        if got < factor:
+            failures.append(
+                f"{algo} under {sched}: BFS reorder reached only {got:.2f}x "
+                f"over the scrambled layout (floor {factor:.2f}x)"
+            )
+
     cur_memory = index_memory(current)
     if not args.scaling_only:
         # Disappeared-row protection, like churn/snapshot: a memory row in
@@ -736,6 +811,7 @@ def self_check():
             min_speedup=kw.get("min_speedup", []),
             min_churn=kw.get("min_churn", []),
             min_restore=kw.get("min_restore", []),
+            min_locality=kw.get("min_locality", []),
             min_sessions=kw.get("min_sessions", None),
             max_bytes_per_node=kw.get("max_bytes_per_node", None),
             min_build_speedup=kw.get("min_build_speedup", None),
@@ -826,6 +902,21 @@ def self_check():
              "seconds": 0.5, "sessions_per_sec": 2000.0,
              "commands_per_sec": 14000.0,
              "p50_latency_us": 120.0, "p99_latency_us": 900.0},
+        ],
+    }
+
+    locality_doc = {
+        "speedups": [],
+        "locality": [
+            {"algorithm": "alg-au", "scheduler": "synchronous",
+             "nodes": 1000000, "edges": 1750000,
+             "neighbor_distance_off": 333000.0,
+             "neighbor_distance_on": 1.8,
+             "reorder_seconds": 0.4,
+             "off_activations_per_sec": 2.9e7,
+             "on_activations_per_sec": 4.0e7,
+             "reorder_on_over_off": 1.38,
+             "gather_ns_per_scan_off": 7.7, "gather_ns_per_scan_on": 5.6},
         ],
     }
 
@@ -994,6 +1085,25 @@ def self_check():
         ("scaling-only skips the snapshot baseline diff", 0,
          lambda: gate(snapshot_doc, {"speedups": [], "snapshot": []},
                       scaling_only=True)),
+        ("locality gate passes", 0,
+         lambda: gate(locality_doc, locality_doc, scaling_only=True,
+                      min_locality=["alg-au:synchronous:1.2"])),
+        ("locality ratio below floor fails", 1,
+         lambda: gate(locality_doc, locality_doc, scaling_only=True,
+                      min_locality=["alg-au:synchronous:99999"])),
+        ("missing locality row fails its gate", 1,
+         lambda: gate(locality_doc, locality_doc, scaling_only=True,
+                      min_locality=["alg-mis:synchronous:1.2"])),
+        ("malformed min-locality spec is a usage error", 2,
+         lambda: gate(locality_doc, locality_doc, scaling_only=True,
+                      min_locality=["alg-au:1.2"])),
+        ("locality rows matching baseline pass", 0,
+         lambda: gate(locality_doc, locality_doc)),
+        ("locality cell missing vs baseline fails", 1,
+         lambda: gate(locality_doc, {"speedups": [], "locality": []})),
+        ("scaling-only skips the locality baseline diff", 0,
+         lambda: gate(locality_doc, {"speedups": [], "locality": []},
+                      scaling_only=True)),
         ("service gate passes at the floor", 0,
          lambda: gate(service_doc, service_doc, scaling_only=True,
                       min_sessions=1000)),
@@ -1132,6 +1242,15 @@ def main():
         help="require the current run's snapshot entry for ALGO under SCHED "
         "to reach FACTOR x restore-over-rerun (checkpoint resume vs "
         "recomputing the trajectory; repeatable)",
+    )
+    parser.add_argument(
+        "--min-locality",
+        action="append",
+        default=[],
+        metavar="ALGO:SCHED:FACTOR",
+        help="require the current run's locality entry for ALGO under SCHED "
+        "to reach FACTOR x reorder-on-over-off (BFS-reordered layout vs "
+        "the scrambled adversarial layout; repeatable)",
     )
     parser.add_argument(
         "--min-sessions",

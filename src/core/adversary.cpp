@@ -72,9 +72,13 @@ graph::TopologyDelta ChurnAdversary::next_event(util::Rng& rng) {
           continue;
         }
       }
-      delta.remove.emplace_back(u, v);
+      // Emitted deltas cross Engine::apply_topology_delta's USER-id
+      // boundary; the adversary itself works in the live graph's layout
+      // ids (base_edges_, has_edge, the scratch copy), so translate here —
+      // identity on an unreordered graph.
+      delta.remove.emplace_back(graph_.to_user(u), graph_.to_user(v));
     } else if (rng.bernoulli(options_.heal_p)) {
-      delta.add.emplace_back(u, v);
+      delta.add.emplace_back(graph_.to_user(u), graph_.to_user(v));
       if (scratch) scratch->add_edge(u, v);
     }
   }
@@ -94,9 +98,13 @@ graph::TopologyDelta partition_delta(const graph::Graph& g,
   if (side.size() != g.num_nodes()) {
     throw std::invalid_argument("partition_delta: side size mismatch");
   }
+  // `side` is indexed by user id and the delta crosses the engine's user-id
+  // boundary; the edge walk is over layout ids — translate both lookups.
   graph::TopologyDelta delta;
   for (const auto& [u, v] : g.edges()) {
-    if (side[u] != side[v]) delta.remove.emplace_back(u, v);
+    const graph::NodeId uu = g.to_user(u);
+    const graph::NodeId uv = g.to_user(v);
+    if (side[uu] != side[uv]) delta.remove.emplace_back(uu, uv);
   }
   return delta;
 }

@@ -61,8 +61,10 @@ struct ChurnOptions {
 /// state — live base edges fail with fail_p (subject to the connectivity /
 /// diameter guards), failed ones heal with heal_p — and returns the delta
 /// for the caller to apply (Engine::apply_topology_delta), after which the
-/// next event sees the churned graph. Edges outside the base set are never
-/// created: obstacles block links, they do not build new ones.
+/// next event sees the churned graph. Deltas are emitted in USER node ids
+/// (the engine boundary's id space), whatever layout the borrowed graph
+/// runs in. Edges outside the base set are never created: obstacles block
+/// links, they do not build new ones.
 class ChurnAdversary {
  public:
   /// Borrows `g` (the engine's live graph; must outlive the adversary) and

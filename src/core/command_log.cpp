@@ -12,7 +12,10 @@ namespace ssau::core {
 namespace {
 
 constexpr std::uint8_t kLogMagic[8] = {'S', 'S', 'A', 'U', 'L', 'O', 'G', '1'};
-constexpr std::uint32_t kLogVersion = 1;
+// v2 appends the reorder byte to the header's engine options; v1 logs (no
+// byte) replay with reorder = kOff — what their recording engines ran.
+constexpr std::uint32_t kLogVersion = 2;
+constexpr std::uint32_t kMinLogVersion = 1;
 constexpr std::uint32_t kEndianSentinel = 0x01020304;
 constexpr std::uint8_t kHeaderRecord = 0;  // reserved type for the header
 
@@ -22,9 +25,10 @@ void write_options(util::BinaryWriter& w, const EngineOptions& o) {
   w.u32(o.thread_count);
   w.u64(o.sparse_activation_threshold);
   w.u8(static_cast<std::uint8_t>(o.signal_field));
+  w.u8(static_cast<std::uint8_t>(o.reorder));
 }
 
-EngineOptions read_options(util::BinaryReader& r) {
+EngineOptions read_options(util::BinaryReader& r, std::uint32_t version) {
   EngineOptions o;
   o.fast_path = r.u8() != 0;
   o.compile = r.u8() != 0;
@@ -35,6 +39,15 @@ EngineOptions read_options(util::BinaryReader& r) {
     throw util::SnapshotError("command log header: bad signal-field mode");
   }
   o.signal_field = static_cast<SignalFieldMode>(mode);
+  if (version >= 2) {
+    const std::uint8_t reorder = r.u8();
+    if (reorder > static_cast<std::uint8_t>(ReorderMode::kDegree)) {
+      throw util::SnapshotError("command log header: bad reorder mode");
+    }
+    o.reorder = static_cast<ReorderMode>(reorder);
+  } else {
+    o.reorder = ReorderMode::kOff;
+  }
   return o;
 }
 
@@ -213,9 +226,10 @@ CommandLog read_command_log(const std::string& path) {
   if (endian != kEndianSentinel) {
     throw util::SnapshotError("command log endianness mismatch");
   }
-  if (version != kLogVersion) {
+  if (version < kMinLogVersion || version > kLogVersion) {
     throw util::SnapshotError("command log version skew: file has v" +
-                              std::to_string(version) + ", reader expects v" +
+                              std::to_string(version) + ", reader accepts v" +
+                              std::to_string(kMinLogVersion) + "..v" +
                               std::to_string(kLogVersion));
   }
 
@@ -254,7 +268,7 @@ CommandLog read_command_log(const std::string& path) {
       log.header.subset_p = body.f64();
       log.header.burst = body.u32();
       log.header.seed = body.u64();
-      log.header.options = read_options(body);
+      log.header.options = read_options(body, version);
       saw_header = true;
     } else {
       Command cmd;

@@ -24,6 +24,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "core/automaton.hpp"
@@ -51,6 +52,14 @@ class CompiledAutomaton final : public Automaton {
   [[nodiscard]] const Automaton& base() const { return base_; }
   /// True when the eager dense table is in use (vs the lazy memo).
   [[nodiscard]] bool dense() const { return !dense_table_.empty(); }
+  /// The raw dense table (empty on the memo path): entry
+  /// (q << state_count()) | mask. Lets the engine's batched phase-1 kernels
+  /// apply δ as one devirtualized load per node instead of a virtual
+  /// step_mask call; the table is immutable after construction, so shards
+  /// may share it concurrently.
+  [[nodiscard]] std::span<const std::uint8_t> dense_table() const {
+    return dense_table_;
+  }
   /// Number of distinct (state, mask) pairs resolved so far (dense: the full
   /// table; lazy: memo occupancy). Observability for tests and benches.
   [[nodiscard]] std::uint64_t transitions_cached() const;

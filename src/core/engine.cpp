@@ -7,25 +7,61 @@
 #include <limits>
 #include <stdexcept>
 
+#include "graph/reorder.hpp"
 #include "util/binary_io.hpp"
 
 namespace ssau::core {
 
 namespace {
 
+/// Resolves EngineOptions::reorder and, when it calls for a new layout,
+/// replaces `g` with its cache-reordered rebuild before the delegated
+/// constructor sizes any per-node state off it. Only the churn-capable
+/// constructor routes through here: it owns a mutable graph, so the permuted
+/// CSR it leaves behind is the same object the caller keeps using (with the
+/// user<->internal bijection attached). Already-reordered graphs are used
+/// as-is — repeated engine constructions over one graph must not keep
+/// compounding relabellings.
+graph::Graph& reorder_for_engine(graph::Graph& g, sched::Scheduler& sched,
+                                 const EngineOptions& options) {
+  graph::ReorderPolicy policy{};
+  switch (options.reorder) {
+    case ReorderMode::kOff:
+      return g;
+    case ReorderMode::kBfs:
+      policy = graph::ReorderPolicy::kBfs;
+      break;
+    case ReorderMode::kDegree:
+      policy = graph::ReorderPolicy::kDegree;
+      break;
+    case ReorderMode::kAuto:
+      // Below the size floor the working set is cache-resident anyway; with
+      // avg degree < 2 there is barely any gather traffic to localize.
+      if (g.num_nodes() < kReorderAutoMinNodes || g.avg_degree() < 2.0) {
+        return g;
+      }
+      policy = graph::ReorderPolicy::kBfs;
+      break;
+  }
+  if (g.reordered() || g.num_nodes() <= 1) return g;
+  g = graph::reorder_graph(g, policy);
+  // The scheduler was constructed over the pre-reorder layout; any ids it
+  // captured (WaveScheduler's BFS layers) must follow the relabelling.
+  sched.on_topology_change(g);
+  return g;
+}
+
 /// The 64-bit presence bitmask of node v's inclusive neighborhood under the
 /// raw configuration buffer `c` — the one definition of mask sensing shared
 /// by the serial, sharded, and async kernels (all must stay bit-identical).
 /// Templated on the element type so the byte-compact and wide storage modes
-/// share it.
+/// share it; the gather itself routes through core/simd_gather.hpp (AVX2
+/// lane-parallel accumulation for byte stores, prefetched scalar otherwise).
 template <typename T>
 inline std::uint64_t neighborhood_mask(const graph::Graph& g, const T* c,
-                                       NodeId v) {
-  std::uint64_t mask = std::uint64_t{1} << c[v];
-  for (const NodeId u : g.neighbors(v)) {
-    mask |= std::uint64_t{1} << c[u];
-  }
-  return mask;
+                                       NodeId v, unsigned prefetch_distance) {
+  return simd::accumulate_mask(g.neighbors(v), c, std::uint64_t{1} << c[v],
+                               prefetch_distance);
 }
 
 inline std::uint64_t elapsed_ns(std::chrono::steady_clock::time_point from) {
@@ -58,6 +94,16 @@ Engine::Engine(const graph::Graph& g, const Automaton& alg,
       throw std::invalid_argument("initial state out of range");
     }
   }
+  // The caller's C_0 is in user ids; on a reordered graph every per-node
+  // engine structure lives in layout order, so translate it once here —
+  // downstream (store reset, signal-field construction) sees internal order.
+  if (graph_.reordered()) {
+    Configuration permuted(initial.size());
+    for (NodeId u = 0; u < graph_.num_nodes(); ++u) {
+      permuted[graph_.to_internal(u)] = initial[u];
+    }
+    initial = std::move(permuted);
+  }
   // Byte-per-node double buffers whenever the state space fits a byte —
   // every shipped algorithm except the synchronizer's product spaces.
   const bool narrow = automaton_.state_count() <= 256;
@@ -72,13 +118,23 @@ Engine::Engine(const graph::Graph& g, const Automaton& alg,
         !automaton_.native_mask_kernel()) {
       compiled_ = std::make_unique<CompiledAutomaton>(automaton_);
       stepper_ = compiled_.get();
+      if (compiled_->dense()) {
+        dense_table_ = compiled_->dense_table().data();
+        dense_shift_ = automaton_.state_count();
+      }
     }
     full_activation_ = scheduler_.full_activation();
     if (full_activation_) next_store_.reset_zero(graph_.num_nodes(), narrow);
     scratch_.reserve(graph_.max_degree() + 1);
 
-    const unsigned threads =
+    unsigned threads =
         ParallelEngine::resolve_thread_count(options_.thread_count);
+    if (options_.thread_count == 0) {
+      // Auto thread count: scale the worker fleet to what this graph's
+      // working set can feed (see recommended_shard_count) instead of
+      // spawning the whole hardware budget for a cache-resident instance.
+      threads = recommended_shard_count(graph_, threads);
+    }
     const bool shardable =
         threads > 1 && graph_.num_nodes() > 1 && automaton_.parallel_safe();
     // Asynchronous daemons shard only when their activation sets can reach
@@ -168,8 +224,9 @@ Engine::Engine(const graph::Graph& g, const Automaton& alg,
 
 Engine::Engine(graph::Graph& g, const Automaton& alg, sched::Scheduler& sched,
                Configuration initial, std::uint64_t seed, EngineOptions options)
-    : Engine(static_cast<const graph::Graph&>(g), alg, sched,
-             std::move(initial), seed, options) {
+    : Engine(static_cast<const graph::Graph&>(
+                 reorder_for_engine(g, sched, options)),
+             alg, sched, std::move(initial), seed, options) {
   mutable_graph_ = &g;
 }
 
@@ -191,7 +248,11 @@ graph::TopologyDelta Engine::apply_topology_delta(
         "apply_topology_delta: engine was constructed over a const graph "
         "(use the churn-capable Engine(graph::Graph&, ...) overload)");
   }
-  const graph::TopologyDelta applied = mutable_graph_->apply_delta(delta);
+  // Deltas cross the API in user ids; the graph (and the field patches
+  // below) speak layout ids. Identity layouts skip both copies.
+  const bool reordered = graph_.reordered();
+  const graph::TopologyDelta applied = mutable_graph_->apply_delta(
+      reordered ? translate_delta_to_internal(delta) : delta);
 
   // Signal field: O(1) per effective edge — each endpoint gains/loses the
   // presence of the other's CURRENT state (churn does not touch the
@@ -229,26 +290,76 @@ graph::TopologyDelta Engine::apply_topology_delta(
   sync_shards_dirty_ = pool_ != nullptr;
 
   scheduler_.on_topology_change(graph_);
-  return applied;
+  return reordered ? translate_delta_to_user(applied) : applied;
+}
+
+graph::TopologyDelta Engine::translate_delta_to_internal(
+    const graph::TopologyDelta& d) const {
+  const NodeId n = graph_.num_nodes();
+  // Out-of-range endpoints pass through untranslated so Graph::apply_delta
+  // rejects them with its usual invalid_argument, graph untouched.
+  const auto map = [&](const std::pair<NodeId, NodeId>& e) {
+    return std::pair<NodeId, NodeId>{
+        e.first < n ? graph_.to_internal(e.first) : e.first,
+        e.second < n ? graph_.to_internal(e.second) : e.second};
+  };
+  graph::TopologyDelta out;
+  out.remove.reserve(d.remove.size());
+  out.add.reserve(d.add.size());
+  for (const auto& e : d.remove) out.remove.push_back(map(e));
+  for (const auto& e : d.add) out.add.push_back(map(e));
+  return out;
+}
+
+graph::TopologyDelta Engine::translate_delta_to_user(
+    const graph::TopologyDelta& d) const {
+  // Effective deltas only hold endpoints the graph accepted — all in range.
+  const auto map = [&](const std::pair<NodeId, NodeId>& e) {
+    return std::pair<NodeId, NodeId>{graph_.to_user(e.first),
+                                     graph_.to_user(e.second)};
+  };
+  graph::TopologyDelta out;
+  out.remove.reserve(d.remove.size());
+  out.add.reserve(d.add.size());
+  for (const auto& e : d.remove) out.remove.push_back(map(e));
+  for (const auto& e : d.add) out.add.push_back(map(e));
+  return out;
 }
 
 Signal Engine::signal_of(NodeId v) const {
   ensure_flushed();
+  const NodeId i = graph_.to_internal(v);
   std::vector<StateId> sensed;
-  sensed.reserve(graph_.degree(v) + 1);
-  sensed.push_back(store_.get(v));
-  for (const NodeId u : graph_.neighbors(v)) sensed.push_back(store_.get(u));
+  sensed.reserve(graph_.degree(i) + 1);
+  sensed.push_back(store_.get(i));
+  for (const NodeId u : graph_.neighbors(i)) sensed.push_back(store_.get(u));
   return Signal::from_states(std::move(sensed));
 }
 
+const Configuration& Engine::user_view() const {
+  const NodeId n = graph_.num_nodes();
+  user_view_.resize(n);
+  if (store_.narrow()) {
+    const std::uint8_t* c = store_.bytes_data();
+    for (NodeId u = 0; u < n; ++u) user_view_[u] = c[graph_.to_internal(u)];
+  } else {
+    const StateId* c = store_.wide_data();
+    for (NodeId u = 0; u < n; ++u) user_view_[u] = c[graph_.to_internal(u)];
+  }
+  return user_view_;
+}
+
 std::uint64_t Engine::mask_current(NodeId v) const {
-  return store_.narrow() ? neighborhood_mask(graph_, store_.bytes_data(), v)
-                         : neighborhood_mask(graph_, store_.wide_data(), v);
+  const unsigned pf = options_.prefetch_distance;
+  return store_.narrow()
+             ? neighborhood_mask(graph_, store_.bytes_data(), v, pf)
+             : neighborhood_mask(graph_, store_.wide_data(), v, pf);
 }
 
 SignalView Engine::sense_current(SignalScratch& s, NodeId v) {
-  return store_.narrow() ? s.sense(graph_, store_.bytes_data(), v)
-                         : s.sense(graph_, store_.wide_data(), v);
+  const unsigned pf = options_.prefetch_distance;
+  return store_.narrow() ? s.sense(graph_, store_.bytes_data(), v, pf)
+                         : s.sense(graph_, store_.wide_data(), v, pf);
 }
 
 void Engine::maybe_promote_acts() {
@@ -318,14 +429,29 @@ void Engine::step_synchronous_serial(const T* cur, T* next) {
   // the rebuild is deferred to a future field sense that may never come —
   // signal_field_stale() tells observability readers.
   const bool patch_field = field_live();
+  const unsigned pf = options_.prefetch_distance;
   if (mask_kernel_ && !listener_) {
+    if (dense_table_ != nullptr && !patch_field) {
+      // Vectorized table application: the SIMD mask gather feeds one
+      // devirtualized table load per node — no virtual δ dispatch, no rng
+      // derivation (dense tables exist only for deterministic automata).
+      const std::uint8_t* table = dense_table_;
+      const StateId shift = dense_shift_;
+      for (NodeId v = 0; v < n; ++v) {
+        const std::uint64_t mask = neighborhood_mask(graph_, cur, v, pf);
+        next[v] = static_cast<T>(
+            table[(static_cast<std::size_t>(cur[v]) << shift) | mask]);
+        bump_act(v, act_saturated_);
+      }
+      return;
+    }
     // Bitmask kernel: |Q| <= 64, so sensing collapses to OR-ing neighborhood
     // bits and δ to one step_mask call (a table probe or native bit-ops).
     const Automaton& kernel = *stepper_;
     for (NodeId v = 0; v < n; ++v) {
       const StateId curq = cur[v];
       const StateId nextq = kernel.step_mask(
-          curq, neighborhood_mask(graph_, cur, v), step_rng(v));
+          curq, neighborhood_mask(graph_, cur, v, pf), step_rng(v));
       if (patch_field && nextq != curq) {
         field_->apply_transition(v, curq, nextq);
       }
@@ -334,7 +460,7 @@ void Engine::step_synchronous_serial(const T* cur, T* next) {
     }
   } else {
     for (NodeId v = 0; v < n; ++v) {
-      const SignalView sig = scratch_.sense(graph_, cur, v);
+      const SignalView sig = scratch_.sense(graph_, cur, v, pf);
       const StateId curq = cur[v];
       const StateId nextq = stepper_->step_fast(curq, sig, step_rng(v));
       if (nextq != curq) {
@@ -357,12 +483,26 @@ void Engine::shard_phase1(const Shard& shard, ShardWorkspace& ws, const T* cfg,
                           const Emit& emit) {
   log.clear();
   const Automaton& kernel = *ws.stepper;
+  const unsigned pf = options_.prefetch_distance;
   if (mask_kernel_) {
+    if (dense_table_ != nullptr && !log_transitions) {
+      // Devirtualized table application (see step_synchronous_serial); the
+      // eager table is immutable, so every shard probes the shared copy.
+      const std::uint8_t* table = dense_table_;
+      const StateId shift = dense_shift_;
+      for (NodeId i = shard.begin; i < shard.end; ++i) {
+        const NodeId v = node_of(i);
+        const std::uint64_t mask = neighborhood_mask(graph_, cfg, v, pf);
+        emit(i, v,
+             table[(static_cast<std::size_t>(cfg[v]) << shift) | mask]);
+      }
+      return;
+    }
     for (NodeId i = shard.begin; i < shard.end; ++i) {
       const NodeId v = node_of(i);
       const StateId cur = cfg[v];
       const StateId next = kernel.step_mask(
-          cur, neighborhood_mask(graph_, cfg, v), shard_rng(ws, v));
+          cur, neighborhood_mask(graph_, cfg, v, pf), shard_rng(ws, v));
       if (log_transitions && next != cur) {
         log.push_back({v, cur, next});
       }
@@ -371,7 +511,7 @@ void Engine::shard_phase1(const Shard& shard, ShardWorkspace& ws, const T* cfg,
   } else {
     for (NodeId i = shard.begin; i < shard.end; ++i) {
       const NodeId v = node_of(i);
-      const SignalView sig = ws.scratch.sense(graph_, cfg, v);
+      const SignalView sig = ws.scratch.sense(graph_, cfg, v, pf);
       const StateId cur = cfg[v];
       const StateId next = kernel.step_fast(cur, sig, shard_rng(ws, v));
       if (log_transitions && next != cur) {
@@ -647,15 +787,28 @@ void Engine::async_phase1(const T* cfg) {
       }
     }
   } else if (mask_kernel_ && !listener_) {
-    const Automaton& kernel = *stepper_;
-    for (const NodeId v : active_) {
-      const StateId cur = cfg[v];
-      updates_.push(v, kernel.step_mask(cur, neighborhood_mask(graph_, cfg, v),
-                                        step_rng(v)));
+    const unsigned pf = options_.prefetch_distance;
+    if (dense_table_ != nullptr) {
+      const std::uint8_t* table = dense_table_;
+      const StateId shift = dense_shift_;
+      for (const NodeId v : active_) {
+        const std::uint64_t mask = neighborhood_mask(graph_, cfg, v, pf);
+        updates_.push(
+            v, table[(static_cast<std::size_t>(cfg[v]) << shift) | mask]);
+      }
+    } else {
+      const Automaton& kernel = *stepper_;
+      for (const NodeId v : active_) {
+        const StateId cur = cfg[v];
+        updates_.push(v, kernel.step_mask(
+                             cur, neighborhood_mask(graph_, cfg, v, pf),
+                             step_rng(v)));
+      }
     }
   } else {
+    const unsigned pf = options_.prefetch_distance;
     for (const NodeId v : active_) {
-      const SignalView sig = scratch_.sense(graph_, cfg, v);
+      const SignalView sig = scratch_.sense(graph_, cfg, v, pf);
       const StateId cur = cfg[v];
       const StateId next = stepper_->step_fast(cur, sig, step_rng(v));
       if (next != cur && listener_) emit_listener(v, cur, next, sig);
@@ -830,7 +983,7 @@ void Engine::step_legacy() {
     const Signal sig = Signal::from_states(sense_buffer_);
     const StateId next = automaton_.step(cur, sig, step_rng(v));
     if (next != cur && listener_) {
-      listener_(v, cur, next, sig, time_);
+      listener_(graph_.to_user(v), cur, next, sig, time_);
     }
     updates_.push(v, next);
   }
@@ -876,8 +1029,8 @@ RunOutcome Engine::run_until(
     const std::function<bool(const Configuration&)>& pred,
     std::uint64_t max_rounds) {
   RunOutcome out;
-  ensure_flushed();
-  if (pred(store_.view())) {
+  // config() flushes and hands the predicate user-id order, as documented.
+  if (pred(config())) {
     out.reached = true;
     out.time = time_;
     out.rounds = round_index_now();
@@ -888,8 +1041,7 @@ RunOutcome Engine::run_until(
     // The predicate reads the configuration and the loop reads rounds_, so
     // the overlapped kernel cannot keep a pipeline open across run_until
     // steps.
-    ensure_flushed();
-    if (pred(store_.view())) {
+    if (pred(config())) {
       out.reached = true;
       out.time = time_;
       out.rounds = round_index_now();
@@ -927,6 +1079,14 @@ void Engine::inject_configuration(Configuration config) {
       throw std::invalid_argument("injected state out of range");
     }
   }
+  // Injected configurations are user-ordered, like the constructor's C_0.
+  if (graph_.reordered()) {
+    Configuration permuted(config.size());
+    for (NodeId u = 0; u < graph_.num_nodes(); ++u) {
+      permuted[graph_.to_internal(u)] = config[u];
+    }
+    config = std::move(permuted);
+  }
   store_.reset(config, store_.narrow());
   // An arbitrary overwrite invalidates the delta-maintained field; it is
   // rebuilt lazily at the next field sense.
@@ -938,13 +1098,14 @@ void Engine::inject_state(NodeId v, StateId q) {
   if (v >= graph_.num_nodes() || q >= automaton_.state_count()) {
     throw std::invalid_argument("inject_state out of range");
   }
+  const NodeId i = graph_.to_internal(v);
   // A targeted fault is still a (v, old -> new) delta: patch a live field
   // instead of discarding it (a no-op fault leaves it untouched).
-  const StateId cur = store_.get(v);
+  const StateId cur = store_.get(i);
   if (field_live() && cur != q) {
-    field_->apply_transition(v, cur, q);
+    field_->apply_transition(i, cur, q);
   }
-  store_.set(v, q);
+  store_.set(i, q);
 }
 
 std::size_t Engine::dynamic_memory_usage() const {
@@ -955,6 +1116,7 @@ std::size_t Engine::dynamic_memory_usage() const {
       util::DynamicUsage(pending_) + util::DynamicUsage(act32_) +
       util::DynamicUsage(act64_) + util::DynamicUsage(active_) +
       util::DynamicUsage(sense_buffer_) + util::DynamicUsage(field_scratch_) +
+      util::DynamicUsage(user_view_) +
       util::DynamicUsage(sync_shards_) + util::DynamicUsage(sparse_shards_) +
       util::DynamicUsage(sync_frontiers_) + util::DynamicUsage(prev_phase1_) +
       util::DynamicUsage(cur_phase1_) + util::DynamicUsage(merge_deps_);

@@ -132,6 +132,7 @@
 #include "core/signal.hpp"
 #include "core/signal_field.hpp"
 #include "core/signal_view.hpp"
+#include "core/simd_gather.hpp"
 #include "core/types.hpp"
 #include "graph/graph.hpp"
 #include "sched/scheduler.hpp"
@@ -190,6 +191,30 @@ enum class SignalFieldMode : std::uint8_t {
   kOff,
 };
 
+/// Cache-locality policy for the node layout (graph/reorder.hpp). Applied by
+/// the churn-capable constructor only — it owns a mutable graph and reorders
+/// it in place before any engine state is sized, so the CSR, both
+/// configuration buffers, the activation counters, and the signal field all
+/// inherit the permuted layout. Engines over const graphs never reorder (the
+/// option is ignored there); a graph that already carries a permutation is
+/// used as-is. Purely a performance knob: the public API keeps speaking user
+/// ids (translated at the engine boundary), and the trajectory is the
+/// original one relabelled — the permutation-equivalence suite pins that for
+/// every kernel. NOTE for randomized automata: per-node draw streams are
+/// keyed by the INTERNAL id, so a reordered run's user-visible trajectory
+/// matches the unreordered run's only up to the relabelling, not verbatim.
+enum class ReorderMode : std::uint8_t {
+  /// Reorder (kBfs) when the graph is big enough to be cache-bound and has
+  /// edges worth localizing: n >= kReorderAutoMinNodes and avg_degree >= 2.
+  kAuto = 0,
+  /// Keep the caller's layout.
+  kOff,
+  /// BFS/RCM frontier order — the right default (see ReorderPolicy::kBfs).
+  kBfs,
+  /// Stable descending-degree order (see ReorderPolicy::kDegree).
+  kDegree,
+};
+
 /// Execution-path knobs. Defaults give the fastest exact-semantics engine.
 struct EngineOptions {
   /// false: legacy interpreted path (owning Signal + Automaton::step per
@@ -206,8 +231,12 @@ struct EngineOptions {
   /// pooling many engines should resolve 0 through
   /// ParallelEngine::recommended_threads(sessions) instead, which divides
   /// the hardware budget across the sessions rather than handing every one
-  /// of them the full core count. N > 1 = N degree-weighted shards on the
-  /// task-graph runtime. Full-activation schedulers shard the synchronous
+  /// of them the full core count. The auto budget is then clamped through
+  /// core::recommended_shard_count, which scales the worker fleet to the
+  /// graph's scan footprint — small instances stay serial (or lightly
+  /// sharded) rather than paying barrier overhead across idle workers; an
+  /// explicit N is always honored as given. N > 1 = N degree-weighted
+  /// shards on the task-graph runtime. Full-activation schedulers shard the synchronous
   /// kernel; asynchronous daemons with large activation sets shard both
   /// phases of the sparse-activation kernel. Every setting produces
   /// bit-identical trajectories. Ignored when fast_path is false — the
@@ -234,7 +263,19 @@ struct EngineOptions {
   /// flushes the pipeline, so trajectories and visible state are
   /// bit-identical either way.
   bool overlap_steps = true;
+  /// Cache-locality node reordering — see ReorderMode. Only the
+  /// churn-capable constructor acts on it; const-graph engines ignore it.
+  ReorderMode reorder = ReorderMode::kAuto;
+  /// Software-prefetch lookahead (adjacency-span elements) for the gather
+  /// loops (neighborhood masks, senses, field rebuilds); 0 disables. Purely
+  /// a performance knob: trajectories are bit-identical at any setting.
+  unsigned prefetch_distance = simd::kDefaultPrefetchDistance;
 };
+
+/// ReorderMode::kAuto reorders only at or above this node count: below it
+/// the whole working set fits comfortably in cache and the permutation's
+/// build cost plus its 8 bytes/node of translation tables buy nothing.
+inline constexpr NodeId kReorderAutoMinNodes = NodeId{1} << 16;
 
 /// kAuto enables the signal field only when the mean neighborhood is at
 /// least this large; below it the per-sense rescan is already a handful of
@@ -268,8 +309,12 @@ class ConfigStore {
  public:
   void reset(const Configuration& c, bool narrow) {
     narrow_ = narrow;
+    size_ = c.size();
     if (narrow_) {
-      bytes_.resize(c.size());
+      // The byte buffer carries simd::kByteStorePadding tail bytes beyond
+      // the logical size: the AVX2 gather kernels read 32-bit lanes at byte
+      // offsets, so the last node's gather overreads by 3 bytes.
+      bytes_.assign(c.size() + simd::kByteStorePadding, 0);
       for (std::size_t i = 0; i < c.size(); ++i) {
         bytes_[i] = static_cast<std::uint8_t>(c[i]);
       }
@@ -285,8 +330,9 @@ class ConfigStore {
 
   void reset_zero(std::size_t n, bool narrow) {
     narrow_ = narrow;
+    size_ = n;
     if (narrow_) {
-      bytes_.assign(n, 0);
+      bytes_.assign(n + simd::kByteStorePadding, 0);
     } else {
       wide_.assign(n, 0);
     }
@@ -294,9 +340,7 @@ class ConfigStore {
   }
 
   [[nodiscard]] bool narrow() const { return narrow_; }
-  [[nodiscard]] std::size_t size() const {
-    return narrow_ ? bytes_.size() : wide_.size();
-  }
+  [[nodiscard]] std::size_t size() const { return size_; }
 
   [[nodiscard]] StateId get(NodeId v) const {
     return narrow_ ? bytes_[v] : wide_[v];
@@ -333,8 +377,8 @@ class ConfigStore {
   [[nodiscard]] const Configuration& view() const {
     if (!narrow_) return wide_;
     if (view_dirty_) {
-      view_.resize(bytes_.size());
-      for (std::size_t i = 0; i < bytes_.size(); ++i) view_[i] = bytes_[i];
+      view_.resize(size_);
+      for (std::size_t i = 0; i < size_; ++i) view_[i] = bytes_[i];
       view_dirty_ = false;
     }
     return view_;
@@ -342,6 +386,7 @@ class ConfigStore {
 
   void swap(ConfigStore& o) {
     std::swap(narrow_, o.narrow_);
+    std::swap(size_, o.size_);
     bytes_.swap(o.bytes_);
     wide_.swap(o.wide_);
     view_.swap(o.view_);
@@ -355,7 +400,8 @@ class ConfigStore {
 
  private:
   bool narrow_ = false;
-  std::vector<std::uint8_t> bytes_;
+  std::size_t size_ = 0;
+  std::vector<std::uint8_t> bytes_;  // size_ + simd::kByteStorePadding bytes
   Configuration wide_;
   mutable Configuration view_;
   mutable bool view_dirty_ = true;
@@ -441,7 +487,12 @@ class Engine {
   /// Churn-capable overload: identical semantics, but the engine remembers
   /// that it may mutate `g`, enabling apply_topology_delta(). A non-const
   /// graph lvalue binds here automatically; engines over const graphs keep
-  /// the immutable contract.
+  /// the immutable contract. This overload also applies
+  /// EngineOptions::reorder: when the resolved policy is not kOff, `g` is
+  /// rebuilt in a cache-friendly node order (graph/reorder.hpp) before the
+  /// engine sizes any state — `g` itself is replaced, and its
+  /// to_user/to_internal accessors carry the relabelling. All ids crossing
+  /// the public API (here and below) stay in USER space.
   Engine(graph::Graph& g, const Automaton& alg, sched::Scheduler& sched,
          Configuration initial, std::uint64_t seed, EngineOptions options = {});
 
@@ -465,13 +516,16 @@ class Engine {
   /// Runs until `rounds` rounds have completed.
   void run_rounds(std::uint64_t rounds);
 
+  /// The current configuration, indexed by USER node ids (on a reordered
+  /// graph this materializes a translated copy; the span stays valid until
+  /// the next engine call).
   [[nodiscard]] const Configuration& config() const {
     ensure_flushed();
-    return store_.view();
+    return graph_.reordered() ? user_view() : store_.view();
   }
   [[nodiscard]] StateId state_of(NodeId v) const {
     ensure_flushed();
-    return store_.get(v);
+    return store_.get(graph_.to_internal(v));
   }
   [[nodiscard]] Time time() const {
     ensure_flushed();
@@ -498,7 +552,8 @@ class Engine {
   /// Number of activations applied to node v so far (fairness auditing).
   [[nodiscard]] std::uint64_t activation_count(NodeId v) const {
     ensure_flushed();
-    return act_wide_ ? act64_[v] : act32_[v];
+    const NodeId i = graph_.to_internal(v);
+    return act_wide_ ? act64_[i] : act32_[i];
   }
 
   /// True when the configuration buffers run byte-per-node (|Q| <= 256) —
@@ -705,9 +760,11 @@ class Engine {
 
   /// Fast-path listener dispatch: refills the reusable scratch Signal from
   /// the view's span (no allocation once warm) and invokes the callback.
+  /// `v` is an internal id; the listener, like every public surface, sees
+  /// the user id.
   void emit_listener(NodeId v, StateId from, StateId to, const SignalView& sig) {
     listener_scratch_.assign_sorted_unique(sig.states());
-    listener_(v, from, to, listener_scratch_, time_);
+    listener_(graph_.to_user(v), from, to, listener_scratch_, time_);
   }
 
   /// Phase 1 of one shard, shared by both parallel kernels (their loop
@@ -791,6 +848,21 @@ class Engine {
     return ws.scratch_rng;
   }
 
+  /// The current configuration translated back to USER id order (reordered
+  /// graphs only — config() routes here). Materialized into user_view_ on
+  /// every call: the store has no cheap way to know whether it changed since
+  /// the last translation, and the accessor is off the hot path.
+  [[nodiscard]] const Configuration& user_view() const;
+
+  /// Maps a topology delta across the id boundary: user->internal for
+  /// deltas entering apply_topology_delta, internal->user for the effective
+  /// delta it returns. Identity (no copy cost beyond the pass-through) when
+  /// the graph is not reordered — callers skip it then.
+  [[nodiscard]] graph::TopologyDelta translate_delta_to_internal(
+      const graph::TopologyDelta& d) const;
+  [[nodiscard]] graph::TopologyDelta translate_delta_to_user(
+      const graph::TopologyDelta& d) const;
+
   /// The 64-bit neighborhood presence mask of v under the current store —
   /// serial-path convenience over the templated free function.
   [[nodiscard]] std::uint64_t mask_current(NodeId v) const;
@@ -820,6 +892,12 @@ class Engine {
   const Automaton* stepper_;       // compiled_ if present, else &automaton_
   bool full_activation_ = false;   // scheduler guarantees A_t = V
   bool mask_kernel_ = false;       // |Q| <= 64: step_mask drives the hot loop
+  // Dense compiled kernel hoisted out of the virtual dispatch: when the
+  // compiled automaton carries an eager table, phase-1 loops apply δ as
+  // table_[(q << dense_shift_) | mask] directly (nullptr otherwise). The
+  // table is immutable and shared by every shard.
+  const std::uint8_t* dense_table_ = nullptr;
+  StateId dense_shift_ = 0;
   SignalScratch scratch_;
 
   // Randomized automata draw from lazily derived (seed, node, activation)
@@ -932,6 +1010,9 @@ class Engine {
   std::vector<NodeId> active_;
   UpdateList updates_;
   std::vector<StateId> sense_buffer_;
+  // config()'s user-id-order translation of the store (reordered graphs
+  // only; empty otherwise).
+  mutable Configuration user_view_;
 };
 
 /// Convenience: uniformly random initial configuration over the automaton's

@@ -83,6 +83,32 @@ inline void make_weighted_shards_into(std::vector<Shard>& out, NodeId count,
   return shards;
 }
 
+/// Floor on the per-shard working set before another worker pays for
+/// itself: below ~256 KiB of configuration + adjacency traffic per shard,
+/// task setup and the epoch barrier dominate the phase-1 work being split.
+inline constexpr std::uint64_t kMinShardFootprintBytes = std::uint64_t{1}
+                                                         << 18;
+
+/// How many shards (= parallel workers) this graph can usefully feed, given
+/// a thread budget: the full budget once every shard's share of the scan
+/// footprint clears kMinShardFootprintBytes, fewer on small graphs whose
+/// whole working set fits in cache anyway. The footprint model charges each
+/// node its double-buffered state bytes plus activation counter and each
+/// CSR half-edge its 4-byte id — the actual traffic of one synchronous
+/// phase-1 pass. The engine applies this only when resolving an AUTO thread
+/// count; an explicit thread_count is honored as given.
+[[nodiscard]] inline unsigned recommended_shard_count(const graph::Graph& g,
+                                                      unsigned thread_budget) {
+  if (thread_budget <= 1) return 1;
+  const std::uint64_t footprint =
+      static_cast<std::uint64_t>(g.num_nodes()) * 10 +
+      8 * static_cast<std::uint64_t>(g.num_edges());
+  const std::uint64_t affordable =
+      std::max<std::uint64_t>(1, footprint / kMinShardFootprintBytes);
+  return static_cast<unsigned>(
+      std::min<std::uint64_t>(thread_budget, affordable));
+}
+
 /// A shard's read frontier: the inclusive range [lo, hi] of shard indices
 /// whose node ranges its nodes sense — the dependency edges of the
 /// overlapped synchronous kernel. Shards are contiguous and ascending, so

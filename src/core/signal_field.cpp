@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <bit>
 #include <cassert>
+#include <span>
 
+#include "core/simd_gather.hpp"
 #include "util/memusage.hpp"
 
 namespace ssau::core {
@@ -91,12 +93,19 @@ void SignalField::apply_edge_removal(NodeId u, NodeId v, StateId qu,
 
 void SignalField::rebuild(const Configuration& c) {
   assert(c.size() == n_);
+  // Full-graph gather: prefetch the state loads a fixed distance down each
+  // adjacency span (the ids are sequential; only c[u] misses).
+  constexpr unsigned kPf = simd::kDefaultPrefetchDistance;
   if (dense_) {
     std::fill(counts_.begin(), counts_.end(), 0);
     std::fill(masks_.begin(), masks_.end(), 0);
     for (NodeId v = 0; v < n_; ++v) {
       bump(v, c[v]);
-      for (const NodeId u : graph_.neighbors(v)) bump(v, c[u]);
+      const std::span<const NodeId> nbrs = graph_.neighbors(v);
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        if (i + kPf < nbrs.size()) simd::prefetch(c.data() + nbrs[i + kPf]);
+        bump(v, c[nbrs[i]]);
+      }
     }
     return;
   }
@@ -104,7 +113,11 @@ void SignalField::rebuild(const Configuration& c) {
   for (NodeId v = 0; v < n_; ++v) {
     sensed.clear();
     sensed.push_back(c[v]);
-    for (const NodeId u : graph_.neighbors(v)) sensed.push_back(c[u]);
+    const std::span<const NodeId> nbrs = graph_.neighbors(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (i + kPf < nbrs.size()) simd::prefetch(c.data() + nbrs[i + kPf]);
+      sensed.push_back(c[nbrs[i]]);
+    }
     std::sort(sensed.begin(), sensed.end());
     auto& keys = keys_[v];
     auto& cnts = key_counts_[v];

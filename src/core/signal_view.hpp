@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "core/signal.hpp"
+#include "core/simd_gather.hpp"
 #include "core/types.hpp"
 
 namespace ssau::core {
@@ -115,9 +116,13 @@ class SignalScratch {
   /// returned view aliases this scratch: it is invalidated by the next sense()
   /// call. Templated on the configuration element type so the engine's
   /// byte-compact storage mode (uint8_t per node for |Q| <= 256) senses
-  /// through the same one definition as the wide StateId buffers.
+  /// through the same one definition as the wide StateId buffers. The gather
+  /// routes through core/simd_gather.hpp (AVX2 accumulation for byte
+  /// buffers, prefetched scalar otherwise); `prefetch_distance` is the
+  /// lookahead in adjacency elements (0 disables).
   template <typename T>
-  SignalView sense(const graph::Graph& g, const T* c, NodeId v) {
+  SignalView sense(const graph::Graph& g, const T* c, NodeId v,
+                   unsigned prefetch_distance = simd::kDefaultPrefetchDistance) {
     buffer_.clear();
     const StateId own = c[v];
     const std::span<const NodeId> nbrs = g.neighbors(v);
@@ -125,16 +130,7 @@ class SignalScratch {
       // Bitmask fast path: OR the neighborhood into a 64-bit set, then unpack
       // set bits in ascending order — O(distinct) instead of O(deg log deg).
       std::uint64_t mask = std::uint64_t{1} << own;
-      bool small = true;
-      for (const NodeId u : nbrs) {
-        const StateId q = c[u];
-        if (q >= SignalView::kMaskBits) {
-          small = false;
-          break;
-        }
-        mask |= std::uint64_t{1} << q;
-      }
-      if (small) {
+      if (simd::try_accumulate_mask(nbrs, c, mask, prefetch_distance)) {
         unpack_mask(mask, buffer_);
         return {buffer_, mask, true};
       }

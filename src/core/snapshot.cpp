@@ -63,9 +63,10 @@ void write_options(util::BinaryWriter& w, const EngineOptions& o) {
   w.u32(o.thread_count);
   w.u64(o.sparse_activation_threshold);
   w.u8(static_cast<std::uint8_t>(o.signal_field));
+  w.u8(static_cast<std::uint8_t>(o.reorder));
 }
 
-EngineOptions read_options(util::BinaryReader& r) {
+EngineOptions read_options(util::BinaryReader& r, std::uint32_t version) {
   EngineOptions o;
   o.fast_path = r.u8() != 0;
   o.compile = r.u8() != 0;
@@ -76,7 +77,33 @@ EngineOptions read_options(util::BinaryReader& r) {
     throw util::SnapshotError("snapshot options: bad signal-field mode");
   }
   o.signal_field = static_cast<SignalFieldMode>(mode);
+  if (version >= 3) {
+    const std::uint8_t reorder = r.u8();
+    if (reorder > static_cast<std::uint8_t>(ReorderMode::kDegree)) {
+      throw util::SnapshotError("snapshot options: bad reorder mode");
+    }
+    o.reorder = static_cast<ReorderMode>(reorder);
+  } else {
+    // Pre-v3 writers never reordered; kOff (not the kAuto default) keeps a
+    // restored engine from inventing a layout the state arrays don't have.
+    o.reorder = ReorderMode::kOff;
+  }
   return o;
+}
+
+/// Section-3 trailer (v3+): the serialized user->internal relabelling, or an
+/// empty vector for an identity layout (and for every pre-v3 file).
+std::vector<graph::NodeId> read_permutation(util::BinaryReader& r,
+                                            std::uint32_t version,
+                                            graph::NodeId n) {
+  std::vector<graph::NodeId> to_internal;
+  if (version < 3 || r.u8() == 0) return to_internal;
+  if (n > r.remaining() / 4) {
+    throw util::SnapshotError("snapshot truncated: graph relabelling");
+  }
+  to_internal.resize(n);
+  for (graph::NodeId u = 0; u < n; ++u) to_internal[u] = r.u32();
+  return to_internal;
 }
 
 /// Validates the envelope (magic, endianness, version, length framing,
@@ -149,7 +176,9 @@ std::vector<std::uint8_t> save(const Engine& engine) {
   w.u64(engine.automaton().state_count());
   w.u8(engine.automaton().deterministic() ? 1 : 0);
 
-  // 3. graph — CSR walk (normalized, slack elided), never edges()
+  // 3. graph — CSR walk (normalized, slack elided), never edges(). Pairs and
+  // digest are in layout (internal) ids; the relabelling trailer carries the
+  // user-id mapping of a cache-reordered graph.
   w.u32(g.num_nodes());
   w.u64(g.num_edges());
   for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
@@ -161,6 +190,9 @@ std::vector<std::uint8_t> save(const Engine& engine) {
     }
   }
   w.u64(hash_graph(g));
+  const auto perm = g.permutation();
+  w.u8(perm.empty() ? 0 : 1);
+  for (const graph::NodeId p : perm) w.u32(p);
 
   // 4. scheduler
   w.str(engine.scheduler().name());
@@ -183,9 +215,10 @@ std::vector<std::uint8_t> save(const Engine& engine) {
 }
 
 Info inspect(std::span<const std::uint8_t> bytes) {
-  auto r = open_payload(bytes);
+  std::uint32_t version = kSnapshotVersion;
+  auto r = open_payload(bytes, &version);
   Info info;
-  info.options = read_options(r);
+  info.options = read_options(r, version);
   info.state_count = r.u64();
   info.deterministic = r.u8() != 0;
   info.num_nodes = r.u32();
@@ -195,6 +228,12 @@ Info inspect(std::span<const std::uint8_t> bytes) {
   }
   r.skip(static_cast<std::size_t>(info.num_edges) * 8);  // edge pairs
   r.skip(8);                                             // graph digest
+  if (version >= 3 && r.u8() != 0) {
+    if (info.num_nodes > r.remaining() / 4) {
+      throw util::SnapshotError("snapshot truncated: graph relabelling");
+    }
+    r.skip(static_cast<std::size_t>(info.num_nodes) * 4);
+  }
   info.scheduler = r.str();
   const std::uint64_t blob_len = r.u64();
   r.skip(static_cast<std::size_t>(blob_len));
@@ -210,8 +249,9 @@ Info inspect(std::span<const std::uint8_t> bytes) {
 }
 
 graph::Graph restore_graph(std::span<const std::uint8_t> bytes) {
-  auto r = open_payload(bytes);
-  read_options(r);
+  std::uint32_t version = kSnapshotVersion;
+  auto r = open_payload(bytes, &version);
+  read_options(r, version);
   r.skip(8 + 1);  // automaton identity
   const graph::NodeId n = r.u32();
   const std::uint64_t m = r.u64();
@@ -227,6 +267,7 @@ graph::Graph restore_graph(std::span<const std::uint8_t> bytes) {
     edges.push_back({u, v});
   }
   const std::uint64_t stored_digest = r.u64();
+  std::vector<graph::NodeId> to_internal = read_permutation(r, version, n);
   try {
     graph::Graph g(n, std::move(edges));
     if (hash_graph(g) != stored_digest) {
@@ -234,6 +275,18 @@ graph::Graph restore_graph(std::span<const std::uint8_t> bytes) {
       // was not normalized the way this reader normalizes — a format bug,
       // surfaced as corruption rather than silently accepted.
       throw util::SnapshotError("snapshot graph digest mismatch");
+    }
+    if (!to_internal.empty()) {
+      // Reconstruct the inverse; bounds-check before the scatter (the wire
+      // is untrusted), then let attach_permutation prove mutual inversion.
+      std::vector<graph::NodeId> to_user(n, 0);
+      for (graph::NodeId u = 0; u < n; ++u) {
+        if (to_internal[u] >= n) {
+          throw util::SnapshotError("snapshot graph relabelling out of range");
+        }
+        to_user[to_internal[u]] = u;
+      }
+      g.attach_permutation(std::move(to_internal), std::move(to_user));
     }
     return g;
   } catch (const std::invalid_argument& e) {
@@ -248,7 +301,7 @@ std::unique_ptr<Engine> restore(std::span<const std::uint8_t> bytes,
                                 std::optional<EngineOptions> options_override) {
   std::uint32_t version = kSnapshotVersion;
   auto r = open_payload(bytes, &version);
-  const EngineOptions saved_options = read_options(r);
+  const EngineOptions saved_options = read_options(r, version);
 
   const std::uint64_t state_count = r.u64();
   const bool deterministic = r.u8() != 0;
@@ -278,6 +331,21 @@ std::unique_ptr<Engine> restore(std::span<const std::uint8_t> bytes,
           "snapshot graph mismatch: edge digest differs (restore the graph "
           "via restore_graph, or pass the exact topology the snapshot was "
           "taken over)");
+    }
+  }
+  {
+    // The serialized state arrays are indexed by layout ids, and the
+    // configuration below by user ids; both only reconcile if the caller
+    // graph carries the exact relabelling the snapshot was taken under.
+    const std::vector<graph::NodeId> to_internal =
+        read_permutation(r, version, n);
+    const auto caller_perm = g.permutation();
+    if (to_internal.size() != caller_perm.size() ||
+        !std::equal(to_internal.begin(), to_internal.end(),
+                    caller_perm.begin())) {
+      throw util::SnapshotError(
+          "snapshot graph mismatch: node relabelling differs (restore the "
+          "graph via restore_graph)");
     }
   }
 
@@ -315,11 +383,16 @@ std::unique_ptr<Engine> restore(std::span<const std::uint8_t> bytes,
       throw util::SnapshotError("scheduler state blob not fully consumed");
     }
 
+    // The layout comes from the wire: the caller graph (relabelling
+    // included) already IS what the serialized state arrays are indexed by,
+    // so the constructor must never re-reorder it here — whatever the
+    // snapshotted or overriding options say.
+    EngineOptions ctor_options = options_override.value_or(saved_options);
+    ctor_options.reorder = ReorderMode::kOff;
     // The seed passed here is a placeholder: load_state overwrites the seed
     // and every rng stream with the serialized states.
-    auto engine = std::make_unique<Engine>(
-        g, alg, sched, std::move(config), /*seed=*/0,
-        options_override.value_or(saved_options));
+    auto engine = std::make_unique<Engine>(g, alg, sched, std::move(config),
+                                           /*seed=*/0, ctor_options);
     engine->load_state(r, version);
     if (!r.done()) {
       throw util::SnapshotError("snapshot has trailing bytes");

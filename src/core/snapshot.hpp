@@ -20,7 +20,8 @@
 //
 // Payload sections, in order:
 //   1. engine options     fast_path u8, compile u8, thread_count u32,
-//                         sparse_activation_threshold u64, signal_field u8
+//                         sparse_activation_threshold u64, signal_field u8,
+//                         then (v3+) reorder u8
 //   2. automaton identity state_count u64, deterministic u8 (restore
 //                         validates the caller's automaton against these)
 //   3. graph              n u32, m u64, m edge pairs (u32 < u32, sorted) —
@@ -28,7 +29,14 @@
 //                         serialized graph is normalized with all slack
 //                         elided — then a 64-bit FNV-1a digest of the pair
 //                         stream (restore() re-derives it from the caller's
-//                         graph to reject a stale/mismatched topology)
+//                         graph to reject a stale/mismatched topology),
+//                         then (v3+) has_perm u8 and, when set, the n-entry
+//                         user->internal relabelling (u32 each) of a
+//                         cache-reordered graph. The edge pairs and digest
+//                         are ALWAYS in layout (internal) ids — the ids the
+//                         engine-state arrays below are indexed by; the
+//                         permutation is what maps the user-id world
+//                         (configuration section, public API) onto them
 //   4. scheduler          name string, then the Scheduler::save_state blob
 //                         length-framed (u64) so unknown schedulers can be
 //                         skipped by inspectors
@@ -46,7 +54,13 @@
 //       count), so a restored v1 randomized run continues deterministically
 //       on the derived streams (v1 deterministic runs restore bit-exactly).
 //   v2  drops the per-node rng block (engines no longer store one generator
-//       per node). Everything else is unchanged; writers always emit v2.
+//       per node). Everything else is unchanged.
+//   v3  adds the reorder option byte (section 1) and the node relabelling of
+//       a cache-reordered graph (section 3) so a reordered engine's
+//       internal-order state arrays restore against the exact layout they
+//       were written in. v1/v2 files read back with reorder = kOff and an
+//       identity layout — which is exactly what their writers ran.
+//       Writers always emit v3.
 //
 // Every reader is bounds-checked; truncation, bad magic, version skew,
 // endianness mismatch, CRC mismatch, and structural inconsistencies all
@@ -71,7 +85,7 @@
 
 namespace ssau::core::snapshot {
 
-inline constexpr std::uint32_t kSnapshotVersion = 2;
+inline constexpr std::uint32_t kSnapshotVersion = 3;
 /// Oldest wire version readers still accept (see the version history above).
 inline constexpr std::uint32_t kMinSnapshotVersion = 1;
 
@@ -111,8 +125,13 @@ struct Info {
 /// the serialized name before its save_state blob is loaded into it.
 /// `options_override` substitutes execution-path knobs (thread count, field
 /// mode) — legitimate because every path is bit-identical; omit it to
-/// restore with the snapshotted options. Throws util::SnapshotError on any
-/// mismatch or malformed input.
+/// restore with the snapshotted options. One knob is never honored here:
+/// EngineOptions::reorder is forced to kOff for the reconstructed engine,
+/// because the node layout comes from the wire (the serialized graph — and
+/// its relabelling, if any — IS the layout the state arrays are indexed by);
+/// re-reordering at restore would shear them apart. Throws
+/// util::SnapshotError on any mismatch or malformed input, including a
+/// caller graph whose relabelling differs from the serialized one.
 [[nodiscard]] std::unique_ptr<Engine> restore(
     std::span<const std::uint8_t> bytes, graph::Graph& g, const Automaton& alg,
     sched::Scheduler& sched,

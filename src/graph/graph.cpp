@@ -198,6 +198,31 @@ bool Graph::remove_edge(NodeId u, NodeId v) {
   return true;
 }
 
+void Graph::attach_permutation(std::vector<NodeId> to_internal,
+                               std::vector<NodeId> to_user) {
+  if (to_internal.empty() && to_user.empty()) {
+    to_internal_.clear();
+    to_internal_.shrink_to_fit();
+    to_user_.clear();
+    to_user_.shrink_to_fit();
+    return;
+  }
+  if (to_internal.size() != n_ || to_user.size() != n_) {
+    throw std::invalid_argument("attach_permutation: size mismatch");
+  }
+  // to_user[to_internal[u]] == u for every u (with to_internal[u] in range)
+  // forces to_internal injective over a finite equal-size domain, hence both
+  // are bijections and exact inverses — one pass checks everything.
+  for (NodeId u = 0; u < n_; ++u) {
+    if (to_internal[u] >= n_ || to_user[to_internal[u]] != u) {
+      throw std::invalid_argument(
+          "attach_permutation: maps are not mutually inverse bijections");
+    }
+  }
+  to_internal_ = std::move(to_internal);
+  to_user_ = std::move(to_user);
+}
+
 void Graph::shrink_to_fit() {
   recompact();  // zero per-slot slack, dead_ = 0
   pos_.shrink_to_fit();
@@ -205,6 +230,8 @@ void Graph::shrink_to_fit() {
   cap_.shrink_to_fit();
   pool_.shrink_to_fit();
   hist_.shrink_to_fit();
+  to_internal_.shrink_to_fit();
+  to_user_.shrink_to_fit();
   // Drop the materialized edge list entirely; the rare reader that still
   // wants it pays one lazy rebuild.
   edges_cache_.clear();
@@ -215,7 +242,8 @@ void Graph::shrink_to_fit() {
 std::size_t Graph::dynamic_memory_usage() const {
   return util::DynamicUsage(pos_) + util::DynamicUsage(deg_) +
          util::DynamicUsage(cap_) + util::DynamicUsage(pool_) +
-         util::DynamicUsage(hist_) + util::DynamicUsage(edges_cache_);
+         util::DynamicUsage(hist_) + util::DynamicUsage(edges_cache_) +
+         util::DynamicUsage(to_internal_) + util::DynamicUsage(to_user_);
 }
 
 TopologyDelta Graph::apply_delta(const TopologyDelta& delta) {

@@ -131,6 +131,49 @@ class Graph {
   /// Throws like apply_delta on an invalid endpoint pair.
   bool remove_edge(NodeId u, NodeId v);
 
+  // --- locality / reordering -------------------------------------------------
+  // graph::reorder (graph/reorder.hpp) relabels nodes so neighbors sit close
+  // in id space and rebuilds the CSR in the permuted order. A reordered
+  // graph carries its user<->internal bijection: ids in the public
+  // simulation API (engine queries, listeners, injected configurations,
+  // topology deltas, snapshot node ids) stay in USER space and are
+  // translated at the engine boundary — Graph itself, and every kernel
+  // above it, always speaks internal (layout) ids. These accessors never
+  // touch the lazy edges() cache.
+
+  /// True when a reorder permutation is attached (identity-layout graphs
+  /// carry no arrays and pay nothing).
+  [[nodiscard]] bool reordered() const { return !to_internal_.empty(); }
+
+  /// user id -> internal (layout) id; identity when !reordered().
+  [[nodiscard]] NodeId to_internal(NodeId u) const {
+    return to_internal_.empty() ? u : to_internal_[u];
+  }
+
+  /// internal (layout) id -> user id; identity when !reordered().
+  [[nodiscard]] NodeId to_user(NodeId i) const {
+    return to_user_.empty() ? i : to_user_[i];
+  }
+
+  /// The full user->internal map (empty span = identity layout).
+  [[nodiscard]] std::span<const NodeId> permutation() const {
+    return to_internal_;
+  }
+  /// The full internal->user map (empty span = identity layout).
+  [[nodiscard]] std::span<const NodeId> inverse_permutation() const {
+    return to_user_;
+  }
+
+  /// Attaches the layout provenance of a reordered graph: `to_internal`
+  /// maps user ids to this graph's layout ids and `to_user` is its exact
+  /// inverse. Both must be n-element mutually-inverse bijections — or both
+  /// empty, which clears back to the identity layout. Throws
+  /// std::invalid_argument otherwise. Touches neither the adjacency nor the
+  /// lazy edges() cache (the cached edge list is in internal ids and stays
+  /// valid).
+  void attach_permutation(std::vector<NodeId> to_internal,
+                          std::vector<NodeId> to_user);
+
   // --- footprint --------------------------------------------------------------
 
   /// Recompacts the CSR to zero per-slot slack, releases every vector's
@@ -180,6 +223,12 @@ class Graph {
   // hist_[d] = number of nodes of degree d; drives O(1)-amortized
   // max_degree_ maintenance under removals.
   std::vector<std::uint32_t> hist_;
+
+  // Reorder provenance (see the locality section above): user id ->
+  // internal layout id and its inverse. Both empty on identity-layout
+  // graphs — the common case pays no memory.
+  std::vector<NodeId> to_internal_;
+  std::vector<NodeId> to_user_;
 
   // Lazily re-materialized after mutations; see edges().
   mutable std::vector<std::pair<NodeId, NodeId>> edges_cache_;

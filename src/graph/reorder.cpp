@@ -1,0 +1,157 @@
+#include "graph/reorder.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+
+namespace ssau::graph {
+
+namespace {
+
+/// BFS/RCM-style frontier order. Components are entered from their
+/// minimum-degree node (ties by id); within the queue, each dequeued node's
+/// unvisited neighbors are appended in ascending (degree, id) order — the
+/// Cuthill-McKee visit rule. Deterministic by construction: every choice is
+/// a total order over (degree, id).
+std::vector<NodeId> bfs_order(const Graph& g) {
+  const NodeId n = g.num_nodes();
+  std::vector<NodeId> order;
+  order.reserve(n);
+  std::vector<std::uint8_t> visited(n, 0);
+
+  // Component seeds, tried in (degree, id) order. The sort is O(n log n)
+  // once — cheap next to the CSR rebuild that follows.
+  std::vector<NodeId> seeds(n);
+  std::iota(seeds.begin(), seeds.end(), NodeId{0});
+  std::sort(seeds.begin(), seeds.end(), [&](NodeId a, NodeId b) {
+    const auto da = g.degree(a), db = g.degree(b);
+    return da != db ? da < db : a < b;
+  });
+
+  std::vector<NodeId> sorted_nb;  // reused per-node neighbor sort buffer
+  sorted_nb.reserve(g.max_degree());
+  std::size_t head = 0;  // `order` doubles as the BFS queue
+  for (const NodeId seed : seeds) {
+    if (visited[seed]) continue;
+    visited[seed] = 1;
+    order.push_back(seed);
+    while (head < order.size()) {
+      const NodeId v = order[head++];
+      sorted_nb.clear();
+      for (const NodeId u : g.neighbors(v)) {
+        if (!visited[u]) sorted_nb.push_back(u);
+      }
+      std::sort(sorted_nb.begin(), sorted_nb.end(), [&](NodeId a, NodeId b) {
+        const auto da = g.degree(a), db = g.degree(b);
+        return da != db ? da < db : a < b;
+      });
+      for (const NodeId u : sorted_nb) {
+        visited[u] = 1;
+        order.push_back(u);
+      }
+    }
+  }
+  return order;
+}
+
+/// Stable descending-degree order (ties by id): hubs — the endpoints of most
+/// half-edges — pack into the lowest ids and therefore the first cache lines
+/// of every per-node array.
+std::vector<NodeId> degree_order(const Graph& g) {
+  std::vector<NodeId> order(g.num_nodes());
+  std::iota(order.begin(), order.end(), NodeId{0});
+  std::stable_sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    return g.degree(a) > g.degree(b);
+  });
+  return order;
+}
+
+}  // namespace
+
+std::vector<NodeId> reorder_permutation(const Graph& g, ReorderPolicy policy) {
+  // order[k] = old id placed at new position k; invert into perm[old] = new.
+  std::vector<NodeId> order;
+  switch (policy) {
+    case ReorderPolicy::kBfs:
+      order = bfs_order(g);
+      break;
+    case ReorderPolicy::kDegree:
+      order = degree_order(g);
+      break;
+    default:
+      throw std::invalid_argument("reorder_permutation: unknown policy");
+  }
+  std::vector<NodeId> perm(g.num_nodes());
+  for (NodeId k = 0; k < g.num_nodes(); ++k) perm[order[k]] = k;
+  return perm;
+}
+
+Graph reorder_graph(const Graph& g, const std::vector<NodeId>& perm,
+                    GraphOptions options) {
+  const NodeId n = g.num_nodes();
+  if (perm.size() != n) {
+    throw std::invalid_argument("reorder_graph: permutation size mismatch");
+  }
+  {
+    std::vector<std::uint8_t> seen(n, 0);
+    for (const NodeId p : perm) {
+      if (p >= n || seen[p]) {
+        throw std::invalid_argument("reorder_graph: not a permutation");
+      }
+      seen[p] = 1;
+    }
+  }
+
+  // Two-pass streaming rebuild straight into the permuted CSR — the source's
+  // neighbors() spans are the only thing read (never its edges() cache), and
+  // no intermediate edge list is materialized.
+  GraphBuilder b(n, options);
+  for (NodeId v = 0; v < n; ++v) {
+    for (const NodeId u : g.neighbors(v)) {
+      if (v < u) b.count_edge(perm[v], perm[u]);
+    }
+  }
+  b.finish_counting();
+  for (NodeId v = 0; v < n; ++v) {
+    for (const NodeId u : g.neighbors(v)) {
+      if (v < u) b.fill_edge(perm[v], perm[u]);
+    }
+  }
+  Graph out = std::move(b).finish();
+
+  // Compose onto the source's provenance so user ids survive repeated
+  // reorders: user u sat at g-internal i = g.to_internal(u) and now sits at
+  // perm[i].
+  std::vector<NodeId> to_internal(n);
+  std::vector<NodeId> to_user(n);
+  for (NodeId u = 0; u < n; ++u) {
+    const NodeId i = perm[g.to_internal(u)];
+    to_internal[u] = i;
+    to_user[i] = u;
+  }
+  out.attach_permutation(std::move(to_internal), std::move(to_user));
+  return out;
+}
+
+Graph reorder_graph(const Graph& g, ReorderPolicy policy,
+                    GraphOptions options) {
+  return reorder_graph(g, reorder_permutation(g, policy), options);
+}
+
+double average_neighbor_distance(const Graph& g) {
+  std::uint64_t total = 0;
+  std::uint64_t half_edges = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (const NodeId u : g.neighbors(v)) {
+      total += static_cast<std::uint64_t>(
+          std::abs(static_cast<std::int64_t>(v) - static_cast<std::int64_t>(u)));
+    }
+    half_edges += g.degree(v);
+  }
+  return half_edges > 0
+             ? static_cast<double>(total) / static_cast<double>(half_edges)
+             : 0.0;
+}
+
+}  // namespace ssau::graph

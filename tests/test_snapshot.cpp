@@ -603,18 +603,74 @@ TEST(Golden, V1FixtureStillLoads) {
                       "/golden_engine_v1.snap");
 }
 
-TEST(Golden, V2FixtureLoads) {
+TEST(Golden, V2FixtureStillLoads) {
+  // FROZEN: a v2-era writer produced this file (no reorder options byte, no
+  // graph relabelling block); no current writer can regenerate it. The
+  // versioned readers default those fields (reorder = kOff, identity
+  // layout), which is exactly what a v2 engine was.
+  expect_golden_loads(std::string(SSAU_TEST_DATA_DIR) +
+                      "/golden_engine_v2.snap");
+}
+
+TEST(Golden, V3FixtureLoads) {
   // The current-format fixture. Regenerate ONLY on a deliberate format break
   // (with a version bump and a new frozen fixture for the old version) via
   //   SSAU_REGEN_GOLDEN=1 ./test_snapshot --gtest_filter=Golden.*
   const std::string path =
-      std::string(SSAU_TEST_DATA_DIR) + "/golden_engine_v2.snap";
+      std::string(SSAU_TEST_DATA_DIR) + "/golden_engine_v3.snap";
   if (std::getenv("SSAU_REGEN_GOLDEN") != nullptr) {
     TinyRun run;
     core::snapshot::write_file(run.bytes, path);
     GTEST_SKIP() << "regenerated " << path;
   }
   expect_golden_loads(path);
+}
+
+TEST(Golden, V3ReorderedFixtureLoads) {
+  // v3's new wire content — a graph relabelling — exercised end to end: the
+  // fixture engine ran over a BFS-reordered layout, so the file carries the
+  // permutation and the restored graph must come back reordered(). Same
+  // regeneration protocol as the main v3 fixture.
+  const std::string path =
+      std::string(SSAU_TEST_DATA_DIR) + "/golden_engine_v3_reordered.snap";
+  const auto make_live = [] {
+    struct Run {
+      graph::Graph g = graph::ring_of_cliques(3, 4);
+      unison::AlgAu alg{2};
+      std::unique_ptr<sched::Scheduler> sched =
+          sched::make_scheduler("permutation", g);
+      std::unique_ptr<core::Engine> engine;
+    };
+    auto run = std::make_unique<Run>();
+    util::Rng rng(5);
+    run->engine = std::make_unique<core::Engine>(
+        run->g, run->alg, *run->sched,
+        core::random_configuration(run->alg, run->g.num_nodes(), rng), 99,
+        core::EngineOptions{.reorder = core::ReorderMode::kBfs});
+    for (int i = 0; i < 100; ++i) run->engine->step();
+    return run;
+  };
+  if (std::getenv("SSAU_REGEN_GOLDEN") != nullptr) {
+    auto live = make_live();
+    core::snapshot::write_file(save(*live->engine), path);
+    GTEST_SKIP() << "regenerated " << path;
+  }
+  auto live = make_live();
+  ASSERT_TRUE(live->g.reordered());
+  const auto bytes = core::snapshot::read_file(path);
+  graph::Graph g2 = restore_graph(bytes);
+  ASSERT_TRUE(g2.reordered());
+  EXPECT_TRUE(std::equal(live->g.permutation().begin(),
+                         live->g.permutation().end(),
+                         g2.permutation().begin(), g2.permutation().end()));
+  auto sched2 = sched::make_scheduler("permutation", g2);
+  auto restored = restore(bytes, g2, live->alg, *sched2);
+  expect_engines_equal(*live->engine, *restored);
+  for (int t = 0; t < 50; ++t) {
+    live->engine->step();
+    restored->step();
+  }
+  expect_engines_equal(*live->engine, *restored);
 }
 
 // --- scheduler state blobs ---------------------------------------------------

@@ -1,20 +1,27 @@
-// ssau_scale_smoke — the million-node CI gate, as one self-checking binary.
+// ssau_scale_smoke — the large-instance CI gate, as one self-checking binary.
 //
-// Exercises the scale pass end to end on a single large instance:
+// Exercises the scale pass end to end on a single large instance (CI runs it
+// at 1M nodes / 1k steps per PR and at the 10M-node ceiling with fewer
+// steps):
 //
-//   1. streams a 1M-node random connected graph through the two-pass
+//   1. streams an n-node random connected graph through the two-pass
 //      GraphBuilder (no intermediate edge vector),
-//   2. runs 1k synchronous engine steps on the byte-compact stores,
-//   3. snapshots, restores into a fresh engine, and runs both sides further —
-//      any divergence (config, time, hash, activation counts) is a failure,
-//   4. asserts the build/run path never materialized the lazy edges() cache
-//      (edges_rebuild_count() == 0 — the O(m) rebuild would dominate at this
-//      scale), and
-//   5. prints the recursive memory accounting (graph / engine bytes,
+//   2. hands the engine a MUTABLE graph so ReorderMode::kAuto engages: the
+//      run executes over the BFS-reordered layout, and the smoke asserts
+//      both that it engaged and that it lowered the average neighbor-id
+//      distance (the locality metric the reorder exists for),
+//   3. runs synchronous engine steps on the byte-compact stores,
+//   4. snapshots, restores into a fresh engine (the v3 wire carries the
+//      relabelling), and runs both sides further — any divergence (config,
+//      time, hash, activation counts) is a failure,
+//   5. asserts the build/reorder/run path never materialized the lazy
+//      edges() cache (edges_rebuild_count() == 0 — the O(m) rebuild would
+//      dominate at this scale), and
+//   6. prints the recursive memory accounting (graph / engine bytes,
 //      bytes-per-node) so CI logs carry the footprint trend.
 //
 // Exits non-zero on any violated invariant. Runtime target: well under a
-// minute on 2 cores — small enough for a per-PR CI job.
+// minute on 2 cores at 1M nodes — small enough for a per-PR CI job.
 //
 // Usage: ssau_scale_smoke [nodes] [steps]   (defaults 1'000'000, 1'000)
 #include <cstdint>
@@ -27,6 +34,7 @@
 #include "core/engine.hpp"
 #include "core/snapshot.hpp"
 #include "graph/generators.hpp"
+#include "graph/reorder.hpp"
 #include "sched/scheduler.hpp"
 #include "unison/alg_au.hpp"
 #include "util/rng.hpp"
@@ -58,18 +66,26 @@ int main(int argc, char** argv) {
   const double p = 8.0 / static_cast<double>(n);
   util::Rng graph_rng(2026);
   const auto t_build = std::chrono::steady_clock::now();
-  const graph::Graph g = graph::random_connected(n, p, graph_rng);
+  graph::Graph g = graph::random_connected(n, p, graph_rng);
   const double build_s = seconds_since(t_build);
   if (g.num_nodes() != n) return fail("graph node count");
   if (!g.connected()) return fail("graph not connected");
+  const double neighbor_distance_before = graph::average_neighbor_distance(g);
 
-  // --- 2. compact-engine run -------------------------------------------------
+  // --- 2. compact-engine run over the auto-reordered layout ------------------
   const unison::AlgAu alg(3);
   sched::SynchronousScheduler sched(n);
   util::Rng init_rng(7);
+  const auto t_reorder = std::chrono::steady_clock::now();
   core::Engine engine(g, alg, sched,
                       core::random_configuration(alg, n, init_rng), 42);
+  const double reorder_s = seconds_since(t_reorder);
   if (!engine.compact_config()) return fail("engine not in byte-compact mode");
+  if (!g.reordered()) return fail("kAuto reorder did not engage at scale");
+  const double neighbor_distance_after = graph::average_neighbor_distance(g);
+  if (neighbor_distance_after >= neighbor_distance_before) {
+    return fail("reorder did not improve neighbor-id locality");
+  }
 
   const auto t_run = std::chrono::steady_clock::now();
   for (int t = 0; t < steps; ++t) engine.step();
@@ -114,6 +130,8 @@ int main(int argc, char** argv) {
   std::printf("  nodes               %u\n", n);
   std::printf("  edges               %zu\n", g.num_edges());
   std::printf("  build_seconds       %.3f\n", build_s);
+  std::printf("  setup_seconds       %.3f  (engine + BFS reorder; avg |u-v|: %.0f -> %.0f)\n",
+              reorder_s, neighbor_distance_before, neighbor_distance_after);
   std::printf("  run_seconds         %.3f  (%d sync steps)\n", run_s, steps);
   std::printf("  graph_bytes         %zu\n", graph_bytes);
   std::printf("  engine_bytes        %zu\n", engine_bytes);
